@@ -1,0 +1,32 @@
+//! Criterion companion to Figure 9: optimal-abstraction search runtime as
+//! the privacy threshold grows (TPC-H, small scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provabs_bench::{run_search, tpch_scenarios, HarnessCaps, ScenarioSettings};
+
+fn bench(c: &mut Criterion) {
+    let settings = ScenarioSettings {
+        tree_leaves: 300,
+        tpch_lineitems: 800,
+        ..Default::default()
+    };
+    let caps = HarnessCaps {
+        time_budget_ms: Some(2_000),
+        ..Default::default()
+    };
+    let scenarios = tpch_scenarios(&settings);
+    let mut group = c.benchmark_group("fig09_privacy_threshold");
+    group.sample_size(10);
+    for name in ["TPCH-Q3", "TPCH-Q10"] {
+        let s = scenarios.iter().find(|s| s.name == name).expect("scenario");
+        for k in [2usize, 5, 10] {
+            group.bench_with_input(BenchmarkId::new(name, k), &k, |b, &k| {
+                b.iter(|| run_search(s, k, &caps, "bench", |_| {}));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion companion to Figure 12: search runtime as the abstraction tree
+//! grows (×3 leaf steps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provabs_bench::{run_search, tpch_scenarios, HarnessCaps, ScenarioSettings};
+
+fn bench(c: &mut Criterion) {
+    let caps = HarnessCaps {
+        time_budget_ms: Some(2_000),
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("fig12_tree_size");
+    group.sample_size(10);
+    for leaves in [100usize, 300, 900] {
+        let settings = ScenarioSettings {
+            tree_leaves: leaves,
+            tpch_lineitems: 1000.max(leaves),
+            ..Default::default()
+        };
+        let scenarios = tpch_scenarios(&settings);
+        let Some(s) = scenarios.iter().find(|s| s.name == "TPCH-Q3") else {
+            continue;
+        };
+        group.bench_with_input(BenchmarkId::new("TPCH-Q3", leaves), &leaves, |b, _| {
+            b.iter(|| run_search(s, 5, &caps, "bench", |_| {}));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion companion to Figure 14: search runtime across tree heights
+//! (per-query optimum, non-monotone).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provabs_bench::{run_search, tpch_scenarios, HarnessCaps, ScenarioSettings};
+
+fn bench(c: &mut Criterion) {
+    let caps = HarnessCaps {
+        time_budget_ms: Some(2_000),
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("fig14_tree_height");
+    group.sample_size(10);
+    for height in [3u32, 5, 7] {
+        let settings = ScenarioSettings {
+            tree_height: height,
+            tree_leaves: 300,
+            tpch_lineitems: 800,
+            ..Default::default()
+        };
+        let scenarios = tpch_scenarios(&settings);
+        let Some(s) = scenarios.iter().find(|s| s.name == "TPCH-Q10") else {
+            continue;
+        };
+        group.bench_with_input(BenchmarkId::new("TPCH-Q10", height), &height, |b, _| {
+            b.iter(|| run_search(s, 5, &caps, "bench", |_| {}));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion companion to Figure 16: search runtime as the query's join
+//! count grows (TPCH-Q21 prefix variants).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provabs_bench::{run_search, HarnessCaps, Scenario, ScenarioSettings};
+use provabs_datagen::tpch::{self, TpchConfig};
+use provabs_datagen::{join_variants, kexample_for};
+
+fn bench(c: &mut Criterion) {
+    let settings = ScenarioSettings {
+        tree_leaves: 300,
+        tpch_lineitems: 800,
+        ..Default::default()
+    };
+    let caps = HarnessCaps {
+        time_budget_ms: Some(2_000),
+        ..Default::default()
+    };
+    let cfg = TpchConfig {
+        lineitem_rows: settings.tpch_lineitems,
+        seed: settings.seed,
+    };
+    let (db_proto, rels) = tpch::generate(&cfg);
+    let q21 = tpch::tpch_queries(db_proto.schema())
+        .into_iter()
+        .find(|w| w.name == "TPCH-Q21")
+        .expect("Q21");
+    let mut group = c.benchmark_group("fig16_joins");
+    group.sample_size(10);
+    for variant in join_variants(&q21.query, 4) {
+        let joins = variant.num_joins();
+        let mut db = db_proto.clone();
+        let Some(example) = kexample_for(&db, &variant, settings.rows) else {
+            continue;
+        };
+        let tree = tpch::tpch_tree_covering(
+            &mut db,
+            &rels,
+            &example,
+            settings.tree_leaves,
+            settings.tree_height,
+            settings.seed,
+            settings.shuffle_tree,
+        );
+        let scenario = Scenario {
+            name: format!("TPCH-Q21/{joins}j"),
+            query: variant,
+            db,
+            tree,
+            example,
+        };
+        group.bench_with_input(BenchmarkId::new("TPCH-Q21", joins), &joins, |b, _| {
+            b.iter(|| run_search(&scenario, 5, &caps, "bench", |_| {}));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

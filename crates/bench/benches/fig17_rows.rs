@@ -1,0 +1,33 @@
+//! Criterion companion to Figure 17: search runtime as the K-example grows
+//! (the dominant cost factor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provabs_bench::{run_search, tpch_scenarios, HarnessCaps, ScenarioSettings};
+
+fn bench(c: &mut Criterion) {
+    let caps = HarnessCaps {
+        time_budget_ms: Some(3_000),
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("fig17_rows");
+    group.sample_size(10);
+    for rows in [2usize, 3, 4] {
+        let settings = ScenarioSettings {
+            rows,
+            tree_leaves: 300,
+            tpch_lineitems: 800,
+            ..Default::default()
+        };
+        let scenarios = tpch_scenarios(&settings);
+        let Some(s) = scenarios.iter().find(|s| s.name == "TPCH-Q4") else {
+            continue;
+        };
+        group.bench_with_input(BenchmarkId::new("TPCH-Q4", rows), &rows, |b, _| {
+            b.iter(|| run_search(s, 2, &caps, "bench", |_| {}));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion companion to Figure 18: Algorithm 2 vs the compression-driven
+//! baseline of [24] on the same scenario and threshold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use provabs_bench::{run_search, tpch_scenarios, HarnessCaps, ScenarioSettings};
+use provabs_core::compression::compression_baseline;
+use provabs_core::loi::LoiDistribution;
+use provabs_core::privacy::PrivacyConfig;
+use provabs_core::Bound;
+
+fn bench(c: &mut Criterion) {
+    let settings = ScenarioSettings {
+        tree_leaves: 300,
+        tpch_lineitems: 800,
+        ..Default::default()
+    };
+    let caps = HarnessCaps {
+        time_budget_ms: Some(2_000),
+        ..Default::default()
+    };
+    let scenarios = tpch_scenarios(&settings);
+    let s = scenarios
+        .iter()
+        .find(|s| s.name == "TPCH-Q3")
+        .expect("scenario");
+    let mut group = c.benchmark_group("fig18_compression");
+    group.sample_size(10);
+    group.bench_function("ours_k5", |b| {
+        b.iter(|| run_search(s, 5, &caps, "bench", |_| {}));
+    });
+    group.bench_function("compression_k5", |b| {
+        let bound = Bound::new(&s.db, &s.tree, &s.example).unwrap();
+        let cfg = PrivacyConfig {
+            threshold: 5,
+            ..Default::default()
+        };
+        b.iter(|| compression_baseline(&bound, &cfg, &LoiDistribution::Uniform));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

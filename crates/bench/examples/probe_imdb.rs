@@ -1,0 +1,23 @@
+//! IMDB-only probe with adjustable caps: args = k, max_conc, budget_ms.
+use provabs_bench::{imdb_scenarios, run_search, HarnessCaps, ScenarioSettings};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let mc: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let budget: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(30_000);
+    let settings = ScenarioSettings::default();
+    let caps = HarnessCaps {
+        max_candidates: 200_000,
+        max_concretizations: mc,
+        max_alignments: 10_000,
+        time_budget_ms: Some(budget),
+    };
+    for s in imdb_scenarios(&settings) {
+        let m = run_search(&s, k, &caps, "probe", |_| {});
+        println!(
+            "{:<10} k={k} {:>9.1}ms found={} privacy={} loi={:.2} edges={} abstrs={} pevals={} trunc={}",
+            s.name, m.runtime_ms, m.found, m.privacy, m.loi, m.edges, m.abstractions, m.privacy_evals, m.truncated
+        );
+    }
+}

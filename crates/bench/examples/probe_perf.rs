@@ -1,0 +1,22 @@
+//! Performance probe: one search per workload query at small settings,
+//! printing progress eagerly. Not part of the experiment suite.
+
+use provabs_bench::{imdb_scenarios, run_search, tpch_scenarios, HarnessCaps, ScenarioSettings};
+
+fn main() {
+    let settings = ScenarioSettings::default();
+    let caps = HarnessCaps::default();
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let mut scenarios = tpch_scenarios(&settings);
+    scenarios.extend(imdb_scenarios(&settings));
+    for s in &scenarios {
+        let m = run_search(s, k, &caps, "probe", |_| {});
+        println!(
+            "{:<10} k={k} {:>9.1}ms found={} privacy={} loi={:.2} edges={} abstrs={} pevals={} trunc={}",
+            s.name, m.runtime_ms, m.found, m.privacy, m.loi, m.edges, m.abstractions, m.privacy_evals, m.truncated
+        );
+    }
+}

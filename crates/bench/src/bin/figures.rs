@@ -1,0 +1,188 @@
+//! Regenerates every figure and table of the paper's evaluation.
+//!
+//! ```text
+//! figures [all|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|loi|table3|table7] [--quick]
+//! ```
+//!
+//! Results are printed as aligned tables (one series point per row) and
+//! written as CSV under `results/`. Figures 9/10/11 (and 12/13, 14/15)
+//! share a run: the same searches produce the runtime, abstraction-size and
+//! LOI series.
+
+use provabs_bench::figures;
+use provabs_bench::user_study::run_user_study;
+use provabs_bench::{print_table, write_csv, HarnessCaps, Measurement, ScenarioSettings};
+use std::path::PathBuf;
+
+struct Args {
+    which: Vec<String>,
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut which = Vec::new();
+    let mut quick = false;
+    for a in std::env::args().skip(1) {
+        if a == "--quick" {
+            quick = true;
+        } else {
+            which.push(a);
+        }
+    }
+    if which.is_empty() {
+        which.push("all".to_owned());
+    }
+    Args { which, quick }
+}
+
+fn main() {
+    let args = parse_args();
+    let want = |name: &str| {
+        args.which.iter().any(|w| w == name)
+            || args.which.iter().any(|w| w == "all")
+            // figure pairs/triples share runs
+            || (name == "fig9" && args.which.iter().any(|w| w == "fig10" || w == "fig11"))
+            || (name == "fig12" && args.which.iter().any(|w| w == "fig13"))
+            || (name == "fig14" && args.which.iter().any(|w| w == "fig15"))
+    };
+    let settings = ScenarioSettings::default();
+    let mut caps = HarnessCaps::default();
+    // Optional overrides for slow machines / deeper reproductions.
+    if let Some(ms) = std::env::var("PROVABS_BUDGET_MS").ok().and_then(|v| v.parse().ok()) {
+        caps.time_budget_ms = Some(ms);
+    }
+    if let Some(mc) = std::env::var("PROVABS_MAX_CONC").ok().and_then(|v| v.parse().ok()) {
+        caps.max_concretizations = mc;
+    }
+    let out_dir = PathBuf::from("results");
+    let emit = |name: &str, title: &str, rows: &[Measurement]| {
+        println!("{}", print_table(title, rows));
+        if let Err(e) = write_csv(&out_dir, name, rows) {
+            eprintln!("warning: could not write results/{name}.csv: {e}");
+        }
+    };
+
+    if want("fig9") {
+        let ks: Vec<usize> = if args.quick {
+            vec![2, 5, 10]
+        } else {
+            vec![2, 5, 8, 11, 14, 17, 20]
+        };
+        let rows = figures::fig09_to_11(&settings, &caps, &ks);
+        emit(
+            "fig09_10_11",
+            "Figures 9-11: runtime / abstraction size / LOI vs privacy threshold",
+            &rows,
+        );
+    }
+    if want("fig12") {
+        let leaves: Vec<usize> = if args.quick {
+            vec![200, 600]
+        } else {
+            vec![100, 300, 900, 2700, 8100]
+        };
+        let rows = figures::fig12_13(&settings, &caps, &leaves);
+        emit(
+            "fig12_13",
+            "Figures 12-13: runtime / abstraction size vs tree size (leaves)",
+            &rows,
+        );
+    }
+    if want("fig14") {
+        let heights: Vec<u32> = if args.quick {
+            vec![3, 5]
+        } else {
+            vec![2, 3, 4, 5, 6, 7, 8]
+        };
+        let rows = figures::fig14_15(&settings, &caps, &heights);
+        emit(
+            "fig14_15",
+            "Figures 14-15: runtime / abstraction size vs tree height",
+            &rows,
+        );
+    }
+    if want("fig16") {
+        let rows = figures::fig16(&settings, &caps);
+        emit("fig16", "Figure 16: runtime vs number of joins", &rows);
+    }
+    if want("fig17") {
+        let rows_counts: Vec<usize> = if args.quick { vec![2, 3] } else { vec![2, 3, 4, 5] };
+        let rows = figures::fig17(&settings, &caps, &rows_counts);
+        emit("fig17", "Figure 17: runtime vs K-example rows", &rows);
+    }
+    if want("fig18") {
+        let ks: Vec<usize> = if args.quick { vec![2, 5] } else { vec![2, 5, 8, 11, 14] };
+        let rows = figures::fig18(&settings, &caps, &ks);
+        emit(
+            "fig18",
+            "Figure 18: LOI, our optimum vs compression baseline [24]",
+            &rows,
+        );
+    }
+    if want("fig19") {
+        let rows = figures::fig19(&settings, &caps);
+        emit(
+            "fig19",
+            "Figure 19: per-component runtime vs brute force (param = component)",
+            &rows,
+        );
+        // Also print the speedups the paper reports.
+        let mut by_query: std::collections::BTreeMap<String, Vec<&Measurement>> =
+            Default::default();
+        for m in &rows {
+            by_query.entry(m.query.clone()).or_default().push(m);
+        }
+        println!("Speedups vs brute force:");
+        for (q, ms) in by_query {
+            if let Some(brute) = ms.iter().find(|m| m.param == "brute") {
+                for m in &ms {
+                    if m.param != "brute" {
+                        println!(
+                            "  {q} {:<12} {:>8.1}x",
+                            m.param,
+                            brute.runtime_ms / m.runtime_ms.max(1e-6)
+                        );
+                    }
+                }
+            }
+        }
+        println!();
+    }
+    if want("loi") {
+        let rows = figures::loi_distribution(&settings, &caps);
+        emit(
+            "loi_distribution",
+            "LOI distributions: uniform vs random weights (runtime insensitivity)",
+            &rows,
+        );
+    }
+    if want("table3") {
+        let t = figures::table3();
+        println!("== Table 3: queries w.r.t. Exabs1 (paper: 14 consistent / 3 connected / 2 CIM) ==");
+        println!(
+            "frontier view: consistent {} / connected {} / CIM {}",
+            t.frontier.0, t.frontier.1, t.frontier.2
+        );
+        println!(
+            "closure view:  consistent {} / connected {} / CIM {}\n",
+            t.closure.0, t.closure.1, t.closure.2
+        );
+    }
+    if want("table7") {
+        let trials = if args.quick { 2 } else { 6 };
+        let out = run_user_study(trials, 11);
+        println!("== Table 7 / Figure 20: simulated user study ==");
+        println!(
+            "identified original query: group A {}/{}  group B {}/{}",
+            out.group_a_identified, out.trials, out.group_b_identified, out.trials
+        );
+        println!(
+            "hypothetical QA (avg of 10): group A {:.1}  group B {:.1}",
+            out.group_a_avg(),
+            out.group_b_avg()
+        );
+        println!("per-question correct (A): {:?}", out.group_a_correct);
+        println!("per-question correct (B): {:?}", out.group_b_correct);
+        println!();
+    }
+}

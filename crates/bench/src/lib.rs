@@ -1,0 +1,20 @@
+//! Experiment harness reproducing the paper's evaluation (§5).
+//!
+//! One runner per figure/table; the `figures` binary drives them and prints
+//! the series each figure plots (plus CSV files under `results/`). Absolute
+//! numbers differ from the paper (Rust vs Java 13, synthetic vs raw
+//! datasets, laptop-scale sizes — see DESIGN.md §4); the reproduced claims
+//! are the *shapes*: who wins, what grows, where the crossovers sit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod report;
+pub mod scenario;
+pub mod user_study;
+
+pub use report::{print_table, write_csv, Measurement};
+pub use scenario::{
+    imdb_scenarios, run_search, tpch_scenarios, HarnessCaps, Scenario, ScenarioSettings,
+};

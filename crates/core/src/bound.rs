@@ -1,0 +1,152 @@
+//! Binding a K-example to its database and abstraction tree.
+
+use crate::{CoreError, CoreResult};
+use provabs_relational::{Database, KExample};
+use provabs_semiring::AnnotId;
+use provabs_tree::{AbstractionTree, NodeId};
+
+/// A K-example bound to a compatible abstraction tree and the database its
+/// annotations tag.
+///
+/// Precomputes the occurrence view of every row (Def. 3.1 indexes each
+/// variable occurrence) and, per occurrence, the tree leaf and its maximal
+/// lift (depth). All core algorithms operate on a `Bound`.
+#[derive(Debug)]
+pub struct Bound<'a> {
+    /// The database whose tuples the example's annotations tag.
+    pub db: &'a Database,
+    /// The abstraction tree.
+    pub tree: &'a AbstractionTree,
+    /// The K-example.
+    pub example: &'a KExample,
+    /// Per row: the flat occurrence list (exponents expanded).
+    occ_annots: Vec<Vec<AnnotId>>,
+    /// Per row/occurrence: the tree leaf, when the annotation is in `L_T`.
+    leaf_nodes: Vec<Vec<Option<NodeId>>>,
+}
+
+impl<'a> Bound<'a> {
+    /// Binds `example` to `tree` and `db`.
+    ///
+    /// Fails if the tree is incompatible (Def. 2.6), the example is empty,
+    /// or an annotation does not tag a tuple.
+    pub fn new(
+        db: &'a Database,
+        tree: &'a AbstractionTree,
+        example: &'a KExample,
+    ) -> CoreResult<Self> {
+        if example.is_empty() {
+            return Err(CoreError::EmptyExample);
+        }
+        if !tree.compatible_with(db) {
+            return Err(CoreError::IncompatibleTree);
+        }
+        let mut occ_annots = Vec::with_capacity(example.len());
+        let mut leaf_nodes = Vec::with_capacity(example.len());
+        for row in &example.rows {
+            let occs = row.monomial.occurrences();
+            for &a in &occs {
+                if db.locate(a).is_none() {
+                    return Err(CoreError::UnresolvedAnnotation(a));
+                }
+            }
+            let leaves: Vec<Option<NodeId>> = occs
+                .iter()
+                .map(|&a| tree.node_by_label(a).filter(|&n| tree.is_leaf(n)))
+                .collect();
+            occ_annots.push(occs);
+            leaf_nodes.push(leaves);
+        }
+        Ok(Self {
+            db,
+            tree,
+            example,
+            occ_annots,
+            leaf_nodes,
+        })
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.occ_annots.len()
+    }
+
+    /// The annotation occurrences of row `r`.
+    pub fn row_occurrences(&self, r: usize) -> &[AnnotId] {
+        &self.occ_annots[r]
+    }
+
+    /// The tree leaf of occurrence `(r, i)` (`None` when the annotation is
+    /// not a leaf of the tree — such occurrences cannot be abstracted,
+    /// Def. 3.1: `A_T(v) = v` for `v ∉ L_T`).
+    pub fn leaf_node(&self, r: usize, i: usize) -> Option<NodeId> {
+        self.leaf_nodes[r][i]
+    }
+
+    /// The maximal lift of occurrence `(r, i)`: the depth of its leaf (0
+    /// when not abstractable).
+    pub fn max_lift(&self, r: usize, i: usize) -> u32 {
+        self.leaf_nodes[r][i].map_or(0, |n| self.tree.depth(n))
+    }
+
+    /// Flat list of all occurrences as `(row, index)` pairs.
+    pub fn occurrences(&self) -> Vec<(usize, usize)> {
+        self.occ_annots
+            .iter()
+            .enumerate()
+            .flat_map(|(r, occs)| (0..occs.len()).map(move |i| (r, i)))
+            .collect()
+    }
+
+    /// Total occurrence count.
+    pub fn num_occurrences(&self) -> usize {
+        self.occ_annots.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::running_example;
+    use provabs_relational::Tuple;
+    use provabs_semiring::Monomial;
+
+    #[test]
+    fn binds_running_example() {
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        assert_eq!(b.num_rows(), 2);
+        assert_eq!(b.num_occurrences(), 6);
+        // p1 is not in the Figure 3 tree: max lift 0. h1 is at depth 3.
+        let p1 = fx.db.annotations().get("p1").unwrap();
+        let h1 = fx.db.annotations().get("h1").unwrap();
+        let row0 = b.row_occurrences(0).to_vec();
+        let p1_idx = row0.iter().position(|&a| a == p1).unwrap();
+        let h1_idx = row0.iter().position(|&a| a == h1).unwrap();
+        assert_eq!(b.max_lift(0, p1_idx), 0);
+        assert_eq!(b.max_lift(0, h1_idx), 3);
+        assert_eq!(b.occurrences().len(), 6);
+    }
+
+    #[test]
+    fn rejects_empty_example() {
+        let fx = running_example();
+        let empty = KExample::default();
+        assert_eq!(
+            Bound::new(&fx.db, &fx.tree, &empty).unwrap_err(),
+            CoreError::EmptyExample
+        );
+    }
+
+    #[test]
+    fn rejects_unresolved_annotations() {
+        let fx = running_example();
+        let mut db = fx.db.clone();
+        let ghost = db.intern_label("ghost");
+        let ex = KExample::new([(Tuple::parse(&["1"]), Monomial::from_annots([ghost]))]);
+        assert_eq!(
+            Bound::new(&db, &fx.tree, &ex).unwrap_err(),
+            CoreError::UnresolvedAnnotation(ghost)
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Concretization sets of abstracted K-examples (Def. 3.3, Prop. 3.5).
+
+use crate::{AbsRow, Bound, Sym};
+use provabs_semiring::AnnotId;
+
+/// The number of concretizations of an abstracted row: the product over its
+/// symbols of `|L_T(sym)|` (Prop. 3.5 item 1, per row).
+pub fn row_concretization_count(bound: &Bound<'_>, row: &AbsRow) -> u128 {
+    row.syms
+        .iter()
+        .map(|s| match s {
+            Sym::Leaf(_) => 1u128,
+            Sym::Abs(n) => u128::from(bound.tree.leaf_count(*n)),
+        })
+        .product()
+}
+
+/// The number of concretizations of a whole abstracted example
+/// (Prop. 3.5 item 1).
+pub fn concretization_count(bound: &Bound<'_>, rows: &[AbsRow]) -> u128 {
+    rows.iter()
+        .map(|r| row_concretization_count(bound, r))
+        .product()
+}
+
+/// Enumerates the concretizations of one abstracted row: every assignment of
+/// a leaf under each abstracted symbol. Calls `visit` with the concrete
+/// occurrence list; stops and returns `false` once `visit` returns `false`
+/// or `max` rows were produced (returns `true` iff enumeration completed).
+pub fn for_each_row_concretization(
+    bound: &Bound<'_>,
+    row: &AbsRow,
+    max: usize,
+    mut visit: impl FnMut(&[AnnotId]) -> bool,
+) -> bool {
+    // Choice lists per symbol.
+    let choices: Vec<&[AnnotId]> = row
+        .syms
+        .iter()
+        .map(|s| match s {
+            Sym::Leaf(a) => std::slice::from_ref(a),
+            Sym::Abs(n) => bound.tree.leaves_under(*n),
+        })
+        .collect();
+    let mut current: Vec<AnnotId> = choices.iter().map(|c| c[0]).collect();
+    let mut produced = 0usize;
+    odometer(&choices, 0, &mut current, &mut |occs| {
+        if produced >= max {
+            return false;
+        }
+        produced += 1;
+        visit(occs)
+    })
+}
+
+fn odometer(
+    choices: &[&[AnnotId]],
+    i: usize,
+    current: &mut Vec<AnnotId>,
+    visit: &mut impl FnMut(&[AnnotId]) -> bool,
+) -> bool {
+    if i == choices.len() {
+        return visit(current);
+    }
+    for &c in choices[i] {
+        current[i] = c;
+        if !odometer(choices, i + 1, current, visit) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Enumerates the concretizations of a list of abstracted rows (the
+/// cartesian product of per-row concretizations). `visit` receives one
+/// occurrence list per row; the same early-exit protocol as
+/// [`for_each_row_concretization`] applies.
+pub fn for_each_concretization(
+    bound: &Bound<'_>,
+    rows: &[AbsRow],
+    max: usize,
+    mut visit: impl FnMut(&[Vec<AnnotId>]) -> bool,
+) -> bool {
+    let mut current: Vec<Vec<AnnotId>> = Vec::with_capacity(rows.len());
+    let mut produced = 0usize;
+    rec_rows(bound, rows, 0, &mut current, max, &mut produced, &mut visit)
+}
+
+fn rec_rows(
+    bound: &Bound<'_>,
+    rows: &[AbsRow],
+    i: usize,
+    current: &mut Vec<Vec<AnnotId>>,
+    max: usize,
+    produced: &mut usize,
+    visit: &mut impl FnMut(&[Vec<AnnotId>]) -> bool,
+) -> bool {
+    if i == rows.len() {
+        if *produced >= max {
+            return false;
+        }
+        *produced += 1;
+        return visit(current);
+    }
+    for_each_row_concretization(bound, &rows[i], usize::MAX, |occs| {
+        current.push(occs.to_vec());
+        let cont = rec_rows(bound, rows, i + 1, current, max, produced, visit);
+        current.pop();
+        cont
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::running_example;
+    use crate::{Abstraction, Bound};
+
+    fn abs_lifting(bound: &Bound<'_>, lifts: &[(&str, u32)]) -> Abstraction {
+        let mut abs = Abstraction::identity(bound);
+        for (name, lift) in lifts {
+            let id = bound.db.annotations().get(name).unwrap();
+            for r in 0..bound.num_rows() {
+                for (i, &a) in bound.row_occurrences(r).iter().enumerate() {
+                    if a == id {
+                        abs.lifts[r][i] = *lift;
+                    }
+                }
+            }
+        }
+        abs
+    }
+
+    #[test]
+    fn exabs1_has_15_concretizations() {
+        // Example 3.15: |C(Exabs1)| = 5 * 3 = 15.
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        let abs = abs_lifting(&b, &[("h1", 1), ("h2", 1)]);
+        let rows = abs.apply(&b).rows;
+        assert_eq!(concretization_count(&b, &rows), 15);
+        let mut seen = 0;
+        assert!(for_each_concretization(&b, &rows, usize::MAX, |_| {
+            seen += 1;
+            true
+        }));
+        assert_eq!(seen, 15);
+    }
+
+    #[test]
+    fn exabs2_has_20_concretizations() {
+        // A2_T: i1 -> WikiLeaks (4 leaves), i2 -> Facebook (5 leaves) = 20.
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        let abs = abs_lifting(&b, &[("i1", 1), ("i2", 1)]);
+        let rows = abs.apply(&b).rows;
+        assert_eq!(concretization_count(&b, &rows), 20);
+    }
+
+    #[test]
+    fn identity_has_single_concretization() {
+        // Prop. 3.5 item 2, lower bound.
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        let abs = Abstraction::identity(&b);
+        let rows = abs.apply(&b).rows;
+        assert_eq!(concretization_count(&b, &rows), 1);
+        let mut seen = Vec::new();
+        for_each_concretization(&b, &rows, usize::MAX, |c| {
+            seen.push(c.to_vec());
+            true
+        });
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0][0], b.row_occurrences(0));
+    }
+
+    #[test]
+    fn full_abstraction_hits_upper_bound() {
+        // Prop. 3.5 item 2, upper bound: lifting every tree occurrence to
+        // the root gives |L_T|^n concretizations for the lifted ones.
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        let mut abs = Abstraction::identity(&b);
+        let mut lifted = 0u32;
+        for r in 0..b.num_rows() {
+            for i in 0..b.row_occurrences(r).len() {
+                let max = b.max_lift(r, i);
+                if max > 0 {
+                    abs.lifts[r][i] = max;
+                    lifted += 1;
+                }
+            }
+        }
+        // Four tree occurrences (h1, i1, h2, i2), 12 leaves each.
+        assert_eq!(lifted, 4);
+        let rows = abs.apply(&b).rows;
+        assert_eq!(concretization_count(&b, &rows), 12u128.pow(4));
+    }
+
+    #[test]
+    fn enumeration_cap_aborts() {
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        let abs = abs_lifting(&b, &[("h1", 1), ("h2", 1)]);
+        let rows = abs.apply(&b).rows;
+        let mut seen = 0;
+        let complete = for_each_concretization(&b, &rows, 7, |_| {
+            seen += 1;
+            true
+        });
+        assert!(!complete);
+        assert_eq!(seen, 7);
+    }
+}

@@ -1,0 +1,155 @@
+//! The dual problem (§4, "The dual problem"): maximize privacy subject to a
+//! loss-of-information budget `l_max`.
+//!
+//! Algorithm 2 is patched as the paper prescribes — track the best privacy
+//! `p_best`, consider only abstractions within the budget, terminate once
+//! every remaining bucket exceeds `l_max` — with one correction: the paper's
+//! literal line-6 patch (`l < min(l_best, l_max)`) degenerates whenever the
+//! identity abstraction already has positive privacy (`l_best` becomes 0 and
+//! everything else is pruned, even though more abstraction usually yields
+//! more privacy). We preserve the intent — avoid expensive privacy
+//! evaluations that cannot improve the incumbent — by gating each privacy
+//! computation at threshold `p_best + 1`, which Algorithm 1 rejects cheaply.
+
+use crate::loi::{loss_of_information, LoiDistribution};
+use crate::privacy::{compute_privacy, PrivacyCache, PrivacyConfig};
+use crate::search::{AbstractionSpace, BestAbstraction, SearchOutcome, SearchStats};
+use crate::Bound;
+
+/// Configuration of the dual search.
+#[derive(Debug, Clone)]
+pub struct DualConfig {
+    /// Privacy-evaluation settings. The `threshold` field is managed by the
+    /// search itself (it tracks `p_best`).
+    pub privacy: PrivacyConfig,
+    /// The loss-of-information budget `l_max`.
+    pub l_max: f64,
+    /// Hard cap on abstractions enumerated.
+    pub max_candidates: usize,
+    /// The loss-of-information distribution.
+    pub distribution: LoiDistribution,
+}
+
+impl Default for DualConfig {
+    fn default() -> Self {
+        Self {
+            privacy: PrivacyConfig::default(),
+            l_max: 3.0,
+            max_candidates: 1_000_000,
+            distribution: LoiDistribution::Uniform,
+        }
+    }
+}
+
+/// Finds an abstraction maximizing privacy among those with
+/// `LOI ≤ l_max` (ties resolved toward smaller LOI, as in the paper's
+/// patched Algorithm 2).
+pub fn find_max_privacy_abstraction(bound: &Bound<'_>, cfg: &DualConfig) -> SearchOutcome {
+    let space = AbstractionSpace::new(bound);
+    let mut stats = SearchStats::default();
+    let mut cache = PrivacyCache::new();
+    let mut best: Option<BestAbstraction> = None;
+    let min_loi = space.min_loi_by_edges();
+    'outer: for e in 0..=space.total_edges() {
+        if min_loi[e as usize] > cfg.l_max {
+            break; // every later bucket exceeds the budget (monotone)
+        }
+        let mut bucket: Vec<(f64, Vec<u32>)> = Vec::new();
+        let complete = space.for_each_with_edges(e, &mut |lifts| {
+            let abs = space.to_abstraction(bound, lifts);
+            let loi = loss_of_information(bound, &abs, &cfg.distribution);
+            if loi <= cfg.l_max {
+                bucket.push((loi, lifts.to_vec()));
+            }
+            bucket.len() + stats.abstractions_enumerated < cfg.max_candidates
+        });
+        stats.truncated |= !complete;
+        bucket.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        for (loi, lifts) in &bucket {
+            stats.abstractions_enumerated += 1;
+            stats.loi_evaluations += 1;
+            let abs = space.to_abstraction(bound, lifts);
+            let p_best = best.as_ref().map_or(0, |b| b.privacy);
+            // Gate at p_best + 1: only an improvement updates the incumbent,
+            // and Algorithm 1 rejects non-improving abstractions cheaply.
+            let mut pcfg = cfg.privacy.clone();
+            pcfg.threshold = p_best + 1;
+            stats.privacy_evaluations += 1;
+            let rows = abs.apply(bound).rows;
+            let out = compute_privacy(bound, &rows, &pcfg, &mut cache);
+            stats.privacy_stats.absorb(&out.stats);
+            if let Some(p) = out.privacy {
+                best = Some(BestAbstraction {
+                    edges_used: abs.edges_used(),
+                    abstraction: abs,
+                    loi: *loi,
+                    privacy: p,
+                });
+            }
+            if stats.abstractions_enumerated >= cfg.max_candidates {
+                stats.truncated = true;
+                break 'outer;
+            }
+        }
+        if !complete {
+            break;
+        }
+    }
+    SearchOutcome { best, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::running_example;
+
+    fn dual_with(l_max: f64) -> SearchOutcome {
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        find_max_privacy_abstraction(
+            &b,
+            &DualConfig {
+                l_max,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn budget_zero_gives_identity() {
+        let out = dual_with(0.0);
+        let best = out.best.unwrap();
+        assert_eq!(best.loi, 0.0);
+        assert_eq!(best.edges_used, 0);
+        assert_eq!(best.privacy, 1); // the identity reveals only Qreal
+    }
+
+    #[test]
+    fn budget_ln15_reaches_privacy_2() {
+        // With l_max = ln 15 the A1_T abstraction is affordable.
+        let out = dual_with(15f64.ln() + 1e-9);
+        let best = out.best.unwrap();
+        assert!(best.privacy >= 2, "privacy = {}", best.privacy);
+        assert!(best.loi <= 15f64.ln() + 1e-9);
+    }
+
+    #[test]
+    fn tight_budget_caps_privacy() {
+        // A budget below ln 3 (the cheapest non-trivial lift is LinkedIn's
+        // ln 3) only allows the identity.
+        let out = dual_with(1.0);
+        let best = out.best.unwrap();
+        assert_eq!(best.privacy, 1);
+        assert_eq!(best.edges_used, 0);
+    }
+
+    #[test]
+    fn larger_budgets_never_reduce_privacy() {
+        let mut last = 0;
+        for l_max in [0.0, 1.5, 2.8, 4.0] {
+            let p = dual_with(l_max).best.map_or(0, |b| b.privacy);
+            assert!(p >= last, "privacy dropped at budget {l_max}");
+            last = p;
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Error types of the core crate.
+
+use provabs_semiring::AnnotId;
+use std::fmt;
+
+/// Errors raised while binding or abstracting K-examples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The abstraction tree is not compatible with the database: an inner
+    /// label tags a tuple (violates Def. 2.6).
+    IncompatibleTree,
+    /// An annotation of the K-example does not tag any database tuple.
+    UnresolvedAnnotation(AnnotId),
+    /// The K-example has no rows.
+    EmptyExample,
+    /// A configured resource limit was exceeded.
+    LimitExceeded(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::IncompatibleTree => {
+                write!(f, "abstraction tree incompatible with the database (inner label tags a tuple)")
+            }
+            CoreError::UnresolvedAnnotation(a) => {
+                write!(f, "annotation {a} does not tag a database tuple")
+            }
+            CoreError::EmptyExample => write!(f, "K-example has no rows"),
+            CoreError::LimitExceeded(what) => write!(f, "limit exceeded: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Result alias for [`CoreError`].
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CoreError::IncompatibleTree.to_string().contains("incompatible"));
+        assert!(CoreError::UnresolvedAnnotation(AnnotId(3)).to_string().contains("x3"));
+        assert!(CoreError::LimitExceeded("concretizations").to_string().contains("concretizations"));
+    }
+}

@@ -1,0 +1,665 @@
+//! Algorithm 1: computing the privacy of an abstracted K-example.
+//!
+//! The privacy of `Ã` is the number of unique CIM queries w.r.t. `Ã`
+//! (Def. 3.12). The algorithm concretizes row by row, keeping only the
+//! "good" concretization prefixes that admit consistent connected queries,
+//! filtering disconnected concretizations, and caching per-concretization
+//! results (§4.1). Every optimization component carries a config flag so the
+//! Figure 19 ablation can disable it.
+
+use crate::concretize::{for_each_concretization, for_each_row_concretization};
+use crate::{AbsRow, Bound};
+use provabs_relational::{ConcreteRow, Cq, Ucq};
+use provabs_reveng::ucq::{cim_ucqs, find_consistent_ucqs, UcqOptions};
+use provabs_reveng::{
+    cim_queries, canonical_key, find_consistent_queries, ContainmentMode, RevOptions,
+};
+use provabs_semiring::{AnnotId, SemiringKind};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// The query class against which privacy is measured (Table 4 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryClass {
+    /// Conjunctive queries (the gray/red cells; Algorithm 1 as printed).
+    #[default]
+    Cq,
+    /// Unions of conjunctive queries (orange/green cells) with the
+    /// trivial-query exclusion.
+    Ucq,
+}
+
+/// Configuration of the privacy computation.
+#[derive(Debug, Clone)]
+pub struct PrivacyConfig {
+    /// The privacy threshold `k`.
+    pub threshold: usize,
+    /// The provenance semiring the K-example is given in.
+    pub semiring: SemiringKind,
+    /// CQ or UCQ privacy.
+    pub query_class: QueryClass,
+    /// Exclude trivial UCQs (variable-free disjuncts), §4 orange cell.
+    pub exclude_trivial: bool,
+    /// §4.1 component 1 (of the privacy computation): process rows
+    /// incrementally, pruning prefixes that admit no consistent connected
+    /// query. Disabled = concretize the whole example at once.
+    pub row_by_row: bool,
+    /// §4.1 component 2: drop disconnected concretizations.
+    pub connectivity_filter: bool,
+    /// §4.1 component 3: cache consistent queries and connectivity per
+    /// concretization.
+    pub caching: bool,
+    /// Cap on alignments per consistency call.
+    pub max_alignments: usize,
+    /// Cap on concretizations enumerated per privacy evaluation. When hit,
+    /// the returned privacy is a lower bound and `stats.truncated` is set.
+    pub max_concretizations: usize,
+    /// Extra expansion degree for exponent-dropping semirings.
+    pub max_expansion_extra: u32,
+}
+
+impl Default for PrivacyConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 5,
+            semiring: SemiringKind::NX,
+            query_class: QueryClass::Cq,
+            exclude_trivial: true,
+            row_by_row: true,
+            connectivity_filter: true,
+            caching: true,
+            max_alignments: 100_000,
+            max_concretizations: 1_000_000,
+            max_expansion_extra: 1,
+        }
+    }
+}
+
+/// Counters exposed by one privacy evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct PrivacyStats {
+    /// Concretizations produced by the enumerators.
+    pub concretizations_enumerated: usize,
+    /// Concretizations surviving the connectivity filter.
+    pub concretizations_kept: usize,
+    /// Consistency-cache hits / misses.
+    pub consistency_cache_hits: usize,
+    /// Consistency-cache misses (queries actually computed).
+    pub consistency_cache_misses: usize,
+    /// Connectivity-cache hits.
+    pub connectivity_cache_hits: usize,
+    /// Connectivity-cache misses.
+    pub connectivity_cache_misses: usize,
+    /// Whether a cap was hit (result is a lower bound).
+    pub truncated: bool,
+}
+
+impl PrivacyStats {
+    /// Merges counters from another evaluation (used by the search).
+    pub fn absorb(&mut self, other: &PrivacyStats) {
+        self.concretizations_enumerated += other.concretizations_enumerated;
+        self.concretizations_kept += other.concretizations_kept;
+        self.consistency_cache_hits += other.consistency_cache_hits;
+        self.consistency_cache_misses += other.consistency_cache_misses;
+        self.connectivity_cache_hits += other.connectivity_cache_hits;
+        self.connectivity_cache_misses += other.connectivity_cache_misses;
+        self.truncated |= other.truncated;
+    }
+}
+
+/// Caches shared across privacy evaluations (§4.1, "Caching information
+/// about concretizations and queries"). Consistent queries are cached per
+/// concretization; CIM queries are *not* cached, exactly as the paper notes,
+/// because minimality depends on the concretization set of the abstraction
+/// under evaluation.
+#[derive(Debug, Default)]
+pub struct PrivacyCache {
+    consistent: HashMap<ConcKey, Arc<Vec<Cq>>>,
+    connectivity: HashMap<Vec<AnnotId>, bool>,
+}
+
+impl PrivacyCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached concretizations.
+    pub fn len(&self) -> usize {
+        self.consistent.len()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.consistent.is_empty()
+    }
+}
+
+/// Cache key: the concrete rows (output + sorted occurrence list).
+type ConcKey = Vec<(provabs_relational::Tuple, Vec<AnnotId>)>;
+
+/// The result of a privacy evaluation.
+#[derive(Debug, Clone)]
+pub struct PrivacyOutcome {
+    /// `Some(p)` with `p >= k` when the threshold is met; `None` encodes the
+    /// paper's `-1` (privacy below the threshold).
+    pub privacy: Option<usize>,
+    /// The CIM queries witnessing the privacy (empty when below threshold).
+    pub cim: Vec<Cq>,
+    /// Counters.
+    pub stats: PrivacyStats,
+}
+
+/// Computes the privacy of the abstracted rows `abs_rows` of `bound`
+/// (Algorithm 1). Returns `None` privacy when it falls below
+/// `cfg.threshold`.
+pub fn compute_privacy(
+    bound: &Bound<'_>,
+    abs_rows: &[AbsRow],
+    cfg: &PrivacyConfig,
+    cache: &mut PrivacyCache,
+) -> PrivacyOutcome {
+    match cfg.query_class {
+        QueryClass::Cq => {
+            if cfg.row_by_row && abs_rows.len() > 1 {
+                privacy_row_by_row(bound, abs_rows, cfg, cache)
+            } else {
+                privacy_direct(bound, abs_rows, cfg, cache)
+            }
+        }
+        QueryClass::Ucq => privacy_ucq(bound, abs_rows, cfg),
+    }
+}
+
+fn rev_options(cfg: &PrivacyConfig) -> RevOptions {
+    RevOptions {
+        semiring: cfg.semiring,
+        max_alignments: cfg.max_alignments,
+        max_expansion_extra: cfg.max_expansion_extra,
+        connected_only: false,
+    }
+}
+
+fn containment_mode(cfg: &PrivacyConfig) -> ContainmentMode {
+    ContainmentMode::for_semiring(cfg.semiring)
+}
+
+/// Row connectivity with caching.
+fn row_connected(
+    bound: &Bound<'_>,
+    occs: &[AnnotId],
+    cfg: &PrivacyConfig,
+    cache: &mut PrivacyCache,
+    stats: &mut PrivacyStats,
+) -> bool {
+    if !cfg.connectivity_filter {
+        return true;
+    }
+    let mut key: Vec<AnnotId> = occs.to_vec();
+    key.sort_unstable();
+    if cfg.caching {
+        if let Some(&c) = cache.connectivity.get(&key) {
+            stats.connectivity_cache_hits += 1;
+            return c;
+        }
+    }
+    stats.connectivity_cache_misses += 1;
+    let connected = provabs_relational::monomial_connected(bound.db, occs);
+    if cfg.caching {
+        cache.connectivity.insert(key, connected);
+    }
+    connected
+}
+
+/// Consistent-query frontier of a concrete prefix, with caching.
+fn consistent_of(
+    bound: &Bound<'_>,
+    abs_rows: &[AbsRow],
+    conc: &[Vec<AnnotId>],
+    cfg: &PrivacyConfig,
+    cache: &mut PrivacyCache,
+    stats: &mut PrivacyStats,
+) -> Arc<Vec<Cq>> {
+    let key: ConcKey = conc
+        .iter()
+        .enumerate()
+        .map(|(r, occs)| {
+            let mut sorted = occs.clone();
+            sorted.sort_unstable();
+            (abs_rows[r].output.clone(), sorted)
+        })
+        .collect();
+    if cfg.caching {
+        if let Some(qs) = cache.consistent.get(&key) {
+            stats.consistency_cache_hits += 1;
+            return Arc::clone(qs);
+        }
+    }
+    stats.consistency_cache_misses += 1;
+    let rows: Vec<ConcreteRow> = conc
+        .iter()
+        .enumerate()
+        .filter_map(|(r, occs)| ConcreteRow::resolve(bound.db, &abs_rows[r].output, occs))
+        .collect();
+    let qs = Arc::new(if rows.len() == conc.len() {
+        find_consistent_queries(&rows, &rev_options(cfg))
+    } else {
+        Vec::new()
+    });
+    if cfg.caching {
+        cache.consistent.insert(key, Arc::clone(&qs));
+    }
+    qs
+}
+
+/// The incremental Algorithm 1 (lines 1–23).
+fn privacy_row_by_row(
+    bound: &Bound<'_>,
+    abs_rows: &[AbsRow],
+    cfg: &PrivacyConfig,
+    cache: &mut PrivacyCache,
+) -> PrivacyOutcome {
+    let mut stats = PrivacyStats::default();
+    let mode = containment_mode(cfg);
+    // GoodConc: concrete prefixes, starting from the concretizations of the
+    // first row (line 1 holds the abstract row; its concretization happens
+    // in the first iteration below).
+    let mut good: Vec<Vec<Vec<AnnotId>>> = Vec::new();
+    {
+        let complete = for_each_row_concretization(
+            bound,
+            &abs_rows[0],
+            cfg.max_concretizations,
+            |occs| {
+                stats.concretizations_enumerated += 1;
+                if row_connected(bound, occs, cfg, cache, &mut stats) {
+                    stats.concretizations_kept += 1;
+                    good.push(vec![occs.to_vec()]);
+                }
+                true
+            },
+        );
+        stats.truncated |= !complete;
+    }
+    let mut last_cim: Vec<Cq> = Vec::new();
+    for i in 1..abs_rows.len() {
+        // Lines 3–6: extend every good prefix with the concretizations of
+        // row i, dropping disconnected rows.
+        let mut candidates: Vec<Vec<Vec<AnnotId>>> = Vec::new();
+        for gc in &good {
+            let complete = for_each_row_concretization(
+                bound,
+                &abs_rows[i],
+                cfg.max_concretizations,
+                |occs| {
+                    stats.concretizations_enumerated += 1;
+                    if row_connected(bound, occs, cfg, cache, &mut stats) {
+                        stats.concretizations_kept += 1;
+                        let mut prefix = gc.clone();
+                        prefix.push(occs.to_vec());
+                        candidates.push(prefix);
+                    }
+                    candidates.len() < cfg.max_concretizations
+                },
+            );
+            stats.truncated |= !complete;
+            if candidates.len() >= cfg.max_concretizations {
+                stats.truncated = true;
+                break;
+            }
+        }
+        // Lines 7–13: consistent connected queries per concretization.
+        let mut qconn: BTreeMap<String, Cq> = BTreeMap::new();
+        let mut queries_to_conc: HashMap<String, Vec<usize>> = HashMap::new();
+        for (idx, prefix) in candidates.iter().enumerate() {
+            let qs = consistent_of(bound, &abs_rows[..=i], prefix, cfg, cache, &mut stats);
+            for q in qs.iter() {
+                if !q.is_connected() {
+                    continue; // line 13
+                }
+                let key = canonical_key(q);
+                qconn.entry(key.clone()).or_insert_with(|| q.clone());
+                queries_to_conc.entry(key).or_default().push(idx);
+            }
+        }
+        // Lines 14–15.
+        if qconn.len() < cfg.threshold {
+            return PrivacyOutcome {
+                privacy: None,
+                cim: Vec::new(),
+                stats,
+            };
+        }
+        // Lines 16–19: keep only concretizations that created queries.
+        let mut keep: HashSet<usize> = HashSet::new();
+        for idxs in queries_to_conc.values() {
+            keep.extend(idxs.iter().copied());
+        }
+        good = candidates
+            .into_iter()
+            .enumerate()
+            .filter(|(idx, _)| keep.contains(idx))
+            .map(|(_, p)| p)
+            .collect();
+        // Lines 20–22.
+        let conn: Vec<Cq> = qconn.into_values().collect();
+        last_cim = cim_queries(&conn, mode);
+        if last_cim.len() < cfg.threshold {
+            return PrivacyOutcome {
+                privacy: None,
+                cim: Vec::new(),
+                stats,
+            };
+        }
+    }
+    PrivacyOutcome {
+        privacy: Some(last_cim.len()),
+        cim: last_cim,
+        stats,
+    }
+}
+
+/// Single-shot evaluation: concretize the full example at once (also the
+/// path for 1-row examples and the row-by-row ablation).
+fn privacy_direct(
+    bound: &Bound<'_>,
+    abs_rows: &[AbsRow],
+    cfg: &PrivacyConfig,
+    cache: &mut PrivacyCache,
+) -> PrivacyOutcome {
+    let mut stats = PrivacyStats::default();
+    let mode = containment_mode(cfg);
+    let mut qall: BTreeMap<String, Cq> = BTreeMap::new();
+    let complete = for_each_concretization(
+        bound,
+        abs_rows,
+        cfg.max_concretizations,
+        |conc| {
+            stats.concretizations_enumerated += 1;
+            let connected = conc
+                .iter()
+                .all(|occs| row_connected(bound, occs, cfg, cache, &mut stats));
+            if !connected {
+                return true;
+            }
+            stats.concretizations_kept += 1;
+            let qs = consistent_of(bound, abs_rows, conc, cfg, cache, &mut stats);
+            for q in qs.iter() {
+                if q.is_connected() {
+                    qall.entry(canonical_key(q)).or_insert_with(|| q.clone());
+                }
+            }
+            true
+        },
+    );
+    stats.truncated |= !complete;
+    let conn: Vec<Cq> = qall.into_values().collect();
+    let cim = cim_queries(&conn, mode);
+    if cim.len() < cfg.threshold {
+        return PrivacyOutcome {
+            privacy: None,
+            cim: Vec::new(),
+            stats,
+        };
+    }
+    PrivacyOutcome {
+        privacy: Some(cim.len()),
+        cim,
+        stats,
+    }
+}
+
+/// UCQ privacy (Table 4 orange/green cells): direct evaluation with the
+/// trivial-query exclusion and the "disconnected UCQ" rule.
+fn privacy_ucq(bound: &Bound<'_>, abs_rows: &[AbsRow], cfg: &PrivacyConfig) -> PrivacyOutcome {
+    let mut stats = PrivacyStats::default();
+    let mode = containment_mode(cfg);
+    let opts = UcqOptions {
+        rev: rev_options(cfg),
+        exclude_trivial: cfg.exclude_trivial,
+        max_ucqs: 10_000,
+    };
+    let mut frontier: Vec<Ucq> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    let complete = for_each_concretization(
+        bound,
+        abs_rows,
+        cfg.max_concretizations,
+        |conc| {
+            stats.concretizations_enumerated += 1;
+            let rows: Vec<ConcreteRow> = conc
+                .iter()
+                .enumerate()
+                .filter_map(|(r, occs)| {
+                    ConcreteRow::resolve(bound.db, &abs_rows[r].output, occs)
+                })
+                .collect();
+            if rows.len() != conc.len() {
+                return true;
+            }
+            if cfg.connectivity_filter && !rows.iter().all(ConcreteRow::is_connected) {
+                return true;
+            }
+            stats.concretizations_kept += 1;
+            for u in find_consistent_ucqs(&rows, &opts) {
+                if !u.is_connected() {
+                    continue;
+                }
+                let key = u
+                    .disjuncts
+                    .iter()
+                    .map(canonical_key)
+                    .collect::<Vec<_>>()
+                    .join("|");
+                if seen.insert(key) {
+                    frontier.push(u);
+                }
+            }
+            true
+        },
+    );
+    stats.truncated |= !complete;
+    let cim = cim_ucqs(&frontier, mode);
+    if cim.len() < cfg.threshold {
+        return PrivacyOutcome {
+            privacy: None,
+            cim: Vec::new(),
+            stats,
+        };
+    }
+    // Report the CQ disjuncts of the first CIM UCQ for display purposes.
+    let witness: Vec<Cq> = cim.first().map(|u| u.disjuncts.clone()).unwrap_or_default();
+    PrivacyOutcome {
+        privacy: Some(cim.len()),
+        cim: witness,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::running_example;
+    use crate::Abstraction;
+
+    fn abs_lifting(bound: &Bound<'_>, lifts: &[(&str, u32)]) -> Abstraction {
+        let mut abs = Abstraction::identity(bound);
+        for (name, lift) in lifts {
+            let id = bound.db.annotations().get(name).unwrap();
+            for r in 0..bound.num_rows() {
+                for (i, &a) in bound.row_occurrences(r).iter().enumerate() {
+                    if a == id {
+                        abs.lifts[r][i] = *lift;
+                    }
+                }
+            }
+        }
+        abs
+    }
+
+    fn privacy_of(lifts: &[(&str, u32)], cfg: &PrivacyConfig) -> PrivacyOutcome {
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        let abs = abs_lifting(&b, lifts);
+        let rows = abs.apply(&b).rows;
+        let mut cache = PrivacyCache::new();
+        compute_privacy(&b, &rows, cfg, &mut cache)
+    }
+
+    #[test]
+    fn exabs1_has_privacy_2() {
+        // Example 3.13: the CIM queries of Exabs1 are Qreal and Qfalse1.
+        let cfg = PrivacyConfig {
+            threshold: 2,
+            ..Default::default()
+        };
+        let out = privacy_of(&[("h1", 1), ("h2", 1)], &cfg);
+        assert_eq!(out.privacy, Some(2));
+        let fx = running_example();
+        let keys: Vec<String> = out.cim.iter().map(canonical_key).collect();
+        assert!(keys.contains(&canonical_key(&fx.qreal)));
+        assert!(keys.contains(&canonical_key(&fx.qfalse1)));
+    }
+
+    #[test]
+    fn exabs2_has_privacy_2() {
+        // Example 3.15: A2_T also meets threshold 2 (Qreal and Qfalse2).
+        let cfg = PrivacyConfig {
+            threshold: 2,
+            ..Default::default()
+        };
+        let out = privacy_of(&[("i1", 1), ("i2", 1)], &cfg);
+        assert_eq!(out.privacy, Some(2));
+        let fx = running_example();
+        let keys: Vec<String> = out.cim.iter().map(canonical_key).collect();
+        assert!(keys.contains(&canonical_key(&fx.qreal)));
+        assert!(keys.contains(&canonical_key(&fx.qfalse2)));
+    }
+
+    #[test]
+    fn exabs3_fails_threshold_2() {
+        // Example 4.2: A3_T (i1 -> WikiLeaks only) has a single CIM query.
+        let cfg = PrivacyConfig {
+            threshold: 2,
+            ..Default::default()
+        };
+        let out = privacy_of(&[("i1", 1)], &cfg);
+        assert_eq!(out.privacy, None);
+        // With threshold 1 it reports exactly one CIM query: Qreal.
+        let cfg1 = PrivacyConfig {
+            threshold: 1,
+            ..Default::default()
+        };
+        let out1 = privacy_of(&[("i1", 1)], &cfg1);
+        assert_eq!(out1.privacy, Some(1));
+        let fx = running_example();
+        assert_eq!(
+            canonical_key(&out1.cim[0]),
+            canonical_key(&fx.qreal)
+        );
+    }
+
+    #[test]
+    fn identity_abstraction_reveals_the_query() {
+        let cfg = PrivacyConfig {
+            threshold: 1,
+            ..Default::default()
+        };
+        let out = privacy_of(&[], &cfg);
+        assert_eq!(out.privacy, Some(1));
+        let fx = running_example();
+        assert_eq!(canonical_key(&out.cim[0]), canonical_key(&fx.qreal));
+    }
+
+    #[test]
+    fn ablation_flags_agree_on_privacy() {
+        // All four optimization components must not change the result.
+        let base = PrivacyConfig {
+            threshold: 1,
+            ..Default::default()
+        };
+        let reference = privacy_of(&[("h1", 1), ("h2", 1)], &base);
+        for (row_by_row, connectivity, caching) in [
+            (false, true, true),
+            (true, false, true),
+            (true, true, false),
+            (false, false, false),
+        ] {
+            let cfg = PrivacyConfig {
+                row_by_row,
+                connectivity_filter: connectivity,
+                caching,
+                ..base.clone()
+            };
+            let out = privacy_of(&[("h1", 1), ("h2", 1)], &cfg);
+            assert_eq!(
+                out.privacy, reference.privacy,
+                "row_by_row={row_by_row} connectivity={connectivity} caching={caching}"
+            );
+        }
+    }
+
+    #[test]
+    fn caching_reduces_recomputation() {
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        let abs = abs_lifting(&b, &[("h1", 1), ("h2", 1)]);
+        let rows = abs.apply(&b).rows;
+        let cfg = PrivacyConfig {
+            threshold: 1,
+            ..Default::default()
+        };
+        let mut cache = PrivacyCache::new();
+        let first = compute_privacy(&b, &rows, &cfg, &mut cache);
+        let second = compute_privacy(&b, &rows, &cfg, &mut cache);
+        assert_eq!(first.privacy, second.privacy);
+        assert!(second.stats.consistency_cache_hits > 0);
+        assert_eq!(second.stats.consistency_cache_misses, 0);
+    }
+
+    #[test]
+    fn connectivity_filter_prunes_concretizations() {
+        let cfg = PrivacyConfig {
+            threshold: 1,
+            ..Default::default()
+        };
+        let with = privacy_of(&[("h1", 1), ("h2", 1)], &cfg);
+        let without = privacy_of(
+            &[("h1", 1), ("h2", 1)],
+            &PrivacyConfig {
+                connectivity_filter: false,
+                ..cfg
+            },
+        );
+        assert_eq!(with.privacy, without.privacy);
+        assert!(with.stats.concretizations_kept < without.stats.concretizations_kept);
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let cfg = PrivacyConfig {
+            threshold: 1,
+            max_concretizations: 2,
+            ..Default::default()
+        };
+        let out = privacy_of(&[("h1", 3), ("h2", 3), ("i1", 3), ("i2", 3)], &cfg);
+        assert!(out.stats.truncated);
+    }
+
+    #[test]
+    fn ucq_privacy_counts_unions() {
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        let abs = abs_lifting(&b, &[("h1", 1), ("h2", 1)]);
+        let rows = abs.apply(&b).rows;
+        let cfg = PrivacyConfig {
+            threshold: 1,
+            query_class: QueryClass::Ucq,
+            ..Default::default()
+        };
+        let mut cache = PrivacyCache::new();
+        let out = compute_privacy(&b, &rows, &cfg, &mut cache);
+        assert!(out.privacy.is_some());
+        assert!(out.privacy.unwrap() >= 2);
+    }
+}

@@ -1,0 +1,488 @@
+//! Algorithm 2: finding an optimal abstraction.
+//!
+//! Given a bound K-example and a privacy threshold `k`, find the abstraction
+//! meeting the threshold with minimal loss of information. The search
+//! enumerates abstractions in increasing number of tree edges used, ties
+//! broken by LOI (§4.1 "Sorting abstractions"), evaluates LOI before privacy
+//! (§4.1 "Prioritizing loss of information"), and stops early through a
+//! monotone lower bound: `minLOI(e)` — the least possible LOI of any
+//! abstraction using `e` edges — is non-decreasing in `e` (lifting fewer
+//! edges never increases any occurrence's term), so once
+//! `minLOI(e) ≥ l_best` no later bucket can improve the optimum.
+
+use crate::loi::{loss_of_information, single_lift_loi, LoiDistribution};
+use crate::privacy::{compute_privacy, PrivacyCache, PrivacyConfig, PrivacyStats};
+use crate::{Abstraction, Bound};
+
+/// Configuration of the optimal-abstraction search.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Privacy-evaluation settings (threshold `k` lives here).
+    pub privacy: PrivacyConfig,
+    /// §4.1 component 1: enumerate by edge count, ties by LOI. Disabled =
+    /// plain odometer order (the brute-force baseline).
+    pub sort_abstractions: bool,
+    /// §4.1 component 2: skip the privacy computation when the abstraction
+    /// cannot improve on the best LOI found.
+    pub prioritize_loi: bool,
+    /// Stop when the monotone LOI lower bound exceeds the best LOI.
+    pub early_termination: bool,
+    /// Hard cap on abstractions enumerated (the search space is
+    /// `Π (depth_i + 1)`, exponential in the occurrence count).
+    pub max_candidates: usize,
+    /// Wall-clock budget in milliseconds; `None` disables. Exceeding it
+    /// stops the search with `truncated` set (the incumbent, if any, is
+    /// still a valid — possibly non-optimal — answer).
+    pub time_budget_ms: Option<u64>,
+    /// The loss-of-information distribution.
+    pub distribution: LoiDistribution,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            privacy: PrivacyConfig::default(),
+            sort_abstractions: true,
+            prioritize_loi: true,
+            early_termination: true,
+            max_candidates: 1_000_000,
+            time_budget_ms: None,
+            distribution: LoiDistribution::Uniform,
+        }
+    }
+}
+
+/// Counters of one search.
+#[derive(Debug, Clone, Default)]
+pub struct SearchStats {
+    /// Abstractions generated.
+    pub abstractions_enumerated: usize,
+    /// LOI evaluations.
+    pub loi_evaluations: usize,
+    /// Privacy evaluations (the expensive part).
+    pub privacy_evaluations: usize,
+    /// Whether `max_candidates` (or an inner cap) was hit.
+    pub truncated: bool,
+    /// Aggregated privacy counters.
+    pub privacy_stats: PrivacyStats,
+}
+
+/// A satisfying abstraction and its metrics.
+#[derive(Debug, Clone)]
+pub struct BestAbstraction {
+    /// The abstraction function.
+    pub abstraction: Abstraction,
+    /// Its loss of information.
+    pub loi: f64,
+    /// Its privacy (number of CIM queries, ≥ the threshold).
+    pub privacy: usize,
+    /// Tree edges used (the paper's "optimal abstraction size").
+    pub edges_used: u32,
+}
+
+/// The result of a search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The optimal abstraction, or `None` when no abstraction meets the
+    /// threshold (within the caps).
+    pub best: Option<BestAbstraction>,
+    /// Counters.
+    pub stats: SearchStats,
+}
+
+/// The enumerable abstraction space of a bound example: per-occurrence lift
+/// ranges and LOI increments.
+pub(crate) struct AbstractionSpace {
+    /// Flat occurrences `(row, index)`.
+    pub occs: Vec<(usize, usize)>,
+    /// Per occurrence: maximal lift.
+    pub max_lift: Vec<u32>,
+    /// Per occurrence, per lift `0..=max`: the uniform-LOI increment.
+    pub loi_table: Vec<Vec<f64>>,
+}
+
+impl AbstractionSpace {
+    pub fn new(bound: &Bound<'_>) -> Self {
+        let occs = bound.occurrences();
+        let max_lift: Vec<u32> = occs.iter().map(|&(r, i)| bound.max_lift(r, i)).collect();
+        let loi_table: Vec<Vec<f64>> = occs
+            .iter()
+            .zip(&max_lift)
+            .map(|(&(r, i), &max)| {
+                (0..=max).map(|c| single_lift_loi(bound, r, i, c)).collect()
+            })
+            .collect();
+        Self {
+            occs,
+            max_lift,
+            loi_table,
+        }
+    }
+
+    /// Total lift budget `Σ max_lift`.
+    pub fn total_edges(&self) -> u32 {
+        self.max_lift.iter().sum()
+    }
+
+    /// Materializes an abstraction from flat lifts.
+    pub fn to_abstraction(&self, bound: &Bound<'_>, lifts: &[u32]) -> Abstraction {
+        let mut abs = Abstraction::identity(bound);
+        for (&(r, i), &l) in self.occs.iter().zip(lifts) {
+            abs.lifts[r][i] = l;
+        }
+        abs
+    }
+
+    /// `minLOI[e]`: the minimum uniform-LOI over all abstractions using
+    /// exactly `e` edges. Non-decreasing in `e` (each occurrence's LOI term
+    /// is non-decreasing in its lift).
+    pub fn min_loi_by_edges(&self) -> Vec<f64> {
+        let total = self.total_edges() as usize;
+        let mut dp = vec![f64::INFINITY; total + 1];
+        dp[0] = 0.0;
+        for (j, table) in self.loi_table.iter().enumerate() {
+            let cap = self.max_lift[j] as usize;
+            let mut ndp = vec![f64::INFINITY; total + 1];
+            for (e, &cur) in dp.iter().enumerate() {
+                if !cur.is_finite() {
+                    continue;
+                }
+                for (c, &g) in table.iter().enumerate().take(cap + 1) {
+                    let ne = e + c;
+                    if ne <= total && cur + g < ndp[ne] {
+                        ndp[ne] = cur + g;
+                    }
+                }
+            }
+            dp = ndp;
+        }
+        // Enforce monotonicity explicitly for safety against fp noise.
+        for e in 1..dp.len() {
+            if dp[e] < dp[e - 1] {
+                dp[e] = dp[e - 1];
+            }
+        }
+        dp
+    }
+
+    /// Enumerates the lift vectors using exactly `e` edges; `f` returns
+    /// `false` to abort. Returns `false` when aborted.
+    pub fn for_each_with_edges(&self, e: u32, f: &mut impl FnMut(&[u32]) -> bool) -> bool {
+        let mut lifts = vec![0u32; self.max_lift.len()];
+        // Suffix budget: the maximum edges assignable to occurrences j..
+        let mut suffix = vec![0u32; self.max_lift.len() + 1];
+        for j in (0..self.max_lift.len()).rev() {
+            suffix[j] = suffix[j + 1] + self.max_lift[j];
+        }
+        self.rec_budget(e, 0, &suffix, &mut lifts, f)
+    }
+
+    fn rec_budget(
+        &self,
+        left: u32,
+        j: usize,
+        suffix: &[u32],
+        lifts: &mut Vec<u32>,
+        f: &mut impl FnMut(&[u32]) -> bool,
+    ) -> bool {
+        if j == self.max_lift.len() {
+            return left != 0 || f(lifts);
+        }
+        if left > suffix[j] {
+            return true; // infeasible branch
+        }
+        let hi = left.min(self.max_lift[j]);
+        for c in 0..=hi {
+            lifts[j] = c;
+            if !self.rec_budget(left - c, j + 1, suffix, lifts, f) {
+                lifts[j] = 0;
+                return false;
+            }
+        }
+        lifts[j] = 0;
+        true
+    }
+
+    /// Enumerates every lift vector in odometer order (the brute-force
+    /// order); `f` returns `false` to abort.
+    pub fn for_each_unsorted(&self, f: &mut impl FnMut(&[u32]) -> bool) -> bool {
+        let mut lifts = vec![0u32; self.max_lift.len()];
+        self.rec_all(0, &mut lifts, f)
+    }
+
+    fn rec_all(
+        &self,
+        j: usize,
+        lifts: &mut Vec<u32>,
+        f: &mut impl FnMut(&[u32]) -> bool,
+    ) -> bool {
+        if j == self.max_lift.len() {
+            return f(lifts);
+        }
+        for c in 0..=self.max_lift[j] {
+            lifts[j] = c;
+            if !self.rec_all(j + 1, lifts, f) {
+                lifts[j] = 0;
+                return false;
+            }
+        }
+        lifts[j] = 0;
+        true
+    }
+}
+
+/// Algorithm 2: finds an abstraction with privacy ≥ `cfg.privacy.threshold`
+/// minimizing loss of information.
+pub fn find_optimal_abstraction(bound: &Bound<'_>, cfg: &SearchConfig) -> SearchOutcome {
+    let mut cache = PrivacyCache::new();
+    find_optimal_abstraction_with_cache(bound, cfg, &mut cache)
+}
+
+/// [`find_optimal_abstraction`] with an externally owned privacy cache
+/// (reused across searches by the experiment harness).
+pub fn find_optimal_abstraction_with_cache(
+    bound: &Bound<'_>,
+    cfg: &SearchConfig,
+    cache: &mut PrivacyCache,
+) -> SearchOutcome {
+    let space = AbstractionSpace::new(bound);
+    let mut stats = SearchStats::default();
+    let mut best: Option<BestAbstraction> = None;
+    let deadline = cfg
+        .time_budget_ms
+        .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    let out_of_time = move || deadline.is_some_and(|d| std::time::Instant::now() >= d);
+
+    let consider = |lifts: &[u32],
+                        stats: &mut SearchStats,
+                        best: &mut Option<BestAbstraction>,
+                        cache: &mut PrivacyCache|
+     -> bool {
+        if out_of_time() {
+            return false;
+        }
+        stats.abstractions_enumerated += 1;
+        let abs = space.to_abstraction(bound, lifts);
+        stats.loi_evaluations += 1;
+        let loi = loss_of_information(bound, &abs, &cfg.distribution);
+        let l_best = best.as_ref().map_or(f64::INFINITY, |b| b.loi);
+        if cfg.prioritize_loi && loi >= l_best {
+            return stats.abstractions_enumerated < cfg.max_candidates;
+        }
+        stats.privacy_evaluations += 1;
+        let rows = abs.apply(bound).rows;
+        let out = compute_privacy(bound, &rows, &cfg.privacy, cache);
+        stats.privacy_stats.absorb(&out.stats);
+        if let Some(p) = out.privacy {
+            if loi < l_best {
+                *best = Some(BestAbstraction {
+                    edges_used: abs.edges_used(),
+                    abstraction: abs,
+                    loi,
+                    privacy: p,
+                });
+            }
+        }
+        stats.abstractions_enumerated < cfg.max_candidates
+    };
+
+    if cfg.sort_abstractions {
+        let min_loi = if cfg.early_termination {
+            space.min_loi_by_edges()
+        } else {
+            Vec::new()
+        };
+        'outer: for e in 0..=space.total_edges() {
+            if cfg.early_termination {
+                if let Some(b) = &best {
+                    if min_loi[e as usize] >= b.loi {
+                        break 'outer;
+                    }
+                }
+            }
+            // Collect the bucket with LOIs, sort by LOI (the tie-break of
+            // Algorithm 2 line 2).
+            let mut bucket: Vec<(f64, Vec<u32>)> = Vec::new();
+            let complete = space.for_each_with_edges(e, &mut |lifts| {
+                let abs = space.to_abstraction(bound, lifts);
+                let loi = loss_of_information(bound, &abs, &cfg.distribution);
+                bucket.push((loi, lifts.to_vec()));
+                bucket.len() + stats.abstractions_enumerated < cfg.max_candidates
+            });
+            stats.truncated |= !complete;
+            bucket.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            for (_, lifts) in &bucket {
+                if !consider(lifts, &mut stats, &mut best, cache) {
+                    stats.truncated = true;
+                    break 'outer;
+                }
+            }
+            if !complete {
+                break 'outer;
+            }
+        }
+    } else {
+        let complete = space.for_each_unsorted(&mut |lifts| {
+            consider(lifts, &mut stats, &mut best, cache)
+        });
+        stats.truncated |= !complete;
+    }
+    SearchOutcome { best, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::running_example;
+    use crate::privacy::PrivacyConfig;
+    use crate::Sym;
+
+    fn search_with(cfg: SearchConfig) -> SearchOutcome {
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        find_optimal_abstraction(&b, &cfg)
+    }
+
+    #[test]
+    fn example_3_15_optimal_abstraction() {
+        // Threshold 2: the optimal abstraction is A1_T with LOI ln 15.
+        let out = search_with(SearchConfig {
+            privacy: PrivacyConfig {
+                threshold: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let best = out.best.expect("abstraction exists");
+        assert!((best.loi - 15f64.ln()).abs() < 1e-9, "loi = {}", best.loi);
+        assert_eq!(best.privacy, 2);
+        assert_eq!(best.edges_used, 2);
+        // The abstraction must map h1 and h2 one level up (Facebook/LinkedIn).
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        let rows = best.abstraction.apply(&b).rows;
+        let labels: Vec<&str> = rows
+            .iter()
+            .flat_map(|r| r.syms.iter())
+            .filter_map(|s| match s {
+                Sym::Abs(n) => Some(fx.db.annotations().name(fx.tree.label(*n))),
+                Sym::Leaf(_) => None,
+            })
+            .collect();
+        assert_eq!(labels.len(), 2);
+        assert!(labels.contains(&"Facebook_src"));
+        assert!(labels.contains(&"LinkedIn_src"));
+    }
+
+    #[test]
+    fn brute_force_agrees_with_optimized() {
+        let mk = |sort, prioritize, early| SearchConfig {
+            privacy: PrivacyConfig {
+                threshold: 2,
+                ..Default::default()
+            },
+            sort_abstractions: sort,
+            prioritize_loi: prioritize,
+            early_termination: early,
+            ..Default::default()
+        };
+        let optimized = search_with(mk(true, true, true));
+        let brute = search_with(mk(false, false, false));
+        let (o, b) = (optimized.best.unwrap(), brute.best.unwrap());
+        assert!((o.loi - b.loi).abs() < 1e-9);
+        // The optimized search evaluates privacy far less often.
+        assert!(optimized.stats.privacy_evaluations < brute.stats.privacy_evaluations);
+    }
+
+    #[test]
+    fn threshold_one_needs_no_abstraction() {
+        let out = search_with(SearchConfig {
+            privacy: PrivacyConfig {
+                threshold: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let best = out.best.unwrap();
+        assert_eq!(best.loi, 0.0);
+        assert_eq!(best.edges_used, 0);
+        assert_eq!(best.privacy, 1);
+    }
+
+    #[test]
+    fn unreachable_threshold_returns_none() {
+        let out = search_with(SearchConfig {
+            privacy: PrivacyConfig {
+                threshold: 1000,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        assert!(out.best.is_none());
+    }
+
+    #[test]
+    fn min_loi_is_monotone() {
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        let space = AbstractionSpace::new(&b);
+        let dp = space.min_loi_by_edges();
+        assert_eq!(dp[0], 0.0);
+        for e in 1..dp.len() {
+            assert!(dp[e] >= dp[e - 1]);
+        }
+        // Total budget: h1, h2, i2 at depth 3; i1 at depth 2 under WikiLeaks.
+        assert_eq!(space.total_edges(), 11);
+    }
+
+    #[test]
+    fn bucket_enumeration_counts() {
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        let space = AbstractionSpace::new(&b);
+        // e = 0: exactly one abstraction (identity).
+        let mut n0 = 0;
+        space.for_each_with_edges(0, &mut |_| {
+            n0 += 1;
+            true
+        });
+        assert_eq!(n0, 1);
+        // e = 1: one per tree occurrence (4).
+        let mut n1 = 0;
+        space.for_each_with_edges(1, &mut |_| {
+            n1 += 1;
+            true
+        });
+        assert_eq!(n1, 4);
+        // Total across all budgets = (3+1)(2+1)(3+1)(3+1) = 192 (i1 has
+        // depth 2, the rest depth 3).
+        let mut total = 0;
+        for e in 0..=space.total_edges() {
+            space.for_each_with_edges(e, &mut |_| {
+                total += 1;
+                true
+            });
+        }
+        assert_eq!(total, 192);
+        let mut unsorted = 0;
+        space.for_each_unsorted(&mut |_| {
+            unsorted += 1;
+            true
+        });
+        assert_eq!(unsorted, total);
+    }
+
+    #[test]
+    fn max_candidates_truncates() {
+        let out = search_with(SearchConfig {
+            privacy: PrivacyConfig {
+                threshold: 50,
+                ..Default::default()
+            },
+            max_candidates: 10,
+            ..Default::default()
+        });
+        assert!(out.stats.truncated);
+        assert!(out.stats.abstractions_enumerated <= 11);
+    }
+}

@@ -1,0 +1,25 @@
+//! Synthetic datasets and workloads for the provabs experiments (§5.1).
+//!
+//! The paper evaluates on a 1 GB TPC-H sample [5] and the IMDB dataset [37].
+//! Neither raw dataset ships with this reproduction, so this crate provides
+//! deterministic, seeded generators with the same *structural* properties
+//! the experiments exercise (key-joinable relations, self-joinable fact
+//! tables, categorizable attributes), plus:
+//!
+//! * the 7 TPC-H queries (Q3, Q4, Q5, Q7, Q9, Q10, Q21) and 7 IMDB queries
+//!   (Q1–Q7) adapted to CQs exactly as §5.1 prescribes (aggregation and
+//!   arithmetic predicates dropped);
+//! * the paper's abstraction trees: the TPC-H tree (lineitem randomly
+//!   divided into even subcategories) and the IMDB ontology tree
+//!   (birth-year / release-year ranges, genre types);
+//! * workload helpers turning query outputs into K-examples and deriving
+//!   the join-scaling variants of Figure 16.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod imdb;
+pub mod tpch;
+pub mod workload;
+
+pub use workload::{join_variants, kexample_for, Workload};

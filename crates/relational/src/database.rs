@@ -1,0 +1,231 @@
+//! Abstractly-tagged K-databases.
+
+use crate::{RelId, Schema, Tuple, Value};
+use provabs_semiring::{AnnotId, AnnotRegistry};
+use std::collections::HashMap;
+
+/// The location of a tuple inside a [`Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TupleRef {
+    /// The relation holding the tuple.
+    pub rel: RelId,
+    /// Row index within the relation.
+    pub row: usize,
+}
+
+/// Storage for one relation: tuples plus their annotations.
+#[derive(Debug, Default, Clone)]
+struct RelationData {
+    tuples: Vec<Tuple>,
+    annots: Vec<AnnotId>,
+    /// Per-column value index, built lazily by [`Database::build_indexes`].
+    indexes: Vec<HashMap<Value, Vec<usize>>>,
+}
+
+/// An **abstractly-tagged K-database** (§2.1): every tuple is annotated with
+/// a distinct annotation from the registry.
+///
+/// The database owns the schema, the tuples, the annotation registry, and
+/// per-column hash indexes used by the evaluator.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    schema: Schema,
+    relations: Vec<RelationData>,
+    annots: AnnotRegistry,
+    /// Reverse map annotation → tuple location.
+    annot_loc: HashMap<AnnotId, TupleRef>,
+    indexed: bool,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a relation to the schema.
+    pub fn add_relation(&mut self, name: &str, columns: &[&str]) -> RelId {
+        let id = self.schema.add_relation(name, columns);
+        self.relations.push(RelationData::default());
+        id
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The annotation registry.
+    pub fn annotations(&self) -> &AnnotRegistry {
+        &self.annots
+    }
+
+    /// Inserts `tuple` into `rel` with annotation label `annot`.
+    ///
+    /// # Panics
+    /// Panics if the arity mismatches the schema or the annotation label is
+    /// already used (annotations must be distinct — abstract tagging).
+    pub fn insert(&mut self, rel: RelId, annot: &str, tuple: Tuple) -> AnnotId {
+        assert_eq!(
+            tuple.arity(),
+            self.schema.arity(rel),
+            "arity mismatch inserting into {}",
+            self.schema.relation_name(rel)
+        );
+        let id = self.annots.intern(annot);
+        assert!(
+            !self.annot_loc.contains_key(&id),
+            "annotation {annot} already tags a tuple (abstract tagging requires distinct annotations)"
+        );
+        let data = &mut self.relations[rel.0 as usize];
+        let row = data.tuples.len();
+        data.tuples.push(tuple);
+        data.annots.push(id);
+        self.annot_loc.insert(id, TupleRef { rel, row });
+        self.indexed = false;
+        id
+    }
+
+    /// Inserts a tuple given as string literals (see [`Tuple::parse`]).
+    pub fn insert_str(&mut self, rel: RelId, annot: &str, fields: &[&str]) -> AnnotId {
+        self.insert(rel, annot, Tuple::parse(fields))
+    }
+
+    /// Number of tuples in `rel`.
+    pub fn relation_len(&self, rel: RelId) -> usize {
+        self.relations[rel.0 as usize].tuples.len()
+    }
+
+    /// Total number of tuples.
+    pub fn len(&self) -> usize {
+        self.relations.iter().map(|r| r.tuples.len()).sum()
+    }
+
+    /// Whether the database has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The tuples of `rel`.
+    pub fn tuples(&self, rel: RelId) -> &[Tuple] {
+        &self.relations[rel.0 as usize].tuples
+    }
+
+    /// The annotations of `rel`, parallel to [`Database::tuples`].
+    pub fn tuple_annots(&self, rel: RelId) -> &[AnnotId] {
+        &self.relations[rel.0 as usize].annots
+    }
+
+    /// Resolves an annotation to its tuple location, if it tags one.
+    pub fn locate(&self, annot: AnnotId) -> Option<TupleRef> {
+        self.annot_loc.get(&annot).copied()
+    }
+
+    /// The tuple tagged by `annot`, if any.
+    pub fn tuple_by_annot(&self, annot: AnnotId) -> Option<(RelId, &Tuple)> {
+        self.locate(annot)
+            .map(|loc| (loc.rel, &self.relations[loc.rel.0 as usize].tuples[loc.row]))
+    }
+
+    /// Builds per-column hash indexes for every relation. Idempotent; called
+    /// automatically by the evaluator.
+    pub fn build_indexes(&mut self) {
+        if self.indexed {
+            return;
+        }
+        for (rid, data) in self.relations.iter_mut().enumerate() {
+            let arity = self.schema.arity(RelId(rid as u16));
+            let mut idx: Vec<HashMap<Value, Vec<usize>>> = vec![HashMap::new(); arity];
+            for (row, t) in data.tuples.iter().enumerate() {
+                for (col, v) in t.values().iter().enumerate() {
+                    idx[col].entry(v.clone()).or_default().push(row);
+                }
+            }
+            data.indexes = idx;
+        }
+        self.indexed = true;
+    }
+
+    /// Whether indexes are current.
+    pub fn is_indexed(&self) -> bool {
+        self.indexed
+    }
+
+    /// Row indexes of `rel` whose column `col` equals `v`, using the hash
+    /// index when built and falling back to a scan otherwise.
+    pub fn rows_matching(&self, rel: RelId, col: usize, v: &Value) -> Vec<usize> {
+        let data = &self.relations[rel.0 as usize];
+        if self.indexed {
+            data.indexes[col].get(v).cloned().unwrap_or_default()
+        } else {
+            data.tuples
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| &t[col] == v)
+                .map(|(i, _)| i)
+                .collect()
+        }
+    }
+
+    /// Interns an annotation label without tagging a tuple (used for
+    /// abstraction-tree inner nodes living in the same label space).
+    pub fn intern_label(&mut self, label: &str) -> AnnotId {
+        self.annots.intern(label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> (Database, RelId) {
+        let mut db = Database::new();
+        let r = db.add_relation("R", &["a", "b"]);
+        db.insert_str(r, "t1", &["1", "x"]);
+        db.insert_str(r, "t2", &["2", "x"]);
+        db.insert_str(r, "t3", &["1", "y"]);
+        (db, r)
+    }
+
+    #[test]
+    fn insert_and_locate() {
+        let (db, r) = sample_db();
+        assert_eq!(db.relation_len(r), 3);
+        let t1 = db.annotations().get("t1").unwrap();
+        let (rel, tuple) = db.tuple_by_annot(t1).unwrap();
+        assert_eq!(rel, r);
+        assert_eq!(tuple[0], Value::Int(1));
+    }
+
+    #[test]
+    fn rows_matching_with_and_without_index() {
+        let (mut db, r) = sample_db();
+        let scan = db.rows_matching(r, 1, &Value::str("x"));
+        assert_eq!(scan, vec![0, 1]);
+        db.build_indexes();
+        let indexed = db.rows_matching(r, 1, &Value::str("x"));
+        assert_eq!(indexed, vec![0, 1]);
+        assert!(db.rows_matching(r, 0, &Value::Int(9)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let (mut db, r) = sample_db();
+        db.insert_str(r, "bad", &["1"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already tags")]
+    fn distinct_annotations_enforced() {
+        let (mut db, r) = sample_db();
+        db.insert_str(r, "t1", &["9", "z"]);
+    }
+
+    #[test]
+    fn intern_label_does_not_tag() {
+        let (mut db, _) = sample_db();
+        let fb = db.intern_label("Facebook");
+        assert!(db.tuple_by_annot(fb).is_none());
+    }
+}

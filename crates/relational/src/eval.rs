@@ -1,0 +1,429 @@
+//! Provenance-tracking evaluation of CQs and UCQs (Def. 2.2).
+//!
+//! A CQ evaluated over an abstractly-tagged K-database produces a
+//! [`KRelation`]: each output tuple is annotated with an `N[X]` polynomial
+//! summing, over all derivations yielding the tuple, the product of the
+//! annotations of the derivation's image.
+
+use crate::{Cq, Database, Term, Tuple, Ucq, Value, VarId};
+use provabs_semiring::{Monomial, Polynomial};
+use std::collections::{BTreeMap, HashMap};
+
+/// An output K-relation: output tuples with their provenance polynomials.
+///
+/// Ordered by tuple so iteration is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KRelation {
+    tuples: BTreeMap<Tuple, Polynomial>,
+}
+
+impl KRelation {
+    /// Number of distinct output tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether there are no outputs.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The provenance of `t` (zero if absent).
+    pub fn provenance(&self, t: &Tuple) -> Polynomial {
+        self.tuples.get(t).cloned().unwrap_or_else(Polynomial::zero)
+    }
+
+    /// Iterates over `(output, provenance)` in tuple order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &Polynomial)> {
+        self.tuples.iter()
+    }
+
+    /// Adds `poly` to the provenance of `t`.
+    pub fn add(&mut self, t: Tuple, poly: Polynomial) {
+        let entry = self.tuples.entry(t).or_insert_with(Polynomial::zero);
+        *entry = entry.add(&poly);
+    }
+
+    /// K-relation subsumption `self ⊆_K other` under the natural order of
+    /// `N[X]` (Def. 3.8): every output's polynomial is dominated.
+    pub fn contained_in(&self, other: &KRelation) -> bool {
+        self.tuples
+            .iter()
+            .all(|(t, p)| p.nat_leq(&other.provenance(t)))
+    }
+}
+
+impl FromIterator<(Tuple, Polynomial)> for KRelation {
+    fn from_iter<I: IntoIterator<Item = (Tuple, Polynomial)>>(iter: I) -> Self {
+        let mut out = KRelation::default();
+        for (t, p) in iter {
+            out.add(t, p);
+        }
+        out
+    }
+}
+
+/// Resource limits for evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalLimits {
+    /// Stop after this many derivations (total across outputs).
+    pub max_derivations: usize,
+    /// Stop once this many distinct outputs have been produced. The
+    /// evaluator may still add derivations to already-produced outputs.
+    pub max_outputs: usize,
+}
+
+impl Default for EvalLimits {
+    fn default() -> Self {
+        Self {
+            max_derivations: usize::MAX,
+            max_outputs: usize::MAX,
+        }
+    }
+}
+
+/// Evaluates a CQ, producing the full annotated output.
+pub fn eval_cq(db: &Database, q: &Cq) -> KRelation {
+    eval_cq_limited(db, q, EvalLimits::default())
+}
+
+/// Evaluates a CQ under [`EvalLimits`].
+///
+/// The evaluator orders atoms greedily (most bound variables first, breaking
+/// ties toward smaller relations), then backtracks over candidate tuples
+/// fetched through per-column hash indexes.
+pub fn eval_cq_limited(db: &Database, q: &Cq, limits: EvalLimits) -> KRelation {
+    let mut out = KRelation::default();
+    if q.body.is_empty() {
+        return out;
+    }
+    let mut engine = Engine {
+        db,
+        q,
+        limits,
+        derivations: 0,
+        out: &mut out,
+        order: plan_order(db, q),
+    };
+    let mut bindings: HashMap<VarId, Value> = HashMap::new();
+    let mut image: Vec<provabs_semiring::AnnotId> = Vec::with_capacity(q.body.len());
+    engine.solve(0, &mut bindings, &mut image);
+    out
+}
+
+/// Evaluates a UCQ: the sum of its disjuncts' outputs.
+pub fn eval_ucq(db: &Database, u: &Ucq) -> KRelation {
+    let mut out = KRelation::default();
+    for d in &u.disjuncts {
+        for (t, p) in eval_cq(db, d).iter() {
+            out.add(t.clone(), p.clone());
+        }
+    }
+    out
+}
+
+/// Chooses an atom evaluation order: start from the atom with the most
+/// constants (smallest candidate set), then repeatedly pick the atom sharing
+/// the most variables with the bound set.
+fn plan_order(db: &Database, q: &Cq) -> Vec<usize> {
+    let n = q.body.len();
+    let mut chosen = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut bound: Vec<VarId> = Vec::new();
+    for _ in 0..n {
+        let mut best: Option<(usize, (usize, isize))> = None;
+        for (i, atom) in q.body.iter().enumerate() {
+            if chosen[i] {
+                continue;
+            }
+            let bound_positions = atom
+                .terms
+                .iter()
+                .filter(|t| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound.contains(v),
+                })
+                .count();
+            let size = db.relation_len(atom.rel) as isize;
+            let key = (bound_positions, -size);
+            if best.map_or(true, |(_, bk)| key > bk) {
+                best = Some((i, key));
+            }
+        }
+        let (i, _) = best.expect("atom remains");
+        chosen[i] = true;
+        for v in q.body[i].variables() {
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+        }
+        order.push(i);
+    }
+    order
+}
+
+struct Engine<'a> {
+    db: &'a Database,
+    q: &'a Cq,
+    limits: EvalLimits,
+    derivations: usize,
+    out: &'a mut KRelation,
+    order: Vec<usize>,
+}
+
+impl Engine<'_> {
+    fn solve(
+        &mut self,
+        depth: usize,
+        bindings: &mut HashMap<VarId, Value>,
+        image: &mut Vec<provabs_semiring::AnnotId>,
+    ) -> bool {
+        if self.derivations >= self.limits.max_derivations {
+            return false;
+        }
+        if depth == self.order.len() {
+            // Emit one derivation.
+            let output: Tuple = self
+                .q
+                .head
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => c.clone(),
+                    Term::Var(v) => bindings[v].clone(),
+                })
+                .collect();
+            let is_new = self.out.provenance(&output).is_zero();
+            if is_new && self.out.len() >= self.limits.max_outputs {
+                return true; // skip new outputs, keep exploring existing ones
+            }
+            self.out.add(
+                output,
+                Polynomial::from(Monomial::from_annots(image.iter().copied())),
+            );
+            self.derivations += 1;
+            return true;
+        }
+        let atom = &self.q.body[self.order[depth]];
+        // Pick the most selective access path among bound positions.
+        let mut candidates: Option<Vec<usize>> = None;
+        for (col, term) in atom.terms.iter().enumerate() {
+            let val = match term {
+                Term::Const(c) => Some(c.clone()),
+                Term::Var(v) => bindings.get(v).cloned(),
+            };
+            if let Some(v) = val {
+                let rows = self.db.rows_matching(atom.rel, col, &v);
+                if candidates.as_ref().map_or(true, |c| rows.len() < c.len()) {
+                    candidates = Some(rows);
+                }
+                if candidates.as_ref().is_some_and(Vec::is_empty) {
+                    return true;
+                }
+            }
+        }
+        let rows: Vec<usize> =
+            candidates.unwrap_or_else(|| (0..self.db.relation_len(atom.rel)).collect());
+        let tuples = self.db.tuples(atom.rel);
+        let annots = self.db.tuple_annots(atom.rel);
+        'rows: for row in rows {
+            let tuple = &tuples[row];
+            let mut newly_bound: Vec<VarId> = Vec::new();
+            for (col, term) in atom.terms.iter().enumerate() {
+                match term {
+                    Term::Const(c) => {
+                        if &tuple[col] != c {
+                            for v in newly_bound.drain(..) {
+                                bindings.remove(&v);
+                            }
+                            continue 'rows;
+                        }
+                    }
+                    Term::Var(v) => match bindings.get(v) {
+                        Some(bound) => {
+                            if bound != &tuple[col] {
+                                for v in newly_bound.drain(..) {
+                                    bindings.remove(&v);
+                                }
+                                continue 'rows;
+                            }
+                        }
+                        None => {
+                            bindings.insert(*v, tuple[col].clone());
+                            newly_bound.push(*v);
+                        }
+                    },
+                }
+            }
+            image.push(annots[row]);
+            let keep_going = self.solve(depth + 1, bindings, image);
+            image.pop();
+            for v in newly_bound {
+                bindings.remove(&v);
+            }
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_cq;
+    use provabs_semiring::Monomial;
+
+    /// The running-example database of Figure 1.
+    pub(crate) fn figure1_db() -> Database {
+        let mut db = Database::new();
+        let interests = db.add_relation("Interests", &["pid", "interest", "source"]);
+        let hobbies = db.add_relation("Hobbies", &["pid", "hobby", "source"]);
+        let persons = db.add_relation("Person", &["pid", "name", "age"]);
+        db.insert_str(interests, "i1", &["1", "Music", "WikiLeaks"]);
+        db.insert_str(interests, "i2", &["2", "Music", "Facebook"]);
+        db.insert_str(interests, "i3", &["3", "Music", "LinkedIn"]);
+        db.insert_str(interests, "i4", &["1", "Parties", "WikiLeaks"]);
+        db.insert_str(interests, "i5", &["2", "Parties", "Facebook"]);
+        db.insert_str(interests, "i6", &["4", "Movies", "WikiLeaks"]);
+        db.insert_str(hobbies, "h1", &["1", "Dance", "Facebook"]);
+        db.insert_str(hobbies, "h2", &["2", "Dance", "LinkedIn"]);
+        db.insert_str(hobbies, "h3", &["4", "Dance", "Facebook"]);
+        db.insert_str(hobbies, "h4", &["1", "Trips", "Facebook"]);
+        db.insert_str(hobbies, "h5", &["2", "Trips", "LinkedIn"]);
+        db.insert_str(hobbies, "h6", &["3", "Trips", "WikiLeaks"]);
+        db.insert_str(persons, "p1", &["1", "James T", "27"]);
+        db.insert_str(persons, "p2", &["2", "Brenda P", "31"]);
+        db.build_indexes();
+        db
+    }
+
+    fn annot(db: &Database, name: &str) -> provabs_semiring::AnnotId {
+        db.annotations().get(name).unwrap()
+    }
+
+    #[test]
+    fn qreal_produces_figure_2a() {
+        let db = figure1_db();
+        let q = parse_cq(
+            "Q(id) :- Person(id, name, age), Hobbies(id, 'Dance', src1), Interests(id, 'Music', src2)",
+            db.schema(),
+        )
+        .unwrap();
+        let out = eval_cq(&db, &q);
+        assert_eq!(out.len(), 2);
+        let row1 = out.provenance(&Tuple::parse(&["1"]));
+        let expected1 = Monomial::from_annots([annot(&db, "p1"), annot(&db, "h1"), annot(&db, "i1")]);
+        assert_eq!(row1.coefficient(&expected1), 1);
+        assert_eq!(row1.num_monomials(), 1);
+        let row2 = out.provenance(&Tuple::parse(&["2"]));
+        let expected2 = Monomial::from_annots([annot(&db, "p2"), annot(&db, "h2"), annot(&db, "i2")]);
+        assert_eq!(row2.coefficient(&expected2), 1);
+    }
+
+    #[test]
+    fn self_join_squares_annotation() {
+        let mut db = Database::new();
+        let r = db.add_relation("R", &["a", "b"]);
+        db.insert_str(r, "t1", &["1", "1"]);
+        db.build_indexes();
+        // Q(x) :- R(x, y), R(y, x): t1 joins with itself, provenance t1^2.
+        let q = parse_cq("Q(x) :- R(x, y), R(y, x)", db.schema()).unwrap();
+        let out = eval_cq(&db, &q);
+        let p = out.provenance(&Tuple::parse(&["1"]));
+        let t1 = annot(&db, "t1");
+        assert_eq!(p.coefficient(&Monomial::from_factors([(t1, 2)])), 1);
+    }
+
+    #[test]
+    fn multiple_derivations_sum_coefficients() {
+        let mut db = Database::new();
+        let r = db.add_relation("R", &["a", "b"]);
+        let s = db.add_relation("S", &["b"]);
+        db.insert_str(r, "r1", &["1", "10"]);
+        db.insert_str(s, "s1", &["10"]);
+        db.insert_str(s, "s2", &["10"]);
+        db.build_indexes();
+        // Q(x) :- R(x, y), S(y): two derivations for output (1).
+        let q = parse_cq("Q(x) :- R(x, y), S(y)", db.schema()).unwrap();
+        let out = eval_cq(&db, &q);
+        let p = out.provenance(&Tuple::parse(&["1"]));
+        assert_eq!(p.num_monomials(), 2);
+    }
+
+    #[test]
+    fn constants_filter() {
+        let db = figure1_db();
+        let q = parse_cq("Q(id) :- Hobbies(id, 'Trips', s)", db.schema()).unwrap();
+        let out = eval_cq(&db, &q);
+        assert_eq!(out.len(), 3); // ids 1, 2, 3
+        assert!(out.provenance(&Tuple::parse(&["4"])).is_zero());
+    }
+
+    #[test]
+    fn limits_cap_outputs() {
+        let db = figure1_db();
+        let q = parse_cq("Q(id) :- Hobbies(id, h, s)", db.schema()).unwrap();
+        let out = eval_cq_limited(
+            &db,
+            &q,
+            EvalLimits {
+                max_outputs: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn limits_cap_derivations() {
+        let db = figure1_db();
+        let q = parse_cq("Q(id) :- Hobbies(id, h, s)", db.schema()).unwrap();
+        let out = eval_cq_limited(
+            &db,
+            &q,
+            EvalLimits {
+                max_derivations: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn ucq_sums_disjuncts() {
+        let db = figure1_db();
+        let u = crate::parse_ucq(
+            "Q(id) :- Hobbies(id, 'Dance', s); Q(id) :- Interests(id, 'Music', s)",
+            db.schema(),
+        )
+        .unwrap();
+        let out = eval_ucq(&db, &u);
+        // id 1 has both a Dance hobby and a Music interest: 2 monomials.
+        assert_eq!(out.provenance(&Tuple::parse(&["1"])).num_monomials(), 2);
+        // id 4 only dances.
+        assert_eq!(out.provenance(&Tuple::parse(&["4"])).num_monomials(), 1);
+    }
+
+    #[test]
+    fn containment_of_krelations() {
+        let db = figure1_db();
+        let narrow = parse_cq(
+            "Q(id) :- Person(id, n, a), Hobbies(id, 'Dance', s)",
+            db.schema(),
+        )
+        .unwrap();
+        let wide = parse_cq("Q(id) :- Person(id, n, a), Hobbies(id, h, s)", db.schema()).unwrap();
+        let narrow_out = eval_cq(&db, &narrow);
+        let wide_out = eval_cq(&db, &wide);
+        assert!(narrow_out.contained_in(&wide_out));
+        assert!(!wide_out.contained_in(&narrow_out));
+    }
+
+    #[test]
+    fn empty_body_produces_nothing() {
+        let db = figure1_db();
+        let q = Cq::new(vec![], vec![]);
+        assert!(eval_cq(&db, &q).is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! K-examples (Def. 2.4): output examples together with their provenance.
+
+use crate::{Database, KRelation, RelId, Tuple};
+use provabs_semiring::{AnnotId, AnnotRegistry, Monomial};
+use serde::{Deserialize, Serialize};
+
+/// One row of a K-example: an output tuple and one provenance monomial.
+///
+/// Polynomials with several monomials are normalized into one row per
+/// monomial (each monomial of `O(t)` must be matched by a consistent query
+/// independently under the natural order of `N[X]`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KRow {
+    /// The output tuple.
+    pub output: Tuple,
+    /// Its provenance monomial.
+    pub monomial: Monomial,
+}
+
+/// A K-example: a subset of the (hidden) query's results with provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct KExample {
+    /// The rows, in presentation order.
+    pub rows: Vec<KRow>,
+}
+
+impl KExample {
+    /// Builds a K-example from `(output, monomial)` pairs.
+    pub fn new<I: IntoIterator<Item = (Tuple, Monomial)>>(rows: I) -> Self {
+        KExample {
+            rows: rows
+                .into_iter()
+                .map(|(output, monomial)| KRow { output, monomial })
+                .collect(),
+        }
+    }
+
+    /// Extracts the first `max_rows` rows from an evaluated K-relation,
+    /// taking each output's first monomial (deterministic: outputs and
+    /// monomials are ordered).
+    pub fn from_krelation(out: &KRelation, max_rows: usize) -> Self {
+        KExample {
+            rows: out
+                .iter()
+                .filter_map(|(t, p)| {
+                    p.terms()
+                        .first()
+                        .map(|(m, _)| KRow {
+                            output: t.clone(),
+                            monomial: m.clone(),
+                        })
+                })
+                .take(max_rows)
+                .collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the example has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// `Var(Ex)`: the distinct annotations appearing in the provenance.
+    pub fn variables(&self) -> Vec<AnnotId> {
+        let mut v: Vec<AnnotId> = self
+            .rows
+            .iter()
+            .flat_map(|r| r.monomial.support())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Total number of annotation **occurrences** (degrees summed); the
+    /// domain size of occurrence-level abstraction functions.
+    pub fn num_occurrences(&self) -> usize {
+        self.rows.iter().map(|r| r.monomial.degree() as usize).sum()
+    }
+
+    /// Resolves every occurrence against `db`, yielding [`ConcreteRow`]s.
+    ///
+    /// Returns `None` if some annotation does not tag a tuple of `db`.
+    pub fn resolve(&self, db: &Database) -> Option<Vec<ConcreteRow>> {
+        self.rows
+            .iter()
+            .map(|r| ConcreteRow::resolve(db, &r.output, &r.monomial.occurrences()))
+            .collect()
+    }
+
+    /// Renders the K-example as the paper's two-column table.
+    pub fn to_string_with(&self, reg: &AnnotRegistry) -> String {
+        self.rows
+            .iter()
+            .map(|r| format!("{}  |  {}", r.output, r.monomial.to_string_with(reg)))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// A K-example row with every annotation occurrence resolved to its tuple.
+///
+/// This is the input shape of the reverse-engineering algorithms: the query
+/// atoms must map bijectively onto `occurrences`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcreteRow {
+    /// The output tuple.
+    pub output: Tuple,
+    /// The resolved occurrences: annotation, owning relation, tuple values.
+    pub occurrences: Vec<(AnnotId, RelId, Tuple)>,
+}
+
+impl ConcreteRow {
+    /// Resolves an occurrence list against `db`.
+    pub fn resolve(db: &Database, output: &Tuple, occs: &[AnnotId]) -> Option<ConcreteRow> {
+        let occurrences = occs
+            .iter()
+            .map(|&a| db.tuple_by_annot(a).map(|(rel, t)| (a, rel, t.clone())))
+            .collect::<Option<Vec<_>>>()?;
+        Some(ConcreteRow {
+            output: output.clone(),
+            occurrences,
+        })
+    }
+
+    /// Whether the row's tuples form a connected graph under the
+    /// shares-a-constant relation (§4.1, "Concretizations connectivity").
+    pub fn is_connected(&self) -> bool {
+        let n = self.occurrences.len();
+        if n <= 1 {
+            return true;
+        }
+        let mut reached = vec![false; n];
+        let mut stack = vec![0usize];
+        reached[0] = true;
+        while let Some(i) = stack.pop() {
+            for j in 0..n {
+                if !reached[j] && self.occurrences[i].2.shares_constant(&self.occurrences[j].2) {
+                    reached[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        reached.into_iter().all(|r| r)
+    }
+}
+
+/// Whether the monomial given by `occs` is connected in `db` (tuples are
+/// nodes; edges join tuples sharing a constant).
+///
+/// Annotations that do not tag tuples of `db` make the monomial disconnected
+/// (they cannot join anything), unless it is a single occurrence.
+pub fn monomial_connected(db: &Database, occs: &[AnnotId]) -> bool {
+    if occs.len() <= 1 {
+        return true;
+    }
+    match ConcreteRow::resolve(db, &Tuple::new([]), occs) {
+        Some(row) => row.is_connected(),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_cq;
+    use crate::eval::eval_cq;
+
+    fn figure1_db() -> Database {
+        // Reuse the eval test fixture through a local copy.
+        let mut db = Database::new();
+        let interests = db.add_relation("Interests", &["pid", "interest", "source"]);
+        let hobbies = db.add_relation("Hobbies", &["pid", "hobby", "source"]);
+        let persons = db.add_relation("Person", &["pid", "name", "age"]);
+        for (a, f) in [
+            ("i1", ["1", "Music", "WikiLeaks"]),
+            ("i2", ["2", "Music", "Facebook"]),
+            ("i3", ["3", "Music", "LinkedIn"]),
+            ("i4", ["1", "Parties", "WikiLeaks"]),
+            ("i5", ["2", "Parties", "Facebook"]),
+            ("i6", ["4", "Movies", "WikiLeaks"]),
+        ] {
+            db.insert_str(interests, a, &f);
+        }
+        for (a, f) in [
+            ("h1", ["1", "Dance", "Facebook"]),
+            ("h2", ["2", "Dance", "LinkedIn"]),
+            ("h3", ["4", "Dance", "Facebook"]),
+            ("h4", ["1", "Trips", "Facebook"]),
+            ("h5", ["2", "Trips", "LinkedIn"]),
+            ("h6", ["3", "Trips", "WikiLeaks"]),
+        ] {
+            db.insert_str(hobbies, a, &f);
+        }
+        db.insert_str(persons, "p1", &["1", "James T", "27"]);
+        db.insert_str(persons, "p2", &["2", "Brenda P", "31"]);
+        db.build_indexes();
+        db
+    }
+
+    #[test]
+    fn kexample_from_query_output() {
+        let db = figure1_db();
+        let q = parse_cq(
+            "Q(id) :- Person(id, name, age), Hobbies(id, 'Dance', s1), Interests(id, 'Music', s2)",
+            db.schema(),
+        )
+        .unwrap();
+        let ex = KExample::from_krelation(&eval_cq(&db, &q), 10);
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex.variables().len(), 6);
+        assert_eq!(ex.num_occurrences(), 6);
+    }
+
+    #[test]
+    fn resolve_and_connectivity() {
+        let db = figure1_db();
+        let a = |n: &str| db.annotations().get(n).unwrap();
+        // p1, h1, i1 all mention pid 1 — connected.
+        assert!(monomial_connected(&db, &[a("p1"), a("h1"), a("i1")]));
+        // p1 (pid 1, 'James T', 27) and h3 (pid 4, Dance, Facebook): no shared
+        // constant, and i6 (pid 4) bridges only h3 — p1 stays disconnected.
+        assert!(!monomial_connected(&db, &[a("p1"), a("h3")]));
+        assert!(!monomial_connected(&db, &[a("p1"), a("h3"), a("i6")]));
+        // h3 and i6 share pid 4 — connected.
+        assert!(monomial_connected(&db, &[a("h3"), a("i6")]));
+        // Single occurrences are trivially connected.
+        assert!(monomial_connected(&db, &[a("p1")]));
+    }
+
+    #[test]
+    fn resolve_fails_for_unknown_annotation() {
+        let mut db = figure1_db();
+        let ghost = db.intern_label("ghost");
+        let ex = KExample::new([(Tuple::parse(&["1"]), Monomial::from_annots([ghost]))]);
+        assert!(ex.resolve(&db).is_none());
+    }
+
+    #[test]
+    fn render_matches_table_shape() {
+        let db = figure1_db();
+        let a = |n: &str| db.annotations().get(n).unwrap();
+        let ex = KExample::new([(
+            Tuple::parse(&["1"]),
+            Monomial::from_annots([a("p1"), a("h1"), a("i1")]),
+        )]);
+        let s = ex.to_string_with(db.annotations());
+        assert!(s.contains("(1)"));
+        assert!(s.contains("i1*h1*p1") || s.contains("p1*h1*i1"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Annotated relational layer for the provabs system.
+//!
+//! Implements the §2.1 preliminaries of *"On Optimizing the Trade-off between
+//! Privacy and Utility in Data Provenance"* (SIGMOD 2021): database schemas
+//! over a domain of constants, **abstractly-tagged K-databases** (every tuple
+//! annotated with a distinct element of the annotation set `X`), unions of
+//! conjunctive queries, provenance-tracking query evaluation in `N[X]`
+//! (Def. 2.2), and **K-examples** (Def. 2.4) — pairs of output examples and
+//! their provenance.
+//!
+//! # Example
+//!
+//! ```
+//! use provabs_relational::{Database, parse_cq, eval_cq};
+//!
+//! let mut db = Database::new();
+//! let person = db.add_relation("Person", &["pid", "name", "age"]);
+//! db.insert_str(person, "p1", &["1", "James T", "27"]);
+//! db.insert_str(person, "p2", &["2", "Brenda P", "31"]);
+//!
+//! let q = parse_cq("Q(id) :- Person(id, name, age)", db.schema()).unwrap();
+//! let out = eval_cq(&db, &q);
+//! assert_eq!(out.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod database;
+mod eval;
+mod kexample;
+mod parser;
+mod query;
+mod schema;
+mod tuple;
+mod value;
+
+pub use database::Database;
+pub use eval::{eval_cq, eval_cq_limited, eval_ucq, EvalLimits, KRelation};
+pub use kexample::{monomial_connected, ConcreteRow, KExample, KRow};
+pub use parser::{parse_cq, parse_ucq, ParseError};
+pub use query::{Atom, Cq, RelId, Term, Ucq, VarId};
+pub use schema::{RelationSchema, Schema};
+pub use tuple::Tuple;
+pub use value::Value;

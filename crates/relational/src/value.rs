@@ -1,0 +1,139 @@
+//! Constants of the database domain.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A constant of the domain `C`: an integer or an interned string.
+///
+/// Strings are reference-counted so that cloning tuples and bindings during
+/// evaluation is cheap.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Integer constant.
+    Int(i64),
+    /// String constant.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Builds an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Parses a literal: digits (with optional sign) become [`Value::Int`],
+    /// everything else a [`Value::Str`].
+    pub fn parse(s: &str) -> Self {
+        match s.parse::<i64>() {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::str(s),
+        }
+    }
+
+    /// Returns the integer if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: serde::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Value::Int(i) => ser.serialize_i64(*i),
+            Value::Str(s) => ser.serialize_str(s),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        struct V;
+        impl serde::de::Visitor<'_> for V {
+            type Value = Value;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an integer or a string")
+            }
+            fn visit_i64<E>(self, v: i64) -> Result<Value, E> {
+                Ok(Value::Int(v))
+            }
+            fn visit_u64<E: serde::de::Error>(self, v: u64) -> Result<Value, E> {
+                i64::try_from(v).map(Value::Int).map_err(E::custom)
+            }
+            fn visit_str<E>(self, v: &str) -> Result<Value, E> {
+                Ok(Value::str(v))
+            }
+        }
+        de.deserialize_any(V)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_discriminates_ints() {
+        assert_eq!(Value::parse("42"), Value::Int(42));
+        assert_eq!(Value::parse("-7"), Value::Int(-7));
+        assert_eq!(Value::parse("Dance"), Value::str("Dance"));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![Value::str("b"), Value::Int(2), Value::str("a"), Value::Int(1)];
+        v.sort();
+        assert_eq!(v[0], Value::Int(1));
+        assert_eq!(v[3], Value::str("b"));
+    }
+
+    #[test]
+    fn display_quotes_strings() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::str("x").to_string(), "'x'");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_str(), None);
+        assert_eq!(Value::str("y").as_str(), Some("y"));
+    }
+}

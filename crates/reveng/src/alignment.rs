@@ -1,0 +1,283 @@
+//! Alignments between the annotation occurrences of K-example rows.
+//!
+//! A consistent CQ must have, for every row, a derivation whose atom→tuple
+//! image matches the row's monomial; the derivations of all rows therefore
+//! induce a relation-respecting bijection between the occurrences of the
+//! first row (the "atom slots") and the occurrences of every other row.
+//! This module enumerates those bijections — the generalization of [23]'s
+//! bipartite matchings between the first two rows to `n` rows.
+
+use provabs_relational::{ConcreteRow, RelId};
+use std::collections::HashMap;
+
+/// An alignment: for every row, `per_row[j][slot]` is the index of the
+/// occurrence of row `j` assigned to atom slot `slot`. Row 0 is the
+/// identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Per-row slot assignments.
+    pub per_row: Vec<Vec<usize>>,
+}
+
+/// Groups occurrence indexes by relation.
+fn relation_groups(row: &ConcreteRow) -> HashMap<RelId, Vec<usize>> {
+    let mut m: HashMap<RelId, Vec<usize>> = HashMap::new();
+    for (i, (_, rel, _)) in row.occurrences.iter().enumerate() {
+        m.entry(*rel).or_default().push(i);
+    }
+    m
+}
+
+/// Whether all rows have the same relation-occurrence signature (same
+/// relations with the same multiplicities). A necessary condition for any
+/// alignment — and hence any consistent CQ — to exist.
+pub fn rows_alignable(rows: &[ConcreteRow]) -> bool {
+    let Some(first) = rows.first() else {
+        return false;
+    };
+    let sig0 = relation_groups(first);
+    rows.iter().skip(1).all(|r| {
+        let sig = relation_groups(r);
+        sig.len() == sig0.len()
+            && sig0
+                .iter()
+                .all(|(rel, g)| sig.get(rel).is_some_and(|h| h.len() == g.len()))
+    })
+}
+
+/// Enumerates every alignment of `rows`, invoking `visit` for each, up to
+/// `max_alignments` total. Returns the number of alignments visited, or
+/// `None` if the cap was hit (enumeration incomplete).
+pub fn for_each_alignment(
+    rows: &[ConcreteRow],
+    max_alignments: usize,
+    mut visit: impl FnMut(&Alignment),
+) -> Option<usize> {
+    if rows.is_empty() || !rows_alignable(rows) {
+        return Some(0);
+    }
+    let n_slots = rows[0].occurrences.len();
+    let mut per_row: Vec<Vec<usize>> = vec![vec![0; n_slots]; rows.len()];
+    per_row[0] = (0..n_slots).collect();
+    // Per row > 0, the per-relation permutation choices.
+    let groups0 = relation_groups(&rows[0]);
+    let mut count = 0usize;
+    let complete = assign_row(
+        rows,
+        &groups0,
+        1,
+        &mut per_row,
+        &mut count,
+        max_alignments,
+        &mut visit,
+    );
+    complete.then_some(count)
+}
+
+/// Recursively fixes the alignment of `row_idx..`; returns false once the
+/// cap is exceeded.
+fn assign_row(
+    rows: &[ConcreteRow],
+    groups0: &HashMap<RelId, Vec<usize>>,
+    row_idx: usize,
+    per_row: &mut Vec<Vec<usize>>,
+    count: &mut usize,
+    max: usize,
+    visit: &mut impl FnMut(&Alignment),
+) -> bool {
+    if row_idx == rows.len() {
+        if *count >= max {
+            return false;
+        }
+        *count += 1;
+        visit(&Alignment {
+            per_row: per_row.clone(),
+        });
+        return true;
+    }
+    let groups_j = relation_groups(&rows[row_idx]);
+    // Deterministic relation order.
+    let mut rels: Vec<RelId> = groups0.keys().copied().collect();
+    rels.sort_unstable();
+    let slot_groups: Vec<&Vec<usize>> = rels.iter().map(|r| &groups0[r]).collect();
+    let occ_groups: Vec<&Vec<usize>> = rels.iter().map(|r| &groups_j[r]).collect();
+    permute_relations(
+        rows,
+        groups0,
+        row_idx,
+        &slot_groups,
+        &occ_groups,
+        0,
+        per_row,
+        count,
+        max,
+        visit,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn permute_relations(
+    rows: &[ConcreteRow],
+    groups0: &HashMap<RelId, Vec<usize>>,
+    row_idx: usize,
+    slot_groups: &[&Vec<usize>],
+    occ_groups: &[&Vec<usize>],
+    g: usize,
+    per_row: &mut Vec<Vec<usize>>,
+    count: &mut usize,
+    max: usize,
+    visit: &mut impl FnMut(&Alignment),
+) -> bool {
+    if g == slot_groups.len() {
+        return assign_row(rows, groups0, row_idx + 1, per_row, count, max, visit);
+    }
+    let slots = slot_groups[g];
+    let occs = occ_groups[g];
+    let mut perm: Vec<usize> = occs.clone();
+    permute_rec(&mut perm, 0, &mut |p| {
+        for (si, &slot) in slots.iter().enumerate() {
+            per_row[row_idx][slot] = p[si];
+        }
+        permute_relations(
+            rows, groups0, row_idx, slot_groups, occ_groups, g + 1, per_row, count, max, visit,
+        )
+    })
+}
+
+fn permute_rec(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize]) -> bool) -> bool {
+    if k == v.len() {
+        return f(v);
+    }
+    for i in k..v.len() {
+        v.swap(k, i);
+        if !permute_rec(v, k + 1, f) {
+            v.swap(k, i);
+            return false;
+        }
+        v.swap(k, i);
+    }
+    true
+}
+
+/// Enumerates the degree-`d` expansions of a row whose occurrence list is a
+/// *support set* (each occurrence exactly once): every way of assigning
+/// multiplicities ≥ 1 summing to `d`. Used for the exponent-dropping
+/// semirings (`Why(X)`, `Trio(X)`, `PosBool(X)`), where a query atom may map
+/// repeatedly onto the same tuple (Table 4, red cell: "expanding the
+/// provenance as much as needed").
+pub fn expansions_of_row(row: &ConcreteRow, d: usize) -> Vec<ConcreteRow> {
+    let s = row.occurrences.len();
+    if d < s || s == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut mults = vec![1usize; s];
+    distribute(d - s, 0, &mut mults, &mut |m| {
+        let mut occs = Vec::with_capacity(d);
+        for (i, &mult) in m.iter().enumerate() {
+            for _ in 0..mult {
+                occs.push(row.occurrences[i].clone());
+            }
+        }
+        out.push(ConcreteRow {
+            output: row.output.clone(),
+            occurrences: occs,
+        });
+    });
+    out
+}
+
+fn distribute(extra: usize, i: usize, mults: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
+    if i == mults.len() - 1 {
+        mults[i] += extra;
+        f(mults);
+        mults[i] -= extra;
+        return;
+    }
+    for take in 0..=extra {
+        mults[i] += take;
+        distribute(extra - take, i + 1, mults, f);
+        mults[i] -= take;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provabs_relational::Tuple;
+    use provabs_semiring::AnnotId;
+
+    fn row(rels: &[u16]) -> ConcreteRow {
+        ConcreteRow {
+            output: Tuple::parse(&["1"]),
+            occurrences: rels
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| (AnnotId(i as u32), RelId(r), Tuple::parse(&[&i.to_string()])))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn alignable_checks_signature() {
+        assert!(rows_alignable(&[row(&[0, 1, 2]), row(&[0, 1, 2])]));
+        assert!(rows_alignable(&[row(&[0, 0, 1]), row(&[1, 0, 0])]));
+        assert!(!rows_alignable(&[row(&[0, 1]), row(&[0, 0])]));
+        assert!(!rows_alignable(&[row(&[0]), row(&[0, 0])]));
+        assert!(!rows_alignable(&[]));
+    }
+
+    #[test]
+    fn distinct_relations_have_unique_alignment() {
+        let rows = vec![row(&[0, 1, 2]), row(&[0, 1, 2])];
+        let mut seen = 0;
+        let n = for_each_alignment(&rows, 100, |_| seen += 1).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn self_joins_multiply_alignments() {
+        // Two rows, each with 3 occurrences of the same relation: 3! = 6.
+        let rows = vec![row(&[7, 7, 7]), row(&[7, 7, 7])];
+        let n = for_each_alignment(&rows, 100, |_| {}).unwrap();
+        assert_eq!(n, 6);
+        // Three rows: 6 * 6 = 36.
+        let rows3 = vec![row(&[7, 7, 7]), row(&[7, 7, 7]), row(&[7, 7, 7])];
+        let n3 = for_each_alignment(&rows3, 1000, |_| {}).unwrap();
+        assert_eq!(n3, 36);
+    }
+
+    #[test]
+    fn cap_stops_enumeration() {
+        let rows = vec![row(&[7, 7, 7]), row(&[7, 7, 7])];
+        let mut seen = 0;
+        let n = for_each_alignment(&rows, 2, |_| seen += 1);
+        assert_eq!(n, None);
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn alignment_row0_is_identity() {
+        let rows = vec![row(&[0, 1]), row(&[1, 0])];
+        let mut alignments = Vec::new();
+        for_each_alignment(&rows, 10, |a| alignments.push(a.clone())).unwrap();
+        assert_eq!(alignments.len(), 1);
+        assert_eq!(alignments[0].per_row[0], vec![0, 1]);
+        // Row 1's occurrence of relation 0 is at index 1.
+        assert_eq!(alignments[0].per_row[1], vec![1, 0]);
+    }
+
+    #[test]
+    fn expansions_enumerate_compositions() {
+        let r = row(&[0, 1]);
+        // degree 2 = support: single expansion.
+        assert_eq!(expansions_of_row(&r, 2).len(), 1);
+        // degree 3: one extra unit on either occurrence: 2 expansions.
+        let e3 = expansions_of_row(&r, 3);
+        assert_eq!(e3.len(), 2);
+        assert!(e3.iter().all(|x| x.occurrences.len() == 3));
+        // degree below support: none.
+        assert!(expansions_of_row(&r, 1).is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! Canonical forms of conjunctive queries up to isomorphism.
+//!
+//! Two CQs are isomorphic iff they are equal after canonicalization: atoms
+//! are sorted by an invariant key, residual ties are resolved by trying the
+//! permutations of each tie group and keeping the lexicographically smallest
+//! rendering, and variables are renumbered in first-occurrence order (head
+//! first). Under `N[X]` semantics, query equivalence *is* isomorphism, so
+//! canonical keys double as equivalence keys for frontier deduplication.
+
+use provabs_relational::{Cq, Term, VarId};
+use std::collections::HashMap;
+
+/// A total rendering of a CQ with variables replaced by their
+/// first-occurrence index (head first, then atoms in the given order).
+fn encode(cq: &Cq, atom_order: &[usize]) -> String {
+    let mut var_ids: HashMap<VarId, usize> = HashMap::new();
+    let mut out = String::new();
+    let mut push_term = |t: &Term, out: &mut String| match t {
+        Term::Const(c) => {
+            out.push('c');
+            out.push_str(&c.to_string());
+        }
+        Term::Var(v) => {
+            let next = var_ids.len();
+            let id = *var_ids.entry(*v).or_insert(next);
+            out.push('v');
+            out.push_str(&id.to_string());
+        }
+    };
+    out.push('H');
+    for t in &cq.head {
+        push_term(t, &mut out);
+        out.push(',');
+    }
+    for &i in atom_order {
+        let a = &cq.body[i];
+        out.push('A');
+        out.push_str(&a.rel.0.to_string());
+        out.push('(');
+        for t in &a.terms {
+            push_term(t, &mut out);
+            out.push(',');
+        }
+        out.push(')');
+    }
+    out
+}
+
+/// An isomorphism-invariant key for one atom, used to pre-sort atoms before
+/// permutation search: relation, and per position either the constant or a
+/// variable signature (number of occurrences of the variable in the whole
+/// query and whether it appears in the head).
+fn atom_invariant(cq: &Cq, atom_idx: usize) -> String {
+    let mut occ: HashMap<VarId, usize> = HashMap::new();
+    for a in &cq.body {
+        for v in a.variables() {
+            *occ.entry(v).or_insert(0) += 1;
+        }
+    }
+    let head_vars: Vec<VarId> = cq.head.iter().filter_map(Term::as_var).collect();
+    let a = &cq.body[atom_idx];
+    let mut s = format!("R{}(", a.rel.0);
+    for t in &a.terms {
+        match t {
+            Term::Const(c) => s.push_str(&format!("c{c},")),
+            Term::Var(v) => {
+                let h = head_vars.iter().filter(|x| **x == *v).count();
+                s.push_str(&format!("v[o{},h{}],", occ[v], h));
+            }
+        }
+    }
+    s.push(')');
+    s
+}
+
+/// Computes the canonical key of `cq`: a string equal for exactly the CQs
+/// isomorphic to `cq` (same relations, same constant placement, same
+/// variable-sharing pattern, same head).
+///
+/// Complexity: product of factorials of atom tie-group sizes; tie groups are
+/// atoms with identical invariant keys, which stay tiny for the paper's
+/// workloads (worst case: TPC-H Q21's triple self-join → 3! permutations).
+pub fn canonical_key(cq: &Cq) -> String {
+    // Group atoms by invariant.
+    let n = cq.body.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let invariants: Vec<String> = (0..n).map(|i| atom_invariant(cq, i)).collect();
+    order.sort_by(|&a, &b| invariants[a].cmp(&invariants[b]).then(a.cmp(&b)));
+    // Identify tie groups.
+    let mut groups: Vec<(usize, usize)> = Vec::new(); // [start, end) in `order`
+    let mut start = 0;
+    for i in 1..=n {
+        if i == n || invariants[order[i]] != invariants[order[start]] {
+            groups.push((start, i));
+            start = i;
+        }
+    }
+    // Search over permutations within tie groups for the minimal encoding.
+    let mut best: Option<String> = None;
+    permute_groups(cq, &mut order, &groups, 0, &mut best);
+    best.unwrap_or_else(|| encode(cq, &order))
+}
+
+fn permute_groups(
+    cq: &Cq,
+    order: &mut Vec<usize>,
+    groups: &[(usize, usize)],
+    g: usize,
+    best: &mut Option<String>,
+) {
+    if g == groups.len() {
+        let enc = encode(cq, order);
+        if best.as_ref().map_or(true, |b| enc < *b) {
+            *best = Some(enc);
+        }
+        return;
+    }
+    let (s, e) = groups[g];
+    if e - s <= 1 {
+        permute_groups(cq, order, groups, g + 1, best);
+        return;
+    }
+    // Heap's-algorithm-free simple recursion over the group's permutations.
+    let mut idxs: Vec<usize> = order[s..e].to_vec();
+    permute_slice(&mut idxs, 0, &mut |perm| {
+        order[s..e].copy_from_slice(perm);
+        permute_groups(cq, &mut order.clone(), groups, g + 1, best);
+    });
+}
+
+fn permute_slice(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == v.len() {
+        f(v);
+        return;
+    }
+    for i in k..v.len() {
+        v.swap(k, i);
+        permute_slice(v, k + 1, f);
+        v.swap(k, i);
+    }
+}
+
+/// Rewrites `cq` into its canonical form: atoms in canonical order and
+/// variables renumbered `v0, v1, ...` in first-occurrence order.
+pub fn canonical_cq(cq: &Cq) -> Cq {
+    // Recover the atom order realizing the canonical key by re-running the
+    // search and keeping the best order.
+    let n = cq.body.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let invariants: Vec<String> = (0..n).map(|i| atom_invariant(cq, i)).collect();
+    order.sort_by(|&a, &b| invariants[a].cmp(&invariants[b]).then(a.cmp(&b)));
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0;
+    for i in 1..=n {
+        if i == n || invariants[order[i]] != invariants[order[start]] {
+            groups.push((start, i));
+            start = i;
+        }
+    }
+    let mut best: Option<(String, Vec<usize>)> = None;
+    search_best_order(cq, &mut order, &groups, 0, &mut best);
+    let order = best.map(|(_, o)| o).unwrap_or(order);
+    // Renumber variables in first-occurrence order (head first).
+    let mut map: HashMap<VarId, VarId> = HashMap::new();
+    let mut next = 0u32;
+    let mut note = |t: &Term, map: &mut HashMap<VarId, VarId>| {
+        if let Term::Var(v) = t {
+            map.entry(*v).or_insert_with(|| {
+                let id = VarId(next);
+                next += 1;
+                id
+            });
+        }
+    };
+    for t in &cq.head {
+        note(t, &mut map);
+    }
+    for &i in &order {
+        for t in &cq.body[i].terms {
+            note(t, &mut map);
+        }
+    }
+    let reordered = Cq {
+        head_name: cq.head_name.clone(),
+        head: cq.head.clone(),
+        body: order.iter().map(|&i| cq.body[i].clone()).collect(),
+    };
+    reordered.rename_vars(&map)
+}
+
+fn search_best_order(
+    cq: &Cq,
+    order: &mut Vec<usize>,
+    groups: &[(usize, usize)],
+    g: usize,
+    best: &mut Option<(String, Vec<usize>)>,
+) {
+    if g == groups.len() {
+        let enc = encode(cq, order);
+        if best.as_ref().map_or(true, |(b, _)| enc < *b) {
+            *best = Some((enc, order.clone()));
+        }
+        return;
+    }
+    let (s, e) = groups[g];
+    if e - s <= 1 {
+        search_best_order(cq, order, groups, g + 1, best);
+        return;
+    }
+    let mut idxs: Vec<usize> = order[s..e].to_vec();
+    permute_slice(&mut idxs, 0, &mut |perm| {
+        let mut o2 = order.clone();
+        o2[s..e].copy_from_slice(perm);
+        search_best_order(cq, &mut o2, groups, g + 1, best);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provabs_relational::{parse_cq, Schema};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_relation("Person", &["pid", "name", "age"]);
+        s.add_relation("Hobbies", &["pid", "hobby", "source"]);
+        s.add_relation("Interests", &["pid", "interest", "source"]);
+        s
+    }
+
+    #[test]
+    fn isomorphic_queries_share_keys() {
+        let s = schema();
+        let q1 = parse_cq(
+            "Q(id) :- Person(id, n, a), Hobbies(id, 'Dance', w)",
+            &s,
+        )
+        .unwrap();
+        // Same query with renamed variables and reordered atoms.
+        let q2 = parse_cq(
+            "Q(x) :- Hobbies(x, 'Dance', ww), Person(x, nn, aa)",
+            &s,
+        )
+        .unwrap();
+        assert_eq!(canonical_key(&q1), canonical_key(&q2));
+        assert_eq!(canonical_cq(&q1), canonical_cq(&q2));
+    }
+
+    #[test]
+    fn different_constant_placement_distinguished() {
+        let s = schema();
+        let q1 = parse_cq("Q(id) :- Hobbies(id, 'Dance', w)", &s).unwrap();
+        let q2 = parse_cq("Q(id) :- Hobbies(id, 'Trips', w)", &s).unwrap();
+        let q3 = parse_cq("Q(id) :- Hobbies(id, h, w)", &s).unwrap();
+        assert_ne!(canonical_key(&q1), canonical_key(&q2));
+        assert_ne!(canonical_key(&q1), canonical_key(&q3));
+    }
+
+    #[test]
+    fn variable_sharing_pattern_distinguished() {
+        let s = schema();
+        // Shared source variable vs distinct sources.
+        let q1 = parse_cq("Q(id) :- Hobbies(id, h, w), Interests(id, i, w)", &s).unwrap();
+        let q2 = parse_cq("Q(id) :- Hobbies(id, h, w1), Interests(id, i, w2)", &s).unwrap();
+        assert_ne!(canonical_key(&q1), canonical_key(&q2));
+    }
+
+    #[test]
+    fn self_join_ties_resolved() {
+        let s = schema();
+        // Two Hobbies atoms differing only in variable sharing with head.
+        let q1 = parse_cq("Q(x) :- Hobbies(x, a, b), Hobbies(y, a, c)", &s).unwrap();
+        let q2 = parse_cq("Q(x) :- Hobbies(y, a, c), Hobbies(x, a, b)", &s).unwrap();
+        assert_eq!(canonical_key(&q1), canonical_key(&q2));
+    }
+
+    #[test]
+    fn canonical_cq_renumbers_head_first() {
+        let s = schema();
+        let q = parse_cq("Q(z) :- Person(z, y, x)", &s).unwrap();
+        let c = canonical_cq(&q);
+        assert_eq!(c.head, vec![provabs_relational::Term::Var(VarId(0))]);
+    }
+}

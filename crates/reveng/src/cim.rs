@@ -1,0 +1,151 @@
+//! Connected inclusion-minimal (CIM) queries — Def. 3.10.
+
+use crate::containment::{contained_in, ContainmentMode};
+use provabs_relational::{Cq, RelId};
+
+/// Sort key under which two queries can possibly be related by a bijective
+/// containment: the multiset of body relations (a bijective homomorphism
+/// preserves it exactly).
+fn relation_signature(q: &Cq) -> Vec<RelId> {
+    let mut v: Vec<RelId> = q.body.iter().map(|a| a.rel).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Keeps one representative per equivalence class, then removes every query
+/// that strictly contains another (Def. 3.10's minimality: `Q` is minimal if
+/// no consistent `Q' ⊊_K Q` exists; with a frontier as input, the frontier's
+/// minimal elements are the minimal consistent queries).
+///
+/// For the bijective order (`N[X]`/`B[X]`) comparability requires equal
+/// relation multisets, so the quadratic comparison runs within signature
+/// groups only.
+pub fn minimal_queries(queries: &[Cq], mode: ContainmentMode) -> Vec<Cq> {
+    if mode == ContainmentMode::Bijective {
+        let mut groups: std::collections::BTreeMap<Vec<RelId>, Vec<&Cq>> = Default::default();
+        for q in queries {
+            groups.entry(relation_signature(q)).or_default().push(q);
+        }
+        return groups
+            .into_values()
+            .flat_map(|group| minimal_within(&group, mode))
+            .collect();
+    }
+    let refs: Vec<&Cq> = queries.iter().collect();
+    minimal_within(&refs, mode)
+}
+
+fn minimal_within(queries: &[&Cq], mode: ContainmentMode) -> Vec<Cq> {
+    // Deduplicate by equivalence (the frontier is already deduplicated by
+    // isomorphism, which equals equivalence for Bijective mode; Classical
+    // mode can identify more queries).
+    let mut reps: Vec<Cq> = Vec::new();
+    for q in queries {
+        if !reps
+            .iter()
+            .any(|r| contained_in(r, q, mode) && contained_in(q, r, mode))
+        {
+            reps.push((*q).clone());
+        }
+    }
+    reps.iter()
+        .filter(|q| {
+            !reps
+                .iter()
+                .any(|other| contained_in(other, q, mode) && !contained_in(q, other, mode))
+        })
+        .cloned()
+        .collect()
+}
+
+/// Extracts the CIM queries from a consistent-query frontier: the minimal
+/// elements that are connected.
+///
+/// Note the order of operations follows Def. 3.10: minimality quantifies
+/// over *all* consistent queries (connected or not), so disconnected
+/// frontier queries participate in the minimality filter and only then is
+/// connectivity applied.
+pub fn cim_queries(frontier: &[Cq], mode: ContainmentMode) -> Vec<Cq> {
+    minimal_queries(frontier, mode)
+        .into_iter()
+        .filter(Cq::is_connected)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provabs_relational::{parse_cq, Schema};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_relation("Person", &["pid", "name", "age"]);
+        s.add_relation("Hobbies", &["pid", "hobby", "source"]);
+        s.add_relation("Interests", &["pid", "interest", "source"]);
+        s
+    }
+
+    #[test]
+    fn example_3_13_two_cim_queries() {
+        // The three connected consistent queries of Table 3; the general one
+        // is subsumed by Qreal, leaving privacy 2.
+        let s = schema();
+        let qreal = parse_cq(
+            "Q(a) :- Person(a, b, c), Hobbies(a, 'Dance', d), Interests(a, 'Music', e)",
+            &s,
+        )
+        .unwrap();
+        let qfalse1 = parse_cq(
+            "Q(a) :- Person(a, b, c), Hobbies(a, 'Trips', d), Interests(a, 'Music', e)",
+            &s,
+        )
+        .unwrap();
+        let qgeneral = parse_cq(
+            "Q(a) :- Person(a, b, c), Hobbies(a, d, e), Interests(a, 'Music', f)",
+            &s,
+        )
+        .unwrap();
+        let cim = cim_queries(
+            &[qreal.clone(), qfalse1.clone(), qgeneral],
+            ContainmentMode::Bijective,
+        );
+        assert_eq!(cim.len(), 2);
+        assert!(cim.contains(&qreal));
+        assert!(cim.contains(&qfalse1));
+    }
+
+    #[test]
+    fn disconnected_minimal_blocks_connected_general() {
+        // A disconnected most-specific query makes its connected
+        // generalization non-minimal (Def. 3.10 quantifies over all
+        // consistent queries).
+        let s = schema();
+        let specific = parse_cq(
+            "Q(a) :- Person(a, b, c), Hobbies(d, 'Dance', 'Facebook')",
+            &s,
+        )
+        .unwrap();
+        assert!(!specific.is_connected());
+        let general = parse_cq("Q(a) :- Person(a, b, c), Hobbies(d, 'Dance', e)", &s).unwrap();
+        let cim = cim_queries(&[specific, general], ContainmentMode::Bijective);
+        assert!(cim.is_empty());
+    }
+
+    #[test]
+    fn equivalent_duplicates_collapse() {
+        let s = schema();
+        let q1 = parse_cq("Q(x) :- Hobbies(x, h, w)", &s).unwrap();
+        let q2 = parse_cq("Q(y) :- Hobbies(y, a, b)", &s).unwrap();
+        let cim = cim_queries(&[q1, q2], ContainmentMode::Bijective);
+        assert_eq!(cim.len(), 1);
+    }
+
+    #[test]
+    fn minimal_keeps_incomparable_queries() {
+        let s = schema();
+        let q1 = parse_cq("Q(x) :- Hobbies(x, 'Dance', w)", &s).unwrap();
+        let q2 = parse_cq("Q(x) :- Hobbies(x, 'Trips', w)", &s).unwrap();
+        let min = minimal_queries(&[q1, q2], ContainmentMode::Bijective);
+        assert_eq!(min.len(), 2);
+    }
+}

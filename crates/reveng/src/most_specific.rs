@@ -1,0 +1,386 @@
+//! The consistent-query frontier: most-specific queries per alignment.
+
+use crate::alignment::{expansions_of_row, for_each_alignment, rows_alignable};
+use crate::canonical::{canonical_cq, canonical_key};
+use provabs_relational::{Atom, Cq, ConcreteRow, Term, Value, VarId};
+use provabs_semiring::SemiringKind;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Options for [`find_consistent_queries`].
+#[derive(Debug, Clone)]
+pub struct RevOptions {
+    /// The provenance semiring of the K-example. `N[X]` and `B[X]` require
+    /// exact occurrence bijections; `Why(X)`/`Trio(X)`/`PosBool(X)` allow
+    /// repeated atom→tuple mappings via bounded expansion.
+    pub semiring: SemiringKind,
+    /// Cap on the number of alignments examined per call (self-joins make
+    /// alignments factorial). When hit, the frontier is truncated — counts
+    /// derived from it become lower bounds.
+    pub max_alignments: usize,
+    /// For the exponent-dropping semirings: how many extra units of degree
+    /// beyond the support size to try when expanding (`Table 4`, red cell).
+    pub max_expansion_extra: u32,
+    /// Keep only connected queries.
+    pub connected_only: bool,
+}
+
+impl Default for RevOptions {
+    fn default() -> Self {
+        Self {
+            semiring: SemiringKind::NX,
+            max_alignments: 100_000,
+            max_expansion_extra: 1,
+            connected_only: false,
+        }
+    }
+}
+
+/// Finds the **candidate frontier** of consistent queries w.r.t. a concrete
+/// K-example (Def. 3.9): for every alignment of the rows' occurrences, the
+/// most-specific consistent query — constants wherever the aligned value
+/// vector is uniform, one shared variable per distinct non-uniform vector.
+///
+/// Every consistent query `Q` contains (under the semiring's containment
+/// order) the frontier query of the alignment induced by `Q`'s derivations,
+/// so the frontier's minimal elements are exactly the minimal consistent
+/// queries. Queries are returned in canonical form, deduplicated, sorted by
+/// canonical key.
+///
+/// Returns an empty vector when no consistent CQ exists (e.g. rows with
+/// different relation signatures — a UCQ may still be consistent, see
+/// [`crate::ucq`]).
+pub fn find_consistent_queries(rows: &[ConcreteRow], opts: &RevOptions) -> Vec<Cq> {
+    let mut out: BTreeMap<String, Cq> = BTreeMap::new();
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    // All outputs must share an arity.
+    let arity = rows[0].output.arity();
+    if rows.iter().any(|r| r.output.arity() != arity) {
+        return Vec::new();
+    }
+    if opts.semiring.keeps_exponents() {
+        collect_from_rows(rows, opts, &mut out);
+    } else {
+        // Exponent-dropping semirings: normalize rows to their support and
+        // try increasing common degrees with expansions.
+        let supports: Vec<ConcreteRow> = rows.iter().map(support_row).collect();
+        let min_degree = supports
+            .iter()
+            .map(|r| r.occurrences.len())
+            .max()
+            .unwrap_or(0);
+        for extra in 0..=opts.max_expansion_extra as usize {
+            let d = min_degree + extra;
+            // Cartesian product of per-row degree-d expansions.
+            let per_row: Vec<Vec<ConcreteRow>> =
+                supports.iter().map(|r| expansions_of_row(r, d)).collect();
+            if per_row.iter().any(Vec::is_empty) {
+                continue;
+            }
+            let mut choice: Vec<ConcreteRow> = per_row.iter().map(|v| v[0].clone()).collect();
+            expand_product(&per_row, 0, &mut choice, &mut |expanded| {
+                collect_from_rows(expanded, opts, &mut out);
+            });
+        }
+    }
+    let mut queries: Vec<Cq> = out.into_values().collect();
+    if opts.connected_only {
+        queries.retain(Cq::is_connected);
+    }
+    queries
+}
+
+fn expand_product(
+    per_row: &[Vec<ConcreteRow>],
+    i: usize,
+    choice: &mut Vec<ConcreteRow>,
+    f: &mut impl FnMut(&[ConcreteRow]),
+) {
+    if i == per_row.len() {
+        f(choice);
+        return;
+    }
+    for opt in &per_row[i] {
+        choice[i] = opt.clone();
+        expand_product(per_row, i + 1, choice, f);
+    }
+}
+
+fn support_row(row: &ConcreteRow) -> ConcreteRow {
+    let mut seen = std::collections::HashSet::new();
+    ConcreteRow {
+        output: row.output.clone(),
+        occurrences: row
+            .occurrences
+            .iter()
+            .filter(|(a, _, _)| seen.insert(*a))
+            .cloned()
+            .collect(),
+    }
+}
+
+fn collect_from_rows(rows: &[ConcreteRow], opts: &RevOptions, out: &mut BTreeMap<String, Cq>) {
+    if !rows_alignable(rows) {
+        return;
+    }
+    let _complete = for_each_alignment(rows, opts.max_alignments, |alignment| {
+        if let Some(q) = most_specific_query(rows, &alignment.per_row) {
+            let canon = canonical_cq(&q);
+            out.entry(canonical_key(&canon)).or_insert(canon);
+        }
+    });
+}
+
+/// Builds the most-specific consistent query of one alignment, or `None` if
+/// a non-uniform head column has no matching body value vector (the head
+/// variable would not appear in the body).
+pub(crate) fn most_specific_query(rows: &[ConcreteRow], per_row: &[Vec<usize>]) -> Option<Cq> {
+    let n_slots = rows[0].occurrences.len();
+    let n_rows = rows.len();
+    // Assign terms by value vector.
+    let mut vectors: HashMap<Vec<Value>, Term> = HashMap::new();
+    let mut next_var = 0u32;
+    let mut term_for = |vec: Vec<Value>, next_var: &mut u32| -> Term {
+        if vec.iter().all(|v| v == &vec[0]) {
+            return Term::Const(vec[0].clone());
+        }
+        vectors
+            .entry(vec)
+            .or_insert_with(|| {
+                let t = Term::Var(VarId(*next_var));
+                *next_var += 1;
+                t
+            })
+            .clone()
+    };
+    let mut body = Vec::with_capacity(n_slots);
+    for slot in 0..n_slots {
+        let rel = rows[0].occurrences[slot].1;
+        let arity = rows[0].occurrences[slot].2.arity();
+        let mut terms = Vec::with_capacity(arity);
+        for pos in 0..arity {
+            let vec: Vec<Value> = (0..n_rows)
+                .map(|j| rows[j].occurrences[per_row[j][slot]].2[pos].clone())
+                .collect();
+            terms.push(term_for(vec, &mut next_var));
+        }
+        body.push(Atom { rel, terms });
+    }
+    let mut head = Vec::with_capacity(rows[0].output.arity());
+    for col in 0..rows[0].output.arity() {
+        let vec: Vec<Value> = (0..n_rows).map(|j| rows[j].output[col].clone()).collect();
+        if vec.iter().all(|v| v == &vec[0]) {
+            head.push(Term::Const(vec[0].clone()));
+        } else {
+            // Must reuse an existing body vector: head vars appear in body.
+            match vectors.get(&vec) {
+                Some(t) => head.push(t.clone()),
+                None => return None,
+            }
+        }
+    }
+    Some(Cq::new(head, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provabs_relational::{eval_cq, parse_cq, Database, KExample, Tuple};
+    use provabs_semiring::Monomial;
+
+    /// The Figure 1 database of the paper.
+    fn figure1_db() -> Database {
+        let mut db = Database::new();
+        let interests = db.add_relation("Interests", &["pid", "interest", "source"]);
+        let hobbies = db.add_relation("Hobbies", &["pid", "hobby", "source"]);
+        let persons = db.add_relation("Person", &["pid", "name", "age"]);
+        for (a, f) in [
+            ("i1", ["1", "Music", "WikiLeaks"]),
+            ("i2", ["2", "Music", "Facebook"]),
+            ("i3", ["3", "Music", "LinkedIn"]),
+            ("i4", ["1", "Parties", "WikiLeaks"]),
+            ("i5", ["2", "Parties", "Facebook"]),
+            ("i6", ["4", "Movies", "WikiLeaks"]),
+        ] {
+            db.insert_str(interests, a, &f);
+        }
+        for (a, f) in [
+            ("h1", ["1", "Dance", "Facebook"]),
+            ("h2", ["2", "Dance", "LinkedIn"]),
+            ("h3", ["4", "Dance", "Facebook"]),
+            ("h4", ["1", "Trips", "Facebook"]),
+            ("h5", ["2", "Trips", "LinkedIn"]),
+            ("h6", ["3", "Trips", "WikiLeaks"]),
+        ] {
+            db.insert_str(hobbies, a, &f);
+        }
+        db.insert_str(persons, "p1", &["1", "James T", "27"]);
+        db.insert_str(persons, "p2", &["2", "Brenda P", "31"]);
+        db.build_indexes();
+        db
+    }
+
+    fn rows_for(db: &Database, pairs: &[(&str, &[&str])]) -> Vec<ConcreteRow> {
+        let ex = KExample::new(pairs.iter().map(|(out, annots)| {
+            (
+                Tuple::parse(&[out]),
+                Monomial::from_annots(
+                    annots.iter().map(|a| db.annotations().get(a).unwrap()),
+                ),
+            )
+        }));
+        ex.resolve(db).unwrap()
+    }
+
+    #[test]
+    fn recovers_qreal_from_exreal() {
+        // Exreal (Figure 2a): rows (1, p1*h1*i1) and (2, p2*h2*i2).
+        let db = figure1_db();
+        let rows = rows_for(
+            &db,
+            &[("1", &["p1", "h1", "i1"]), ("2", &["p2", "h2", "i2"])],
+        );
+        let qs = find_consistent_queries(&rows, &RevOptions::default());
+        assert_eq!(qs.len(), 1);
+        let qreal = parse_cq(
+            "Q(id) :- Person(id, n, a), Hobbies(id, 'Dance', w1), Interests(id, 'Music', w2)",
+            db.schema(),
+        )
+        .unwrap();
+        assert_eq!(canonical_key(&qs[0]), canonical_key(&qreal));
+        assert!(qs[0].is_connected());
+    }
+
+    #[test]
+    fn recovers_qfalse1_from_exfalse1() {
+        // Exfalse1 (Figure 2b): rows (1, p1*h4*i1) and (2, p2*h5*i2).
+        let db = figure1_db();
+        let rows = rows_for(
+            &db,
+            &[("1", &["p1", "h4", "i1"]), ("2", &["p2", "h5", "i2"])],
+        );
+        let qs = find_consistent_queries(&rows, &RevOptions::default());
+        assert_eq!(qs.len(), 1);
+        let qfalse1 = parse_cq(
+            "Q(id) :- Person(id, n, a), Hobbies(id, 'Trips', w1), Interests(id, 'Music', w2)",
+            db.schema(),
+        )
+        .unwrap();
+        assert_eq!(canonical_key(&qs[0]), canonical_key(&qfalse1));
+    }
+
+    #[test]
+    fn frontier_queries_are_consistent_by_evaluation() {
+        // O ⊆_K Q(I): evaluate every frontier query on the database and
+        // check the example's monomials are produced.
+        let db = figure1_db();
+        let rows = rows_for(
+            &db,
+            &[("1", &["p1", "h1", "i1"]), ("2", &["p2", "h2", "i2"])],
+        );
+        let qs = find_consistent_queries(&rows, &RevOptions::default());
+        for q in &qs {
+            let out = eval_cq(&db, q);
+            for (output, annots) in
+                [("1", ["p1", "h1", "i1"]), ("2", ["p2", "h2", "i2"])]
+            {
+                let m = Monomial::from_annots(
+                    annots.iter().map(|a| db.annotations().get(a).unwrap()),
+                );
+                assert!(
+                    out.provenance(&Tuple::parse(&[output])).coefficient(&m) >= 1,
+                    "query {} does not derive row {output}",
+                    q.display(db.schema())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_signatures_yield_no_cq() {
+        let db = figure1_db();
+        let rows = rows_for(&db, &[("1", &["p1", "h1"]), ("2", &["p2", "i2"])]);
+        assert!(find_consistent_queries(&rows, &RevOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn disconnected_concretization_yields_disconnected_query() {
+        // Row 1 uses h3 (pid 4) with p1 (pid 1): the Hobbies atom shares no
+        // vector with Person, so the query is disconnected.
+        let db = figure1_db();
+        let rows = rows_for(&db, &[("1", &["p1", "h3"]), ("2", &["p2", "h2"])]);
+        let all = find_consistent_queries(&rows, &RevOptions::default());
+        assert_eq!(all.len(), 1);
+        assert!(!all[0].is_connected());
+        let connected_only = find_consistent_queries(
+            &rows,
+            &RevOptions {
+                connected_only: true,
+                ..Default::default()
+            },
+        );
+        assert!(connected_only.is_empty());
+    }
+
+    #[test]
+    fn head_without_body_witness_fails() {
+        // Outputs (10) and (20) but no tuple column carries 10/20: no
+        // consistent query.
+        let db = figure1_db();
+        let rows = rows_for(&db, &[("10", &["p1"]), ("20", &["p2"])]);
+        assert!(find_consistent_queries(&rows, &RevOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn single_row_yields_ground_query() {
+        let db = figure1_db();
+        let rows = rows_for(&db, &[("1", &["p1", "h1"])]);
+        let qs = find_consistent_queries(&rows, &RevOptions::default());
+        assert_eq!(qs.len(), 1);
+        assert!(!qs[0].has_variable());
+    }
+
+    #[test]
+    fn why_semiring_expands_repeats() {
+        // Under Why(X), the monomial {t} of a row produced by a self-join
+        // query R(x,y),R(y,x) has support {t}; expansion to degree 2 must
+        // recover a two-atom query.
+        let mut db = Database::new();
+        let r = db.add_relation("R", &["a", "b"]);
+        db.insert_str(r, "t1", &["1", "1"]);
+        db.insert_str(r, "t2", &["2", "2"]);
+        db.build_indexes();
+        let rows = rows_for(&db, &[("1", &["t1"]), ("2", &["t2"])]);
+        let opts = RevOptions {
+            semiring: provabs_semiring::SemiringKind::Why,
+            max_expansion_extra: 1,
+            ..Default::default()
+        };
+        let qs = find_consistent_queries(&rows, &opts);
+        // Expect both the 1-atom query Q(x) :- R(x,x) and 2-atom expansions.
+        assert!(qs.iter().any(|q| q.body.len() == 1));
+        assert!(qs.iter().any(|q| q.body.len() == 2));
+    }
+
+    #[test]
+    fn self_join_alignments_generate_multiple_candidates() {
+        // Two R-tuples per row; swapping the alignment changes the vectors.
+        let mut db = Database::new();
+        let r = db.add_relation("R", &["a", "b"]);
+        db.insert_str(r, "t1", &["1", "5"]);
+        db.insert_str(r, "t2", &["5", "9"]);
+        db.insert_str(r, "t3", &["2", "6"]);
+        db.insert_str(r, "t4", &["6", "9"]);
+        db.build_indexes();
+        // Rows: (1, t1*t2), (2, t3*t4): chain query Q(x) :- R(x,y), R(y, 9).
+        let rows = rows_for(&db, &[("1", &["t1", "t2"]), ("2", &["t3", "t4"])]);
+        let qs = find_consistent_queries(&rows, &RevOptions::default());
+        // The straight alignment gives the chain; the crossed alignment has
+        // no head witness for the varying output, so exactly one query.
+        assert_eq!(qs.len(), 1);
+        assert!(qs[0].is_connected());
+        assert_eq!(qs[0].body.len(), 2);
+    }
+}

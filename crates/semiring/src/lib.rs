@@ -1,0 +1,52 @@
+//! Provenance semirings for the provabs system.
+//!
+//! This crate implements the algebraic substrate of the paper *"On Optimizing
+//! the Trade-off between Privacy and Utility in Data Provenance"* (SIGMOD
+//! 2021): provenance polynomials in the free commutative semiring `N[X]`
+//! (Green, Karvounarakis, Tannen — PODS 2007), the coarser semirings of the
+//! provenance hierarchy (`B[X]`, `Trio(X)`, `Why(X)`, `PosBool(X)`,
+//! `Lin(X)`), and aggregate semimodules (Amsterdamer, Deutch, Tannen — PODS
+//! 2011) used by the paper's §3.4 aggregate extension.
+//!
+//! # Overview
+//!
+//! * [`AnnotId`] / [`AnnotRegistry`] — interned tuple annotations (the set
+//!   `X` of the paper; each input tuple of an abstractly-tagged K-database
+//!   carries a distinct annotation).
+//! * [`Monomial`] — a product of annotations with exponents.
+//! * [`Polynomial`] — an `N[X]` polynomial: a sum of monomials with positive
+//!   integer coefficients.
+//! * [`SemiringKind`] and [`coarsen`](Polynomial::coarsen) — projections of
+//!   an `N[X]` polynomial into the coarser semirings of Table 4.
+//! * [`semimodule`] — tensor expressions `m ⊗ v` aggregated with
+//!   MAX/MIN/SUM/COUNT, the provenance of aggregate query results.
+//!
+//! # Example
+//!
+//! ```
+//! use provabs_semiring::{AnnotRegistry, Monomial, Polynomial};
+//!
+//! let mut reg = AnnotRegistry::new();
+//! let p1 = reg.intern("p1");
+//! let h1 = reg.intern("h1");
+//! let i1 = reg.intern("i1");
+//! // provenance of the first output row of the running example: p1 * h1 * i1
+//! let m = Monomial::from_annots([p1, h1, i1]);
+//! let poly = Polynomial::from(m);
+//! assert_eq!(poly.to_string_with(&reg), "p1*h1*i1");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod annot;
+mod monomial;
+mod polynomial;
+pub mod semimodule;
+mod semiring_kind;
+
+pub use annot::{AnnotId, AnnotRegistry};
+pub use monomial::Monomial;
+pub use polynomial::Polynomial;
+pub use semimodule::{AggOp, AggValue, TensorTerm};
+pub use semiring_kind::SemiringKind;

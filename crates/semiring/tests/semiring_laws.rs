@@ -1,0 +1,108 @@
+//! Property-based tests: `(N[X], +, ·, 0, 1)` is a commutative semiring and
+//! the coarsening maps are semiring homomorphisms.
+
+use proptest::prelude::*;
+use provabs_semiring::{AnnotId, Monomial, Polynomial, SemiringKind};
+
+/// Strategy over small monomials on annotations x0..x5.
+fn arb_monomial() -> impl Strategy<Value = Monomial> {
+    prop::collection::vec((0u32..6, 1u32..3), 0..4)
+        .prop_map(|fs| Monomial::from_factors(fs.into_iter().map(|(a, e)| (AnnotId(a), e))))
+}
+
+/// Strategy over small polynomials.
+fn arb_poly() -> impl Strategy<Value = Polynomial> {
+    prop::collection::vec((arb_monomial(), 1u64..4), 0..4).prop_map(Polynomial::from_terms)
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(p in arb_poly(), q in arb_poly()) {
+        prop_assert_eq!(p.add(&q), q.add(&p));
+    }
+
+    #[test]
+    fn addition_associates(p in arb_poly(), q in arb_poly(), r in arb_poly()) {
+        prop_assert_eq!(p.add(&q).add(&r), p.add(&q.add(&r)));
+    }
+
+    #[test]
+    fn multiplication_commutes(p in arb_poly(), q in arb_poly()) {
+        prop_assert_eq!(p.mul(&q), q.mul(&p));
+    }
+
+    #[test]
+    fn multiplication_associates(p in arb_poly(), q in arb_poly(), r in arb_poly()) {
+        prop_assert_eq!(p.mul(&q).mul(&r), p.mul(&q.mul(&r)));
+    }
+
+    #[test]
+    fn distributivity(p in arb_poly(), q in arb_poly(), r in arb_poly()) {
+        prop_assert_eq!(p.mul(&q.add(&r)), p.mul(&q).add(&p.mul(&r)));
+    }
+
+    #[test]
+    fn identities(p in arb_poly()) {
+        prop_assert_eq!(p.add(&Polynomial::zero()), p.clone());
+        prop_assert_eq!(p.mul(&Polynomial::one()), p.clone());
+        prop_assert!(p.mul(&Polynomial::zero()).is_zero());
+    }
+
+    #[test]
+    fn nat_leq_is_reflexive_and_respects_addition(p in arb_poly(), q in arb_poly()) {
+        prop_assert!(p.nat_leq(&p));
+        prop_assert!(p.nat_leq(&p.add(&q)));
+    }
+
+    #[test]
+    fn nat_leq_antisymmetric(p in arb_poly(), q in arb_poly()) {
+        if p.nat_leq(&q) && q.nat_leq(&p) {
+            prop_assert_eq!(p, q);
+        }
+    }
+
+    /// Coarsening is a homomorphism: coarsen(p + q) = coarsen(coarsen(p) + coarsen(q)),
+    /// and similarly for products. (The outer coarsen re-normalizes, since the
+    /// coarser semiring's representation is the normal form.)
+    #[test]
+    fn coarsen_homomorphism(p in arb_poly(), q in arb_poly()) {
+        for kind in [SemiringKind::BX, SemiringKind::Trio, SemiringKind::Why, SemiringKind::PosBool, SemiringKind::Lin] {
+            let lhs_add = p.add(&q).coarsen(kind);
+            let rhs_add = p.coarsen(kind).add(&q.coarsen(kind)).coarsen(kind);
+            prop_assert_eq!(lhs_add, rhs_add, "addition hom failed for {}", kind);
+            let lhs_mul = p.mul(&q).coarsen(kind);
+            let rhs_mul = p.coarsen(kind).mul(&q.coarsen(kind)).coarsen(kind);
+            prop_assert_eq!(lhs_mul, rhs_mul, "multiplication hom failed for {}", kind);
+        }
+    }
+
+    /// Coarsening is idempotent: the image is already in normal form.
+    #[test]
+    fn coarsen_idempotent(p in arb_poly()) {
+        for kind in SemiringKind::ALL {
+            let once = p.coarsen(kind);
+            prop_assert_eq!(once.coarsen(kind), once);
+        }
+    }
+
+    /// Monomial multiplication: degree is additive, support is the union.
+    #[test]
+    fn monomial_mul_degree(m in arb_monomial(), n in arb_monomial()) {
+        let p = m.mul(&n);
+        prop_assert_eq!(p.degree(), m.degree() + n.degree());
+        for a in m.support().chain(n.support()) {
+            prop_assert!(p.contains(a));
+        }
+    }
+
+    /// Deletion propagation is monotone: deleting more annotations can only
+    /// kill more outputs.
+    #[test]
+    fn survives_deletion_monotone(p in arb_poly(), cut in 0u32..6) {
+        let small = move |a: AnnotId| a.0 < cut;
+        let large = move |a: AnnotId| a.0 <= cut;
+        if !p.survives_deletion(&small) {
+            prop_assert!(!p.survives_deletion(&large));
+        }
+    }
+}

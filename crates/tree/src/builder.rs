@@ -1,0 +1,270 @@
+//! Constructing abstraction trees.
+
+use crate::{AbstractionTree, NodeId};
+use provabs_semiring::AnnotId;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Incremental builder for [`AbstractionTree`]s.
+///
+/// Nodes are addressed by their (unique) labels; the root is fixed at
+/// construction and children are attached with [`TreeBuilder::add_child`].
+#[derive(Debug)]
+pub struct TreeBuilder {
+    labels: Vec<AnnotId>,
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    by_label: HashMap<AnnotId, NodeId>,
+}
+
+impl TreeBuilder {
+    /// Starts a tree with the given root label.
+    pub fn new(root_label: AnnotId) -> Self {
+        Self {
+            labels: vec![root_label],
+            parent: vec![None],
+            children: vec![Vec::new()],
+            by_label: [(root_label, NodeId(0))].into_iter().collect(),
+        }
+    }
+
+    /// Attaches `child` under `parent` (both given by label).
+    ///
+    /// # Panics
+    /// Panics if `parent` is unknown or `child` already exists (labels are
+    /// unique, Def. 2.6).
+    pub fn add_child(&mut self, parent: AnnotId, child: AnnotId) -> NodeId {
+        let p = *self
+            .by_label
+            .get(&parent)
+            .unwrap_or_else(|| panic!("unknown parent label {parent}"));
+        assert!(
+            !self.by_label.contains_key(&child),
+            "label {child} already in tree"
+        );
+        let id = NodeId(self.labels.len() as u32);
+        self.labels.push(child);
+        self.parent.push(Some(p));
+        self.children.push(Vec::new());
+        self.children[p.idx()].push(id);
+        self.by_label.insert(child, id);
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.labels.len() == 1
+    }
+
+    /// Finalizes the tree, computing depths, leaf counts and leaf spans.
+    pub fn build(self) -> AbstractionTree {
+        AbstractionTree::finalize(self.labels, self.parent, self.children, self.by_label)
+    }
+}
+
+/// Specification for [`balanced_tree`].
+#[derive(Debug, Clone)]
+pub struct BalancedTreeSpec {
+    /// Height of the tree: every leaf sits at this depth (root = 0). Must be
+    /// at least 1.
+    pub height: u32,
+    /// Shuffle seed; the same seed reproduces the same tree.
+    pub seed: u64,
+    /// Whether to shuffle the leaves before partitioning (the paper's TPC-H
+    /// tree divides tuples "randomly ... into subcategories evenly").
+    pub shuffle: bool,
+}
+
+impl Default for BalancedTreeSpec {
+    fn default() -> Self {
+        Self {
+            height: 5,
+            seed: 0,
+            shuffle: true,
+        }
+    }
+}
+
+/// Builds a balanced abstraction tree over `leaves`: all leaves at depth
+/// `spec.height`, inner nodes splitting their leaf set into nearly equal
+/// parts with a uniform branching factor per level.
+///
+/// `make_label` must return a fresh unique label for every inner node (e.g.
+/// interning `"cat_17"` into the database registry).
+///
+/// This mirrors the paper's §5.1 TPC-H tree: "a single relation 'lineitem',
+/// randomly divided into subcategories evenly throughout the tree".
+///
+/// # Panics
+/// Panics if `leaves` is empty or `spec.height == 0`.
+pub fn balanced_tree(
+    leaves: &[AnnotId],
+    spec: &BalancedTreeSpec,
+    mut make_label: impl FnMut() -> AnnotId,
+) -> AbstractionTree {
+    assert!(!leaves.is_empty(), "balanced_tree needs at least one leaf");
+    assert!(spec.height >= 1, "height must be >= 1");
+    let mut order: Vec<AnnotId> = leaves.to_vec();
+    if spec.shuffle {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
+        order.shuffle(&mut rng);
+    }
+    let root = make_label();
+    let mut b = TreeBuilder::new(root);
+    // The branching factor: with `height` levels below the root we need
+    // roughly n^(1/height) children per node to place all leaves at the
+    // bottom level.
+    let n = order.len() as f64;
+    let branch = n.powf(1.0 / f64::from(spec.height)).ceil().max(2.0) as usize;
+    build_level(&mut b, root, &order, spec.height, branch, &mut make_label);
+    b.build()
+}
+
+fn build_level(
+    b: &mut TreeBuilder,
+    parent: AnnotId,
+    leaves: &[AnnotId],
+    levels_left: u32,
+    branch: usize,
+    make_label: &mut impl FnMut() -> AnnotId,
+) {
+    if levels_left == 1 {
+        for &leaf in leaves {
+            b.add_child(parent, leaf);
+        }
+        return;
+    }
+    // Split into at most `branch` nearly equal chunks. Chains of unary inner
+    // nodes are used when there are fewer leaves than levels, keeping all
+    // leaves at uniform depth.
+    let chunks = branch.min(leaves.len()).max(1);
+    let per = leaves.len().div_ceil(chunks);
+    for chunk in leaves.chunks(per.max(1)) {
+        let inner = make_label();
+        b.add_child(parent, inner);
+        build_level(b, inner, chunk, levels_left - 1, branch, make_label);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provabs_semiring::AnnotRegistry;
+
+    fn mk_leaves(reg: &mut AnnotRegistry, n: usize) -> Vec<AnnotId> {
+        (0..n).map(|i| reg.intern(&format!("leaf{i}"))).collect()
+    }
+
+    #[test]
+    fn balanced_tree_places_all_leaves_at_height() {
+        let mut reg = AnnotRegistry::new();
+        let leaves = mk_leaves(&mut reg, 100);
+        let mut counter = 0u32;
+        let mut reg2 = reg.clone();
+        let t = balanced_tree(
+            &leaves,
+            &BalancedTreeSpec {
+                height: 3,
+                seed: 7,
+                shuffle: true,
+            },
+            || {
+                counter += 1;
+                reg2.intern(&format!("inner{counter}"))
+            },
+        );
+        assert_eq!(t.num_leaves(), 100);
+        assert_eq!(t.height(), 3);
+        for &leaf in t.leaves() {
+            let node = t.node_by_label(leaf).unwrap();
+            assert_eq!(t.depth(node), 3);
+        }
+        assert_eq!(t.leaf_count(t.root()), 100);
+    }
+
+    #[test]
+    fn balanced_tree_is_deterministic_per_seed() {
+        let mut reg = AnnotRegistry::new();
+        let leaves = mk_leaves(&mut reg, 40);
+        let build = |seed: u64| {
+            let mut c = 0u32;
+            let mut r = reg.clone();
+            let t = balanced_tree(
+                &leaves,
+                &BalancedTreeSpec {
+                    height: 2,
+                    seed,
+                    shuffle: true,
+                },
+                || {
+                    c += 1;
+                    r.intern(&format!("n{c}"))
+                },
+            );
+            t.leaves().to_vec()
+        };
+        assert_eq!(build(3), build(3));
+        assert_ne!(build(3), build(4));
+    }
+
+    #[test]
+    fn height_one_is_a_star() {
+        let mut reg = AnnotRegistry::new();
+        let leaves = mk_leaves(&mut reg, 5);
+        let mut r = reg.clone();
+        let t = balanced_tree(
+            &leaves,
+            &BalancedTreeSpec {
+                height: 1,
+                seed: 0,
+                shuffle: false,
+            },
+            || r.intern("root"),
+        );
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.num_nodes(), 6);
+        assert_eq!(t.children(t.root()).len(), 5);
+    }
+
+    #[test]
+    fn tall_tree_on_few_leaves_uses_unary_chains() {
+        let mut reg = AnnotRegistry::new();
+        let leaves = mk_leaves(&mut reg, 2);
+        let mut c = 0u32;
+        let mut r = reg.clone();
+        let t = balanced_tree(
+            &leaves,
+            &BalancedTreeSpec {
+                height: 4,
+                seed: 0,
+                shuffle: false,
+            },
+            || {
+                c += 1;
+                r.intern(&format!("n{c}"))
+            },
+        );
+        assert_eq!(t.num_leaves(), 2);
+        assert_eq!(t.height(), 4);
+        for &leaf in t.leaves() {
+            assert_eq!(t.depth(t.node_by_label(leaf).unwrap()), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already in tree")]
+    fn duplicate_labels_rejected() {
+        let mut reg = AnnotRegistry::new();
+        let a = reg.intern("a");
+        let b = reg.intern("b");
+        let mut builder = TreeBuilder::new(a);
+        builder.add_child(a, b);
+        builder.add_child(a, b);
+    }
+}

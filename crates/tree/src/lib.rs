@@ -1,0 +1,43 @@
+//! Provenance abstraction trees (§2.2 of the paper).
+//!
+//! An [`AbstractionTree`] is a rooted labeled tree whose leaves are tuple
+//! annotations of a K-database and whose inner nodes are abstractions
+//! (generalizations) of the leaves of their subtrees. A tree is *compatible*
+//! with a K-database if no inner label tags a database tuple (Def. 2.6).
+//!
+//! The tree supports the query operations the privacy algorithms need in
+//! O(1)/O(chain): leaf counts `|L_T(v)|`, contiguous leaf slices `L_T(v)`,
+//! ancestor chains, depths, and label lookups.
+//!
+//! # Example — the Figure 3 tree of the paper
+//!
+//! ```
+//! use provabs_semiring::AnnotRegistry;
+//! use provabs_tree::TreeBuilder;
+//!
+//! let mut reg = AnnotRegistry::new();
+//! let mut ids = |names: &[&str]| names.iter().map(|n| reg.intern(n)).collect::<Vec<_>>();
+//! let labels = ids(&["*", "WikiLeaks", "SocialNetwork", "LinkedIn", "Facebook",
+//!                    "i6", "i4", "i1", "h6", "i3", "h5", "h2", "i5", "i2", "h4", "h3", "h1"]);
+//! let mut b = TreeBuilder::new(labels[0]);
+//! b.add_child(labels[0], labels[1]);   // * -> WikiLeaks
+//! b.add_child(labels[0], labels[2]);   // * -> SocialNetwork
+//! for leaf in &labels[5..9] { b.add_child(labels[1], *leaf); }   // WikiLeaks leaves
+//! b.add_child(labels[2], labels[3]);   // SocialNetwork -> LinkedIn
+//! b.add_child(labels[2], labels[4]);   // SocialNetwork -> Facebook
+//! for leaf in &labels[9..12] { b.add_child(labels[3], *leaf); }  // LinkedIn leaves
+//! for leaf in &labels[12..] { b.add_child(labels[4], *leaf); }   // Facebook leaves
+//! let tree = b.build();
+//! let fb = tree.node_by_label(labels[4]).unwrap();
+//! assert_eq!(tree.leaf_count(fb), 5);
+//! assert_eq!(tree.num_leaves(), 12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod tree;
+
+pub use builder::{balanced_tree, BalancedTreeSpec, TreeBuilder};
+pub use tree::{AbstractionTree, NodeId};

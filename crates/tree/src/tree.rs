@@ -1,0 +1,338 @@
+//! The abstraction-tree data structure.
+
+use provabs_relational::Database;
+use provabs_semiring::{AnnotId, AnnotRegistry};
+use std::collections::HashMap;
+
+/// A node of an [`AbstractionTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An abstraction tree `T` (Def. 2.6): a rooted tree with unique labels.
+///
+/// Leaves carry annotations of database tuples; each node `v` abstracts the
+/// leaves `L_T(v)` of its subtree. Built through [`TreeBuilder`](crate::TreeBuilder);
+/// immutable afterwards, with precomputed depths, leaf counts, and a DFS
+/// leaf order giving every node a contiguous leaf slice.
+#[derive(Debug, Clone)]
+pub struct AbstractionTree {
+    pub(crate) labels: Vec<AnnotId>,
+    pub(crate) parent: Vec<Option<NodeId>>,
+    pub(crate) children: Vec<Vec<NodeId>>,
+    pub(crate) by_label: HashMap<AnnotId, NodeId>,
+    /// Depth from the root (root = 0).
+    depth: Vec<u32>,
+    /// `|L_T(v)|` per node.
+    leaf_count: Vec<u64>,
+    /// Leaves in DFS order; each node owns the slice `leaf_span[v]`.
+    leaf_order: Vec<AnnotId>,
+    leaf_span: Vec<(u32, u32)>,
+    height: u32,
+}
+
+impl AbstractionTree {
+    pub(crate) fn finalize(
+        labels: Vec<AnnotId>,
+        parent: Vec<Option<NodeId>>,
+        children: Vec<Vec<NodeId>>,
+        by_label: HashMap<AnnotId, NodeId>,
+    ) -> Self {
+        let n = labels.len();
+        let mut depth = vec![0u32; n];
+        let mut leaf_count = vec![0u64; n];
+        let mut leaf_order = Vec::new();
+        let mut leaf_span = vec![(0u32, 0u32); n];
+        // Iterative DFS computing depth (preorder) and leaf data (postorder).
+        let root = NodeId(0);
+        let mut stack: Vec<(NodeId, bool)> = vec![(root, false)];
+        while let Some((node, processed)) = stack.pop() {
+            if processed {
+                let i = node.idx();
+                if children[i].is_empty() {
+                    leaf_span[i] = (leaf_order.len() as u32, leaf_order.len() as u32 + 1);
+                    leaf_order.push(labels[i]);
+                    leaf_count[i] = 1;
+                } else {
+                    let start = leaf_span[children[i][0].idx()].0;
+                    let end = leaf_span[children[i][children[i].len() - 1].idx()].1;
+                    leaf_span[i] = (start, end);
+                    leaf_count[i] = children[i].iter().map(|c| leaf_count[c.idx()]).sum();
+                }
+            } else {
+                stack.push((node, true));
+                let i = node.idx();
+                for &c in children[i].iter().rev() {
+                    depth[c.idx()] = depth[i] + 1;
+                    stack.push((c, false));
+                }
+            }
+        }
+        let height = depth.iter().copied().max().unwrap_or(0);
+        Self {
+            labels,
+            parent,
+            children,
+            by_label,
+            depth,
+            leaf_count,
+            leaf_order,
+            leaf_span,
+            height,
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of nodes `|V_T|`.
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of leaves `|L_T|`.
+    pub fn num_leaves(&self) -> usize {
+        self.leaf_order.len()
+    }
+
+    /// The height: maximum depth of a leaf (root = depth 0).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The label of `v`.
+    pub fn label(&self, v: NodeId) -> AnnotId {
+        self.labels[v.idx()]
+    }
+
+    /// Looks up the node labeled `label`.
+    pub fn node_by_label(&self, label: AnnotId) -> Option<NodeId> {
+        self.by_label.get(&label).copied()
+    }
+
+    /// The parent of `v` (`None` for the root).
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.idx()]
+    }
+
+    /// The children of `v`.
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.idx()]
+    }
+
+    /// Whether `v` is a leaf.
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.children[v.idx()].is_empty()
+    }
+
+    /// Depth of `v` (root = 0).
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v.idx()]
+    }
+
+    /// `|L_T(v)|` — number of leaves under `v` (1 for a leaf).
+    pub fn leaf_count(&self, v: NodeId) -> u64 {
+        self.leaf_count[v.idx()]
+    }
+
+    /// `L_T(v)` — the leaf labels under `v`, as a contiguous slice.
+    pub fn leaves_under(&self, v: NodeId) -> &[AnnotId] {
+        let (s, e) = self.leaf_span[v.idx()];
+        &self.leaf_order[s as usize..e as usize]
+    }
+
+    /// All leaf labels `L_T`.
+    pub fn leaves(&self) -> &[AnnotId] {
+        &self.leaf_order
+    }
+
+    /// The proper ancestors of `v`, nearest first, ending at the root.
+    pub fn ancestors(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.depth(v) as usize);
+        let mut cur = self.parent(v);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.parent(p);
+        }
+        out
+    }
+
+    /// Whether `v ≤_T u`: `v` is a descendant of `u` or `v == u`.
+    pub fn is_descendant_or_self(&self, v: NodeId, u: NodeId) -> bool {
+        let mut cur = Some(v);
+        while let Some(c) = cur {
+            if c == u {
+                return true;
+            }
+            cur = self.parent(c);
+        }
+        false
+    }
+
+    /// The ancestor of `leaf` exactly `edges` levels up (0 = the leaf
+    /// itself). `None` if the chain is shorter.
+    pub fn ancestor_at(&self, leaf: NodeId, edges: u32) -> Option<NodeId> {
+        let mut cur = leaf;
+        for _ in 0..edges {
+            cur = self.parent(cur)?;
+        }
+        Some(cur)
+    }
+
+    /// Number of tree edges between `leaf` and its ancestor `anc`
+    /// (`anc` must be an ancestor-or-self of `leaf`).
+    pub fn edges_between(&self, leaf: NodeId, anc: NodeId) -> u32 {
+        debug_assert!(self.is_descendant_or_self(leaf, anc));
+        self.depth(leaf) - self.depth(anc)
+    }
+
+    /// Compatibility with a K-database (Def. 2.6):
+    /// `(V_T \ L_T) ∩ annotations(D) = ∅` — no inner label tags a tuple.
+    pub fn compatible_with(&self, db: &Database) -> bool {
+        (0..self.labels.len()).all(|i| {
+            self.children[i].is_empty() || db.locate(self.labels[i]).is_none()
+        })
+    }
+
+    /// Renders an indented outline with labels from `reg` (for debugging and
+    /// examples).
+    pub fn to_string_with(&self, reg: &AnnotRegistry) -> String {
+        let mut out = String::new();
+        let mut stack = vec![(self.root(), 0usize)];
+        while let Some((v, ind)) = stack.pop() {
+            out.push_str(&"  ".repeat(ind));
+            out.push_str(reg.name(self.label(v)));
+            out.push('\n');
+            for &c in self.children(v).iter().rev() {
+                stack.push((c, ind + 1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeBuilder;
+
+    /// Builds the Figure 3 tree; returns (tree, registry).
+    pub(crate) fn figure3_tree() -> (AbstractionTree, AnnotRegistry) {
+        let mut reg = AnnotRegistry::new();
+        let l = |reg: &mut AnnotRegistry, n: &str| reg.intern(n);
+        let root = l(&mut reg, "*");
+        let wiki = l(&mut reg, "WikiLeaks");
+        let social = l(&mut reg, "SocialNetwork");
+        let linkedin = l(&mut reg, "LinkedIn");
+        let facebook = l(&mut reg, "Facebook");
+        let mut b = TreeBuilder::new(root);
+        b.add_child(root, wiki);
+        b.add_child(root, social);
+        for n in ["i6", "i4", "i1", "h6"] {
+            let leaf = l(&mut reg, n);
+            b.add_child(wiki, leaf);
+        }
+        b.add_child(social, linkedin);
+        b.add_child(social, facebook);
+        for n in ["i3", "h5", "h2"] {
+            let leaf = l(&mut reg, n);
+            b.add_child(linkedin, leaf);
+        }
+        for n in ["i5", "i2", "h4", "h3", "h1"] {
+            let leaf = l(&mut reg, n);
+            b.add_child(facebook, leaf);
+        }
+        (b.build(), reg)
+    }
+
+    #[test]
+    fn figure3_leaf_counts() {
+        let (t, reg) = figure3_tree();
+        let node = |n: &str| t.node_by_label(reg.get(n).unwrap()).unwrap();
+        assert_eq!(t.num_leaves(), 12);
+        assert_eq!(t.num_nodes(), 17);
+        assert_eq!(t.leaf_count(node("Facebook")), 5);
+        assert_eq!(t.leaf_count(node("LinkedIn")), 3);
+        assert_eq!(t.leaf_count(node("WikiLeaks")), 4);
+        assert_eq!(t.leaf_count(node("SocialNetwork")), 8);
+        assert_eq!(t.leaf_count(t.root()), 12);
+        assert_eq!(t.leaf_count(node("h1")), 1);
+    }
+
+    #[test]
+    fn figure3_structure_queries() {
+        let (t, reg) = figure3_tree();
+        let node = |n: &str| t.node_by_label(reg.get(n).unwrap()).unwrap();
+        let h1 = node("h1");
+        assert_eq!(t.depth(h1), 3);
+        assert_eq!(t.height(), 3);
+        assert!(t.is_leaf(h1));
+        assert!(!t.is_leaf(node("Facebook")));
+        assert_eq!(
+            t.ancestors(h1),
+            vec![node("Facebook"), node("SocialNetwork"), t.root()]
+        );
+        assert!(t.is_descendant_or_self(h1, node("SocialNetwork")));
+        assert!(!t.is_descendant_or_self(h1, node("WikiLeaks")));
+        assert_eq!(t.ancestor_at(h1, 1), Some(node("Facebook")));
+        assert_eq!(t.ancestor_at(h1, 4), None);
+        assert_eq!(t.edges_between(h1, node("SocialNetwork")), 2);
+    }
+
+    #[test]
+    fn leaves_under_are_contiguous_and_complete() {
+        let (t, reg) = figure3_tree();
+        let node = |n: &str| t.node_by_label(reg.get(n).unwrap()).unwrap();
+        let fb_leaves: Vec<&str> = t
+            .leaves_under(node("Facebook"))
+            .iter()
+            .map(|&a| reg.name(a))
+            .collect();
+        assert_eq!(fb_leaves, vec!["i5", "i2", "h4", "h3", "h1"]);
+        assert_eq!(t.leaves_under(t.root()).len(), 12);
+        let h1 = node("h1");
+        assert_eq!(t.leaves_under(h1), &[reg.get("h1").unwrap()]);
+    }
+
+    #[test]
+    fn compatibility_with_database() {
+        let (t, mut reg) = figure3_tree();
+        // Compatible: database annotations h1.. are leaves, inner labels untagged.
+        let mut db = Database::new();
+        let r = db.add_relation("Hobbies", &["pid", "hobby", "source"]);
+        // Intern the same labels into the db registry in the same order as reg.
+        for i in 0..reg.len() {
+            let name = reg.name(provabs_semiring::AnnotId(i as u32)).to_owned();
+            db.intern_label(&name);
+        }
+        db.insert_str(r, "h1_tuple_alias", &["1", "Dance", "Facebook"]);
+        assert!(t.compatible_with(&db));
+        // Incompatible: tag a tuple with an inner label.
+        let mut db2 = Database::new();
+        let r2 = db2.add_relation("R", &["a"]);
+        for i in 0..reg.len() {
+            let name = reg.name(provabs_semiring::AnnotId(i as u32)).to_owned();
+            db2.intern_label(&name);
+        }
+        let fb = reg.intern("Facebook");
+        assert_eq!(db2.intern_label("Facebook"), fb); // same id space by construction
+        db2.insert(r2, "Facebook", provabs_relational::Tuple::parse(&["1"]));
+        assert!(!t.compatible_with(&db2));
+    }
+
+    #[test]
+    fn outline_rendering() {
+        let (t, reg) = figure3_tree();
+        let s = t.to_string_with(&reg);
+        assert!(s.starts_with("*\n  WikiLeaks\n"));
+        assert!(s.contains("\n      h1\n"));
+    }
+}

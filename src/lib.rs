@@ -1,0 +1,49 @@
+//! # provabs — privacy/utility trade-off optimization for data provenance
+//!
+//! A Rust implementation of *"On Optimizing the Trade-off between Privacy
+//! and Utility in Data Provenance"* (Deutch, Frankenthal, Gilad, Moskovitch —
+//! SIGMOD 2021), including every substrate the paper relies on:
+//!
+//! * [`semiring`] — provenance polynomials (`N[X]`), the coarser provenance
+//!   semirings, aggregate semimodules;
+//! * [`relational`] — annotated databases, CQ/UCQ queries and parser,
+//!   provenance-tracking evaluation, K-examples;
+//! * [`tree`] — provenance abstraction trees;
+//! * [`reveng`] — reverse-engineering consistent queries from provenance,
+//!   containment orders, CIM extraction;
+//! * [`core`] — the paper's contribution: abstraction functions,
+//!   concretizations, loss of information, privacy (Algorithm 1), optimal
+//!   abstraction search (Algorithm 2), the dual problem, and the
+//!   compression baseline of [24];
+//! * [`datagen`] — synthetic TPC-H / IMDB generators and the paper's
+//!   workload queries.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use provabs::core::{fixtures, search::{find_optimal_abstraction, SearchConfig}};
+//! use provabs::core::privacy::PrivacyConfig;
+//!
+//! // The paper's running example: an advertising database, the Figure 3
+//! // abstraction tree, and the output of the confidential query Qreal.
+//! let fx = fixtures::running_example();
+//! let bound = provabs::core::Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+//!
+//! // Find the cheapest abstraction with privacy >= 2 (Example 3.15).
+//! let cfg = SearchConfig {
+//!     privacy: PrivacyConfig { threshold: 2, ..Default::default() },
+//!     ..Default::default()
+//! };
+//! let best = find_optimal_abstraction(&bound, &cfg).best.unwrap();
+//! assert_eq!(best.privacy, 2);
+//! assert!((best.loi - 15f64.ln()).abs() < 1e-9); // ln |C| = ln 15
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use provabs_core as core;
+pub use provabs_datagen as datagen;
+pub use provabs_relational as relational;
+pub use provabs_reveng as reveng;
+pub use provabs_semiring as semiring;
+pub use provabs_tree as tree;

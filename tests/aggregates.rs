@@ -1,0 +1,82 @@
+//! §3.4: aggregate provenance and its abstraction.
+
+use provabs::core::fixtures;
+use provabs::relational::Tuple;
+use provabs::reveng::ucq::find_consistent_agg_queries;
+use provabs::reveng::RevOptions;
+use provabs::semiring::{AggOp, AggValue, Monomial};
+
+#[test]
+fn max_age_running_example() {
+    // The §3.4 example: MAX(age) over dancers who like music.
+    let fx = fixtures::running_example();
+    let reg = fx.db.annotations();
+    let a = |n: &str| reg.get(n).unwrap();
+    let mut agg = AggValue::new(AggOp::Max);
+    agg.push(Monomial::from_annots([a("p1"), a("h1"), a("i1")]), 27);
+    agg.push(Monomial::from_annots([a("p2"), a("h2"), a("i2")]), 31);
+    assert_eq!(agg.evaluate(), 31);
+    assert_eq!(
+        agg.to_string_with(reg),
+        "(i1*h1*p1)⊗27 +MAX (i2*h2*p2)⊗31"
+    );
+    // Deleting Brenda's tuples drops the MAX to 27.
+    let brenda: Vec<_> = ["p2", "h2", "i2"].iter().map(|n| a(n)).collect();
+    assert_eq!(
+        agg.evaluate_after_deletion(&|x| brenda.contains(&x)),
+        Some(27)
+    );
+}
+
+#[test]
+fn abstraction_acts_on_annotation_part_only() {
+    let fx = fixtures::running_example();
+    let reg = fx.db.annotations();
+    let a = |n: &str| reg.get(n).unwrap();
+    let mut agg = AggValue::new(AggOp::Sum);
+    agg.push(Monomial::from_annots([a("h1")]), 5);
+    agg.push(Monomial::from_annots([a("h2")]), 7);
+    let fb = a("Facebook_src");
+    let mapped = agg.map_monomials(|m| {
+        Monomial::from_annots(m.occurrences().into_iter().map(|x| if x == a("h1") { fb } else { x }))
+    });
+    assert_eq!(mapped.evaluate(), 12); // values untouched
+    assert!(mapped.terms[0].monomial.contains(fb));
+    assert!(mapped.terms[1].monomial.contains(a("h2")));
+}
+
+#[test]
+fn reverse_engineering_aggregate_heads() {
+    // Consistent aggregate queries for a grouped MAX over the Person table.
+    let fx = fixtures::running_example();
+    let reg = fx.db.annotations();
+    let a = |n: &str| reg.get(n).unwrap();
+    let mut agg = AggValue::new(AggOp::Max);
+    agg.push(Monomial::from_annots([a("p1")]), 27);
+    agg.push(Monomial::from_annots([a("p2")]), 31);
+    let groups = vec![(Tuple::new([]), agg)];
+    let found = find_consistent_agg_queries(
+        &groups,
+        |output, monomial| {
+            provabs::relational::ConcreteRow::resolve(&fx.db, output, &monomial.occurrences())
+        },
+        &RevOptions::default(),
+    );
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].op, AggOp::Max);
+    // The head exposes the aggregated age column as a variable.
+    assert!(found[0].cq.head[0].as_var().is_some());
+    assert_eq!(found[0].cq.body.len(), 1);
+}
+
+#[test]
+fn count_and_min_monoids() {
+    let mut count = AggValue::new(AggOp::Count);
+    count.push(Monomial::one(), 1);
+    count.push(Monomial::one(), 1);
+    assert_eq!(count.evaluate(), 2);
+    let mut min = AggValue::new(AggOp::Min);
+    min.push(Monomial::one(), 9);
+    min.push(Monomial::one(), 4);
+    assert_eq!(min.evaluate(), 4);
+}

@@ -1,0 +1,75 @@
+//! The dual problem (§4) and the compression baseline of [24].
+
+use provabs::core::compression::{compress_to_symbols, compression_baseline};
+use provabs::core::dual::{find_max_privacy_abstraction, DualConfig};
+use provabs::core::loi::{loss_of_information, LoiDistribution};
+use provabs::core::privacy::PrivacyConfig;
+use provabs::core::search::{find_optimal_abstraction, SearchConfig};
+use provabs::core::{fixtures, Bound};
+
+#[test]
+fn dual_and_primal_are_consistent() {
+    // If the primal finds (privacy p*, loi l*) at threshold k, the dual with
+    // budget l* must achieve privacy >= k.
+    let fx = fixtures::running_example();
+    let bound = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+    for k in [1usize, 2] {
+        let primal = find_optimal_abstraction(
+            &bound,
+            &SearchConfig {
+                privacy: PrivacyConfig { threshold: k, ..Default::default() },
+                ..Default::default()
+            },
+        )
+        .best
+        .unwrap();
+        let dual = find_max_privacy_abstraction(
+            &bound,
+            &DualConfig { l_max: primal.loi + 1e-9, ..Default::default() },
+        )
+        .best
+        .unwrap();
+        assert!(
+            dual.privacy >= k,
+            "dual(budget={:.3}) reached only privacy {}",
+            primal.loi,
+            dual.privacy
+        );
+        assert!(dual.loi <= primal.loi + 1e-9);
+    }
+}
+
+#[test]
+fn compression_never_beats_the_optimum() {
+    let fx = fixtures::running_example();
+    let bound = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+    for k in [1usize, 2, 3] {
+        let cfg = PrivacyConfig { threshold: k, ..Default::default() };
+        let ours = find_optimal_abstraction(
+            &bound,
+            &SearchConfig { privacy: cfg.clone(), ..Default::default() },
+        )
+        .best;
+        let comp = compression_baseline(&bound, &cfg, &LoiDistribution::Uniform).best;
+        match (ours, comp) {
+            (Some(o), Some(c)) => {
+                assert!(c.loi >= o.loi - 1e-9, "k={k}: compression {} < optimum {}", c.loi, o.loi)
+            }
+            (None, Some(c)) => panic!("k={k}: compression found {c:?} but the optimum search did not"),
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn compression_targets_monotone_in_loi() {
+    let fx = fixtures::running_example();
+    let bound = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+    let mut last = -1.0;
+    for target in (1..=6).rev() {
+        let abs = compress_to_symbols(&bound, target);
+        let loi = loss_of_information(&bound, &abs, &LoiDistribution::Uniform);
+        assert!(loi + 1e-9 >= last, "target {target}: LOI {loi} < {last}");
+        last = loi;
+    }
+}
