@@ -22,7 +22,8 @@ fn bench(c: &mut Criterion) {
         .iter()
         .find(|s| s.name == "TPCH-Q4")
         .expect("scenario");
-    let variants: [(&str, fn(&mut SearchConfig)); 4] = [
+    type Variant = (&'static str, fn(&mut SearchConfig));
+    let variants: [Variant; 4] = [
         ("brute", |c| {
             c.sort_abstractions = false;
             c.prioritize_loi = false;

@@ -58,8 +58,8 @@ fn bench(c: &mut Criterion) {
     };
     group.bench_function("privacy_exabs1_cold", |b| {
         b.iter(|| {
-            let mut cache = PrivacyCache::new();
-            compute_privacy(&bound, &abs_rows, &cfg, &mut cache)
+            let cache = PrivacyCache::new();
+            compute_privacy(&bound, &abs_rows, &cfg, &cache)
         });
     });
 

@@ -1,0 +1,36 @@
+//! Parallel-search microbenchmark: Algorithm 2 wall time vs. worker count
+//! on a Figure 16-scale TPC-H instance (see `run_search` thread axis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provabs_bench::{run_search, tpch_scenarios, HarnessCaps, ScenarioSettings};
+
+fn bench(c: &mut Criterion) {
+    let settings = ScenarioSettings {
+        tree_leaves: 300,
+        tpch_lineitems: 800,
+        ..Default::default()
+    };
+    let caps = HarnessCaps {
+        time_budget_ms: Some(4_000),
+        ..Default::default()
+    };
+    let scenarios = tpch_scenarios(&settings);
+    let Some(s) = scenarios.iter().find(|s| s.name == "TPCH-Q3") else {
+        return;
+    };
+    let mut group = c.benchmark_group("micro_parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("TPCH-Q3", threads), &threads, |b, &t| {
+            b.iter(|| {
+                run_search(s, 5, &caps, "bench", |cfg| {
+                    cfg.parallelism = Some(t);
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -12,6 +12,7 @@ fn main() {
         max_concretizations: mc,
         max_alignments: 10_000,
         time_budget_ms: Some(budget),
+        ..Default::default()
     };
     for s in imdb_scenarios(&settings) {
         let m = run_search(&s, k, &caps, "probe", |_| {});

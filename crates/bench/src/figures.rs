@@ -179,7 +179,7 @@ pub fn fig17(
 }
 
 /// Figure 18: loss of information of our optimum vs the compression-based
-/// baseline of [24], for varying thresholds.
+/// baseline of \[24\], for varying thresholds.
 pub fn fig18(
     settings: &ScenarioSettings,
     caps: &HarnessCaps,
@@ -229,6 +229,9 @@ pub fn fig18(
     out
 }
 
+/// A Figure 19 ablation variant: display name plus config patch.
+type AblationVariant = (&'static str, fn(&mut provabs_core::search::SearchConfig));
+
 /// Figure 19: effect of each §4.1 component, standalone, against the
 /// brute-force baseline. Reported as the runtime with the component enabled
 /// (the brute-force rows carry param `brute`); speedups are the ratios.
@@ -241,7 +244,7 @@ pub fn fig19(settings: &ScenarioSettings, caps: &HarnessCaps) -> Vec<Measurement
         .into_iter()
         .filter(|s| matches!(s.name.as_str(), "TPCH-Q3" | "TPCH-Q4" | "TPCH-Q10"))
         .collect();
-    let variants: [(&str, fn(&mut provabs_core::search::SearchConfig)); 6] = [
+    let variants: [AblationVariant; 6] = [
         ("brute", |c| {
             c.sort_abstractions = false;
             c.prioritize_loi = false;

@@ -66,6 +66,11 @@ pub struct HarnessCaps {
     pub max_alignments: usize,
     /// Wall-clock budget per search in milliseconds.
     pub time_budget_ms: Option<u64>,
+    /// Worker threads per search (the thread-count scenario axis):
+    /// `Some(1)` pins the sequential trace the paper's figures measure,
+    /// `None` uses every core, `Some(n)` pins a pool size. The
+    /// `micro_parallel` bench sweeps this axis.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for HarnessCaps {
@@ -75,6 +80,9 @@ impl Default for HarnessCaps {
             max_concretizations: 20_000,
             max_alignments: 20_000,
             time_budget_ms: Some(8_000),
+            // Figure benches reproduce the paper's single-threaded runtimes
+            // by default; opt into the parallel engine per scenario.
+            parallelism: Some(1),
         }
     }
 }
@@ -175,6 +183,7 @@ pub fn run_search(
         max_candidates: caps.max_candidates,
         time_budget_ms: caps.time_budget_ms,
         distribution: LoiDistribution::Uniform,
+        parallelism: caps.parallelism,
         ..Default::default()
     };
     tweak(&mut cfg);

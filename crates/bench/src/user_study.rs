@@ -231,7 +231,7 @@ pub fn run_user_study(trials: usize, seed: u64) -> StudyOutcome {
         if identifies(&raw_frontier) {
             outcome.group_a_identified += 1;
         }
-        let mut cache = PrivacyCache::new();
+        let cache = PrivacyCache::new();
         let pcfg = PrivacyConfig {
             threshold: 1,
             ..Default::default()
@@ -251,7 +251,7 @@ pub fn run_user_study(trials: usize, seed: u64) -> StudyOutcome {
             continue; // no abstraction found: skip QA for this trial
         };
         let abs_rows = best.abstraction.apply(&bound).rows;
-        let abs_out = compute_privacy(&bound, &abs_rows, &pcfg, &mut cache);
+        let abs_out = compute_privacy(&bound, &abs_rows, &pcfg, &cache);
         if identifies(&abs_out.cim) {
             outcome.group_b_identified += 1;
         }

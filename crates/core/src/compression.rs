@@ -1,4 +1,4 @@
-//! The provenance-compression baseline (reference [24]: Deutch, Moskovitch,
+//! The provenance-compression baseline (reference \[24\]: Deutch, Moskovitch,
 //! Rinetzky — "Hypothetical reasoning via provenance abstraction", SIGMOD
 //! 2019), used as the comparison method of Figure 18.
 //!
@@ -83,7 +83,7 @@ pub fn compress_to_symbols(bound: &Bound<'_>, target: usize) -> Abstraction {
                 })
                 .sum();
             let score = delta / reduction as f64;
-            if best.as_ref().map_or(true, |(s, _, _)| score < *s) {
+            if best.as_ref().is_none_or(|(s, _, _)| score < *s) {
                 best = Some((score, v, leaves));
             }
         }
@@ -119,7 +119,7 @@ pub struct CompressionOutcome {
 
 /// Drives [`compress_to_symbols`] as a black box: starting from the number
 /// of distinct symbols, decrease the target size until the abstraction
-/// meets `cfg.threshold` (the loop the paper uses to compare against [24]).
+/// meets `cfg.threshold` (the loop the paper uses to compare against \[24\]).
 pub fn compression_baseline(
     bound: &Bound<'_>,
     cfg: &PrivacyConfig,
@@ -139,7 +139,7 @@ pub fn compression_baseline_with_budget(
 ) -> CompressionOutcome {
     let deadline = budget_ms
         .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
-    let mut cache = PrivacyCache::new();
+    let cache = PrivacyCache::new();
     let mut stats = PrivacyStats::default();
     let distinct_symbols = {
         let mut v: Vec<AnnotId> = (0..bound.num_rows())
@@ -158,7 +158,7 @@ pub fn compression_baseline_with_budget(
         targets_tried += 1;
         let abs = compress_to_symbols(bound, target);
         let rows = abs.apply(bound).rows;
-        let out = compute_privacy(bound, &rows, cfg, &mut cache);
+        let out = compute_privacy(bound, &rows, cfg, &cache);
         stats.absorb(&out.stats);
         if let Some(p) = out.privacy {
             let loi = loss_of_information(bound, &abs, dist);

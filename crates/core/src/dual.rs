@@ -44,10 +44,24 @@ impl Default for DualConfig {
 /// Finds an abstraction maximizing privacy among those with
 /// `LOI ≤ l_max` (ties resolved toward smaller LOI, as in the paper's
 /// patched Algorithm 2).
+///
+/// ```
+/// use provabs_core::dual::{find_max_privacy_abstraction, DualConfig};
+/// use provabs_core::{fixtures, Bound};
+///
+/// let fx = fixtures::running_example();
+/// let bound = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+/// // Example 3.15 inverted: with an LOI budget of ln 15 the search can
+/// // afford the A1_T abstraction, which reaches privacy 2.
+/// let cfg = DualConfig { l_max: 15f64.ln() + 1e-9, ..Default::default() };
+/// let best = find_max_privacy_abstraction(&bound, &cfg).best.unwrap();
+/// assert!(best.privacy >= 2);
+/// assert!(best.loi <= cfg.l_max);
+/// ```
 pub fn find_max_privacy_abstraction(bound: &Bound<'_>, cfg: &DualConfig) -> SearchOutcome {
     let space = AbstractionSpace::new(bound);
     let mut stats = SearchStats::default();
-    let mut cache = PrivacyCache::new();
+    let cache = PrivacyCache::new();
     let mut best: Option<BestAbstraction> = None;
     let min_loi = space.min_loi_by_edges();
     'outer: for e in 0..=space.total_edges() {
@@ -76,7 +90,7 @@ pub fn find_max_privacy_abstraction(bound: &Bound<'_>, cfg: &DualConfig) -> Sear
             pcfg.threshold = p_best + 1;
             stats.privacy_evaluations += 1;
             let rows = abs.apply(bound).rows;
-            let out = compute_privacy(bound, &rows, &pcfg, &mut cache);
+            let out = compute_privacy(bound, &rows, &pcfg, &cache);
             stats.privacy_stats.absorb(&out.stats);
             if let Some(p) = out.privacy {
                 best = Some(BestAbstraction {

@@ -19,7 +19,7 @@
 //!   enumeration and LOI-before-privacy, plus a sound monotone
 //!   lower-bound early termination.
 //! * [`dual`] — the dual problem (max privacy under an LOI budget).
-//! * [`compression`] — the provenance-compression baseline of [24]
+//! * [`compression`] — the provenance-compression baseline of \[24\]
 //!   (SIGMOD 2019) driven to a privacy threshold, used by Figure 18.
 //! * [`fixtures`] — the paper's running example (Figures 1–6) as a reusable
 //!   fixture.
@@ -55,6 +55,7 @@ pub mod fixtures;
 pub mod loi;
 pub mod privacy;
 pub mod search;
+mod sharded;
 
 pub use abstraction::{AbsExample, AbsRow, Abstraction, Sym};
 pub use bound::Bound;

@@ -8,6 +8,7 @@
 //! Figure 19 ablation can disable it.
 
 use crate::concretize::{for_each_concretization, for_each_row_concretization};
+use crate::sharded::ShardedMap;
 use crate::{AbsRow, Bound};
 use provabs_relational::{ConcreteRow, Cq, Ucq};
 use provabs_reveng::ucq::{cim_ucqs, find_consistent_ucqs, UcqOptions};
@@ -112,10 +113,38 @@ impl PrivacyStats {
 /// concretization; CIM queries are *not* cached, exactly as the paper notes,
 /// because minimality depends on the concretization set of the abstraction
 /// under evaluation.
+///
+/// The cache is `Send + Sync` (internally a sharded concurrent map), so one
+/// cache is shared by every worker of the parallel search — candidates that
+/// revisit a concretization another worker already solved get the memoized
+/// result — and can likewise be reused across searches by an experiment
+/// harness. All methods take `&self`.
+///
+/// ```
+/// use provabs_core::privacy::{compute_privacy, PrivacyCache, PrivacyConfig};
+/// use provabs_core::{fixtures, Abstraction, Bound};
+///
+/// let fx = fixtures::running_example();
+/// let bound = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+/// let rows = Abstraction::identity(&bound).apply(&bound).rows;
+/// let cfg = PrivacyConfig { threshold: 1, ..Default::default() };
+///
+/// let cache = PrivacyCache::new();
+/// let first = compute_privacy(&bound, &rows, &cfg, &cache);
+/// let second = compute_privacy(&bound, &rows, &cfg, &cache);
+/// assert_eq!(first.privacy, second.privacy);
+/// // The repeat run is answered from the cache: no recomputation.
+/// assert_eq!(second.stats.consistency_cache_misses, 0);
+/// assert!(!cache.is_empty());
+///
+/// // The cache crosses thread boundaries by shared reference.
+/// fn assert_send_sync<T: Send + Sync>(_: &T) {}
+/// assert_send_sync(&cache);
+/// ```
 #[derive(Debug, Default)]
 pub struct PrivacyCache {
-    consistent: HashMap<ConcKey, Arc<Vec<Cq>>>,
-    connectivity: HashMap<Vec<AnnotId>, bool>,
+    consistent: ShardedMap<ConcKey, Arc<Vec<Cq>>>,
+    connectivity: ShardedMap<Vec<AnnotId>, bool>,
 }
 
 impl PrivacyCache {
@@ -157,7 +186,7 @@ pub fn compute_privacy(
     bound: &Bound<'_>,
     abs_rows: &[AbsRow],
     cfg: &PrivacyConfig,
-    cache: &mut PrivacyCache,
+    cache: &PrivacyCache,
 ) -> PrivacyOutcome {
     match cfg.query_class {
         QueryClass::Cq => {
@@ -189,7 +218,7 @@ fn row_connected(
     bound: &Bound<'_>,
     occs: &[AnnotId],
     cfg: &PrivacyConfig,
-    cache: &mut PrivacyCache,
+    cache: &PrivacyCache,
     stats: &mut PrivacyStats,
 ) -> bool {
     if !cfg.connectivity_filter {
@@ -198,7 +227,7 @@ fn row_connected(
     let mut key: Vec<AnnotId> = occs.to_vec();
     key.sort_unstable();
     if cfg.caching {
-        if let Some(&c) = cache.connectivity.get(&key) {
+        if let Some(c) = cache.connectivity.get(&key) {
             stats.connectivity_cache_hits += 1;
             return c;
         }
@@ -217,7 +246,7 @@ fn consistent_of(
     abs_rows: &[AbsRow],
     conc: &[Vec<AnnotId>],
     cfg: &PrivacyConfig,
-    cache: &mut PrivacyCache,
+    cache: &PrivacyCache,
     stats: &mut PrivacyStats,
 ) -> Arc<Vec<Cq>> {
     let key: ConcKey = conc
@@ -232,7 +261,7 @@ fn consistent_of(
     if cfg.caching {
         if let Some(qs) = cache.consistent.get(&key) {
             stats.consistency_cache_hits += 1;
-            return Arc::clone(qs);
+            return qs;
         }
     }
     stats.consistency_cache_misses += 1;
@@ -247,7 +276,8 @@ fn consistent_of(
         Vec::new()
     });
     if cfg.caching {
-        cache.consistent.insert(key, Arc::clone(&qs));
+        // First insert wins; racing workers converge on the stored value.
+        return cache.consistent.insert(key, qs);
     }
     qs
 }
@@ -257,7 +287,7 @@ fn privacy_row_by_row(
     bound: &Bound<'_>,
     abs_rows: &[AbsRow],
     cfg: &PrivacyConfig,
-    cache: &mut PrivacyCache,
+    cache: &PrivacyCache,
 ) -> PrivacyOutcome {
     let mut stats = PrivacyStats::default();
     let mode = containment_mode(cfg);
@@ -365,7 +395,7 @@ fn privacy_direct(
     bound: &Bound<'_>,
     abs_rows: &[AbsRow],
     cfg: &PrivacyConfig,
-    cache: &mut PrivacyCache,
+    cache: &PrivacyCache,
 ) -> PrivacyOutcome {
     let mut stats = PrivacyStats::default();
     let mode = containment_mode(cfg);
@@ -502,8 +532,8 @@ mod tests {
         let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
         let abs = abs_lifting(&b, lifts);
         let rows = abs.apply(&b).rows;
-        let mut cache = PrivacyCache::new();
-        compute_privacy(&b, &rows, cfg, &mut cache)
+        let cache = PrivacyCache::new();
+        compute_privacy(&b, &rows, cfg, &cache)
     }
 
     #[test]
@@ -609,9 +639,9 @@ mod tests {
             threshold: 1,
             ..Default::default()
         };
-        let mut cache = PrivacyCache::new();
-        let first = compute_privacy(&b, &rows, &cfg, &mut cache);
-        let second = compute_privacy(&b, &rows, &cfg, &mut cache);
+        let cache = PrivacyCache::new();
+        let first = compute_privacy(&b, &rows, &cfg, &cache);
+        let second = compute_privacy(&b, &rows, &cfg, &cache);
         assert_eq!(first.privacy, second.privacy);
         assert!(second.stats.consistency_cache_hits > 0);
         assert_eq!(second.stats.consistency_cache_misses, 0);
@@ -657,8 +687,8 @@ mod tests {
             query_class: QueryClass::Ucq,
             ..Default::default()
         };
-        let mut cache = PrivacyCache::new();
-        let out = compute_privacy(&b, &rows, &cfg, &mut cache);
+        let cache = PrivacyCache::new();
+        let out = compute_privacy(&b, &rows, &cfg, &cache);
         assert!(out.privacy.is_some());
         assert!(out.privacy.unwrap() >= 2);
     }

@@ -9,10 +9,26 @@
 //! abstraction using `e` edges — is non-decreasing in `e` (lifting fewer
 //! edges never increases any occurrence's term), so once
 //! `minLOI(e) ≥ l_best` no later bucket can improve the optimum.
+//!
+//! # Parallel evaluation
+//!
+//! Candidate *enumeration* (cheap, microseconds per candidate) is separated
+//! from candidate *evaluation* (each privacy computation runs Algorithm 1 —
+//! milliseconds to seconds). With [`SearchConfig::parallelism`] above one,
+//! each sorted bucket's eligible prefix is evaluated by a pool of scoped
+//! worker threads sharing the [`PrivacyCache`] and a lock-free incumbent;
+//! see [`find_optimal_abstraction`] for the determinism contract. The
+//! paper's semantics are preserved exactly: sorted order, LOI-before-privacy
+//! pruning against the incumbent, and the monotone `minLOI(e)` barrier
+//! between buckets all still hold, because the winning candidate of a bucket
+//! is defined positionally (first eligible success in sorted order), not by
+//! arrival time.
 
 use crate::loi::{loss_of_information, single_lift_loi, LoiDistribution};
 use crate::privacy::{compute_privacy, PrivacyCache, PrivacyConfig, PrivacyStats};
 use crate::{Abstraction, Bound};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Configuration of the optimal-abstraction search.
 #[derive(Debug, Clone)]
@@ -36,6 +52,46 @@ pub struct SearchConfig {
     pub time_budget_ms: Option<u64>,
     /// The loss-of-information distribution.
     pub distribution: LoiDistribution,
+    /// Worker threads evaluating candidates: `None` uses every available
+    /// core, `Some(1)` reproduces the sequential trace (bit-identical
+    /// stats, the Figure 19 ablation baseline), `Some(n)` pins the pool
+    /// size.
+    ///
+    /// The search result is **deterministic regardless of thread count**:
+    /// the optimum returned for `None`, `Some(1)` and any `Some(n)` is the
+    /// same abstraction with the same LOI and privacy (ties between
+    /// equal-LOI candidates resolve to the sequential enumeration order).
+    /// Only the work counters in [`SearchStats`] may differ, because
+    /// parallel workers evaluate a bounded number of candidates
+    /// speculatively.
+    ///
+    /// A search that exhausts [`SearchConfig::time_budget_ms`] is the one
+    /// exception: it stops wherever the clock ran out — inherently
+    /// wall-clock-dependent for the sequential trace too — and returns the
+    /// incumbent found so far with `truncated` set. Even then, a parallel
+    /// bucket never commits a success past a candidate the deadline left
+    /// unevaluated, so the incumbent is always one the sequential order
+    /// could also have produced.
+    ///
+    /// ```
+    /// use provabs_core::privacy::PrivacyConfig;
+    /// use provabs_core::search::{find_optimal_abstraction, SearchConfig};
+    /// use provabs_core::{fixtures, Bound};
+    ///
+    /// let fx = fixtures::running_example();
+    /// let bound = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+    /// let cfg = |parallelism| SearchConfig {
+    ///     parallelism,
+    ///     privacy: PrivacyConfig { threshold: 2, ..Default::default() },
+    ///     ..Default::default()
+    /// };
+    /// let sequential = find_optimal_abstraction(&bound, &cfg(Some(1))).best.unwrap();
+    /// let parallel = find_optimal_abstraction(&bound, &cfg(None)).best.unwrap();
+    /// assert_eq!(sequential.abstraction, parallel.abstraction);
+    /// assert_eq!(sequential.privacy, parallel.privacy);
+    /// assert!((sequential.loi - parallel.loi).abs() < 1e-12);
+    /// ```
+    pub parallelism: Option<usize>,
 }
 
 impl Default for SearchConfig {
@@ -48,7 +104,18 @@ impl Default for SearchConfig {
             max_candidates: 1_000_000,
             time_budget_ms: None,
             distribution: LoiDistribution::Uniform,
+            parallelism: None,
         }
+    }
+}
+
+impl SearchConfig {
+    /// The worker count this configuration resolves to: `parallelism`, or
+    /// every available core when `None`.
+    pub fn effective_parallelism(&self) -> usize {
+        self.parallelism.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
     }
 }
 
@@ -59,7 +126,8 @@ pub struct SearchStats {
     pub abstractions_enumerated: usize,
     /// LOI evaluations.
     pub loi_evaluations: usize,
-    /// Privacy evaluations (the expensive part).
+    /// Privacy evaluations (the expensive part). In parallel runs this may
+    /// exceed the sequential count by a bounded amount of speculation.
     pub privacy_evaluations: usize,
     /// Whether `max_candidates` (or an inner cap) was hit.
     pub truncated: bool,
@@ -231,32 +299,98 @@ impl AbstractionSpace {
     }
 }
 
+/// One worker's bucket report: successes as `(candidate index, privacy)`,
+/// the worker's accumulated privacy counters, and its evaluation count.
+type WorkerReport = (Vec<(usize, usize)>, PrivacyStats, usize);
+
+/// Enumerates bucket `e` with per-candidate LOIs, capped by the
+/// `max_candidates` accounting, and sorts by LOI (the tie-break of
+/// Algorithm 2 line 2). Returns the bucket and whether enumeration ran to
+/// completion. Shared by the sequential and parallel paths — their
+/// equivalence proof depends on both seeing the identical candidate order
+/// and cap behavior.
+fn collect_sorted_bucket(
+    space: &AbstractionSpace,
+    bound: &Bound<'_>,
+    cfg: &SearchConfig,
+    e: u32,
+    enumerated_so_far: usize,
+) -> (Vec<(f64, Vec<u32>)>, bool) {
+    let mut bucket: Vec<(f64, Vec<u32>)> = Vec::new();
+    let complete = space.for_each_with_edges(e, &mut |lifts| {
+        let abs = space.to_abstraction(bound, lifts);
+        let loi = loss_of_information(bound, &abs, &cfg.distribution);
+        bucket.push((loi, lifts.to_vec()));
+        bucket.len() + enumerated_so_far < cfg.max_candidates
+    });
+    bucket.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    (bucket, complete)
+}
+
+/// The atomically-shared incumbent: the lowest committed LOI, stored as
+/// `f64` bits in an `AtomicU64`. LOI is always non-negative, and IEEE-754
+/// orders non-negative floats identically to their bit patterns, so a
+/// lock-free `fetch_min` on the bits is a `fetch_min` on the values.
+struct SharedIncumbent(AtomicU64);
+
+impl SharedIncumbent {
+    fn new() -> Self {
+        Self(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    /// The current best LOI (`f64::INFINITY` before any commit).
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Acquire))
+    }
+
+    /// Lowers the incumbent to `loi` if it improves on the current value.
+    fn publish_min(&self, loi: f64) {
+        debug_assert!(loi >= 0.0);
+        self.0.fetch_min(loi.to_bits(), Ordering::AcqRel);
+    }
+}
+
 /// Algorithm 2: finds an abstraction with privacy ≥ `cfg.privacy.threshold`
 /// minimizing loss of information.
+///
+/// With [`SearchConfig::parallelism`] resolving to more than one worker (the
+/// default uses every core), candidate batches are evaluated across a scoped
+/// thread pool sharing one [`PrivacyCache`]; the result is identical to the
+/// sequential search for every thread count.
 pub fn find_optimal_abstraction(bound: &Bound<'_>, cfg: &SearchConfig) -> SearchOutcome {
-    let mut cache = PrivacyCache::new();
-    find_optimal_abstraction_with_cache(bound, cfg, &mut cache)
+    let cache = PrivacyCache::new();
+    find_optimal_abstraction_with_cache(bound, cfg, &cache)
 }
 
 /// [`find_optimal_abstraction`] with an externally owned privacy cache
-/// (reused across searches by the experiment harness).
+/// (reused across searches by the experiment harness; shared by the worker
+/// pool during one search).
 pub fn find_optimal_abstraction_with_cache(
     bound: &Bound<'_>,
     cfg: &SearchConfig,
-    cache: &mut PrivacyCache,
+    cache: &PrivacyCache,
 ) -> SearchOutcome {
+    let workers = cfg.effective_parallelism();
+    if workers > 1 && cfg.sort_abstractions {
+        return parallel_search(bound, cfg, cache, workers);
+    }
+    sequential_search(bound, cfg, cache)
+}
+
+/// The sequential Algorithm 2 exactly as the paper prints it — the
+/// `parallelism: Some(1)` trace the Figure 19 ablation compares against.
+fn sequential_search(bound: &Bound<'_>, cfg: &SearchConfig, cache: &PrivacyCache) -> SearchOutcome {
     let space = AbstractionSpace::new(bound);
     let mut stats = SearchStats::default();
     let mut best: Option<BestAbstraction> = None;
     let deadline = cfg
         .time_budget_ms
-        .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
-    let out_of_time = move || deadline.is_some_and(|d| std::time::Instant::now() >= d);
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let out_of_time = move || deadline.is_some_and(|d| Instant::now() >= d);
 
     let consider = |lifts: &[u32],
                         stats: &mut SearchStats,
-                        best: &mut Option<BestAbstraction>,
-                        cache: &mut PrivacyCache|
+                        best: &mut Option<BestAbstraction>|
      -> bool {
         if out_of_time() {
             return false;
@@ -300,19 +434,11 @@ pub fn find_optimal_abstraction_with_cache(
                     }
                 }
             }
-            // Collect the bucket with LOIs, sort by LOI (the tie-break of
-            // Algorithm 2 line 2).
-            let mut bucket: Vec<(f64, Vec<u32>)> = Vec::new();
-            let complete = space.for_each_with_edges(e, &mut |lifts| {
-                let abs = space.to_abstraction(bound, lifts);
-                let loi = loss_of_information(bound, &abs, &cfg.distribution);
-                bucket.push((loi, lifts.to_vec()));
-                bucket.len() + stats.abstractions_enumerated < cfg.max_candidates
-            });
+            let (bucket, complete) =
+                collect_sorted_bucket(&space, bound, cfg, e, stats.abstractions_enumerated);
             stats.truncated |= !complete;
-            bucket.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             for (_, lifts) in &bucket {
-                if !consider(lifts, &mut stats, &mut best, cache) {
+                if !consider(lifts, &mut stats, &mut best) {
                     stats.truncated = true;
                     break 'outer;
                 }
@@ -323,9 +449,211 @@ pub fn find_optimal_abstraction_with_cache(
         }
     } else {
         let complete = space.for_each_unsorted(&mut |lifts| {
-            consider(lifts, &mut stats, &mut best, cache)
+            consider(lifts, &mut stats, &mut best)
         });
         stats.truncated |= !complete;
+    }
+    SearchOutcome { best, stats }
+}
+
+/// The parallel engine: sequential enumeration and sorting per bucket,
+/// parallel evaluation of the bucket's eligible prefix.
+///
+/// The sequential search, scanning a LOI-sorted bucket, evaluates privacy
+/// only for candidates with `loi < l_best`, and the *first* success
+/// immediately prunes the rest of the bucket (everything after it has an
+/// equal or larger LOI). A bucket's outcome is therefore fully determined
+/// by *positions*, not timing: the winner is the least-indexed eligible
+/// candidate whose privacy meets the threshold. Workers claim indices from
+/// an atomic counter, publish successes through a lock-free `fetch_min`
+/// index, and stop claiming past the best published success; the
+/// coordinator commits the minimal success after the pool joins, keeping
+/// the result bit-identical to the sequential trace for every worker
+/// count. Speculation past the winner is bounded by the pool size (each
+/// worker can hold at most one in-flight candidate).
+fn parallel_search(
+    bound: &Bound<'_>,
+    cfg: &SearchConfig,
+    cache: &PrivacyCache,
+    workers: usize,
+) -> SearchOutcome {
+    let space = AbstractionSpace::new(bound);
+    let mut stats = SearchStats::default();
+    let mut best: Option<BestAbstraction> = None;
+    let incumbent = SharedIncumbent::new();
+    let deadline = cfg
+        .time_budget_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let min_loi = if cfg.early_termination {
+        space.min_loi_by_edges()
+    } else {
+        Vec::new()
+    };
+
+    'outer: for e in 0..=space.total_edges() {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            stats.truncated = true;
+            break 'outer;
+        }
+        if cfg.early_termination && best.is_some() && min_loi[e as usize] >= incumbent.get() {
+            break 'outer;
+        }
+        // Enumerate and sort the bucket — identical to the sequential path.
+        let (bucket, complete) =
+            collect_sorted_bucket(&space, bound, cfg, e, stats.abstractions_enumerated);
+        stats.truncated |= !complete;
+
+        // How many candidates the sequential loop would consider before
+        // `max_candidates`, and which prefix of those is eligible for a
+        // privacy evaluation (`loi < l_best`; everything, under the
+        // `prioritize_loi: false` ablation).
+        let budget = cfg.max_candidates.saturating_sub(stats.abstractions_enumerated);
+        let considered = bucket.len().min(budget);
+        let l_best = incumbent.get();
+        let eval_len = if cfg.prioritize_loi {
+            bucket[..considered].partition_point(|(loi, _)| *loi < l_best)
+        } else {
+            considered
+        };
+        stats.abstractions_enumerated += considered;
+        stats.loi_evaluations += considered;
+
+        // Evaluate the first eligible candidate inline: whenever it
+        // succeeds it decides the whole bucket (everything after it has an
+        // equal or larger LOI), so spinning up the pool — and its
+        // speculative work — would be pure waste.
+        // Mirror the sequential trace's per-candidate deadline check: the
+        // budget may have expired during enumeration and sorting, and the
+        // next privacy evaluation can take seconds.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            stats.truncated = true;
+            break 'outer;
+        }
+        let mut winner: Option<(usize, usize)> = None;
+        let mut pool_start = 0usize;
+        if cfg.prioritize_loi && eval_len > 0 {
+            pool_start = 1;
+            let (loi, lifts) = &bucket[0];
+            if *loi < incumbent.get() {
+                let abs = space.to_abstraction(bound, lifts);
+                let rows = abs.apply(bound).rows;
+                stats.privacy_evaluations += 1;
+                let out = compute_privacy(bound, &rows, &cfg.privacy, cache);
+                stats.privacy_stats.absorb(&out.stats);
+                if let Some(p) = out.privacy {
+                    winner = Some((0, p));
+                }
+            }
+        }
+
+        // Parallel evaluation of the rest of the eligible prefix.
+        let next = AtomicUsize::new(pool_start);
+        let best_success = AtomicUsize::new(usize::MAX);
+        let timed_out = AtomicBool::new(false);
+        // Lowest index a worker claimed but abandoned on the deadline. A
+        // success above this floor must not be committed: the abandoned
+        // candidate could have been the positional winner.
+        let timeout_floor = AtomicUsize::new(usize::MAX);
+        let pool = workers.min(eval_len.saturating_sub(pool_start));
+        let run_pool = winner.is_none() && pool > 0;
+        let worker_results: Vec<WorkerReport> = if !run_pool {
+            Vec::new()
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..pool)
+                    .map(|_| {
+                        let (space, bucket) = (&space, &bucket);
+                        let (next, best_success, timed_out, timeout_floor) =
+                            (&next, &best_success, &timed_out, &timeout_floor);
+                        s.spawn(move || {
+                            let mut successes: Vec<(usize, usize)> = Vec::new();
+                            let mut local_stats = PrivacyStats::default();
+                            let mut evals = 0usize;
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= eval_len {
+                                    break;
+                                }
+                                // Indices only grow, so once a success below
+                                // `i` exists nothing this worker can claim
+                                // will ever win: stop.
+                                if cfg.prioritize_loi
+                                    && best_success.load(Ordering::Acquire) < i
+                                {
+                                    break;
+                                }
+                                if deadline.is_some_and(|d| Instant::now() >= d) {
+                                    timed_out.store(true, Ordering::Release);
+                                    timeout_floor.fetch_min(i, Ordering::AcqRel);
+                                    break;
+                                }
+                                // Every index below `eval_len` already has
+                                // `loi < l_best` (the partition point), and
+                                // the incumbent cannot improve while the
+                                // pool runs — commits happen after join —
+                                // so no further LOI re-check is needed.
+                                let (_, lifts) = &bucket[i];
+                                let abs = space.to_abstraction(bound, lifts);
+                                let rows = abs.apply(bound).rows;
+                                evals += 1;
+                                let out = compute_privacy(bound, &rows, &cfg.privacy, cache);
+                                local_stats.absorb(&out.stats);
+                                if let Some(p) = out.privacy {
+                                    successes.push((i, p));
+                                    best_success.fetch_min(i, Ordering::AcqRel);
+                                }
+                            }
+                            (successes, local_stats, evals)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("search worker panicked"))
+                    .collect()
+            })
+        };
+
+        for (successes, local_stats, evals) in worker_results {
+            stats.privacy_evaluations += evals;
+            stats.privacy_stats.absorb(&local_stats);
+            for (i, p) in successes {
+                // Eligibility re-check for the no-pruning ablation: a
+                // success can only displace the incumbent with a strictly
+                // smaller LOI.
+                if bucket[i].0 < l_best && winner.is_none_or(|(w, _)| i < w) {
+                    winner = Some((i, p));
+                }
+            }
+        }
+        // Discard a winner above the timeout floor: some lower-indexed
+        // candidate went unevaluated, so the positional first-success of
+        // this bucket is unknown. (The run is truncated below either way.)
+        if winner.is_some_and(|(idx, _)| idx >= timeout_floor.load(Ordering::Acquire)) {
+            winner = None;
+        }
+        if let Some((idx, privacy)) = winner {
+            let (loi, lifts) = &bucket[idx];
+            let abs = space.to_abstraction(bound, lifts);
+            incumbent.publish_min(*loi);
+            best = Some(BestAbstraction {
+                edges_used: abs.edges_used(),
+                abstraction: abs,
+                loi: *loi,
+                privacy,
+            });
+        }
+        if timed_out.load(Ordering::Acquire) {
+            stats.truncated = true;
+            break 'outer;
+        }
+        if considered < bucket.len() || stats.abstractions_enumerated >= cfg.max_candidates {
+            stats.truncated = true;
+            break 'outer;
+        }
+        if !complete {
+            break 'outer;
+        }
     }
     SearchOutcome { best, stats }
 }
@@ -384,6 +712,7 @@ mod tests {
             sort_abstractions: sort,
             prioritize_loi: prioritize,
             early_termination: early,
+            parallelism: Some(1),
             ..Default::default()
         };
         let optimized = search_with(mk(true, true, true));
@@ -392,6 +721,66 @@ mod tests {
         assert!((o.loi - b.loi).abs() < 1e-9);
         // The optimized search evaluates privacy far less often.
         assert!(optimized.stats.privacy_evaluations < brute.stats.privacy_evaluations);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_trace() {
+        // The determinism contract: every thread count returns the same
+        // optimum (abstraction identity included, not just its metrics).
+        let mk = |parallelism| SearchConfig {
+            privacy: PrivacyConfig {
+                threshold: 2,
+                ..Default::default()
+            },
+            parallelism,
+            ..Default::default()
+        };
+        let seq = search_with(mk(Some(1))).best.unwrap();
+        for threads in [Some(2), Some(4), Some(8), None] {
+            let par = search_with(mk(threads)).best.unwrap();
+            assert_eq!(par.abstraction, seq.abstraction, "threads = {threads:?}");
+            assert_eq!(par.privacy, seq.privacy);
+            assert_eq!(par.edges_used, seq.edges_used);
+            assert!((par.loi - seq.loi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_without_pruning_flags() {
+        // The ablation configurations keep the contract too (the unsorted
+        // baseline always runs sequentially, so only sorted variants differ).
+        for (prioritize, early) in [(true, false), (false, true), (false, false)] {
+            let mk = |parallelism| SearchConfig {
+                privacy: PrivacyConfig {
+                    threshold: 2,
+                    ..Default::default()
+                },
+                prioritize_loi: prioritize,
+                early_termination: early,
+                parallelism,
+                ..Default::default()
+            };
+            let seq = search_with(mk(Some(1))).best.unwrap();
+            let par = search_with(mk(Some(4))).best.unwrap();
+            assert_eq!(
+                par.abstraction, seq.abstraction,
+                "prioritize={prioritize} early={early}"
+            );
+            assert_eq!(par.privacy, seq.privacy);
+        }
+    }
+
+    #[test]
+    fn parallel_unreachable_threshold_returns_none() {
+        let out = search_with(SearchConfig {
+            privacy: PrivacyConfig {
+                threshold: 1000,
+                ..Default::default()
+            },
+            parallelism: Some(4),
+            ..Default::default()
+        });
+        assert!(out.best.is_none());
     }
 
     #[test]
@@ -484,5 +873,38 @@ mod tests {
         });
         assert!(out.stats.truncated);
         assert!(out.stats.abstractions_enumerated <= 11);
+    }
+
+    #[test]
+    fn max_candidates_truncates_in_parallel_like_sequential() {
+        let mk = |parallelism| SearchConfig {
+            privacy: PrivacyConfig {
+                threshold: 50,
+                ..Default::default()
+            },
+            max_candidates: 10,
+            parallelism,
+            ..Default::default()
+        };
+        let seq = search_with(mk(Some(1)));
+        let par = search_with(mk(Some(4)));
+        assert!(seq.stats.truncated && par.stats.truncated);
+        assert_eq!(
+            par.stats.abstractions_enumerated,
+            seq.stats.abstractions_enumerated
+        );
+        assert!(par.best.is_none() && seq.best.is_none());
+    }
+
+    #[test]
+    fn shared_incumbent_orders_like_f64() {
+        let inc = SharedIncumbent::new();
+        assert_eq!(inc.get(), f64::INFINITY);
+        inc.publish_min(2.7);
+        assert_eq!(inc.get(), 2.7);
+        inc.publish_min(3.1); // larger: no effect
+        assert_eq!(inc.get(), 2.7);
+        inc.publish_min(0.0);
+        assert_eq!(inc.get(), 0.0);
     }
 }

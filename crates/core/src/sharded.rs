@@ -1,0 +1,125 @@
+//! A sharded concurrent hash map — the `Send + Sync` storage behind
+//! [`PrivacyCache`](crate::privacy::PrivacyCache).
+//!
+//! Keys are routed to one of a fixed number of shards by their hash; each
+//! shard is an independent `RwLock<HashMap>`. Concurrent readers of
+//! different keys (and of the same key) never contend on a shard's write
+//! lock, and writers of different shards proceed in parallel — which is
+//! what the parallel abstraction search needs: privacy evaluations of
+//! different candidates mostly touch disjoint concretizations, with heavy
+//! read sharing on the ones they have in common.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::RwLock;
+
+/// Shard count. A power of two so routing is a mask; 16 is plenty for the
+/// worker counts the search uses (contention is per-key-group, not global).
+const SHARDS: usize = 16;
+
+/// A hash map split into independently locked shards.
+#[derive(Debug)]
+pub(crate) struct ShardedMap<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+    hasher: RandomState,
+}
+
+impl<K, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+        }
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h & (SHARDS - 1)]
+    }
+
+    /// A clone of the value under `key`, if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .read()
+            .expect("shard lock poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Inserts `value` under `key`. If another thread inserted first, the
+    /// existing value wins (memoized computations are deterministic, so
+    /// both values are equal anyway) and is returned.
+    pub fn insert(&self, key: K, value: V) -> V {
+        self.shard(&key)
+            .write()
+            .expect("shard lock poisoned")
+            .entry(key)
+            .or_insert(value)
+            .clone()
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").len())
+            .sum()
+    }
+
+    /// Whether no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let m: ShardedMap<String, usize> = ShardedMap::default();
+        assert!(m.is_empty());
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        assert_eq!(m.get(&"a".into()), Some(1));
+        assert_eq!(m.get(&"c".into()), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let m: ShardedMap<u32, u32> = ShardedMap::default();
+        assert_eq!(m.insert(7, 70), 70);
+        assert_eq!(m.insert(7, 71), 70);
+        assert_eq!(m.get(&7), Some(70));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_inserts_land() {
+        let m: ShardedMap<usize, usize> = ShardedMap::default();
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let (m, hits) = (&m, &hits);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        m.insert(i, i * 10);
+                        if m.get(&((i + t) % 100)).is_some() {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), 100);
+        assert!(hits.load(Ordering::Relaxed) > 0);
+        for i in 0..100 {
+            assert_eq!(m.get(&i), Some(i * 10));
+        }
+    }
+}

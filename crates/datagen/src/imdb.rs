@@ -88,7 +88,6 @@ pub fn generate(cfg: &ImdbConfig) -> (Database, ImdbRelations) {
         );
     }
     let mut cast_edge = 0usize;
-    let mut dir_edge = 0usize;
     let mut genre_edge = 0usize;
     for m in 0..n_movies {
         // Concentrated release years (1980–2009, triangular around 1995).
@@ -139,14 +138,13 @@ pub fn generate(cfg: &ImdbConfig) -> (Database, ImdbRelations) {
             );
             cast_edge += 1;
         }
-        // One director.
+        // One director (exactly one per movie, so `m` numbers the edge).
         let d = rng.random_range(0..n_people);
         db.insert_str(
             rels.directs,
-            &format!("di{dir_edge}"),
+            &format!("di{m}"),
             &[&m.to_string(), &d.to_string()],
         );
-        dir_edge += 1;
     }
     db.build_indexes();
     (db, rels)

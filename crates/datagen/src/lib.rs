@@ -1,6 +1,6 @@
 //! Synthetic datasets and workloads for the provabs experiments (§5.1).
 //!
-//! The paper evaluates on a 1 GB TPC-H sample [5] and the IMDB dataset [37].
+//! The paper evaluates on a 1 GB TPC-H sample \[5\] and the IMDB dataset \[37\].
 //! Neither raw dataset ships with this reproduction, so this crate provides
 //! deterministic, seeded generators with the same *structural* properties
 //! the experiments exercise (key-joinable relations, self-joinable fact

@@ -309,7 +309,6 @@ pub fn tpch_tree_covering(
         chosen.insert(a);
     }
     let leaves: Vec<AnnotId> = chosen.into_iter().collect();
-    let mut counter = 0usize;
     let spec = BalancedTreeSpec {
         height,
         seed,
@@ -317,9 +316,8 @@ pub fn tpch_tree_covering(
     };
     let mut interned: Vec<AnnotId> = Vec::new();
     let upper = 2 * leaves.len().max(2) * height as usize + 8;
-    for _ in 0..upper {
+    for counter in 0..upper {
         let name = format!("licov_{counter}");
-        counter += 1;
         interned.push(db.intern_label(&name));
     }
     let mut next = 0usize;

@@ -122,6 +122,62 @@ pub fn eval_ucq(db: &Database, u: &Ucq) -> KRelation {
     out
 }
 
+/// Evaluates a batch of CQs across `workers` scoped threads sharing one
+/// database — no cloning, no `unsafe`: [`Database`] is `Send + Sync`
+/// (plain `Vec`/`HashMap`/`Arc<str>` storage, no interior mutability), so
+/// every worker evaluates through the same `&Database`, including its hash
+/// indexes. Results come back in input order regardless of which worker
+/// produced them.
+///
+/// Build the indexes *before* fanning out ([`Database::build_indexes`]
+/// takes `&mut self`): an unindexed database still evaluates correctly but
+/// every bound-column probe degrades to a scan.
+///
+/// ```
+/// use provabs_relational::{eval_cq, eval_cqs_parallel, parse_cq, Database};
+///
+/// let mut db = Database::new();
+/// let r = db.add_relation("R", &["a", "b"]);
+/// db.insert_str(r, "t1", &["1", "2"]);
+/// db.insert_str(r, "t2", &["2", "3"]);
+/// db.build_indexes();
+/// let q1 = parse_cq("Q(x) :- R(x, y)", db.schema()).unwrap();
+/// let q2 = parse_cq("Q(x, z) :- R(x, y), R(y, z)", db.schema()).unwrap();
+///
+/// let parallel = eval_cqs_parallel(&db, &[q1.clone(), q2.clone()], 2);
+/// assert_eq!(parallel[0], eval_cq(&db, &q1));
+/// assert_eq!(parallel[1], eval_cq(&db, &q2));
+/// ```
+pub fn eval_cqs_parallel(db: &Database, queries: &[Cq], workers: usize) -> Vec<KRelation> {
+    let workers = workers.max(1).min(queries.len().max(1));
+    if workers <= 1 || queries.len() <= 1 {
+        return queries.iter().map(|q| eval_cq(db, q)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<KRelation>> = Vec::new();
+    slots.resize_with(queries.len(), || None);
+    let slots = std::sync::Mutex::new(slots);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let (next, slots) = (&next, &slots);
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= queries.len() {
+                    break;
+                }
+                let out = eval_cq(db, &queries[i]);
+                slots.lock().expect("result lock poisoned")[i] = Some(out);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("result lock poisoned")
+        .into_iter()
+        .map(|r| r.expect("every query slot filled"))
+        .collect()
+}
+
 /// Chooses an atom evaluation order: start from the atom with the most
 /// constants (smallest candidate set), then repeatedly pick the atom sharing
 /// the most variables with the bound set.
@@ -146,7 +202,7 @@ fn plan_order(db: &Database, q: &Cq) -> Vec<usize> {
                 .count();
             let size = db.relation_len(atom.rel) as isize;
             let key = (bound_positions, -size);
-            if best.map_or(true, |(_, bk)| key > bk) {
+            if best.is_none_or(|(_, bk)| key > bk) {
                 best = Some((i, key));
             }
         }
@@ -213,7 +269,7 @@ impl Engine<'_> {
             };
             if let Some(v) = val {
                 let rows = self.db.rows_matching(atom.rel, col, &v);
-                if candidates.as_ref().map_or(true, |c| rows.len() < c.len()) {
+                if candidates.as_ref().is_none_or(|c| rows.len() < c.len()) {
                     candidates = Some(rows);
                 }
                 if candidates.as_ref().is_some_and(Vec::is_empty) {
@@ -425,5 +481,34 @@ mod tests {
         let db = figure1_db();
         let q = Cq::new(vec![], vec![]);
         assert!(eval_cq(&db, &q).is_empty());
+    }
+
+    #[test]
+    fn database_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Database>();
+        assert_send_sync::<KRelation>();
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_in_order() {
+        let db = figure1_db();
+        let queries: Vec<Cq> = [
+            "Q(id) :- Hobbies(id, 'Dance', s)",
+            "Q(id) :- Interests(id, 'Music', s)",
+            "Q(id) :- Person(id, n, a), Hobbies(id, 'Dance', s1), Interests(id, 'Music', s2)",
+            "Q(id) :- Hobbies(id, h, s)",
+            "Q(x) :- Person(x, n, a)",
+        ]
+        .iter()
+        .map(|q| parse_cq(q, db.schema()).unwrap())
+        .collect();
+        for workers in [1, 2, 4, 16] {
+            let par = eval_cqs_parallel(&db, &queries, workers);
+            assert_eq!(par.len(), queries.len());
+            for (i, q) in queries.iter().enumerate() {
+                assert_eq!(par[i], eval_cq(&db, q), "workers={workers} query={i}");
+            }
+        }
     }
 }

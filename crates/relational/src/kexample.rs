@@ -139,9 +139,9 @@ impl ConcreteRow {
         let mut stack = vec![0usize];
         reached[0] = true;
         while let Some(i) = stack.pop() {
-            for j in 0..n {
-                if !reached[j] && self.occurrences[i].2.shares_constant(&self.occurrences[j].2) {
-                    reached[j] = true;
+            for (j, r) in reached.iter_mut().enumerate() {
+                if !*r && self.occurrences[i].2.shares_constant(&self.occurrences[j].2) {
+                    *r = true;
                     stack.push(j);
                 }
             }

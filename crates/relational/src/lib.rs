@@ -36,7 +36,7 @@ mod tuple;
 mod value;
 
 pub use database::Database;
-pub use eval::{eval_cq, eval_cq_limited, eval_ucq, EvalLimits, KRelation};
+pub use eval::{eval_cq, eval_cq_limited, eval_cqs_parallel, eval_ucq, EvalLimits, KRelation};
 pub use kexample::{monomial_connected, ConcreteRow, KExample, KRow};
 pub use parser::{parse_cq, parse_ucq, ParseError};
 pub use query::{Atom, Cq, RelId, Term, Ucq, VarId};

@@ -110,7 +110,7 @@ fn permute_groups(
 ) {
     if g == groups.len() {
         let enc = encode(cq, order);
-        if best.as_ref().map_or(true, |b| enc < *b) {
+        if best.as_ref().is_none_or(|b| enc < *b) {
             *best = Some(enc);
         }
         return;
@@ -197,7 +197,7 @@ fn search_best_order(
 ) {
     if g == groups.len() {
         let enc = encode(cq, order);
-        if best.as_ref().map_or(true, |(b, _)| enc < *b) {
+        if best.as_ref().is_none_or(|(b, _)| enc < *b) {
             *best = Some((enc, order.clone()));
         }
         return;

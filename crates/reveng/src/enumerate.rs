@@ -53,11 +53,10 @@ fn enumerate_alignment(
     out: &mut BTreeMap<String, Cq>,
 ) {
     let n_rows = rows.len();
-    let n_slots = rows[0].occurrences.len();
     // Group body positions by aligned value vector.
     let mut classes: HashMap<Vec<Value>, Vec<Pos>> = HashMap::new();
-    for slot in 0..n_slots {
-        let arity = rows[0].occurrences[slot].2.arity();
+    for (slot, occ) in rows[0].occurrences.iter().enumerate() {
+        let arity = occ.2.arity();
         for col in 0..arity {
             let vec: Vec<Value> = (0..n_rows)
                 .map(|j| rows[j].occurrences[per_row[j][slot]].2[col].clone())

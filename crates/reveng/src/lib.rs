@@ -2,7 +2,7 @@
 //!
 //! This crate adapts the `FindConsistentQuery` machinery of Deutch & Gilad
 //! (*"Reverse-engineering conjunctive queries from provenance examples"*,
-//! EDBT 2019 — reference [23] of the paper) as required by §4.2 of *"On
+//! EDBT 2019 — reference \[23\] of the paper) as required by §4.2 of *"On
 //! Optimizing the Trade-off between Privacy and Utility in Data Provenance"*
 //! (SIGMOD 2021):
 //!

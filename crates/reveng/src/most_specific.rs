@@ -156,9 +156,9 @@ pub(crate) fn most_specific_query(rows: &[ConcreteRow], per_row: &[Vec<usize>]) 
             .clone()
     };
     let mut body = Vec::with_capacity(n_slots);
-    for slot in 0..n_slots {
-        let rel = rows[0].occurrences[slot].1;
-        let arity = rows[0].occurrences[slot].2.arity();
+    for (slot, occ) in rows[0].occurrences.iter().enumerate() {
+        let rel = occ.1;
+        let arity = occ.2.arity();
         let mut terms = Vec::with_capacity(arity);
         for pos in 0..arity {
             let vec: Vec<Value> = (0..n_rows)

@@ -97,7 +97,7 @@ impl Monomial {
     pub fn occurrences(&self) -> Vec<AnnotId> {
         let mut out = Vec::with_capacity(self.degree() as usize);
         for &(a, e) in &self.factors {
-            out.extend(std::iter::repeat(a).take(e as usize));
+            out.extend(std::iter::repeat_n(a, e as usize));
         }
         out
     }

@@ -26,13 +26,13 @@ fn main() {
     let bound = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
 
     // Privacy of the raw provenance: the query is exposed.
-    let mut cache = PrivacyCache::new();
+    let cache = PrivacyCache::new();
     let cfg1 = PrivacyConfig {
         threshold: 1,
         ..Default::default()
     };
     let identity_rows = Abstraction::identity(&bound).apply(&bound).rows;
-    let raw = compute_privacy(&bound, &identity_rows, &cfg1, &mut cache);
+    let raw = compute_privacy(&bound, &identity_rows, &cfg1, &cache);
     println!("raw provenance privacy: {:?}", raw.privacy);
     for q in &raw.cim {
         println!("  the only CIM query IS the hidden query: {}", q.display(fx.db.schema()));

@@ -63,7 +63,7 @@ fn main() {
 
     // --- Attacker vs abstracted provenance: every CIM query is a plausible
     // hidden query; the attacker cannot tell which one is real.
-    let mut cache = PrivacyCache::new();
+    let cache = PrivacyCache::new();
     let outcome = compute_privacy(
         &bound,
         &abstracted.rows,
@@ -71,7 +71,7 @@ fn main() {
             threshold: 1,
             ..Default::default()
         },
-        &mut cache,
+        &cache,
     );
     println!(
         "\nattacker on abstracted provenance faces {} indistinguishable CIM queries:",

@@ -14,7 +14,7 @@
 //! * [`core`] — the paper's contribution: abstraction functions,
 //!   concretizations, loss of information, privacy (Algorithm 1), optimal
 //!   abstraction search (Algorithm 2), the dual problem, and the
-//!   compression baseline of [24];
+//!   compression baseline of \[24\];
 //! * [`datagen`] — synthetic TPC-H / IMDB generators and the paper's
 //!   workload queries.
 //!

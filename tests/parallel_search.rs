@@ -1,0 +1,76 @@
+//! The parallel search engine's determinism contract, end to end: for the
+//! running example and a TPC-H workload query, `parallelism: None` (all
+//! cores), `Some(1)` (the sequential trace) and explicit pool sizes must
+//! return the same optimum — same abstraction, same LOI, same privacy.
+
+use provabs::core::privacy::{PrivacyCache, PrivacyConfig};
+use provabs::core::search::{
+    find_optimal_abstraction, find_optimal_abstraction_with_cache, SearchConfig,
+};
+use provabs::core::{fixtures, Bound};
+use provabs_bench::{tpch_scenarios, ScenarioSettings};
+
+fn cfg(parallelism: Option<usize>, threshold: usize) -> SearchConfig {
+    SearchConfig {
+        privacy: PrivacyConfig {
+            threshold,
+            max_concretizations: 20_000,
+            ..Default::default()
+        },
+        parallelism,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn running_example_same_best_across_thread_counts() {
+    let fx = fixtures::running_example();
+    let bound = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+    let seq = find_optimal_abstraction(&bound, &cfg(Some(1), 2))
+        .best
+        .expect("sequential optimum");
+    assert!((seq.loi - 15f64.ln()).abs() < 1e-9); // Example 3.15: ln 15
+    for parallelism in [None, Some(2), Some(4)] {
+        let par = find_optimal_abstraction(&bound, &cfg(parallelism, 2))
+            .best
+            .expect("parallel optimum");
+        assert_eq!(par.abstraction, seq.abstraction, "{parallelism:?}");
+        assert_eq!(par.privacy, seq.privacy);
+        assert_eq!(par.edges_used, seq.edges_used);
+        assert!((par.loi - seq.loi).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn tpch_workload_same_best_across_thread_counts() {
+    // A laptop-scale Figure 16 instance; small enough for CI, large enough
+    // that buckets hold many candidates and the pool actually interleaves.
+    let settings = ScenarioSettings {
+        tree_leaves: 120,
+        tpch_lineitems: 400,
+        ..Default::default()
+    };
+    let scenarios = tpch_scenarios(&settings);
+    let s = scenarios
+        .iter()
+        .find(|s| s.name == "TPCH-Q3")
+        .expect("TPCH-Q3 scenario");
+    let bound = Bound::new(&s.db, &s.tree, &s.example).unwrap();
+    // Shared caches must not perturb results either: reuse one per mode.
+    let seq_cache = PrivacyCache::new();
+    let seq = find_optimal_abstraction_with_cache(&bound, &cfg(Some(1), 3), &seq_cache);
+    for parallelism in [None, Some(4)] {
+        let par_cache = PrivacyCache::new();
+        let par =
+            find_optimal_abstraction_with_cache(&bound, &cfg(parallelism, 3), &par_cache);
+        match (&seq.best, &par.best) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.abstraction, b.abstraction, "{parallelism:?}");
+                assert_eq!(a.privacy, b.privacy);
+                assert!((a.loi - b.loi).abs() < 1e-12);
+            }
+            (None, None) => {}
+            (a, b) => panic!("found-mismatch: seq={:?} par={:?}", a.is_some(), b.is_some()),
+        }
+    }
+}

@@ -83,12 +83,12 @@ proptest! {
         let bound = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
         let abs = clamp_to_bound(&bound, &lifts);
         let rows = abs.apply(&bound).rows;
-        let mut cache = PrivacyCache::new();
+        let cache = PrivacyCache::new();
         let out = compute_privacy(
             &bound,
             &rows,
             &PrivacyConfig { threshold: 1, max_concretizations: 3000, ..Default::default() },
-            &mut cache,
+            &cache,
         );
         let cim = out.cim;
         for q1 in &cim {
@@ -113,13 +113,13 @@ proptest! {
         let bound = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
         let abs = clamp_to_bound(&bound, &lifts);
         let rows = abs.apply(&bound).rows;
-        let mut c1 = PrivacyCache::new();
-        let mut c2 = PrivacyCache::new();
+        let c1 = PrivacyCache::new();
+        let c2 = PrivacyCache::new();
         let reference = compute_privacy(
             &bound,
             &rows,
             &PrivacyConfig { threshold: 1, max_concretizations: 100_000, ..Default::default() },
-            &mut c1,
+            &c1,
         );
         let variant = compute_privacy(
             &bound,
@@ -132,7 +132,7 @@ proptest! {
                 max_concretizations: 100_000,
                 ..Default::default()
             },
-            &mut c2,
+            &c2,
         );
         prop_assert_eq!(reference.privacy, variant.privacy);
     }

@@ -73,7 +73,7 @@ fn example_3_13_privacy_of_exabs1_is_2() {
     let mut a1 = Abstraction::identity(&bound);
     lift(&bound, &mut a1, "h1", 1);
     lift(&bound, &mut a1, "h2", 1);
-    let mut cache = PrivacyCache::new();
+    let cache = PrivacyCache::new();
     let out = compute_privacy(
         &bound,
         &a1.apply(&bound).rows,
@@ -81,7 +81,7 @@ fn example_3_13_privacy_of_exabs1_is_2() {
             threshold: 2,
             ..Default::default()
         },
-        &mut cache,
+        &cache,
     );
     assert_eq!(out.privacy, Some(2));
     let keys: Vec<String> = out.cim.iter().map(canonical_key).collect();
@@ -95,7 +95,7 @@ fn example_4_2_exabs3_fails_threshold_2() {
     let bound = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
     let mut a3 = Abstraction::identity(&bound);
     lift(&bound, &mut a3, "i1", 1); // i1 -> WikiLeaks
-    let mut cache = PrivacyCache::new();
+    let cache = PrivacyCache::new();
     let out = compute_privacy(
         &bound,
         &a3.apply(&bound).rows,
@@ -103,7 +103,7 @@ fn example_4_2_exabs3_fails_threshold_2() {
             threshold: 2,
             ..Default::default()
         },
-        &mut cache,
+        &cache,
     );
     assert_eq!(out.privacy, None); // the paper's "-1"
 }

@@ -19,7 +19,7 @@ fn exabs1_privacy(semiring: SemiringKind, query_class: QueryClass) -> Option<usi
             }
         }
     }
-    let mut cache = PrivacyCache::new();
+    let cache = PrivacyCache::new();
     compute_privacy(
         &bound,
         &abs.apply(&bound).rows,
@@ -29,7 +29,7 @@ fn exabs1_privacy(semiring: SemiringKind, query_class: QueryClass) -> Option<usi
             query_class,
             ..Default::default()
         },
-        &mut cache,
+        &cache,
     )
     .privacy
 }

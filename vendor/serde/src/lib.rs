@@ -1,0 +1,85 @@
+//! Minimal serde API surface (offline stub).
+//!
+//! Provides just enough of serde 1.x for this workspace to compile without
+//! network access: the `Serialize`/`Deserialize` traits, the serializer and
+//! deserializer traits the hand-written impls use, and re-exported no-op
+//! derive macros. See `vendor/README.md` for the swap-in-real-serde story.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serializable type (subset of `serde::Serialize`).
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A deserializable type (subset of `serde::Deserialize`).
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value with the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data-format serializer (subset of `serde::Serializer`).
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: de::Error;
+
+    /// Serializes an `i64`.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data-format deserializer (subset of `serde::Deserializer`).
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: de::Error;
+
+    /// Hands the deserializer's next value to `visitor`, whatever its type.
+    fn deserialize_any<V: de::Visitor<'de>>(self, visitor: V)
+        -> Result<V::Value, Self::Error>;
+}
+
+/// Deserialization support traits (subset of `serde::de`).
+pub mod de {
+    use std::fmt;
+
+    /// Errors a deserializer can produce.
+    pub trait Error: Sized + fmt::Debug + fmt::Display {
+        /// Builds an error from a message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Drives deserialization of one value (subset of `serde::de::Visitor`).
+    pub trait Visitor<'de>: Sized {
+        /// The value being produced.
+        type Value;
+
+        /// Describes what this visitor expects, for error messages.
+        fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+        /// Visits an `i64`.
+        fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(E::custom("unexpected i64"))
+        }
+
+        /// Visits a `u64`.
+        fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(E::custom("unexpected u64"))
+        }
+
+        /// Visits a string slice.
+        fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(E::custom("unexpected str"))
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derive macros (offline stub).
+//!
+//! The derives expand to nothing: annotated types compile, but gain no
+//! serialization impls until the real serde is swapped in (see
+//! `vendor/README.md`).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
