@@ -6,7 +6,9 @@ use provabs_core::fixtures::running_example;
 use provabs_core::privacy::{compute_privacy, PrivacyCache, PrivacyConfig};
 use provabs_core::{Abstraction, Bound};
 use provabs_relational::{eval_cq, parse_cq};
-use provabs_reveng::{canonical_key, contained_in, find_consistent_queries, ContainmentMode, RevOptions};
+use provabs_reveng::{
+    canonical_key, contained_in, find_consistent_queries, ContainmentMode, RevOptions,
+};
 use provabs_semiring::{AnnotId, Monomial, Polynomial};
 
 fn bench(c: &mut Criterion) {

@@ -1,0 +1,172 @@
+//! The perf-regression gate: emits and checks `BENCH_*.json` baselines for
+//! the incremental update engine.
+//!
+//! ```text
+//! bench_gate --emit PATH            # run the gate scenarios, write a report
+//! bench_gate --check BASELINE PATH  # run, write PATH, diff against BASELINE
+//! ```
+//!
+//! The diff compares only deterministic work counters (rows examined,
+//! derivations): with the fixed [`UpdateSettings::ci_gate`] configuration
+//! they are identical across machines, so the gate is immune to CI-runner
+//! noise. Wall-clock columns are carried in the report for humans.
+//!
+//! Gate rules, per baseline entry:
+//! * the entry must still exist in the current run;
+//! * `equal` must hold (delta maintenance bit-for-bit matches re-eval);
+//! * the delta path must beat full re-evaluation outright
+//!   (`delta_rows < full_rows` and `delta_derivations < full_derivations`);
+//! * `work_ratio` may not regress by more than [`TOLERANCE`] (relative)
+//!   plus a small absolute slack.
+//!
+//! The gate fails closed: an empty baseline, or a current scenario absent
+//! from the baseline (i.e. ungated), is itself a failure — re-emit the
+//! baseline so every scenario is covered.
+//!
+//! Exit status: 0 clean, 1 regression, 2 usage/IO error.
+
+use provabs_bench::{
+    parse_bench_json, run_update_comparison, write_bench_json, BenchMetric, UpdateSettings,
+};
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Allowed relative growth of `work_ratio` over the baseline.
+const TOLERANCE: f64 = 0.15;
+/// Absolute slack on top (keeps near-zero ratios from gating on noise).
+const ABS_SLACK: f64 = 0.02;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_gate --emit PATH | --check BASELINE PATH");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--emit") => {
+            let [_, path] = args.as_slice() else {
+                return usage();
+            };
+            let metrics = run_gate();
+            if let Err(e) = write_bench_json(Path::new(path), "micro_updates", &metrics) {
+                eprintln!("bench_gate: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            print_summary(&metrics);
+            println!("bench_gate: wrote {path}");
+            ExitCode::SUCCESS
+        }
+        Some("--check") => {
+            let [_, baseline_path, out_path] = args.as_slice() else {
+                return usage();
+            };
+            let baseline_text = match std::fs::read_to_string(baseline_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("bench_gate: cannot read baseline {baseline_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let Some((_, baseline)) = parse_bench_json(&baseline_text) else {
+                eprintln!("bench_gate: baseline {baseline_path} is not a bench report");
+                return ExitCode::from(2);
+            };
+            let current = run_gate();
+            if let Err(e) = write_bench_json(Path::new(out_path), "micro_updates", &current) {
+                eprintln!("bench_gate: cannot write {out_path}: {e}");
+                return ExitCode::from(2);
+            }
+            print_summary(&current);
+            let failures = check(&baseline, &current);
+            if failures.is_empty() {
+                println!(
+                    "bench_gate: OK ({} entries within tolerance)",
+                    baseline.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                for f in &failures {
+                    eprintln!("bench_gate: REGRESSION: {f}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn run_gate() -> Vec<BenchMetric> {
+    run_update_comparison(&UpdateSettings::ci_gate())
+}
+
+fn print_summary(metrics: &[BenchMetric]) {
+    println!(
+        "{:<18} {:>12} {:>12} {:>7} {:>10} {:>10} {:>6}",
+        "scenario", "delta_rows", "full_rows", "ratio", "delta_ms", "full_ms", "equal"
+    );
+    for m in metrics {
+        println!(
+            "{:<18} {:>12} {:>12} {:>7.4} {:>10.2} {:>10.2} {:>6}",
+            m.name,
+            m.delta_rows,
+            m.full_rows,
+            m.work_ratio(),
+            m.delta_ms,
+            m.full_ms,
+            m.equal
+        );
+    }
+}
+
+fn check(baseline: &[BenchMetric], current: &[BenchMetric]) -> Vec<String> {
+    let mut failures = Vec::new();
+    // Fail closed: a gate that compares nothing protects nothing.
+    if baseline.is_empty() {
+        failures.push("baseline holds no entries — re-emit it with --emit".to_owned());
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.name == cur.name) {
+            failures.push(format!(
+                "{}: scenario has no baseline entry (ungated) — re-emit the baseline",
+                cur.name
+            ));
+        }
+    }
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.name == base.name) else {
+            failures.push(format!("{}: entry missing from current run", base.name));
+            continue;
+        };
+        if !cur.equal {
+            failures.push(format!(
+                "{}: delta maintenance no longer matches full re-evaluation",
+                cur.name
+            ));
+        }
+        if cur.delta_rows >= cur.full_rows {
+            failures.push(format!(
+                "{}: delta path explores {} rows, full re-eval {} — no win",
+                cur.name, cur.delta_rows, cur.full_rows
+            ));
+        }
+        if cur.delta_derivations >= cur.full_derivations {
+            failures.push(format!(
+                "{}: delta derivations {} >= full {}",
+                cur.name, cur.delta_derivations, cur.full_derivations
+            ));
+        }
+        let allowed = base.work_ratio() * (1.0 + TOLERANCE) + ABS_SLACK;
+        if cur.work_ratio() > allowed {
+            failures.push(format!(
+                "{}: work_ratio {:.4} exceeds baseline {:.4} (+{:.0}% & slack = {:.4})",
+                cur.name,
+                cur.work_ratio(),
+                base.work_ratio(),
+                TOLERANCE * 100.0,
+                allowed
+            ));
+        }
+    }
+    failures
+}

@@ -48,10 +48,16 @@ fn main() {
     let settings = ScenarioSettings::default();
     let mut caps = HarnessCaps::default();
     // Optional overrides for slow machines / deeper reproductions.
-    if let Some(ms) = std::env::var("PROVABS_BUDGET_MS").ok().and_then(|v| v.parse().ok()) {
+    if let Some(ms) = std::env::var("PROVABS_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
         caps.time_budget_ms = Some(ms);
     }
-    if let Some(mc) = std::env::var("PROVABS_MAX_CONC").ok().and_then(|v| v.parse().ok()) {
+    if let Some(mc) = std::env::var("PROVABS_MAX_CONC")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
         caps.max_concretizations = mc;
     }
     let out_dir = PathBuf::from("results");
@@ -106,12 +112,20 @@ fn main() {
         emit("fig16", "Figure 16: runtime vs number of joins", &rows);
     }
     if want("fig17") {
-        let rows_counts: Vec<usize> = if args.quick { vec![2, 3] } else { vec![2, 3, 4, 5] };
+        let rows_counts: Vec<usize> = if args.quick {
+            vec![2, 3]
+        } else {
+            vec![2, 3, 4, 5]
+        };
         let rows = figures::fig17(&settings, &caps, &rows_counts);
         emit("fig17", "Figure 17: runtime vs K-example rows", &rows);
     }
     if want("fig18") {
-        let ks: Vec<usize> = if args.quick { vec![2, 5] } else { vec![2, 5, 8, 11, 14] };
+        let ks: Vec<usize> = if args.quick {
+            vec![2, 5]
+        } else {
+            vec![2, 5, 8, 11, 14]
+        };
         let rows = figures::fig18(&settings, &caps, &ks);
         emit(
             "fig18",
@@ -158,7 +172,9 @@ fn main() {
     }
     if want("table3") {
         let t = figures::table3();
-        println!("== Table 3: queries w.r.t. Exabs1 (paper: 14 consistent / 3 connected / 2 CIM) ==");
+        println!(
+            "== Table 3: queries w.r.t. Exabs1 (paper: 14 consistent / 3 connected / 2 CIM) =="
+        );
         println!(
             "frontier view: consistent {} / connected {} / CIM {}",
             t.frontier.0, t.frontier.1, t.frontier.2

@@ -1,7 +1,9 @@
 //! One runner per figure/table of the paper's evaluation (§5.2).
 
 use crate::report::Measurement;
-use crate::scenario::{imdb_scenarios, run_search, tpch_scenarios, HarnessCaps, Scenario, ScenarioSettings};
+use crate::scenario::{
+    imdb_scenarios, run_search, tpch_scenarios, HarnessCaps, Scenario, ScenarioSettings,
+};
 use provabs_core::compression::compression_baseline_with_budget;
 use provabs_core::loi::{LeafWeights, LoiDistribution};
 use provabs_core::privacy::PrivacyConfig;
@@ -22,7 +24,12 @@ fn default_scenarios(settings: &ScenarioSettings) -> Vec<Scenario> {
 fn plotted(scenarios: Vec<Scenario>) -> Vec<Scenario> {
     scenarios
         .into_iter()
-        .filter(|s| !matches!(s.name.as_str(), "TPCH-Q5" | "TPCH-Q9" | "IMDB-Q3" | "IMDB-Q4"))
+        .filter(|s| {
+            !matches!(
+                s.name.as_str(),
+                "TPCH-Q5" | "TPCH-Q9" | "IMDB-Q3" | "IMDB-Q4"
+            )
+        })
         .collect()
 }
 
@@ -57,7 +64,13 @@ pub fn fig12_13(
         st.tree_leaves = leaves;
         st.tpch_lineitems = st.tpch_lineitems.max(leaves);
         for s in plotted(default_scenarios(&st)) {
-            out.push(run_search(&s, st.threshold, caps, &leaves.to_string(), |_| {}));
+            out.push(run_search(
+                &s,
+                st.threshold,
+                caps,
+                &leaves.to_string(),
+                |_| {},
+            ));
         }
     }
     out
@@ -86,7 +99,9 @@ pub fn fig14_15(
 /// queries with ≥ 6 joins (TPCH Q5/Q7/Q9/Q21, IMDB Q2/Q4/Q7), starting from
 /// a 3-join version and adding one atom per tick.
 pub fn fig16(settings: &ScenarioSettings, caps: &HarnessCaps) -> Vec<Measurement> {
-    let names = ["TPCH-Q5", "TPCH-Q7", "TPCH-Q9", "TPCH-Q21", "IMDB-Q2", "IMDB-Q4", "IMDB-Q7"];
+    let names = [
+        "TPCH-Q5", "TPCH-Q7", "TPCH-Q9", "TPCH-Q21", "IMDB-Q2", "IMDB-Q4", "IMDB-Q7",
+    ];
     let mut out = Vec::new();
     let cfg = TpchConfig {
         lineitem_rows: settings.tpch_lineitems,
@@ -172,7 +187,13 @@ pub fn fig17(
         let mut st = settings.clone();
         st.rows = rows;
         for s in plotted(default_scenarios(&st)) {
-            out.push(run_search(&s, st.threshold, caps, &rows.to_string(), |_| {}));
+            out.push(run_search(
+                &s,
+                st.threshold,
+                caps,
+                &rows.to_string(),
+                |_| {},
+            ));
         }
     }
     out
@@ -205,7 +226,12 @@ pub fn fig18(
                 ..Default::default()
             };
             let start = std::time::Instant::now();
-            let comp = compression_baseline_with_budget(&bound, &cfg, &LoiDistribution::Uniform, caps.time_budget_ms);
+            let comp = compression_baseline_with_budget(
+                &bound,
+                &cfg,
+                &LoiDistribution::Uniform,
+                caps.time_budget_ms,
+            );
             let rt = start.elapsed().as_secs_f64() * 1e3;
             let (found, privacy, loi, edges) = match &comp.best {
                 Some(b) => (true, b.privacy, b.loi, b.edges_used),

@@ -12,9 +12,14 @@
 pub mod figures;
 pub mod report;
 pub mod scenario;
+pub mod updates;
 pub mod user_study;
 
-pub use report::{print_table, write_csv, Measurement};
+pub use report::{
+    parse_bench_json, print_table, render_bench_json, write_bench_json, write_csv, BenchMetric,
+    Measurement,
+};
 pub use scenario::{
     imdb_scenarios, run_search, tpch_scenarios, HarnessCaps, Scenario, ScenarioSettings,
 };
+pub use updates::{run_update_comparison, UpdateSettings};

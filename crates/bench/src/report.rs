@@ -1,4 +1,5 @@
-//! Measurement records, table printing, CSV output.
+//! Measurement records, table printing, CSV output, and the `BENCH_*.json`
+//! machine-readable report the perf-regression CI gate diffs.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -90,6 +91,130 @@ pub fn write_csv(dir: &Path, name: &str, rows: &[Measurement]) -> std::io::Resul
     fs::write(dir.join(format!("{name}.csv")), body)
 }
 
+/// One entry of a `BENCH_*.json` report: the deterministic work counters of
+/// a delta-maintenance step next to the full re-evaluation it replaces.
+///
+/// Wall-clock times are carried for humans; the CI gate compares only the
+/// counter-derived ratios, which are machine-independent (same database,
+/// same query, same plan ⇒ same counters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchMetric {
+    /// Scenario name as the harness emits it: `{query}/ins{percent}`,
+    /// e.g. `TPCH-Q3/ins50` for a 50% insert / 50% delete mix.
+    pub name: String,
+    /// Rows examined by the delta path (retractions + additions + merge).
+    pub delta_rows: u64,
+    /// Rows examined by full re-evaluation of the same batches.
+    pub full_rows: u64,
+    /// Derivations the delta path emitted.
+    pub delta_derivations: u64,
+    /// Derivations full re-evaluation emitted.
+    pub full_derivations: u64,
+    /// Wall time of the delta path, milliseconds (informational).
+    pub delta_ms: f64,
+    /// Wall time of full re-evaluation, milliseconds (informational).
+    pub full_ms: f64,
+    /// Whether the merged cache stayed bit-for-bit equal to re-evaluation.
+    pub equal: bool,
+}
+
+impl BenchMetric {
+    /// Delta work as a fraction of full-re-evaluation work (lower is
+    /// better; `>= 1` means the delta path stopped paying for itself).
+    pub fn work_ratio(&self) -> f64 {
+        self.delta_rows as f64 / self.full_rows.max(1) as f64
+    }
+}
+
+/// Serializes a bench report. Hand-rolled (the vendored serde stub does not
+/// serialize): one scalar per line, stable key order — the exact shape
+/// [`parse_bench_json`] reads back.
+pub fn render_bench_json(bench: &str, metrics: &[BenchMetric]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"bench\": \"{bench}\",");
+    out.push_str("  \"entries\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(out, "      \"delta_rows\": {},", m.delta_rows);
+        let _ = writeln!(out, "      \"full_rows\": {},", m.full_rows);
+        let _ = writeln!(out, "      \"delta_derivations\": {},", m.delta_derivations);
+        let _ = writeln!(out, "      \"full_derivations\": {},", m.full_derivations);
+        let _ = writeln!(out, "      \"work_ratio\": {:.6},", m.work_ratio());
+        let _ = writeln!(out, "      \"delta_ms\": {:.3},", m.delta_ms);
+        let _ = writeln!(out, "      \"full_ms\": {:.3},", m.full_ms);
+        let _ = writeln!(out, "      \"equal\": {}", m.equal);
+        out.push_str(if i + 1 < metrics.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes a bench report to `path` (creating parent directories).
+pub fn write_bench_json(path: &Path, bench: &str, metrics: &[BenchMetric]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, render_bench_json(bench, metrics))
+}
+
+/// Parses a report produced by [`render_bench_json`] (line-oriented: one
+/// `"key": value` pair per line). Returns `(bench name, entries)`; `None`
+/// on any malformed line. Not a general JSON parser — exactly the shape the
+/// writer emits, which is all the CI gate needs offline.
+pub fn parse_bench_json(text: &str) -> Option<(String, Vec<BenchMetric>)> {
+    let mut bench = String::new();
+    let mut entries = Vec::new();
+    let mut cur: Option<BenchMetric> = None;
+    for raw in text.lines() {
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || matches!(line, "{" | "}" | "[" | "]" | "\"entries\": [") {
+            continue;
+        }
+        let (key, value) = line.split_once(':')?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "schema" => {}
+            "bench" => bench = value.trim_matches('"').to_owned(),
+            "name" => {
+                if let Some(done) = cur.take() {
+                    entries.push(done);
+                }
+                cur = Some(BenchMetric {
+                    name: value.trim_matches('"').to_owned(),
+                    delta_rows: 0,
+                    full_rows: 0,
+                    delta_derivations: 0,
+                    full_derivations: 0,
+                    delta_ms: 0.0,
+                    full_ms: 0.0,
+                    equal: false,
+                });
+            }
+            "delta_rows" => cur.as_mut()?.delta_rows = value.parse().ok()?,
+            "full_rows" => cur.as_mut()?.full_rows = value.parse().ok()?,
+            "delta_derivations" => cur.as_mut()?.delta_derivations = value.parse().ok()?,
+            "full_derivations" => cur.as_mut()?.full_derivations = value.parse().ok()?,
+            "work_ratio" => {} // derived; recomputed from the counters
+            "delta_ms" => cur.as_mut()?.delta_ms = value.parse().ok()?,
+            "full_ms" => cur.as_mut()?.full_ms = value.parse().ok()?,
+            "equal" => cur.as_mut()?.equal = value.parse().ok()?,
+            _ => return None,
+        }
+    }
+    if let Some(done) = cur.take() {
+        entries.push(done);
+    }
+    Some((bench, entries))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +241,38 @@ mod tests {
         assert!(t.contains("TPCH-Q3"));
         assert!(t.contains("12.50"));
         assert!(t.contains("2.708"));
+    }
+
+    #[test]
+    fn bench_json_roundtrips() {
+        let metrics = vec![
+            BenchMetric {
+                name: "TPCH-Q3/ins50".into(),
+                delta_rows: 120,
+                full_rows: 4800,
+                delta_derivations: 6,
+                full_derivations: 300,
+                delta_ms: 0.42,
+                full_ms: 3.5,
+                equal: true,
+            },
+            BenchMetric {
+                name: "TPCH-Q4/ins100".into(),
+                delta_rows: 44,
+                full_rows: 900,
+                delta_derivations: 2,
+                full_derivations: 80,
+                delta_ms: 0.1,
+                full_ms: 0.9,
+                equal: true,
+            },
+        ];
+        let text = render_bench_json("micro_updates", &metrics);
+        let (bench, parsed) = parse_bench_json(&text).expect("parses");
+        assert_eq!(bench, "micro_updates");
+        assert_eq!(parsed, metrics);
+        assert!(metrics[0].work_ratio() < 0.1);
+        assert_eq!(parse_bench_json("not json"), None);
     }
 
     #[test]

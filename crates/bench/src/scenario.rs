@@ -4,8 +4,8 @@ use provabs_core::loi::LoiDistribution;
 use provabs_core::privacy::PrivacyConfig;
 use provabs_core::search::{find_optimal_abstraction, SearchConfig};
 use provabs_core::Bound;
-use provabs_datagen::tpch::{self, TpchConfig};
 use provabs_datagen::imdb::{self, ImdbConfig};
+use provabs_datagen::tpch::{self, TpchConfig};
 use provabs_datagen::{kexample_for, Workload};
 use provabs_relational::{Cq, Database, KExample};
 use provabs_tree::AbstractionTree;

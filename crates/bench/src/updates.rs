@@ -1,0 +1,172 @@
+//! The update-scenario axis: delta maintenance vs full re-evaluation under
+//! churn (the `micro_updates` bench and the CI perf gate both drive this).
+//!
+//! Each scenario replays a deterministic update stream against a TPC-H
+//! instance while keeping one workload query's K-relation live two ways —
+//! merging [`KRelationDelta`](provabs_relational::KRelationDelta)s versus
+//! re-evaluating from scratch — and counts the evaluation work of both.
+//! Equality of the two maintained results is asserted on every batch, so a
+//! run that completes *is* the correctness witness; the counters quantify
+//! the savings with machine-independent numbers the CI gate can diff.
+
+use crate::report::BenchMetric;
+use provabs_datagen::tpch::{self, TpchConfig};
+use provabs_datagen::{ChurnConfig, ChurnGenerator};
+use provabs_relational::{apply_delta_with_queries, eval_cq_counted, Cq, EvalLimits, EvalWork};
+use std::time::Instant;
+
+/// Shape of one update scenario sweep.
+#[derive(Debug, Clone)]
+pub struct UpdateSettings {
+    /// TPC-H scale (lineitem rows).
+    pub lineitem_rows: usize,
+    /// Batches replayed per scenario.
+    pub batches: usize,
+    /// Changes per batch.
+    pub batch_size: usize,
+    /// Insert fractions swept (one scenario per query × ratio).
+    pub insert_ratios: Vec<f64>,
+    /// Workload queries swept (names as in
+    /// [`tpch_queries`](provabs_datagen::tpch::tpch_queries)).
+    pub queries: Vec<String>,
+    /// Generator / stream seed.
+    pub seed: u64,
+}
+
+impl Default for UpdateSettings {
+    fn default() -> Self {
+        Self {
+            lineitem_rows: 1_000,
+            batches: 6,
+            batch_size: 12,
+            insert_ratios: vec![1.0, 0.5, 0.0],
+            queries: vec!["TPCH-Q3".into(), "TPCH-Q4".into(), "TPCH-Q10".into()],
+            seed: 42,
+        }
+    }
+}
+
+impl UpdateSettings {
+    /// The fixed configuration of the CI perf gate: small enough for a
+    /// 1-CPU runner, deterministic, and the shape `BENCH_2.json` is built
+    /// from. Changing this invalidates the checked-in baseline — re-emit it.
+    pub fn ci_gate() -> Self {
+        Self {
+            lineitem_rows: 600,
+            batches: 4,
+            batch_size: 8,
+            ..Self::default()
+        }
+    }
+}
+
+/// The outcome of one scenario (already flattened into report metrics).
+pub fn run_update_comparison(settings: &UpdateSettings) -> Vec<BenchMetric> {
+    let mut out = Vec::new();
+    let (db_proto, _) = tpch::generate(&TpchConfig {
+        lineitem_rows: settings.lineitem_rows,
+        seed: settings.seed,
+    });
+    let workloads = tpch::tpch_queries(db_proto.schema());
+    for qname in &settings.queries {
+        let Some(w) = workloads.iter().find(|w| &w.name == qname) else {
+            continue;
+        };
+        for &ratio in &settings.insert_ratios {
+            out.push(replay(&db_proto, qname, &w.query, ratio, settings));
+        }
+    }
+    out
+}
+
+/// Replays one update stream, maintaining the query's K-relation through
+/// deltas and through re-evaluation, counting both.
+fn replay(
+    db_proto: &provabs_relational::Database,
+    qname: &str,
+    query: &Cq,
+    insert_ratio: f64,
+    settings: &UpdateSettings,
+) -> BenchMetric {
+    let mut db = db_proto.clone();
+    db.build_indexes();
+    let mut cached = provabs_relational::eval_cq(&db, query);
+    let mut gen = ChurnGenerator::new(&ChurnConfig {
+        batch_size: settings.batch_size,
+        insert_ratio,
+        seed: settings.seed ^ (insert_ratio.to_bits().rotate_left(17)),
+    });
+    let mut delta_work = EvalWork::default();
+    let mut full_work = EvalWork::default();
+    let mut delta_ms = 0.0f64;
+    let mut full_ms = 0.0f64;
+    let mut equal = true;
+    for _ in 0..settings.batches {
+        let delta = gen.next_batch(&db);
+        let t0 = Instant::now();
+        let outcome = apply_delta_with_queries(&mut db, &delta, std::slice::from_ref(query));
+        let merged = outcome.deltas[0].merge_into(&mut cached);
+        delta_ms += t0.elapsed().as_secs_f64() * 1e3;
+        delta_work.absorb(&outcome.work);
+        let t1 = Instant::now();
+        let (full, w) = eval_cq_counted(&db, query, EvalLimits::default());
+        full_ms += t1.elapsed().as_secs_f64() * 1e3;
+        full_work.absorb(&w);
+        equal &= merged && cached == full;
+    }
+    BenchMetric {
+        name: format!("{qname}/ins{}", (insert_ratio * 100.0).round() as u32),
+        delta_rows: delta_work.rows_examined,
+        full_rows: full_work.rows_examined,
+        delta_derivations: delta_work.derivations,
+        full_derivations: full_work.derivations,
+        delta_ms,
+        full_ms,
+        equal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_confirms_equality_and_savings() {
+        let settings = UpdateSettings {
+            lineitem_rows: 400,
+            batches: 3,
+            batch_size: 6,
+            insert_ratios: vec![0.5],
+            queries: vec!["TPCH-Q4".into()],
+            ..Default::default()
+        };
+        let metrics = run_update_comparison(&settings);
+        assert_eq!(metrics.len(), 1);
+        let m = &metrics[0];
+        assert!(m.equal, "delta maintenance diverged from re-evaluation");
+        assert!(
+            m.delta_rows < m.full_rows,
+            "delta path explored {} rows, full re-eval {}",
+            m.delta_rows,
+            m.full_rows
+        );
+        assert!(m.delta_derivations < m.full_derivations);
+    }
+
+    #[test]
+    fn gate_settings_are_deterministic() {
+        let a = run_update_comparison(&UpdateSettings {
+            queries: vec!["TPCH-Q4".into()],
+            insert_ratios: vec![1.0],
+            ..UpdateSettings::ci_gate()
+        });
+        let b = run_update_comparison(&UpdateSettings {
+            queries: vec!["TPCH-Q4".into()],
+            insert_ratios: vec![1.0],
+            ..UpdateSettings::ci_gate()
+        });
+        assert_eq!(a[0].delta_rows, b[0].delta_rows);
+        assert_eq!(a[0].full_rows, b[0].full_rows);
+        assert_eq!(a[0].delta_derivations, b[0].delta_derivations);
+    }
+}

@@ -77,27 +77,19 @@ fn questions() -> Vec<Question> {
         },
         Question {
             text: "delete movies released after 1990",
-            predicate: |db, a| {
-                tuple_field(db, a, "Movie", 2).and_then(|v| v.as_int()) > Some(1990)
-            },
+            predicate: |db, a| tuple_field(db, a, "Movie", 2).and_then(|v| v.as_int()) > Some(1990),
         },
         Question {
             text: "delete movies released before 1980",
-            predicate: |db, a| {
-                matches!(tuple_field(db, a, "Movie", 2).and_then(|v| v.as_int()), Some(y) if y < 1980)
-            },
+            predicate: |db, a| matches!(tuple_field(db, a, "Movie", 2).and_then(|v| v.as_int()), Some(y) if y < 1980),
         },
         Question {
             text: "delete people born before 1970",
-            predicate: |db, a| {
-                matches!(tuple_field(db, a, "Person", 2).and_then(|v| v.as_int()), Some(y) if y < 1970)
-            },
+            predicate: |db, a| matches!(tuple_field(db, a, "Person", 2).and_then(|v| v.as_int()), Some(y) if y < 1970),
         },
         Question {
             text: "delete people born after 1985",
-            predicate: |db, a| {
-                matches!(tuple_field(db, a, "Person", 2).and_then(|v| v.as_int()), Some(y) if y > 1985)
-            },
+            predicate: |db, a| matches!(tuple_field(db, a, "Person", 2).and_then(|v| v.as_int()), Some(y) if y > 1985),
         },
         Question {
             text: "delete every cast edge",
@@ -214,13 +206,18 @@ pub fn run_user_study(trials: usize, seed: u64) -> StudyOutcome {
         // would still write the evident query down). Identified = exactly
         // one candidate and it specializes the original.
         let identifies = |queries: &[provabs_relational::Cq]| {
-            let connected: Vec<provabs_relational::Cq> =
-                queries.iter().filter(|q| q.is_connected()).cloned().collect();
-            let pool: &[provabs_relational::Cq] =
-                if connected.is_empty() { queries } else { &connected };
+            let connected: Vec<provabs_relational::Cq> = queries
+                .iter()
+                .filter(|q| q.is_connected())
+                .cloned()
+                .collect();
+            let pool: &[provabs_relational::Cq] = if connected.is_empty() {
+                queries
+            } else {
+                &connected
+            };
             let minimal = provabs_reveng::minimal_queries(pool, ContainmentMode::Bijective);
-            minimal.len() == 1
-                && contained_in(&minimal[0], &q3.query, ContainmentMode::Classical)
+            minimal.len() == 1 && contained_in(&minimal[0], &q3.query, ContainmentMode::Classical)
         };
         // --- Task 1, group A: raw provenance identification.
         let raw_resolved = ex.resolve(&db).unwrap_or_default();
@@ -289,12 +286,18 @@ mod tests {
         // B still high (Table 7: 100% vs 0%, 9.6 vs 8.5 of 10).
         let out = run_user_study(3, 11);
         assert!(out.trials >= 1);
-        assert_eq!(out.group_a_identified, out.trials, "raw provenance must identify");
+        assert_eq!(
+            out.group_a_identified, out.trials,
+            "raw provenance must identify"
+        );
         assert_eq!(out.group_b_identified, 0, "abstraction must hide the query");
         let a = out.group_a_avg();
         let b = out.group_b_avg();
         assert!((a - 10.0).abs() < 1e-9);
         assert!(b <= a);
-        assert!(b >= 5.0, "abstracted provenance should stay useful, got {b}");
+        assert!(
+            b >= 5.0,
+            "abstracted provenance should stay useful, got {b}"
+        );
     }
 }

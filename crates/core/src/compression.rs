@@ -69,8 +69,8 @@ pub fn compress_to_symbols(bound: &Bound<'_>, target: usize) -> Abstraction {
             let mut replaced: Vec<NodeId> = leaves.iter().map(|a| current[a]).collect();
             replaced.sort_unstable();
             replaced.dedup();
-            let reduction = replaced.len().saturating_sub(1)
-                + usize::from(current.values().any(|&n| n == v));
+            let reduction =
+                replaced.len().saturating_sub(1) + usize::from(current.values().any(|&n| n == v));
             if reduction == 0 {
                 continue;
             }
@@ -137,8 +137,8 @@ pub fn compression_baseline_with_budget(
     dist: &LoiDistribution,
     budget_ms: Option<u64>,
 ) -> CompressionOutcome {
-    let deadline = budget_ms
-        .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    let deadline =
+        budget_ms.map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
     let cache = PrivacyCache::new();
     let mut stats = PrivacyStats::default();
     let distinct_symbols = {

@@ -21,7 +21,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::IncompatibleTree => {
-                write!(f, "abstraction tree incompatible with the database (inner label tags a tuple)")
+                write!(
+                    f,
+                    "abstraction tree incompatible with the database (inner label tags a tuple)"
+                )
             }
             CoreError::UnresolvedAnnotation(a) => {
                 write!(f, "annotation {a} does not tag a database tuple")
@@ -43,8 +46,14 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(CoreError::IncompatibleTree.to_string().contains("incompatible"));
-        assert!(CoreError::UnresolvedAnnotation(AnnotId(3)).to_string().contains("x3"));
-        assert!(CoreError::LimitExceeded("concretizations").to_string().contains("concretizations"));
+        assert!(CoreError::IncompatibleTree
+            .to_string()
+            .contains("incompatible"));
+        assert!(CoreError::UnresolvedAnnotation(AnnotId(3))
+            .to_string()
+            .contains("x3"));
+        assert!(CoreError::LimitExceeded("concretizations")
+            .to_string()
+            .contains("concretizations"));
     }
 }

@@ -13,7 +13,7 @@ use crate::{AbsRow, Bound};
 use provabs_relational::{ConcreteRow, Cq, Ucq};
 use provabs_reveng::ucq::{cim_ucqs, find_consistent_ucqs, UcqOptions};
 use provabs_reveng::{
-    cim_queries, canonical_key, find_consistent_queries, ContainmentMode, RevOptions,
+    canonical_key, cim_queries, find_consistent_queries, ContainmentMode, RevOptions,
 };
 use provabs_semiring::{AnnotId, SemiringKind};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -162,6 +162,28 @@ impl PrivacyCache {
     pub fn is_empty(&self) -> bool {
         self.consistent.is_empty()
     }
+
+    /// Provenance-aware invalidation after a database delta: drops exactly
+    /// the entries whose annotations intersect `touched` (the deleted and
+    /// inserted tuples of an [`AppliedDelta`](provabs_relational::AppliedDelta)).
+    ///
+    /// Both caches are keyed by concrete annotation sets and their cached
+    /// values depend only on the tuples those annotations tag — consistent
+    /// queries on the resolved rows, connectivity on their value overlaps —
+    /// so entries disjoint from the delta stay exactly valid and survive.
+    /// Inserted annotations are fresh and appear in no key; they are
+    /// accepted here so callers can pass the whole touched set.
+    pub fn invalidate(&self, touched: &std::collections::HashSet<AnnotId>) {
+        if touched.is_empty() {
+            return;
+        }
+        self.consistent.retain(|key| {
+            !key.iter()
+                .any(|(_, occs)| occs.iter().any(|a| touched.contains(a)))
+        });
+        self.connectivity
+            .retain(|key| !key.iter().any(|a| touched.contains(a)));
+    }
 }
 
 /// Cache key: the concrete rows (output + sorted occurrence list).
@@ -296,19 +318,15 @@ fn privacy_row_by_row(
     // in the first iteration below).
     let mut good: Vec<Vec<Vec<AnnotId>>> = Vec::new();
     {
-        let complete = for_each_row_concretization(
-            bound,
-            &abs_rows[0],
-            cfg.max_concretizations,
-            |occs| {
+        let complete =
+            for_each_row_concretization(bound, &abs_rows[0], cfg.max_concretizations, |occs| {
                 stats.concretizations_enumerated += 1;
                 if row_connected(bound, occs, cfg, cache, &mut stats) {
                     stats.concretizations_kept += 1;
                     good.push(vec![occs.to_vec()]);
                 }
                 true
-            },
-        );
+            });
         stats.truncated |= !complete;
     }
     let mut last_cim: Vec<Cq> = Vec::new();
@@ -317,11 +335,8 @@ fn privacy_row_by_row(
         // row i, dropping disconnected rows.
         let mut candidates: Vec<Vec<Vec<AnnotId>>> = Vec::new();
         for gc in &good {
-            let complete = for_each_row_concretization(
-                bound,
-                &abs_rows[i],
-                cfg.max_concretizations,
-                |occs| {
+            let complete =
+                for_each_row_concretization(bound, &abs_rows[i], cfg.max_concretizations, |occs| {
                     stats.concretizations_enumerated += 1;
                     if row_connected(bound, occs, cfg, cache, &mut stats) {
                         stats.concretizations_kept += 1;
@@ -330,8 +345,7 @@ fn privacy_row_by_row(
                         candidates.push(prefix);
                     }
                     candidates.len() < cfg.max_concretizations
-                },
-            );
+                });
             stats.truncated |= !complete;
             if candidates.len() >= cfg.max_concretizations {
                 stats.truncated = true;
@@ -400,28 +414,23 @@ fn privacy_direct(
     let mut stats = PrivacyStats::default();
     let mode = containment_mode(cfg);
     let mut qall: BTreeMap<String, Cq> = BTreeMap::new();
-    let complete = for_each_concretization(
-        bound,
-        abs_rows,
-        cfg.max_concretizations,
-        |conc| {
-            stats.concretizations_enumerated += 1;
-            let connected = conc
-                .iter()
-                .all(|occs| row_connected(bound, occs, cfg, cache, &mut stats));
-            if !connected {
-                return true;
+    let complete = for_each_concretization(bound, abs_rows, cfg.max_concretizations, |conc| {
+        stats.concretizations_enumerated += 1;
+        let connected = conc
+            .iter()
+            .all(|occs| row_connected(bound, occs, cfg, cache, &mut stats));
+        if !connected {
+            return true;
+        }
+        stats.concretizations_kept += 1;
+        let qs = consistent_of(bound, abs_rows, conc, cfg, cache, &mut stats);
+        for q in qs.iter() {
+            if q.is_connected() {
+                qall.entry(canonical_key(q)).or_insert_with(|| q.clone());
             }
-            stats.concretizations_kept += 1;
-            let qs = consistent_of(bound, abs_rows, conc, cfg, cache, &mut stats);
-            for q in qs.iter() {
-                if q.is_connected() {
-                    qall.entry(canonical_key(q)).or_insert_with(|| q.clone());
-                }
-            }
-            true
-        },
-    );
+        }
+        true
+    });
     stats.truncated |= !complete;
     let conn: Vec<Cq> = qall.into_values().collect();
     let cim = cim_queries(&conn, mode);
@@ -451,43 +460,36 @@ fn privacy_ucq(bound: &Bound<'_>, abs_rows: &[AbsRow], cfg: &PrivacyConfig) -> P
     };
     let mut frontier: Vec<Ucq> = Vec::new();
     let mut seen: HashSet<String> = HashSet::new();
-    let complete = for_each_concretization(
-        bound,
-        abs_rows,
-        cfg.max_concretizations,
-        |conc| {
-            stats.concretizations_enumerated += 1;
-            let rows: Vec<ConcreteRow> = conc
+    let complete = for_each_concretization(bound, abs_rows, cfg.max_concretizations, |conc| {
+        stats.concretizations_enumerated += 1;
+        let rows: Vec<ConcreteRow> = conc
+            .iter()
+            .enumerate()
+            .filter_map(|(r, occs)| ConcreteRow::resolve(bound.db, &abs_rows[r].output, occs))
+            .collect();
+        if rows.len() != conc.len() {
+            return true;
+        }
+        if cfg.connectivity_filter && !rows.iter().all(ConcreteRow::is_connected) {
+            return true;
+        }
+        stats.concretizations_kept += 1;
+        for u in find_consistent_ucqs(&rows, &opts) {
+            if !u.is_connected() {
+                continue;
+            }
+            let key = u
+                .disjuncts
                 .iter()
-                .enumerate()
-                .filter_map(|(r, occs)| {
-                    ConcreteRow::resolve(bound.db, &abs_rows[r].output, occs)
-                })
-                .collect();
-            if rows.len() != conc.len() {
-                return true;
+                .map(canonical_key)
+                .collect::<Vec<_>>()
+                .join("|");
+            if seen.insert(key) {
+                frontier.push(u);
             }
-            if cfg.connectivity_filter && !rows.iter().all(ConcreteRow::is_connected) {
-                return true;
-            }
-            stats.concretizations_kept += 1;
-            for u in find_consistent_ucqs(&rows, &opts) {
-                if !u.is_connected() {
-                    continue;
-                }
-                let key = u
-                    .disjuncts
-                    .iter()
-                    .map(canonical_key)
-                    .collect::<Vec<_>>()
-                    .join("|");
-                if seen.insert(key) {
-                    frontier.push(u);
-                }
-            }
-            true
-        },
-    );
+        }
+        true
+    });
     stats.truncated |= !complete;
     let cim = cim_ucqs(&frontier, mode);
     if cim.len() < cfg.threshold {
@@ -583,10 +585,7 @@ mod tests {
         let out1 = privacy_of(&[("i1", 1)], &cfg1);
         assert_eq!(out1.privacy, Some(1));
         let fx = running_example();
-        assert_eq!(
-            canonical_key(&out1.cim[0]),
-            canonical_key(&fx.qreal)
-        );
+        assert_eq!(canonical_key(&out1.cim[0]), canonical_key(&fx.qreal));
     }
 
     #[test]
@@ -645,6 +644,34 @@ mod tests {
         assert_eq!(first.privacy, second.privacy);
         assert!(second.stats.consistency_cache_hits > 0);
         assert_eq!(second.stats.consistency_cache_misses, 0);
+    }
+
+    #[test]
+    fn invalidation_is_provenance_aware() {
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        let abs = abs_lifting(&b, &[("h1", 1), ("h2", 1)]);
+        let rows = abs.apply(&b).rows;
+        let cfg = PrivacyConfig {
+            threshold: 1,
+            ..Default::default()
+        };
+        let cache = PrivacyCache::new();
+        let first = compute_privacy(&b, &rows, &cfg, &cache);
+        let populated = cache.len();
+        assert!(populated > 0);
+        // A delta touching nothing the example concretizes to: no eviction.
+        let ghost = std::collections::HashSet::from([provabs_semiring::AnnotId(u32::MAX)]);
+        cache.invalidate(&ghost);
+        assert_eq!(cache.len(), populated);
+        // Touching h1 evicts every concretization that resolves through it
+        // (here: all of them — h1 appears unabstracted or as a candidate
+        // leaf in each), but the cache stays usable.
+        let h1 = std::collections::HashSet::from([fx.db.annotations().get("h1").unwrap()]);
+        cache.invalidate(&h1);
+        assert!(cache.len() < populated);
+        let again = compute_privacy(&b, &rows, &cfg, &cache);
+        assert_eq!(again.privacy, first.privacy);
     }
 
     #[test]

@@ -131,6 +131,9 @@ pub struct SearchStats {
     pub privacy_evaluations: usize,
     /// Whether `max_candidates` (or an inner cap) was hit.
     pub truncated: bool,
+    /// Whether a warm-start incumbent seeded the search (see
+    /// [`find_optimal_abstraction_incremental`]).
+    pub warm_start_used: bool,
     /// Aggregated privacy counters.
     pub privacy_stats: PrivacyStats,
 }
@@ -176,9 +179,7 @@ impl AbstractionSpace {
         let loi_table: Vec<Vec<f64>> = occs
             .iter()
             .zip(&max_lift)
-            .map(|(&(r, i), &max)| {
-                (0..=max).map(|c| single_lift_loi(bound, r, i, c)).collect()
-            })
+            .map(|(&(r, i), &max)| (0..=max).map(|c| single_lift_loi(bound, r, i, c)).collect())
             .collect();
         Self {
             occs,
@@ -278,12 +279,7 @@ impl AbstractionSpace {
         self.rec_all(0, &mut lifts, f)
     }
 
-    fn rec_all(
-        &self,
-        j: usize,
-        lifts: &mut Vec<u32>,
-        f: &mut impl FnMut(&[u32]) -> bool,
-    ) -> bool {
+    fn rec_all(&self, j: usize, lifts: &mut Vec<u32>, f: &mut impl FnMut(&[u32]) -> bool) -> bool {
         if j == self.max_lift.len() {
             return f(lifts);
         }
@@ -370,55 +366,124 @@ pub fn find_optimal_abstraction_with_cache(
     cfg: &SearchConfig,
     cache: &PrivacyCache,
 ) -> SearchOutcome {
+    search_with_incumbent(bound, cfg, cache, None)
+}
+
+/// Warm-restarted Algorithm 2 for the incremental-update engine: re-score
+/// the previous winner on the (updated) bound, and when it still meets the
+/// privacy threshold start the search with it as the incumbent.
+///
+/// A valid incumbent makes the LOI-before-privacy pruning and the monotone
+/// `minLOI(e)` barrier bite from the very first bucket: under small deltas
+/// the previous optimum is usually still optimal and the search terminates
+/// after verifying no bucket can beat it — no privacy evaluation beyond the
+/// incumbent's own. The returned optimum has the same LOI and privacy the
+/// cold search would find; when several abstractions tie at the optimal
+/// LOI, ties resolve to the incumbent instead of the first in enumeration
+/// order.
+///
+/// Pass the [`PrivacyCache`] already invalidated for the delta
+/// ([`PrivacyCache::invalidate`]); `warm` abstractions that no longer fit
+/// the bound (row or occurrence shape changed) are ignored.
+pub fn find_optimal_abstraction_incremental(
+    bound: &Bound<'_>,
+    cfg: &SearchConfig,
+    cache: &PrivacyCache,
+    warm: Option<&BestAbstraction>,
+) -> SearchOutcome {
+    let mut incumbent = None;
+    let mut warm_stats = SearchStats::default();
+    if let Some(prev) = warm {
+        if prev.abstraction.validate(bound) {
+            // Re-score on the updated bound: the tree and example may map
+            // the same lifts to different LOI, and the delta may have
+            // changed the concretization space behind the privacy value.
+            let loi = loss_of_information(bound, &prev.abstraction, &cfg.distribution);
+            let rows = prev.abstraction.apply(bound).rows;
+            warm_stats.privacy_evaluations += 1;
+            warm_stats.loi_evaluations += 1;
+            let out = compute_privacy(bound, &rows, &cfg.privacy, cache);
+            warm_stats.privacy_stats.absorb(&out.stats);
+            if let Some(privacy) = out.privacy {
+                warm_stats.warm_start_used = true;
+                incumbent = Some(BestAbstraction {
+                    abstraction: prev.abstraction.clone(),
+                    loi,
+                    privacy,
+                    edges_used: prev.abstraction.edges_used(),
+                });
+            }
+        }
+    }
+    let mut outcome = search_with_incumbent(bound, cfg, cache, incumbent);
+    outcome.stats.privacy_evaluations += warm_stats.privacy_evaluations;
+    outcome.stats.loi_evaluations += warm_stats.loi_evaluations;
+    outcome.stats.warm_start_used = warm_stats.warm_start_used;
+    outcome
+        .stats
+        .privacy_stats
+        .absorb(&warm_stats.privacy_stats);
+    outcome
+}
+
+fn search_with_incumbent(
+    bound: &Bound<'_>,
+    cfg: &SearchConfig,
+    cache: &PrivacyCache,
+    incumbent: Option<BestAbstraction>,
+) -> SearchOutcome {
     let workers = cfg.effective_parallelism();
     if workers > 1 && cfg.sort_abstractions {
-        return parallel_search(bound, cfg, cache, workers);
+        return parallel_search(bound, cfg, cache, workers, incumbent);
     }
-    sequential_search(bound, cfg, cache)
+    sequential_search(bound, cfg, cache, incumbent)
 }
 
 /// The sequential Algorithm 2 exactly as the paper prints it — the
 /// `parallelism: Some(1)` trace the Figure 19 ablation compares against.
-fn sequential_search(bound: &Bound<'_>, cfg: &SearchConfig, cache: &PrivacyCache) -> SearchOutcome {
+fn sequential_search(
+    bound: &Bound<'_>,
+    cfg: &SearchConfig,
+    cache: &PrivacyCache,
+    incumbent: Option<BestAbstraction>,
+) -> SearchOutcome {
     let space = AbstractionSpace::new(bound);
     let mut stats = SearchStats::default();
-    let mut best: Option<BestAbstraction> = None;
+    let mut best: Option<BestAbstraction> = incumbent;
     let deadline = cfg
         .time_budget_ms
         .map(|ms| Instant::now() + Duration::from_millis(ms));
     let out_of_time = move || deadline.is_some_and(|d| Instant::now() >= d);
 
-    let consider = |lifts: &[u32],
-                        stats: &mut SearchStats,
-                        best: &mut Option<BestAbstraction>|
-     -> bool {
-        if out_of_time() {
-            return false;
-        }
-        stats.abstractions_enumerated += 1;
-        let abs = space.to_abstraction(bound, lifts);
-        stats.loi_evaluations += 1;
-        let loi = loss_of_information(bound, &abs, &cfg.distribution);
-        let l_best = best.as_ref().map_or(f64::INFINITY, |b| b.loi);
-        if cfg.prioritize_loi && loi >= l_best {
-            return stats.abstractions_enumerated < cfg.max_candidates;
-        }
-        stats.privacy_evaluations += 1;
-        let rows = abs.apply(bound).rows;
-        let out = compute_privacy(bound, &rows, &cfg.privacy, cache);
-        stats.privacy_stats.absorb(&out.stats);
-        if let Some(p) = out.privacy {
-            if loi < l_best {
-                *best = Some(BestAbstraction {
-                    edges_used: abs.edges_used(),
-                    abstraction: abs,
-                    loi,
-                    privacy: p,
-                });
+    let consider =
+        |lifts: &[u32], stats: &mut SearchStats, best: &mut Option<BestAbstraction>| -> bool {
+            if out_of_time() {
+                return false;
             }
-        }
-        stats.abstractions_enumerated < cfg.max_candidates
-    };
+            stats.abstractions_enumerated += 1;
+            let abs = space.to_abstraction(bound, lifts);
+            stats.loi_evaluations += 1;
+            let loi = loss_of_information(bound, &abs, &cfg.distribution);
+            let l_best = best.as_ref().map_or(f64::INFINITY, |b| b.loi);
+            if cfg.prioritize_loi && loi >= l_best {
+                return stats.abstractions_enumerated < cfg.max_candidates;
+            }
+            stats.privacy_evaluations += 1;
+            let rows = abs.apply(bound).rows;
+            let out = compute_privacy(bound, &rows, &cfg.privacy, cache);
+            stats.privacy_stats.absorb(&out.stats);
+            if let Some(p) = out.privacy {
+                if loi < l_best {
+                    *best = Some(BestAbstraction {
+                        edges_used: abs.edges_used(),
+                        abstraction: abs,
+                        loi,
+                        privacy: p,
+                    });
+                }
+            }
+            stats.abstractions_enumerated < cfg.max_candidates
+        };
 
     if cfg.sort_abstractions {
         let min_loi = if cfg.early_termination {
@@ -448,9 +513,7 @@ fn sequential_search(bound: &Bound<'_>, cfg: &SearchConfig, cache: &PrivacyCache
             }
         }
     } else {
-        let complete = space.for_each_unsorted(&mut |lifts| {
-            consider(lifts, &mut stats, &mut best)
-        });
+        let complete = space.for_each_unsorted(&mut |lifts| consider(lifts, &mut stats, &mut best));
         stats.truncated |= !complete;
     }
     SearchOutcome { best, stats }
@@ -476,11 +539,15 @@ fn parallel_search(
     cfg: &SearchConfig,
     cache: &PrivacyCache,
     workers: usize,
+    initial: Option<BestAbstraction>,
 ) -> SearchOutcome {
     let space = AbstractionSpace::new(bound);
     let mut stats = SearchStats::default();
-    let mut best: Option<BestAbstraction> = None;
+    let mut best: Option<BestAbstraction> = initial;
     let incumbent = SharedIncumbent::new();
+    if let Some(b) = &best {
+        incumbent.publish_min(b.loi);
+    }
     let deadline = cfg
         .time_budget_ms
         .map(|ms| Instant::now() + Duration::from_millis(ms));
@@ -507,7 +574,9 @@ fn parallel_search(
         // `max_candidates`, and which prefix of those is eligible for a
         // privacy evaluation (`loi < l_best`; everything, under the
         // `prioritize_loi: false` ablation).
-        let budget = cfg.max_candidates.saturating_sub(stats.abstractions_enumerated);
+        let budget = cfg
+            .max_candidates
+            .saturating_sub(stats.abstractions_enumerated);
         let considered = bucket.len().min(budget);
         let l_best = incumbent.get();
         let eval_len = if cfg.prioritize_loi {
@@ -577,9 +646,7 @@ fn parallel_search(
                                 // Indices only grow, so once a success below
                                 // `i` exists nothing this worker can claim
                                 // will ever win: stop.
-                                if cfg.prioritize_loi
-                                    && best_success.load(Ordering::Acquire) < i
-                                {
+                                if cfg.prioritize_loi && best_success.load(Ordering::Acquire) < i {
                                     break;
                                 }
                                 if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -781,6 +848,116 @@ mod tests {
             ..Default::default()
         });
         assert!(out.best.is_none());
+    }
+
+    #[test]
+    fn warm_restart_returns_the_same_optimum_with_fewer_evaluations() {
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        let cfg = SearchConfig {
+            privacy: PrivacyConfig {
+                threshold: 2,
+                ..Default::default()
+            },
+            parallelism: Some(1),
+            ..Default::default()
+        };
+        let cache = PrivacyCache::new();
+        let cold = find_optimal_abstraction_with_cache(&b, &cfg, &cache);
+        assert!(!cold.stats.warm_start_used);
+        let cold_best = cold.best.as_ref().unwrap();
+        // Unchanged database: the incumbent is verified once and every
+        // bucket is pruned against it.
+        let warm = find_optimal_abstraction_incremental(&b, &cfg, &cache, cold.best.as_ref());
+        assert!(warm.stats.warm_start_used);
+        let warm_best = warm.best.unwrap();
+        assert!((warm_best.loi - cold_best.loi).abs() < 1e-12);
+        assert_eq!(warm_best.privacy, cold_best.privacy);
+        assert_eq!(warm_best.edges_used, cold_best.edges_used);
+        assert!(
+            warm.stats.privacy_evaluations <= cold.stats.privacy_evaluations,
+            "warm {} vs cold {}",
+            warm.stats.privacy_evaluations,
+            cold.stats.privacy_evaluations
+        );
+    }
+
+    #[test]
+    fn warm_restart_still_finds_improvements() {
+        // Seed with a deliberately bad (but threshold-meeting) incumbent:
+        // the search must still return the true optimum.
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        let cfg = SearchConfig {
+            privacy: PrivacyConfig {
+                threshold: 2,
+                ..Default::default()
+            },
+            parallelism: Some(1),
+            ..Default::default()
+        };
+        let cache = PrivacyCache::new();
+        let cold_best = find_optimal_abstraction_with_cache(&b, &cfg, &cache)
+            .best
+            .unwrap();
+        // Lift h1 and h2 all the way to the root's child: strictly worse
+        // LOI than the optimum, still privacy >= 2.
+        let mut abs = Abstraction::identity(&b);
+        for r in 0..b.num_rows() {
+            for i in 0..b.row_occurrences(r).len() {
+                if b.max_lift(r, i) >= 3 {
+                    abs.lifts[r][i] = 3;
+                }
+            }
+        }
+        let bad = BestAbstraction {
+            edges_used: abs.edges_used(),
+            abstraction: abs,
+            loi: f64::INFINITY, // stale value: re-scored inside
+            privacy: 0,
+        };
+        for parallelism in [Some(1), Some(4)] {
+            let cfg = SearchConfig {
+                parallelism,
+                ..cfg.clone()
+            };
+            let warm = find_optimal_abstraction_incremental(&b, &cfg, &cache, Some(&bad));
+            let best = warm.best.unwrap();
+            assert!(
+                (best.loi - cold_best.loi).abs() < 1e-12,
+                "warm restart missed the optimum ({} vs {}) at {parallelism:?}",
+                best.loi,
+                cold_best.loi
+            );
+        }
+    }
+
+    #[test]
+    fn warm_restart_ignores_invalid_incumbents() {
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        let cfg = SearchConfig {
+            privacy: PrivacyConfig {
+                threshold: 2,
+                ..Default::default()
+            },
+            parallelism: Some(1),
+            ..Default::default()
+        };
+        let cache = PrivacyCache::new();
+        // Wrong shape: one row too few.
+        let stale = BestAbstraction {
+            abstraction: Abstraction {
+                lifts: vec![vec![0; 3]],
+            },
+            loi: 0.0,
+            privacy: 5,
+            edges_used: 0,
+        };
+        let out = find_optimal_abstraction_incremental(&b, &cfg, &cache, Some(&stale));
+        assert!(!out.stats.warm_start_used);
+        let cold = find_optimal_abstraction_with_cache(&b, &cfg, &cache);
+        assert!((out.best.unwrap().loi - cold.best.unwrap().loi).abs() < 1e-12);
     }
 
     #[test]

@@ -60,6 +60,18 @@ impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
             .clone()
     }
 
+    /// Keeps only the entries whose key satisfies `f`, shard by shard.
+    /// Writers of other shards proceed concurrently; the predicate runs
+    /// under one shard's write lock at a time, so it must not touch the map.
+    pub fn retain(&self, mut f: impl FnMut(&K) -> bool) {
+        for shard in &self.shards {
+            shard
+                .write()
+                .expect("shard lock poisoned")
+                .retain(|k, _| f(k));
+        }
+    }
+
     /// Total entries across shards.
     pub fn len(&self) -> usize {
         self.shards
@@ -97,6 +109,18 @@ mod tests {
         assert_eq!(m.insert(7, 71), 70);
         assert_eq!(m.get(&7), Some(70));
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn retain_filters_across_shards() {
+        let m: ShardedMap<usize, usize> = ShardedMap::default();
+        for i in 0..64 {
+            m.insert(i, i);
+        }
+        m.retain(|&k| k % 2 == 0);
+        assert_eq!(m.len(), 32);
+        assert_eq!(m.get(&2), Some(2));
+        assert_eq!(m.get(&3), None);
     }
 
     #[test]

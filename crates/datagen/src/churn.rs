@@ -1,0 +1,273 @@
+//! Update-stream (churn) workloads for the incremental update engine.
+//!
+//! A [`ChurnGenerator`] turns any generated database (TPC-H, IMDB, or
+//! custom) into a deterministic stream of [`Delta`] batches with a
+//! configurable insert/delete mix — the streaming-update scenario class the
+//! batch experiments cannot express. Inserted tuples are synthesized by
+//! *column-mixing* two random live donor rows of the target relation, so
+//! every column keeps its realistic value domain (keys stay joinable,
+//! categories stay categorical) while new join combinations appear.
+//! Deletions pick random live tuples, skipping a caller-supplied protected
+//! set (e.g. the tuples a K-example's provenance resolves through).
+
+use provabs_relational::{Database, Delta, RelId};
+use provabs_semiring::AnnotId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Shape of an update stream.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Changes per batch (inserts + deletes).
+    pub batch_size: usize,
+    /// Fraction of changes that are inserts, in `[0, 1]`; the rest are
+    /// deletes. `1.0` is append-only growth, `0.5` keeps the database size
+    /// roughly stable.
+    pub insert_ratio: f64,
+    /// RNG seed; equal configs over equal databases yield identical
+    /// streams.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        Self {
+            batch_size: 16,
+            insert_ratio: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// A deterministic source of update batches against an evolving database.
+///
+/// The generator holds no reference to the database: each call to
+/// [`ChurnGenerator::next_batch`] inspects the database as it is *now*, so
+/// the stream stays valid however the caller interleaves batches with other
+/// mutations.
+#[derive(Debug)]
+pub struct ChurnGenerator {
+    rng: StdRng,
+    insert_ratio: f64,
+    batch_size: usize,
+    /// Annotations that must never be deleted.
+    protected: HashSet<AnnotId>,
+    /// Relations eligible for churn (default: all).
+    relations: Option<Vec<RelId>>,
+    /// Monotone counter making insert labels globally fresh.
+    fresh: u64,
+}
+
+impl ChurnGenerator {
+    /// A generator following `cfg`.
+    pub fn new(cfg: &ChurnConfig) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xc4c3_a1b2_95d1_e7f3),
+            insert_ratio: cfg.insert_ratio.clamp(0.0, 1.0),
+            batch_size: cfg.batch_size.max(1),
+            protected: HashSet::new(),
+            relations: None,
+            fresh: 0,
+        }
+    }
+
+    /// Protects annotations from deletion (chainable).
+    pub fn protect(mut self, annots: impl IntoIterator<Item = AnnotId>) -> Self {
+        self.protected.extend(annots);
+        self
+    }
+
+    /// Restricts churn to `rels` (chainable). By default every relation of
+    /// the database may receive inserts and deletes.
+    pub fn restrict_to(mut self, rels: impl IntoIterator<Item = RelId>) -> Self {
+        self.relations = Some(rels.into_iter().collect());
+        self
+    }
+
+    /// Draws the next batch against the current state of `db`. Deletes
+    /// target live, unprotected tuples; inserts column-mix two live donor
+    /// rows of a randomly chosen non-empty relation. Either kind degrades
+    /// to the other when the database offers no candidates (e.g. deletes on
+    /// an empty database become inserts only if a donor exists; with no
+    /// donors at all the change is dropped).
+    pub fn next_batch(&mut self, db: &Database) -> Delta {
+        let rels: Vec<RelId> = match &self.relations {
+            Some(r) => r.clone(),
+            None => db.schema().relation_ids().collect(),
+        };
+        let nonempty: Vec<RelId> = rels
+            .iter()
+            .copied()
+            .filter(|&r| db.relation_len(r) > 0)
+            .collect();
+        let mut delta = Delta::new();
+        // Deletes already queued this batch: a tuple may die only once.
+        let mut dying: HashSet<AnnotId> = HashSet::new();
+        for _ in 0..self.batch_size {
+            let want_insert = self.rng.random_bool(self.insert_ratio);
+            if want_insert || nonempty.is_empty() {
+                if let Some((rel, tuple)) = self.mix_tuple(db, &nonempty) {
+                    let label = format!("chg{}", self.fresh);
+                    self.fresh += 1;
+                    delta.insert(rel, label, tuple);
+                }
+            } else if let Some(a) = self.pick_victim(db, &nonempty, &dying) {
+                dying.insert(a);
+                delta.delete(a);
+            }
+        }
+        delta
+    }
+
+    /// Column-mixes two random rows of a random non-empty relation.
+    fn mix_tuple(
+        &mut self,
+        db: &Database,
+        nonempty: &[RelId],
+    ) -> Option<(RelId, provabs_relational::Tuple)> {
+        if nonempty.is_empty() {
+            return None;
+        }
+        let rel = nonempty[self.rng.random_range(0..nonempty.len())];
+        let tuples = db.tuples(rel);
+        let a = &tuples[self.rng.random_range(0..tuples.len())];
+        let b = &tuples[self.rng.random_range(0..tuples.len())];
+        let tuple = (0..a.arity())
+            .map(|col| {
+                if self.rng.random_bool(0.5) {
+                    a[col].clone()
+                } else {
+                    b[col].clone()
+                }
+            })
+            .collect();
+        Some((rel, tuple))
+    }
+
+    /// Picks a live, unprotected annotation to delete (bounded retries so a
+    /// heavily protected database cannot stall the stream).
+    fn pick_victim(
+        &mut self,
+        db: &Database,
+        nonempty: &[RelId],
+        dying: &HashSet<AnnotId>,
+    ) -> Option<AnnotId> {
+        for _ in 0..32 {
+            let rel = nonempty[self.rng.random_range(0..nonempty.len())];
+            let annots = db.tuple_annots(rel);
+            let a = annots[self.rng.random_range(0..annots.len())];
+            if !self.protected.contains(&a) && !dying.contains(&a) {
+                return Some(a);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch::{generate, TpchConfig};
+    use provabs_relational::{apply_delta_with_queries, eval_cq, parse_cq};
+
+    fn small_db() -> Database {
+        generate(&TpchConfig {
+            lineitem_rows: 200,
+            seed: 5,
+        })
+        .0
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let cfg = ChurnConfig {
+            batch_size: 8,
+            insert_ratio: 0.5,
+            seed: 9,
+        };
+        let db = small_db();
+        let a = ChurnGenerator::new(&cfg).next_batch(&db);
+        let b = ChurnGenerator::new(&cfg).next_batch(&db);
+        assert_eq!(a, b);
+        let c = ChurnGenerator::new(&ChurnConfig { seed: 10, ..cfg }).next_batch(&db);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn insert_ratio_controls_the_mix() {
+        let db = small_db();
+        let grow = ChurnGenerator::new(&ChurnConfig {
+            batch_size: 64,
+            insert_ratio: 1.0,
+            seed: 3,
+        })
+        .next_batch(&db);
+        assert_eq!(grow.inserts.len(), 64);
+        assert!(grow.deletes.is_empty());
+        let shrink = ChurnGenerator::new(&ChurnConfig {
+            batch_size: 64,
+            insert_ratio: 0.0,
+            seed: 3,
+        })
+        .next_batch(&db);
+        assert!(shrink.inserts.is_empty());
+        assert_eq!(shrink.deletes.len(), 64);
+        let mixed = ChurnGenerator::new(&ChurnConfig {
+            batch_size: 64,
+            insert_ratio: 0.5,
+            seed: 3,
+        })
+        .next_batch(&db);
+        assert!(!mixed.inserts.is_empty() && !mixed.deletes.is_empty());
+    }
+
+    #[test]
+    fn protected_annotations_survive() {
+        let mut db = small_db();
+        let protected: HashSet<AnnotId> = db.tuple_annots(RelId(0)).iter().copied().collect();
+        let mut gen = ChurnGenerator::new(&ChurnConfig {
+            batch_size: 32,
+            insert_ratio: 0.0,
+            seed: 7,
+        })
+        .protect(protected.iter().copied())
+        .restrict_to([RelId(0)]);
+        // Region has 5 tuples, all protected: every delete attempt gives up.
+        let delta = gen.next_batch(&db);
+        assert!(delta.deletes.is_empty());
+        db.apply_delta(&delta);
+        assert_eq!(db.relation_len(RelId(0)), 5);
+    }
+
+    #[test]
+    fn batches_stay_applicable_and_maintainable_over_many_steps() {
+        let (mut db, rels) = generate(&TpchConfig {
+            lineitem_rows: 300,
+            seed: 11,
+        });
+        let q = parse_cq(
+            "Q(ok) :- Orders(ok, ck, st, yr, '1-URGENT'), Lineitem(ok, pk, sk, ln, qt, rf, sm)",
+            db.schema(),
+        )
+        .unwrap();
+        let mut cached = eval_cq(&db, &q);
+        let mut gen = ChurnGenerator::new(&ChurnConfig {
+            batch_size: 12,
+            insert_ratio: 0.5,
+            seed: 13,
+        })
+        .restrict_to([rels.orders, rels.lineitem]);
+        let before = db.len();
+        for step in 0..10 {
+            let delta = gen.next_batch(&db);
+            assert!(!delta.is_empty(), "step {step} produced nothing");
+            let out = apply_delta_with_queries(&mut db, &delta, std::slice::from_ref(&q));
+            assert!(out.deltas[0].merge_into(&mut cached), "step {step}");
+            assert_eq!(cached, eval_cq(&db, &q), "step {step}");
+        }
+        // Roughly balanced churn keeps the database near its original size.
+        let after = db.len() as f64 / before as f64;
+        assert!((0.8..1.2).contains(&after), "size drifted to {after}");
+    }
+}

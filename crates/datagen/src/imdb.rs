@@ -209,7 +209,10 @@ pub fn imdb_tree(db: &mut Database, rels: &ImdbRelations) -> AbstractionTree {
             let mut by_range: std::collections::BTreeMap<i64, Vec<(AnnotId, i64)>> =
                 std::collections::BTreeMap::new();
             for &(a, y) in items {
-                by_range.entry(y - y.rem_euclid(20)).or_default().push((a, y));
+                by_range
+                    .entry(y - y.rem_euclid(20))
+                    .or_default()
+                    .push((a, y));
             }
             for (range_start, members) in by_range {
                 let range_label =

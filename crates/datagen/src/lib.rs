@@ -13,13 +13,17 @@
 //!   divided into even subcategories) and the IMDB ontology tree
 //!   (birth-year / release-year ranges, genre types);
 //! * workload helpers turning query outputs into K-examples and deriving
-//!   the join-scaling variants of Figure 16.
+//!   the join-scaling variants of Figure 16;
+//! * update-stream (churn) generators feeding the incremental update
+//!   engine with deterministic insert/delete batches ([`churn`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod imdb;
 pub mod tpch;
 pub mod workload;
 
+pub use churn::{ChurnConfig, ChurnGenerator};
 pub use workload::{join_variants, kexample_for, Workload};

@@ -90,7 +90,11 @@ pub fn join_variants(query: &Cq, min_atoms: usize) -> Vec<Cq> {
             .collect();
         let next = (0..n)
             .filter(|&i| !used[i])
-            .find(|&i| query.body[i].variables().any(|v| connected_vars.contains(&v)))
+            .find(|&i| {
+                query.body[i]
+                    .variables()
+                    .any(|v| connected_vars.contains(&v))
+            })
             .or_else(|| (0..n).find(|&i| !used[i]))
             .unwrap();
         used[next] = true;
@@ -137,7 +141,11 @@ mod tests {
             let ex = kexample_for(&db, &w.query, 2)
                 .unwrap_or_else(|| panic!("{} yields no 2-row K-example", w.name));
             assert_eq!(ex.len(), 2);
-            assert!(ex.resolve(&db).is_some(), "{}: unresolved annotations", w.name);
+            assert!(
+                ex.resolve(&db).is_some(),
+                "{}: unresolved annotations",
+                w.name
+            );
             // Row degree equals the atom count.
             for row in &ex.rows {
                 assert_eq!(row.monomial.degree() as usize, w.query.body.len());
@@ -172,10 +180,7 @@ mod tests {
                 assert!(v.is_safe(), "{}: unsafe variant", w.name);
             }
             // The last variant is the full query body.
-            assert_eq!(
-                variants.last().unwrap().body.len(),
-                w.query.body.len()
-            );
+            assert_eq!(variants.last().unwrap().body.len(), w.query.body.len());
         }
     }
 

@@ -34,6 +34,11 @@ pub struct Database {
     annots: AnnotRegistry,
     /// Reverse map annotation → tuple location.
     annot_loc: HashMap<AnnotId, TupleRef>,
+    /// Annotations whose tuples were deleted. A retired annotation may
+    /// never tag again: provenance held from before the deletion (cached
+    /// K-relations, abstraction-tree leaves) must keep failing to resolve
+    /// instead of silently resolving to an unrelated tuple.
+    retired: std::collections::HashSet<AnnotId>,
     indexed: bool,
 }
 
@@ -46,7 +51,13 @@ impl Database {
     /// Adds a relation to the schema.
     pub fn add_relation(&mut self, name: &str, columns: &[&str]) -> RelId {
         let id = self.schema.add_relation(name, columns);
-        self.relations.push(RelationData::default());
+        let mut data = RelationData::default();
+        if self.indexed {
+            // Keep the invariant that an indexed database has one index per
+            // column of every relation, so later inserts can maintain them.
+            data.indexes = vec![HashMap::new(); columns.len()];
+        }
+        self.relations.push(data);
         id
     }
 
@@ -64,7 +75,10 @@ impl Database {
     ///
     /// # Panics
     /// Panics if the arity mismatches the schema or the annotation label is
-    /// already used (annotations must be distinct — abstract tagging).
+    /// already used — live **or retired by [`Database::delete`]**:
+    /// annotations are distinct for the database's lifetime (abstract
+    /// tagging), so a label never tags two different tuples, even across a
+    /// deletion.
     pub fn insert(&mut self, rel: RelId, annot: &str, tuple: Tuple) -> AnnotId {
         assert_eq!(
             tuple.arity(),
@@ -77,18 +91,85 @@ impl Database {
             !self.annot_loc.contains_key(&id),
             "annotation {annot} already tags a tuple (abstract tagging requires distinct annotations)"
         );
+        assert!(
+            !self.retired.contains(&id),
+            "annotation {annot} tagged a deleted tuple and may not be reused"
+        );
         let data = &mut self.relations[rel.0 as usize];
         let row = data.tuples.len();
+        if self.indexed {
+            // Incremental maintenance: append the new row to every
+            // per-column posting list instead of invalidating the indexes
+            // (a full rebuild would degrade every later lookup to a scan
+            // until someone called `build_indexes` again).
+            for (col, v) in tuple.values().iter().enumerate() {
+                data.indexes[col].entry(v.clone()).or_default().push(row);
+            }
+        }
         data.tuples.push(tuple);
         data.annots.push(id);
         self.annot_loc.insert(id, TupleRef { rel, row });
-        self.indexed = false;
         id
     }
 
     /// Inserts a tuple given as string literals (see [`Tuple::parse`]).
     pub fn insert_str(&mut self, rel: RelId, annot: &str, fields: &[&str]) -> AnnotId {
         self.insert(rel, annot, Tuple::parse(fields))
+    }
+
+    /// Deletes the tuple tagged by `annot`, returning its relation and
+    /// values, or `None` when the annotation tags no tuple.
+    ///
+    /// Storage stays dense (the relation's last row moves into the freed
+    /// slot), and when indexes are built they are maintained incrementally:
+    /// the deleted row is unlinked from its posting lists and the moved
+    /// row's entries are renamed — no rebuild, no scan-degradation. Row
+    /// indexes previously handed out for the moved row are invalidated;
+    /// annotations remain the stable way to name a tuple.
+    pub fn delete(&mut self, annot: AnnotId) -> Option<(RelId, Tuple)> {
+        let loc = self.annot_loc.remove(&annot)?;
+        self.retired.insert(annot);
+        let data = &mut self.relations[loc.rel.0 as usize];
+        let last = data.tuples.len() - 1;
+        let removed = data.tuples.swap_remove(loc.row);
+        data.annots.swap_remove(loc.row);
+        if self.indexed {
+            for (col, v) in removed.values().iter().enumerate() {
+                let entry = data.indexes[col].get_mut(v).expect("indexed value present");
+                let pos = entry
+                    .iter()
+                    .position(|&r| r == loc.row)
+                    .expect("row in posting list");
+                entry.swap_remove(pos);
+                if entry.is_empty() {
+                    data.indexes[col].remove(v);
+                }
+            }
+            if loc.row != last {
+                // The previous last row now lives at `loc.row`: rename it in
+                // every posting list it appears in.
+                let moved = data.tuples[loc.row].clone();
+                for (col, v) in moved.values().iter().enumerate() {
+                    let entry = data.indexes[col].get_mut(v).expect("indexed value present");
+                    let pos = entry
+                        .iter()
+                        .position(|&r| r == last)
+                        .expect("moved row in posting list");
+                    entry[pos] = loc.row;
+                }
+            }
+        }
+        if loc.row != last {
+            let moved_annot = data.annots[loc.row];
+            self.annot_loc.insert(
+                moved_annot,
+                TupleRef {
+                    rel: loc.rel,
+                    row: loc.row,
+                },
+            );
+        }
+        Some((loc.rel, removed))
     }
 
     /// Number of tuples in `rel`.
@@ -220,6 +301,71 @@ mod tests {
     fn distinct_annotations_enforced() {
         let (mut db, r) = sample_db();
         db.insert_str(r, "t1", &["9", "z"]);
+    }
+
+    #[test]
+    fn insert_maintains_indexes_incrementally() {
+        // Regression: `insert` used to flip `indexed = false`, silently
+        // degrading every later `rows_matching` to a full scan.
+        let (mut db, r) = sample_db();
+        db.build_indexes();
+        assert!(db.is_indexed());
+        db.insert_str(r, "t4", &["3", "x"]);
+        assert!(db.is_indexed(), "insert must not invalidate indexes");
+        assert_eq!(db.rows_matching(r, 1, &Value::str("x")), vec![0, 1, 3]);
+        assert_eq!(db.rows_matching(r, 0, &Value::Int(3)), vec![3]);
+        // A relation added after indexing is maintained too.
+        let s = db.add_relation("S", &["a"]);
+        db.insert_str(s, "s1", &["7"]);
+        assert!(db.is_indexed());
+        assert_eq!(db.rows_matching(s, 0, &Value::Int(7)), vec![0]);
+    }
+
+    #[test]
+    fn delete_unlinks_and_renames_rows() {
+        let (mut db, r) = sample_db();
+        db.build_indexes();
+        let t1 = db.annotations().get("t1").unwrap();
+        let t3 = db.annotations().get("t3").unwrap();
+        let (rel, tuple) = db.delete(t1).unwrap();
+        assert_eq!(rel, r);
+        assert_eq!(tuple, Tuple::parse(&["1", "x"]));
+        assert_eq!(db.relation_len(r), 2);
+        assert!(db.is_indexed());
+        // t3 (previously the last row) moved into row 0; its location and
+        // posting lists must follow.
+        assert_eq!(db.locate(t3).unwrap().row, 0);
+        assert_eq!(db.rows_matching(r, 1, &Value::str("y")), vec![0]);
+        assert_eq!(db.rows_matching(r, 1, &Value::str("x")), vec![1]);
+        // The annotation no longer resolves; deleting again is a no-op.
+        assert!(db.tuple_by_annot(t1).is_none());
+        assert!(db.delete(t1).is_none());
+        assert!(db.locate(t1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "may not be reused")]
+    fn retired_annotations_never_tag_again() {
+        // Reusing a deleted tuple's label would silently re-bind its
+        // AnnotId under provenance captured before the deletion.
+        let (mut db, r) = sample_db();
+        let t1 = db.annotations().get("t1").unwrap();
+        db.delete(t1).unwrap();
+        db.insert_str(r, "t1", &["5", "z"]);
+    }
+
+    #[test]
+    fn delete_last_row_needs_no_rename() {
+        let (mut db, r) = sample_db();
+        db.build_indexes();
+        let t3 = db.annotations().get("t3").unwrap();
+        db.delete(t3).unwrap();
+        assert_eq!(db.relation_len(r), 2);
+        assert_eq!(
+            db.rows_matching(r, 1, &Value::str("y")),
+            Vec::<usize>::new()
+        );
+        assert_eq!(db.rows_matching(r, 1, &Value::str("x")), vec![0, 1]);
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! annotations of the derivation's image.
 
 use crate::{Cq, Database, Term, Tuple, Ucq, Value, VarId};
-use provabs_semiring::{Monomial, Polynomial};
-use std::collections::{BTreeMap, HashMap};
+use provabs_semiring::{AnnotId, Monomial, Polynomial};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// An output K-relation: output tuples with their provenance polynomials.
 ///
@@ -42,6 +42,28 @@ impl KRelation {
     pub fn add(&mut self, t: Tuple, poly: Polynomial) {
         let entry = self.tuples.entry(t).or_insert_with(Polynomial::zero);
         *entry = entry.add(&poly);
+    }
+
+    /// Subtracts `poly` from the provenance of `t`, dropping the output when
+    /// its polynomial reaches zero. Returns `false` (leaving `self`
+    /// untouched) when the subtraction would underflow — the delta being
+    /// merged does not belong to this K-relation.
+    pub fn subtract(&mut self, t: &Tuple, poly: &Polynomial) -> bool {
+        if poly.is_zero() {
+            return true;
+        }
+        let Some(entry) = self.tuples.get_mut(t) else {
+            return false;
+        };
+        let Some(diff) = entry.checked_sub(poly) else {
+            return false;
+        };
+        if diff.is_zero() {
+            self.tuples.remove(t);
+        } else {
+            *entry = diff;
+        }
+        true
     }
 
     /// K-relation subsumption `self ⊆_K other` under the natural order of
@@ -82,6 +104,26 @@ impl Default for EvalLimits {
     }
 }
 
+/// Work counters of one evaluation: how much of the search space the join
+/// engine actually touched. Deterministic for a given database + query, so
+/// they make machine-independent perf-gate metrics (unlike wall time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalWork {
+    /// Candidate rows examined across all atoms (every row the backtracking
+    /// join tried to match, whether or not it bound).
+    pub rows_examined: u64,
+    /// Derivations emitted.
+    pub derivations: u64,
+}
+
+impl EvalWork {
+    /// Accumulates another evaluation's counters.
+    pub fn absorb(&mut self, other: &EvalWork) {
+        self.rows_examined += other.rows_examined;
+        self.derivations += other.derivations;
+    }
+}
+
 /// Evaluates a CQ, producing the full annotated output.
 pub fn eval_cq(db: &Database, q: &Cq) -> KRelation {
     eval_cq_limited(db, q, EvalLimits::default())
@@ -93,22 +135,70 @@ pub fn eval_cq(db: &Database, q: &Cq) -> KRelation {
 /// ties toward smaller relations), then backtracks over candidate tuples
 /// fetched through per-column hash indexes.
 pub fn eval_cq_limited(db: &Database, q: &Cq, limits: EvalLimits) -> KRelation {
+    eval_cq_counted(db, q, limits).0
+}
+
+/// [`eval_cq_limited`] also reporting the [`EvalWork`] counters.
+pub fn eval_cq_counted(db: &Database, q: &Cq, limits: EvalLimits) -> (KRelation, EvalWork) {
+    run_engine(db, q, limits, None)
+}
+
+/// Restriction of an evaluation to derivations through a *pivot* atom
+/// (semi-naive delta evaluation): the pivot body atom may only match rows
+/// whose annotation is in `set`, body atoms *before* the pivot (in the
+/// query's original atom order) may only match rows *outside* `set`, and
+/// later atoms are unrestricted. Summed over all pivot positions this
+/// counts every derivation touching `set` exactly once — the classic
+/// delta-rule decomposition.
+pub(crate) struct Restriction<'a> {
+    /// Original body-atom index acting as the delta atom.
+    pub pivot: usize,
+    /// The delta annotations.
+    pub set: &'a HashSet<AnnotId>,
+    /// Precomputed rows of `set` members inside the pivot atom's relation
+    /// (an access path so the pivot never scans).
+    pub pivot_rows: &'a [usize],
+}
+
+pub(crate) fn eval_cq_restricted(
+    db: &Database,
+    q: &Cq,
+    restriction: Restriction<'_>,
+) -> (KRelation, EvalWork) {
+    run_engine(db, q, EvalLimits::default(), Some(restriction))
+}
+
+fn run_engine(
+    db: &Database,
+    q: &Cq,
+    limits: EvalLimits,
+    restrict: Option<Restriction<'_>>,
+) -> (KRelation, EvalWork) {
     let mut out = KRelation::default();
     if q.body.is_empty() {
-        return out;
+        return (out, EvalWork::default());
     }
+    // A pivoted evaluation starts from the delta rows: they are the most
+    // selective access path by construction.
+    let order = plan_order(db, q, restrict.as_ref().map(|r| r.pivot));
     let mut engine = Engine {
         db,
         q,
         limits,
         derivations: 0,
+        rows_examined: 0,
         out: &mut out,
-        order: plan_order(db, q),
+        order,
+        restrict,
     };
     let mut bindings: HashMap<VarId, Value> = HashMap::new();
     let mut image: Vec<provabs_semiring::AnnotId> = Vec::with_capacity(q.body.len());
     engine.solve(0, &mut bindings, &mut image);
-    out
+    let work = EvalWork {
+        rows_examined: engine.rows_examined,
+        derivations: engine.derivations as u64,
+    };
+    (out, work)
 }
 
 /// Evaluates a UCQ: the sum of its disjuncts' outputs.
@@ -180,13 +270,23 @@ pub fn eval_cqs_parallel(db: &Database, queries: &[Cq], workers: usize) -> Vec<K
 
 /// Chooses an atom evaluation order: start from the atom with the most
 /// constants (smallest candidate set), then repeatedly pick the atom sharing
-/// the most variables with the bound set.
-fn plan_order(db: &Database, q: &Cq) -> Vec<usize> {
+/// the most variables with the bound set. `first` forces a leading atom
+/// (the delta pivot of a restricted evaluation).
+fn plan_order(db: &Database, q: &Cq, first: Option<usize>) -> Vec<usize> {
     let n = q.body.len();
     let mut chosen = vec![false; n];
     let mut order = Vec::with_capacity(n);
     let mut bound: Vec<VarId> = Vec::new();
-    for _ in 0..n {
+    if let Some(i) = first {
+        chosen[i] = true;
+        for v in q.body[i].variables() {
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+        }
+        order.push(i);
+    }
+    while order.len() < n {
         let mut best: Option<(usize, (usize, isize))> = None;
         for (i, atom) in q.body.iter().enumerate() {
             if chosen[i] {
@@ -223,8 +323,10 @@ struct Engine<'a> {
     q: &'a Cq,
     limits: EvalLimits,
     derivations: usize,
+    rows_examined: u64,
     out: &'a mut KRelation,
     order: Vec<usize>,
+    restrict: Option<Restriction<'a>>,
 }
 
 impl Engine<'_> {
@@ -259,9 +361,17 @@ impl Engine<'_> {
             self.derivations += 1;
             return true;
         }
-        let atom = &self.q.body[self.order[depth]];
-        // Pick the most selective access path among bound positions.
+        let orig = self.order[depth];
+        let atom = &self.q.body[orig];
+        // Pick the most selective access path among bound positions. For
+        // the pivot atom of a restricted evaluation the delta rows are a
+        // candidate access path too.
         let mut candidates: Option<Vec<usize>> = None;
+        if let Some(r) = &self.restrict {
+            if orig == r.pivot {
+                candidates = Some(r.pivot_rows.to_vec());
+            }
+        }
         for (col, term) in atom.terms.iter().enumerate() {
             let val = match term {
                 Term::Const(c) => Some(c.clone()),
@@ -282,6 +392,17 @@ impl Engine<'_> {
         let tuples = self.db.tuples(atom.rel);
         let annots = self.db.tuple_annots(atom.rel);
         'rows: for row in rows {
+            self.rows_examined += 1;
+            if let Some(r) = &self.restrict {
+                // Membership by original atom position: before the pivot
+                // only non-delta rows, at the pivot only delta rows.
+                let in_set = r.set.contains(&annots[row]);
+                match orig.cmp(&r.pivot) {
+                    std::cmp::Ordering::Less if in_set => continue 'rows,
+                    std::cmp::Ordering::Equal if !in_set => continue 'rows,
+                    _ => {}
+                }
+            }
             let tuple = &tuples[row];
             let mut newly_bound: Vec<VarId> = Vec::new();
             for (col, term) in atom.terms.iter().enumerate() {
@@ -369,11 +490,13 @@ mod tests {
         let out = eval_cq(&db, &q);
         assert_eq!(out.len(), 2);
         let row1 = out.provenance(&Tuple::parse(&["1"]));
-        let expected1 = Monomial::from_annots([annot(&db, "p1"), annot(&db, "h1"), annot(&db, "i1")]);
+        let expected1 =
+            Monomial::from_annots([annot(&db, "p1"), annot(&db, "h1"), annot(&db, "i1")]);
         assert_eq!(row1.coefficient(&expected1), 1);
         assert_eq!(row1.num_monomials(), 1);
         let row2 = out.provenance(&Tuple::parse(&["2"]));
-        let expected2 = Monomial::from_annots([annot(&db, "p2"), annot(&db, "h2"), annot(&db, "i2")]);
+        let expected2 =
+            Monomial::from_annots([annot(&db, "p2"), annot(&db, "h2"), annot(&db, "i2")]);
         assert_eq!(row2.coefficient(&expected2), 1);
     }
 

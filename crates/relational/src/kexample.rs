@@ -43,12 +43,10 @@ impl KExample {
             rows: out
                 .iter()
                 .filter_map(|(t, p)| {
-                    p.terms()
-                        .first()
-                        .map(|(m, _)| KRow {
-                            output: t.clone(),
-                            monomial: m.clone(),
-                        })
+                    p.terms().first().map(|(m, _)| KRow {
+                        output: t.clone(),
+                        monomial: m.clone(),
+                    })
                 })
                 .take(max_rows)
                 .collect(),
@@ -140,7 +138,11 @@ impl ConcreteRow {
         reached[0] = true;
         while let Some(i) = stack.pop() {
             for (j, r) in reached.iter_mut().enumerate() {
-                if !*r && self.occurrences[i].2.shares_constant(&self.occurrences[j].2) {
+                if !*r
+                    && self.occurrences[i]
+                        .2
+                        .shares_constant(&self.occurrences[j].2)
+                {
                     *r = true;
                     stack.push(j);
                 }
@@ -168,8 +170,8 @@ pub fn monomial_connected(db: &Database, occs: &[AnnotId]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parse_cq;
     use crate::eval::eval_cq;
+    use crate::parse_cq;
 
     fn figure1_db() -> Database {
         // Reuse the eval test fixture through a local copy.

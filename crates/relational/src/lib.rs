@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod database;
+mod delta;
 mod eval;
 mod kexample;
 mod parser;
@@ -35,8 +36,15 @@ mod schema;
 mod tuple;
 mod value;
 
-pub use database::Database;
-pub use eval::{eval_cq, eval_cq_limited, eval_cqs_parallel, eval_ucq, EvalLimits, KRelation};
+pub use database::{Database, TupleRef};
+pub use delta::{
+    apply_delta_with_queries, eval_cq_additions, eval_cq_retractions, eval_ucq_additions,
+    eval_ucq_retractions, AppliedDelta, Delta, DeltaEvalOutcome, DeltaInsert, KRelationDelta,
+};
+pub use eval::{
+    eval_cq, eval_cq_counted, eval_cq_limited, eval_cqs_parallel, eval_ucq, EvalLimits, EvalWork,
+    KRelation,
+};
 pub use kexample::{monomial_connected, ConcreteRow, KExample, KRow};
 pub use parser::{parse_cq, parse_ucq, ParseError};
 pub use query::{Atom, Cq, RelId, Term, Ucq, VarId};

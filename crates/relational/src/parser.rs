@@ -47,7 +47,10 @@ impl fmt::Display for ParseError {
                 relation,
                 expected,
                 got,
-            } => write!(f, "arity mismatch for {relation}: expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "arity mismatch for {relation}: expected {expected}, got {got}"
+            ),
             ParseError::UnsafeHead(v) => write!(f, "head variable {v} not in body"),
         }
     }
@@ -153,7 +156,9 @@ impl<'a> Tokenizer<'a> {
         if &got == want {
             Ok(())
         } else {
-            Err(ParseError::Syntax(format!("expected {want:?}, got {got:?}")))
+            Err(ParseError::Syntax(format!(
+                "expected {want:?}, got {got:?}"
+            )))
         }
     }
 }
@@ -194,7 +199,11 @@ impl<'a> CqParser<'a> {
             match self.toks.next()? {
                 Tok::Comma => continue,
                 Tok::RParen => return Ok(terms),
-                t => return Err(ParseError::Syntax(format!("expected ',' or ')', got {t:?}"))),
+                t => {
+                    return Err(ParseError::Syntax(format!(
+                        "expected ',' or ')', got {t:?}"
+                    )))
+                }
             }
         }
     }
@@ -228,7 +237,11 @@ impl<'a> CqParser<'a> {
             match self.toks.next()? {
                 Tok::Comma => continue,
                 Tok::End => break,
-                t => return Err(ParseError::Syntax(format!("expected ',' or end, got {t:?}"))),
+                t => {
+                    return Err(ParseError::Syntax(format!(
+                        "expected ',' or end, got {t:?}"
+                    )))
+                }
             }
         }
         let cq = Cq {
@@ -244,7 +257,12 @@ impl<'a> CqParser<'a> {
                 .iter()
                 .filter_map(Term::as_var)
                 .find(|v| !cq.body.iter().flat_map(|a| a.variables()).any(|b| b == *v))
-                .map(|v| names.get(&v).cloned().unwrap_or_else(|| format!("v{}", v.0)))
+                .map(|v| {
+                    names
+                        .get(&v)
+                        .cloned()
+                        .unwrap_or_else(|| format!("v{}", v.0))
+                })
                 .unwrap_or_default();
             return Err(ParseError::UnsafeHead(bad));
         }
@@ -275,7 +293,9 @@ pub fn parse_ucq(src: &str, schema: &Schema) -> Result<Ucq, ParseError> {
     }
     let arity = disjuncts[0].head.len();
     if disjuncts.iter().any(|d| d.head.len() != arity) {
-        return Err(ParseError::Syntax("UCQ disjuncts disagree on head arity".into()));
+        return Err(ParseError::Syntax(
+            "UCQ disjuncts disagree on head arity".into(),
+        ));
     }
     Ok(Ucq { disjuncts })
 }
@@ -320,7 +340,14 @@ mod tests {
     fn rejects_arity_mismatch() {
         let s = schema();
         let e = parse_cq("Q(x) :- Person(x)", &s).unwrap_err();
-        assert!(matches!(e, ParseError::ArityMismatch { expected: 3, got: 1, .. }));
+        assert!(matches!(
+            e,
+            ParseError::ArityMismatch {
+                expected: 3,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -346,11 +373,7 @@ mod tests {
     #[test]
     fn parses_ucq() {
         let s = schema();
-        let u = parse_ucq(
-            "Q(x) :- Person(x, n, a); Q(x) :- Hobbies(x, h, src)",
-            &s,
-        )
-        .unwrap();
+        let u = parse_ucq("Q(x) :- Person(x, n, a); Q(x) :- Hobbies(x, h, src)", &s).unwrap();
         assert_eq!(u.disjuncts.len(), 2);
         let err = parse_ucq("Q(x) :- Person(x, n, a); Q(x, y) :- Hobbies(x, y, s)", &s);
         assert!(err.is_err());
@@ -359,7 +382,11 @@ mod tests {
     #[test]
     fn roundtrip_display_parses_back() {
         let s = schema();
-        let q = parse_cq("Q(id) :- Person(id, name, age), Hobbies(id, 'Dance', w)", &s).unwrap();
+        let q = parse_cq(
+            "Q(id) :- Person(id, name, age), Hobbies(id, 'Dance', w)",
+            &s,
+        )
+        .unwrap();
         let shown = q.display(&s).to_string();
         let q2 = parse_cq(&shown, &s).unwrap();
         assert_eq!(q.body.len(), q2.body.len());

@@ -78,7 +78,12 @@ impl Cq {
     pub fn variables(&self) -> Vec<VarId> {
         let mut seen = HashSet::new();
         let mut out = Vec::new();
-        for t in self.body.iter().flat_map(|a| a.terms.iter()).chain(self.head.iter()) {
+        for t in self
+            .body
+            .iter()
+            .flat_map(|a| a.terms.iter())
+            .chain(self.head.iter())
+        {
             if let Term::Var(v) = t {
                 if seen.insert(*v) {
                     out.push(*v);
@@ -97,8 +102,7 @@ impl Cq {
 
     /// Whether every head variable appears in the body (query safety).
     pub fn is_safe(&self) -> bool {
-        let body_vars: HashSet<VarId> =
-            self.body.iter().flat_map(|a| a.variables()).collect();
+        let body_vars: HashSet<VarId> = self.body.iter().flat_map(|a| a.variables()).collect();
         self.head
             .iter()
             .filter_map(Term::as_var)
@@ -282,7 +286,9 @@ pub struct Ucq {
 impl Ucq {
     /// Wraps a single CQ.
     pub fn single(cq: Cq) -> Self {
-        Ucq { disjuncts: vec![cq] }
+        Ucq {
+            disjuncts: vec![cq],
+        }
     }
 
     /// Whether the UCQ is connected: the paper (§4, orange cell) calls a UCQ
@@ -318,10 +324,16 @@ mod tests {
     #[test]
     fn connectivity_via_shared_variables() {
         // R(x, 'a'), S(x): connected through x.
-        let q = Cq::new(vec![v(0)], vec![atom(0, vec![v(0), c("a")]), atom(1, vec![v(0)])]);
+        let q = Cq::new(
+            vec![v(0)],
+            vec![atom(0, vec![v(0), c("a")]), atom(1, vec![v(0)])],
+        );
         assert!(q.is_connected());
         // R(x, 'a'), S(y): disconnected (shared constant does not connect).
-        let q2 = Cq::new(vec![v(0)], vec![atom(0, vec![v(0), c("a")]), atom(1, vec![v(1)])]);
+        let q2 = Cq::new(
+            vec![v(0)],
+            vec![atom(0, vec![v(0), c("a")]), atom(1, vec![v(1)])],
+        );
         assert!(!q2.is_connected());
     }
 
@@ -372,7 +384,13 @@ mod tests {
     fn ucq_connectivity() {
         let conn = Cq::new(vec![v(0)], vec![atom(0, vec![v(0)])]);
         let disc = Cq::new(vec![v(0)], vec![atom(0, vec![v(0)]), atom(1, vec![v(1)])]);
-        assert!(Ucq { disjuncts: vec![conn.clone()] }.is_connected());
-        assert!(!Ucq { disjuncts: vec![conn, disc] }.is_connected());
+        assert!(Ucq {
+            disjuncts: vec![conn.clone()]
+        }
+        .is_connected());
+        assert!(!Ucq {
+            disjuncts: vec![conn, disc]
+        }
+        .is_connected());
     }
 }

@@ -118,7 +118,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = [Value::str("b"), Value::Int(2), Value::str("a"), Value::Int(1)];
+        let mut v = [
+            Value::str("b"),
+            Value::Int(2),
+            Value::str("a"),
+            Value::Int(1),
+        ];
         v.sort();
         assert_eq!(v[0], Value::Int(1));
         assert_eq!(v[3], Value::str("b"));

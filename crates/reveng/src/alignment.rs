@@ -139,7 +139,16 @@ fn permute_relations(
             per_row[row_idx][slot] = p[si];
         }
         permute_relations(
-            rows, groups0, row_idx, slot_groups, occ_groups, g + 1, per_row, count, max, visit,
+            rows,
+            groups0,
+            row_idx,
+            slot_groups,
+            occ_groups,
+            g + 1,
+            per_row,
+            count,
+            max,
+            visit,
         )
     })
 }

@@ -231,17 +231,9 @@ mod tests {
     #[test]
     fn isomorphic_queries_share_keys() {
         let s = schema();
-        let q1 = parse_cq(
-            "Q(id) :- Person(id, n, a), Hobbies(id, 'Dance', w)",
-            &s,
-        )
-        .unwrap();
+        let q1 = parse_cq("Q(id) :- Person(id, n, a), Hobbies(id, 'Dance', w)", &s).unwrap();
         // Same query with renamed variables and reordered atoms.
-        let q2 = parse_cq(
-            "Q(x) :- Hobbies(x, 'Dance', ww), Person(x, nn, aa)",
-            &s,
-        )
-        .unwrap();
+        let q2 = parse_cq("Q(x) :- Hobbies(x, 'Dance', ww), Person(x, nn, aa)", &s).unwrap();
         assert_eq!(canonical_key(&q1), canonical_key(&q2));
         assert_eq!(canonical_cq(&q1), canonical_cq(&q2));
     }

@@ -18,7 +18,7 @@
 use crate::alignment::for_each_alignment;
 use crate::canonical::{canonical_cq, canonical_key};
 use crate::most_specific::RevOptions;
-use provabs_relational::{Atom, Cq, ConcreteRow, Term, Value, VarId};
+use provabs_relational::{Atom, ConcreteRow, Cq, Term, Value, VarId};
 use std::collections::{BTreeMap, HashMap};
 
 /// Enumerates all consistent queries w.r.t. the concrete rows, up to
@@ -31,7 +31,11 @@ pub fn enumerate_consistent_queries(
     max_queries: usize,
 ) -> Vec<Cq> {
     let mut out: BTreeMap<String, Cq> = BTreeMap::new();
-    if rows.is_empty() || rows.iter().any(|r| r.output.arity() != rows[0].output.arity()) {
+    if rows.is_empty()
+        || rows
+            .iter()
+            .any(|r| r.output.arity() != rows[0].output.arity())
+    {
         return Vec::new();
     }
     for_each_alignment(rows, opts.max_alignments, |alignment| {
@@ -116,7 +120,15 @@ fn choose_class(
         return;
     }
     if ci == classes.len() {
-        emit_heads(rows, per_row, head_vecs, assignment, blocks_by_vec, out, max_queries);
+        emit_heads(
+            rows,
+            per_row,
+            head_vecs,
+            assignment,
+            blocks_by_vec,
+            out,
+            max_queries,
+        );
         return;
     }
     let (vec, positions, uniform) = &classes[ci];
@@ -210,7 +222,9 @@ fn emit_heads(
                 let arity = rows[0].occurrences[slot].2.arity();
                 Atom {
                     rel,
-                    terms: (0..arity).map(|col| assignment[&(slot, col)].clone()).collect(),
+                    terms: (0..arity)
+                        .map(|col| assignment[&(slot, col)].clone())
+                        .collect(),
                 }
             })
             .collect();

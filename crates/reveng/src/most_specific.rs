@@ -2,7 +2,7 @@
 
 use crate::alignment::{expansions_of_row, for_each_alignment, rows_alignable};
 use crate::canonical::{canonical_cq, canonical_key};
-use provabs_relational::{Atom, Cq, ConcreteRow, Term, Value, VarId};
+use provabs_relational::{Atom, ConcreteRow, Cq, Term, Value, VarId};
 use provabs_semiring::SemiringKind;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
@@ -226,9 +226,7 @@ mod tests {
         let ex = KExample::new(pairs.iter().map(|(out, annots)| {
             (
                 Tuple::parse(&[out]),
-                Monomial::from_annots(
-                    annots.iter().map(|a| db.annotations().get(a).unwrap()),
-                ),
+                Monomial::from_annots(annots.iter().map(|a| db.annotations().get(a).unwrap())),
             )
         }));
         ex.resolve(db).unwrap()
@@ -283,12 +281,9 @@ mod tests {
         let qs = find_consistent_queries(&rows, &RevOptions::default());
         for q in &qs {
             let out = eval_cq(&db, q);
-            for (output, annots) in
-                [("1", ["p1", "h1", "i1"]), ("2", ["p2", "h2", "i2"])]
-            {
-                let m = Monomial::from_annots(
-                    annots.iter().map(|a| db.annotations().get(a).unwrap()),
-                );
+            for (output, annots) in [("1", ["p1", "h1", "i1"]), ("2", ["p2", "h2", "i2"])] {
+                let m =
+                    Monomial::from_annots(annots.iter().map(|a| db.annotations().get(a).unwrap()));
                 assert!(
                     out.provenance(&Tuple::parse(&[output])).coefficient(&m) >= 1,
                     "query {} does not derive row {output}",

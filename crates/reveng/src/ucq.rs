@@ -158,9 +158,9 @@ pub fn cim_ucqs(frontier: &[Ucq], mode: ContainmentMode) -> Vec<Ucq> {
     }
     reps.iter()
         .filter(|u| {
-            !reps.iter().any(|other| {
-                ucq_contained_in(other, u, mode) && !ucq_contained_in(u, other, mode)
-            })
+            !reps
+                .iter()
+                .any(|other| ucq_contained_in(other, u, mode) && !ucq_contained_in(u, other, mode))
         })
         .filter(|u| u.is_connected())
         .cloned()
@@ -251,7 +251,15 @@ mod tests {
         let db = db2();
         // Rows from different relations: no CQ is consistent, but the UCQ
         // Q(x) :- R(x, y) ∪ Q(x) :- S(x) is.
-        let rs = rows(&db, &[("1", &["r1"]), ("2", &["r2"]), ("3", &["s1"]), ("4", &["s2"])]);
+        let rs = rows(
+            &db,
+            &[
+                ("1", &["r1"]),
+                ("2", &["r2"]),
+                ("3", &["s1"]),
+                ("4", &["s2"]),
+            ],
+        );
         assert!(find_consistent_queries(&rs, &RevOptions::default()).is_empty());
         let ucqs = find_consistent_ucqs(&rs, &UcqOptions::default());
         assert!(!ucqs.is_empty());

@@ -139,12 +139,44 @@ impl Polynomial {
         }
     }
 
+    /// Coefficient-wise difference `self - other`, defined exactly when
+    /// `other ≤_{N[X]} self` (the witness `c` of the natural order). Returns
+    /// `None` when some coefficient would go negative — `N[X]` has no
+    /// additive inverses, so subtraction is partial.
+    ///
+    /// This is the merge primitive of incremental view maintenance: the
+    /// derivations retracted by a delta are always a sub-multiset of the
+    /// cached provenance, so the subtraction is total along that path.
+    pub fn checked_sub(&self, other: &Self) -> Option<Self> {
+        let mut out: Vec<(Monomial, u64)> = Vec::with_capacity(self.terms.len());
+        let mut j = 0;
+        for (m, c) in &self.terms {
+            let mut c = *c;
+            if j < other.terms.len() && other.terms[j].0 < *m {
+                return None; // other has a monomial self lacks
+            }
+            if j < other.terms.len() && other.terms[j].0 == *m {
+                let oc = other.terms[j].1;
+                if oc > c {
+                    return None;
+                }
+                c -= oc;
+                j += 1;
+            }
+            if c > 0 {
+                out.push((m.clone(), c));
+            }
+        }
+        if j < other.terms.len() {
+            return None;
+        }
+        Some(Self { terms: out })
+    }
+
     /// The natural order `self ≤_{N[X]} other`: there exists `c` with
     /// `self + c = other`, i.e. coefficient-wise domination (Def. 3.8).
     pub fn nat_leq(&self, other: &Self) -> bool {
-        self.terms
-            .iter()
-            .all(|(m, c)| *c <= other.coefficient(m))
+        self.terms.iter().all(|(m, c)| *c <= other.coefficient(m))
     }
 
     /// Evaluates the polynomial under a Boolean assignment: annotations in
@@ -173,7 +205,10 @@ impl Polynomial {
         match kind {
             SemiringKind::NX => self.clone(),
             SemiringKind::BX => Self::from_terms(
-                self.terms.iter().map(|(m, _)| (m.clone(), 1)).collect::<Vec<_>>(),
+                self.terms
+                    .iter()
+                    .map(|(m, _)| (m.clone(), 1))
+                    .collect::<Vec<_>>(),
             )
             .dedup_coeff1(),
             SemiringKind::Trio => Self::from_terms(
@@ -194,11 +229,7 @@ impl Polynomial {
                 let mons: Vec<&Monomial> = why.monomials().collect();
                 let keep: Vec<(Monomial, u64)> = mons
                     .iter()
-                    .filter(|m| {
-                        !mons
-                            .iter()
-                            .any(|n| *n != **m && n.support_subset_of(m))
-                    })
+                    .filter(|m| !mons.iter().any(|n| *n != **m && n.support_subset_of(m)))
                     .map(|m| ((*m).clone(), 1))
                     .collect();
                 Self::from_terms(keep).dedup_coeff1()
@@ -247,7 +278,9 @@ impl Polynomial {
 
 impl From<Monomial> for Polynomial {
     fn from(m: Monomial) -> Self {
-        Self { terms: vec![(m, 1)] }
+        Self {
+            terms: vec![(m, 1)],
+        }
     }
 }
 
@@ -266,7 +299,9 @@ mod tests {
     #[test]
     fn add_merges_coefficients() {
         let (_, a, b, _) = setup();
-        let p = Polynomial::var(a).add(&Polynomial::var(b)).add(&Polynomial::var(a));
+        let p = Polynomial::var(a)
+            .add(&Polynomial::var(b))
+            .add(&Polynomial::var(a));
         assert_eq!(p.coefficient(&Monomial::from_annots([a])), 2);
         assert_eq!(p.coefficient(&Monomial::from_annots([b])), 1);
         assert_eq!(p.num_monomials(), 2);
@@ -297,10 +332,39 @@ mod tests {
     fn nat_leq_is_coefficientwise() {
         let (_, a, b, _) = setup();
         let small = Polynomial::var(a);
-        let big = Polynomial::var(a).add(&Polynomial::var(a)).add(&Polynomial::var(b));
+        let big = Polynomial::var(a)
+            .add(&Polynomial::var(a))
+            .add(&Polynomial::var(b));
         assert!(small.nat_leq(&big));
         assert!(!big.nat_leq(&small));
         assert!(Polynomial::zero().nat_leq(&small));
+    }
+
+    #[test]
+    fn checked_sub_inverts_add() {
+        let (_, a, b, c) = setup();
+        let p = Polynomial::from_terms([
+            (Monomial::from_annots([a]), 2),
+            (Monomial::from_annots([b, c]), 1),
+        ]);
+        let q = Polynomial::var(a);
+        let diff = p.checked_sub(&q).unwrap();
+        assert_eq!(diff.add(&q), p);
+        assert_eq!(p.checked_sub(&p), Some(Polynomial::zero()));
+        assert!(p.checked_sub(&Polynomial::zero()).unwrap() == p);
+    }
+
+    #[test]
+    fn checked_sub_detects_underflow() {
+        let (_, a, b, _) = setup();
+        let p = Polynomial::var(a);
+        // Coefficient underflow.
+        let twice = p.add(&p);
+        assert_eq!(p.checked_sub(&twice), None);
+        // Missing monomial, both before and after self's terms.
+        assert_eq!(p.checked_sub(&Polynomial::var(b)), None);
+        assert_eq!(Polynomial::var(b).checked_sub(&p), None);
+        assert_eq!(Polynomial::zero().checked_sub(&p), None);
     }
 
     #[test]

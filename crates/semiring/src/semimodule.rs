@@ -81,7 +81,10 @@ pub struct AggValue {
 impl AggValue {
     /// Creates an empty aggregate value for `op`.
     pub fn new(op: AggOp) -> Self {
-        Self { op, terms: Vec::new() }
+        Self {
+            op,
+            terms: Vec::new(),
+        }
     }
 
     /// Appends a tensor `m ⊗ v`.
@@ -186,7 +189,11 @@ mod tests {
         let fb = reg.intern("Facebook");
         let h1 = reg.get("h1").unwrap();
         let mapped = agg.map_monomials(|m| {
-            Monomial::from_annots(m.occurrences().into_iter().map(|a| if a == h1 { fb } else { a }))
+            Monomial::from_annots(
+                m.occurrences()
+                    .into_iter()
+                    .map(|a| if a == h1 { fb } else { a }),
+            )
         });
         assert_eq!(mapped.evaluate(), 31);
         assert!(mapped.terms[0].monomial.contains(fb));
@@ -203,9 +210,6 @@ mod tests {
     #[test]
     fn render_matches_paper_notation() {
         let (reg, agg) = running_example_agg();
-        assert_eq!(
-            agg.to_string_with(&reg),
-            "(p1*h1*i1)⊗27 +MAX (p2*h2*i2)⊗31"
-        );
+        assert_eq!(agg.to_string_with(&reg), "(p1*h1*i1)⊗27 +MAX (p2*h2*i2)⊗31");
     }
 }

@@ -197,9 +197,8 @@ impl AbstractionTree {
     /// Compatibility with a K-database (Def. 2.6):
     /// `(V_T \ L_T) ∩ annotations(D) = ∅` — no inner label tags a tuple.
     pub fn compatible_with(&self, db: &Database) -> bool {
-        (0..self.labels.len()).all(|i| {
-            self.children[i].is_empty() || db.locate(self.labels[i]).is_none()
-        })
+        (0..self.labels.len())
+            .all(|i| self.children[i].is_empty() || db.locate(self.labels[i]).is_none())
     }
 
     /// Renders an indented outline with labels from `reg` (for debugging and

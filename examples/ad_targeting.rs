@@ -20,8 +20,14 @@ fn main() {
     let reg = fx.db.annotations();
     println!("database: Figure 1 (Interests / Hobbies / Person)");
     println!("hidden query Qreal: {}", fx.qreal.display(fx.db.schema()));
-    println!("\nK-example Exreal (Figure 2a):\n{}", fx.exreal.to_string_with(reg));
-    println!("\nabstraction tree (Figure 3):\n{}", fx.tree.to_string_with(reg));
+    println!(
+        "\nK-example Exreal (Figure 2a):\n{}",
+        fx.exreal.to_string_with(reg)
+    );
+    println!(
+        "\nabstraction tree (Figure 3):\n{}",
+        fx.tree.to_string_with(reg)
+    );
 
     let bound = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
 
@@ -35,7 +41,10 @@ fn main() {
     let raw = compute_privacy(&bound, &identity_rows, &cfg1, &cache);
     println!("raw provenance privacy: {:?}", raw.privacy);
     for q in &raw.cim {
-        println!("  the only CIM query IS the hidden query: {}", q.display(fx.db.schema()));
+        println!(
+            "  the only CIM query IS the hidden query: {}",
+            q.display(fx.db.schema())
+        );
     }
 
     // Example 3.15: the optimal abstraction for threshold 2 is A1_T.

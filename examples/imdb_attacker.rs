@@ -28,12 +28,18 @@ fn main() {
     let bound = Bound::new(&db, &tree, &example).unwrap();
 
     println!("hidden query: {}", q3.query.display(db.schema()));
-    println!("\npublished raw provenance:\n{}", example.to_string_with(db.annotations()));
+    println!(
+        "\npublished raw provenance:\n{}",
+        example.to_string_with(db.annotations())
+    );
 
     // --- Attacker vs raw provenance.
     let rows = example.resolve(&db).unwrap();
     let frontier = find_consistent_queries(&rows, &RevOptions::default());
-    println!("\nattacker on RAW provenance reconstructs {} candidate(s):", frontier.len());
+    println!(
+        "\nattacker on RAW provenance reconstructs {} candidate(s):",
+        frontier.len()
+    );
     for q in &frontier {
         println!("  {}", q.display(db.schema()));
     }

@@ -30,11 +30,17 @@ fn main() {
         .into_iter()
         .find(|w| w.name == "TPCH-Q10")
         .expect("Q10");
-    println!("audit query (hidden): {}", audit.query.display(db_proto.schema()));
+    println!(
+        "audit query (hidden): {}",
+        audit.query.display(db_proto.schema())
+    );
 
     let mut db = db_proto;
     let example = kexample_for(&db, &audit.query, 2).expect("two audit rows");
-    println!("\nexplanations to publish:\n{}", example.to_string_with(db.annotations()));
+    println!(
+        "\nexplanations to publish:\n{}",
+        example.to_string_with(db.annotations())
+    );
 
     let tree = tpch::tpch_tree_covering(&mut db, &rels, &example, 800, 5, 42, false);
     println!(
@@ -63,7 +69,9 @@ fn main() {
             );
             println!(
                 "abstracted explanations:\n{}",
-                best.abstraction.apply(&bound).to_string_with(&bound, db.annotations())
+                best.abstraction
+                    .apply(&bound)
+                    .to_string_with(&bound, db.annotations())
             );
             println!(
                 "\nsearch stats: {} abstractions enumerated, {} privacy evaluations",

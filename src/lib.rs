@@ -38,6 +38,34 @@
 //! assert_eq!(best.privacy, 2);
 //! assert!((best.loi - 15f64.ln()).abs() < 1e-9); // ln |C| = ln 15
 //! ```
+//!
+//! # Maintaining results under updates
+//!
+//! Cached provenance survives database churn through delta maintenance
+//! (the README's churn quickstart, verified here):
+//!
+//! ```
+//! use provabs::relational::{
+//!     apply_delta_with_queries, eval_cq, parse_cq, Database, Delta, Tuple,
+//! };
+//!
+//! let mut db = Database::new();
+//! let r = db.add_relation("R", &["a", "b"]);
+//! let s = db.add_relation("S", &["b"]);
+//! db.insert_str(r, "r1", &["1", "10"]);
+//! db.insert_str(s, "s1", &["10"]);
+//! db.build_indexes();
+//! let q = parse_cq("Q(x) :- R(x, y), S(y)", db.schema()).unwrap();
+//! let mut cached = eval_cq(&db, &q);
+//!
+//! let mut delta = Delta::new();
+//! delta.insert(r, "r2", Tuple::parse(&["2", "10"]));
+//! delta.delete(db.annotations().get("s1").unwrap());
+//!
+//! let out = apply_delta_with_queries(&mut db, &delta, std::slice::from_ref(&q));
+//! assert!(out.deltas[0].merge_into(&mut cached));
+//! assert_eq!(cached, eval_cq(&db, &q)); // bit-for-bit equal to re-eval
+//! ```
 
 #![forbid(unsafe_code)]
 

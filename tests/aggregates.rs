@@ -16,10 +16,7 @@ fn max_age_running_example() {
     agg.push(Monomial::from_annots([a("p1"), a("h1"), a("i1")]), 27);
     agg.push(Monomial::from_annots([a("p2"), a("h2"), a("i2")]), 31);
     assert_eq!(agg.evaluate(), 31);
-    assert_eq!(
-        agg.to_string_with(reg),
-        "(i1*h1*p1)⊗27 +MAX (i2*h2*p2)⊗31"
-    );
+    assert_eq!(agg.to_string_with(reg), "(i1*h1*p1)⊗27 +MAX (i2*h2*p2)⊗31");
     // Deleting Brenda's tuples drops the MAX to 27.
     let brenda: Vec<_> = ["p2", "h2", "i2"].iter().map(|n| a(n)).collect();
     assert_eq!(
@@ -38,7 +35,11 @@ fn abstraction_acts_on_annotation_part_only() {
     agg.push(Monomial::from_annots([a("h2")]), 7);
     let fb = a("Facebook_src");
     let mapped = agg.map_monomials(|m| {
-        Monomial::from_annots(m.occurrences().into_iter().map(|x| if x == a("h1") { fb } else { x }))
+        Monomial::from_annots(
+            m.occurrences()
+                .into_iter()
+                .map(|x| if x == a("h1") { fb } else { x }),
+        )
     });
     assert_eq!(mapped.evaluate(), 12); // values untouched
     assert!(mapped.terms[0].monomial.contains(fb));

@@ -17,7 +17,10 @@ fn dual_and_primal_are_consistent() {
         let primal = find_optimal_abstraction(
             &bound,
             &SearchConfig {
-                privacy: PrivacyConfig { threshold: k, ..Default::default() },
+                privacy: PrivacyConfig {
+                    threshold: k,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         )
@@ -25,7 +28,10 @@ fn dual_and_primal_are_consistent() {
         .unwrap();
         let dual = find_max_privacy_abstraction(
             &bound,
-            &DualConfig { l_max: primal.loi + 1e-9, ..Default::default() },
+            &DualConfig {
+                l_max: primal.loi + 1e-9,
+                ..Default::default()
+            },
         )
         .best
         .unwrap();
@@ -44,18 +50,31 @@ fn compression_never_beats_the_optimum() {
     let fx = fixtures::running_example();
     let bound = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
     for k in [1usize, 2, 3] {
-        let cfg = PrivacyConfig { threshold: k, ..Default::default() };
+        let cfg = PrivacyConfig {
+            threshold: k,
+            ..Default::default()
+        };
         let ours = find_optimal_abstraction(
             &bound,
-            &SearchConfig { privacy: cfg.clone(), ..Default::default() },
+            &SearchConfig {
+                privacy: cfg.clone(),
+                ..Default::default()
+            },
         )
         .best;
         let comp = compression_baseline(&bound, &cfg, &LoiDistribution::Uniform).best;
         match (ours, comp) {
             (Some(o), Some(c)) => {
-                assert!(c.loi >= o.loi - 1e-9, "k={k}: compression {} < optimum {}", c.loi, o.loi)
+                assert!(
+                    c.loi >= o.loi - 1e-9,
+                    "k={k}: compression {} < optimum {}",
+                    c.loi,
+                    o.loi
+                )
             }
-            (None, Some(c)) => panic!("k={k}: compression found {c:?} but the optimum search did not"),
+            (None, Some(c)) => {
+                panic!("k={k}: compression found {c:?} but the optimum search did not")
+            }
             _ => {}
         }
     }

@@ -61,8 +61,7 @@ fn tpch_workload_same_best_across_thread_counts() {
     let seq = find_optimal_abstraction_with_cache(&bound, &cfg(Some(1), 3), &seq_cache);
     for parallelism in [None, Some(4)] {
         let par_cache = PrivacyCache::new();
-        let par =
-            find_optimal_abstraction_with_cache(&bound, &cfg(parallelism, 3), &par_cache);
+        let par = find_optimal_abstraction_with_cache(&bound, &cfg(parallelism, 3), &par_cache);
         match (&seq.best, &par.best) {
             (Some(a), Some(b)) => {
                 assert_eq!(a.abstraction, b.abstraction, "{parallelism:?}");
@@ -70,7 +69,11 @@ fn tpch_workload_same_best_across_thread_counts() {
                 assert!((a.loi - b.loi).abs() < 1e-12);
             }
             (None, None) => {}
-            (a, b) => panic!("found-mismatch: seq={:?} par={:?}", a.is_some(), b.is_some()),
+            (a, b) => panic!(
+                "found-mismatch: seq={:?} par={:?}",
+                a.is_some(),
+                b.is_some()
+            ),
         }
     }
 }

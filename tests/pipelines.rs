@@ -69,7 +69,9 @@ fn tpch_higher_thresholds_cost_at_least_as_much_loi() {
                 ..Default::default()
             },
         );
-        let best = out.best.unwrap_or_else(|| panic!("no abstraction at k={k}"));
+        let best = out
+            .best
+            .unwrap_or_else(|| panic!("no abstraction at k={k}"));
         assert!(
             best.loi >= last_loi - 1e-9,
             "LOI dropped between thresholds: {} < {}",
@@ -126,7 +128,11 @@ fn join_variants_evaluate_and_bind() {
                 max_derivations: 500_000,
             },
         );
-        assert!(out.len() >= 2, "{}-atom variant yields no rows", variant.body.len());
+        assert!(
+            out.len() >= 2,
+            "{}-atom variant yields no rows",
+            variant.body.len()
+        );
         let example = kexample_for(&db, &variant, 2).unwrap();
         let tree = tpch::tpch_tree_covering(&mut db, &rels, &example, 400, 5, 7, false);
         assert!(Bound::new(&db, &tree, &example).is_ok());

@@ -4,7 +4,9 @@ use proptest::prelude::*;
 use provabs::core::loi::{loss_of_information, LoiDistribution};
 use provabs::core::privacy::{compute_privacy, PrivacyCache, PrivacyConfig};
 use provabs::core::{concretize, fixtures, Abstraction, Bound};
-use provabs::reveng::{canonical_key, cim_queries, find_consistent_queries, ContainmentMode, RevOptions};
+use provabs::reveng::{
+    canonical_key, cim_queries, find_consistent_queries, ContainmentMode, RevOptions,
+};
 
 /// Strategy: a random abstraction of the running example (lift per
 /// occurrence bounded by its chain depth, max 3 here).

@@ -59,11 +59,17 @@ fn proposition_3_5_concretization_counts() {
     let mut a1 = Abstraction::identity(&bound);
     lift(&bound, &mut a1, "h1", 1);
     lift(&bound, &mut a1, "h2", 1);
-    assert_eq!(concretize::concretization_count(&bound, &a1.apply(&bound).rows), 15);
+    assert_eq!(
+        concretize::concretization_count(&bound, &a1.apply(&bound).rows),
+        15
+    );
     let mut a2 = Abstraction::identity(&bound);
     lift(&bound, &mut a2, "i1", 1);
     lift(&bound, &mut a2, "i2", 1);
-    assert_eq!(concretize::concretization_count(&bound, &a2.apply(&bound).rows), 20);
+    assert_eq!(
+        concretize::concretization_count(&bound, &a2.apply(&bound).rows),
+        20
+    );
 }
 
 #[test]
@@ -111,8 +117,16 @@ fn example_4_2_exabs3_fails_threshold_2() {
 #[test]
 fn example_3_11_qreal_strictly_contained_in_qgeneral() {
     let fx = fixtures::running_example();
-    assert!(contained_in(&fx.qreal, &fx.qgeneral, ContainmentMode::Bijective));
-    assert!(!contained_in(&fx.qgeneral, &fx.qreal, ContainmentMode::Bijective));
+    assert!(contained_in(
+        &fx.qreal,
+        &fx.qgeneral,
+        ContainmentMode::Bijective
+    ));
+    assert!(!contained_in(
+        &fx.qgeneral,
+        &fx.qreal,
+        ContainmentMode::Bijective
+    ));
 }
 
 #[test]
@@ -168,7 +182,12 @@ fn brute_force_and_heuristic_search_agree() {
         );
         match (optimized.best, brute.best) {
             (Some(o), Some(b)) => {
-                assert!((o.loi - b.loi).abs() < 1e-9, "k={k}: {} vs {}", o.loi, b.loi)
+                assert!(
+                    (o.loi - b.loi).abs() < 1e-9,
+                    "k={k}: {} vs {}",
+                    o.loi,
+                    b.loi
+                )
             }
             (None, None) => {}
             (o, b) => panic!("k={k}: disagreement {o:?} vs {b:?}"),

@@ -6,6 +6,12 @@
 //! `bench_with_input`, and `Bencher::iter`. Each benchmark reports the
 //! median wall time per iteration as a `group/name ... time: <t>` line.
 //! No statistics, plots, or saved baselines.
+//!
+//! Setting `PROVABS_BENCH_QUICK=1` (any value but `0`) mirrors real
+//! criterion's `--quick` flag: the per-benchmark measurement budget drops
+//! to 100 ms and samples to 2, so CI can smoke-run every bench without
+//! burning minutes per data point. `sample_size`/`measurement_time` calls
+//! made by a bench are clamped down too.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -18,19 +24,34 @@ pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
 }
 
+/// Whether quick mode is requested via `PROVABS_BENCH_QUICK`.
+fn quick_mode() -> bool {
+    std::env::var_os("PROVABS_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
 /// The benchmark driver.
 #[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
     /// Target measurement budget per benchmark.
     measurement_time: Duration,
+    quick: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self {
-            sample_size: 10,
-            measurement_time: Duration::from_secs(2),
+        if quick_mode() {
+            Self {
+                sample_size: 2,
+                measurement_time: Duration::from_millis(100),
+                quick: true,
+            }
+        } else {
+            Self {
+                sample_size: 10,
+                measurement_time: Duration::from_secs(2),
+                quick: false,
+            }
         }
     }
 }
@@ -42,6 +63,7 @@ impl Criterion {
             name: name.into(),
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
+            quick: self.quick,
             _criterion: self,
         }
     }
@@ -98,19 +120,26 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     measurement_time: Duration,
+    quick: bool,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Number of samples (iteration batches) to take per benchmark.
+    /// Number of samples (iteration batches) to take per benchmark. Quick
+    /// mode clamps to 2.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(2);
+        self.sample_size = if self.quick { 2 } else { n.max(2) };
         self
     }
 
-    /// Overrides the per-benchmark measurement budget.
+    /// Overrides the per-benchmark measurement budget. Quick mode clamps to
+    /// its 100 ms ceiling.
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
-        self.measurement_time = d;
+        self.measurement_time = if self.quick {
+            d.min(Duration::from_millis(100))
+        } else {
+            d
+        };
         self
     }
 
@@ -145,7 +174,12 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_benchmark(name: &str, sample_size: usize, budget: Duration, mut f: impl FnMut(&mut Bencher)) {
+fn run_benchmark(
+    name: &str,
+    sample_size: usize,
+    budget: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
     let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
     let started = Instant::now();
     for _ in 0..sample_size {
@@ -242,7 +276,9 @@ mod tests {
     fn bench_function_produces_a_sample() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("stub");
-        group.sample_size(2).measurement_time(Duration::from_millis(10));
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
         let mut ran = false;
         group.bench_function("noop", |b| {
             b.iter(|| 1 + 1);

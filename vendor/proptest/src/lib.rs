@@ -192,7 +192,10 @@ pub mod prop {
         }
 
         /// A strategy for vectors whose elements come from `element`.
-        pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S, impl IntoSizeRange> {
+        pub fn vec<S: Strategy>(
+            element: S,
+            size: impl IntoSizeRange,
+        ) -> VecStrategy<S, impl IntoSizeRange> {
             VecStrategy { element, size }
         }
 

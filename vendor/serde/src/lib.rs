@@ -42,8 +42,7 @@ pub trait Deserializer<'de>: Sized {
     type Error: de::Error;
 
     /// Hands the deserializer's next value to `visitor`, whatever its type.
-    fn deserialize_any<V: de::Visitor<'de>>(self, visitor: V)
-        -> Result<V::Value, Self::Error>;
+    fn deserialize_any<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
 }
 
 /// Deserialization support traits (subset of `serde::de`).
