@@ -1,21 +1,28 @@
 //! The perf-regression gate: emits and checks `BENCH_*.json` baselines for
-//! the incremental update engine.
+//! the incremental update engine and the interned provenance arena.
 //!
 //! ```text
-//! bench_gate --emit PATH            # run the gate scenarios, write a report
-//! bench_gate --check BASELINE PATH  # run, write PATH, diff against BASELINE
+//! bench_gate [--bench updates|intern] --emit PATH
+//! bench_gate [--bench updates|intern] --check BASELINE PATH
 //! ```
 //!
+//! `--bench updates` (the default) replays the [`UpdateSettings::ci_gate`]
+//! delta-maintenance scenarios (`BENCH_2.json`); `--bench intern` runs the
+//! [`InternSettings::ci_gate`] memoization comparison (`BENCH_3.json`).
+//!
 //! The diff compares only deterministic work counters (rows examined,
-//! derivations): with the fixed [`UpdateSettings::ci_gate`] configuration
-//! they are identical across machines, so the gate is immune to CI-runner
-//! noise. Wall-clock columns are carried in the report for humans.
+//! derivations, rows re-abstracted, retained constructions): with the fixed
+//! gate configurations they are identical across machines, so the gate is
+//! immune to CI-runner noise. Wall-clock columns are carried in the report
+//! for humans.
 //!
 //! Gate rules, per baseline entry:
 //! * the entry must still exist in the current run;
-//! * `equal` must hold (delta maintenance bit-for-bit matches re-eval);
-//! * the delta path must beat full re-evaluation outright
-//!   (`delta_rows < full_rows` and `delta_derivations < full_derivations`);
+//! * `equal` must hold (the fast path bit-for-bit matches the reference);
+//! * the fast path must beat the reference outright — for `updates`,
+//!   `delta_rows < full_rows` and `delta_derivations < full_derivations`;
+//!   for `intern`, `cached_work * 2 <= owned_work` (the ≥ 2× reduction the
+//!   arena promises);
 //! * `work_ratio` may not regress by more than [`TOLERANCE`] (relative)
 //!   plus a small absolute slack.
 //!
@@ -26,7 +33,8 @@
 //! Exit status: 0 clean, 1 regression, 2 usage/IO error.
 
 use provabs_bench::{
-    parse_bench_json, run_update_comparison, write_bench_json, BenchMetric, UpdateSettings,
+    parse_bench_json, parse_intern_json, run_intern_comparison, run_update_comparison,
+    write_bench_json, write_intern_json, BenchMetric, InternMetric, InternSettings, UpdateSettings,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -37,18 +45,36 @@ const TOLERANCE: f64 = 0.15;
 const ABS_SLACK: f64 = 0.02;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench_gate --emit PATH | --check BASELINE PATH");
+    eprintln!("usage: bench_gate [--bench updates|intern] --emit PATH | --check BASELINE PATH");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = if args.first().map(String::as_str) == Some("--bench") {
+        if args.len() < 2 {
+            return usage();
+        }
+        let which = args[1].clone();
+        args.drain(0..2);
+        which
+    } else {
+        "updates".to_owned()
+    };
+    match bench.as_str() {
+        "updates" => run_updates_gate(&args),
+        "intern" => run_intern_gate(&args),
+        _ => usage(),
+    }
+}
+
+fn run_updates_gate(args: &[String]) -> ExitCode {
     match args.first().map(String::as_str) {
         Some("--emit") => {
-            let [_, path] = args.as_slice() else {
+            let [_, path] = args else {
                 return usage();
             };
-            let metrics = run_gate();
+            let metrics = run_update_comparison(&UpdateSettings::ci_gate());
             if let Err(e) = write_bench_json(Path::new(path), "micro_updates", &metrics) {
                 eprintln!("bench_gate: cannot write {path}: {e}");
                 return ExitCode::from(2);
@@ -58,7 +84,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("--check") => {
-            let [_, baseline_path, out_path] = args.as_slice() else {
+            let [_, baseline_path, out_path] = args else {
                 return usage();
             };
             let baseline_text = match std::fs::read_to_string(baseline_path) {
@@ -72,32 +98,70 @@ fn main() -> ExitCode {
                 eprintln!("bench_gate: baseline {baseline_path} is not a bench report");
                 return ExitCode::from(2);
             };
-            let current = run_gate();
+            let current = run_update_comparison(&UpdateSettings::ci_gate());
             if let Err(e) = write_bench_json(Path::new(out_path), "micro_updates", &current) {
                 eprintln!("bench_gate: cannot write {out_path}: {e}");
                 return ExitCode::from(2);
             }
             print_summary(&current);
-            let failures = check(&baseline, &current);
-            if failures.is_empty() {
-                println!(
-                    "bench_gate: OK ({} entries within tolerance)",
-                    baseline.len()
-                );
-                ExitCode::SUCCESS
-            } else {
-                for f in &failures {
-                    eprintln!("bench_gate: REGRESSION: {f}");
-                }
-                ExitCode::FAILURE
-            }
+            verdict(check(&baseline, &current), baseline.len())
         }
         _ => usage(),
     }
 }
 
-fn run_gate() -> Vec<BenchMetric> {
-    run_update_comparison(&UpdateSettings::ci_gate())
+fn run_intern_gate(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("--emit") => {
+            let [_, path] = args else {
+                return usage();
+            };
+            let metrics = run_intern_comparison(&InternSettings::ci_gate());
+            if let Err(e) = write_intern_json(Path::new(path), "micro_intern", &metrics) {
+                eprintln!("bench_gate: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            print_intern_summary(&metrics);
+            println!("bench_gate: wrote {path}");
+            ExitCode::SUCCESS
+        }
+        Some("--check") => {
+            let [_, baseline_path, out_path] = args else {
+                return usage();
+            };
+            let baseline_text = match std::fs::read_to_string(baseline_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("bench_gate: cannot read baseline {baseline_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let Some((_, baseline)) = parse_intern_json(&baseline_text) else {
+                eprintln!("bench_gate: baseline {baseline_path} is not an intern report");
+                return ExitCode::from(2);
+            };
+            let current = run_intern_comparison(&InternSettings::ci_gate());
+            if let Err(e) = write_intern_json(Path::new(out_path), "micro_intern", &current) {
+                eprintln!("bench_gate: cannot write {out_path}: {e}");
+                return ExitCode::from(2);
+            }
+            print_intern_summary(&current);
+            verdict(check_intern(&baseline, &current), baseline.len())
+        }
+        _ => usage(),
+    }
+}
+
+fn verdict(failures: Vec<String>, gated: usize) -> ExitCode {
+    if failures.is_empty() {
+        println!("bench_gate: OK ({gated} entries within tolerance)");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench_gate: REGRESSION: {f}");
+        }
+        ExitCode::FAILURE
+    }
 }
 
 fn print_summary(metrics: &[BenchMetric]) {
@@ -117,6 +181,79 @@ fn print_summary(metrics: &[BenchMetric]) {
             m.equal
         );
     }
+}
+
+fn print_intern_summary(metrics: &[InternMetric]) {
+    println!(
+        "{:<18} {:>12} {:>12} {:>7} {:>8} {:>10} {:>10} {:>6}",
+        "scenario",
+        "cached_work",
+        "owned_work",
+        "ratio",
+        "hit_rate",
+        "cached_ms",
+        "owned_ms",
+        "equal"
+    );
+    for m in metrics {
+        println!(
+            "{:<18} {:>12} {:>12} {:>7.4} {:>8.4} {:>10.2} {:>10.2} {:>6}",
+            m.name,
+            m.cached_work,
+            m.owned_work,
+            m.work_ratio(),
+            m.hit_rate(),
+            m.cached_ms,
+            m.owned_ms,
+            m.equal
+        );
+    }
+}
+
+fn check_intern(baseline: &[InternMetric], current: &[InternMetric]) -> Vec<String> {
+    let mut failures = Vec::new();
+    // Fail closed: a gate that compares nothing protects nothing.
+    if baseline.is_empty() {
+        failures.push("baseline holds no entries — re-emit it with --emit".to_owned());
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.name == cur.name) {
+            failures.push(format!(
+                "{}: scenario has no baseline entry (ungated) — re-emit the baseline",
+                cur.name
+            ));
+        }
+    }
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.name == base.name) else {
+            failures.push(format!("{}: entry missing from current run", base.name));
+            continue;
+        };
+        if !cur.equal {
+            failures.push(format!(
+                "{}: memoized path no longer matches the owned-polynomial path",
+                cur.name
+            ));
+        }
+        if cur.cached_work * 2 > cur.owned_work {
+            failures.push(format!(
+                "{}: cached work {} vs owned {} — the arena no longer halves the work",
+                cur.name, cur.cached_work, cur.owned_work
+            ));
+        }
+        let allowed = base.work_ratio() * (1.0 + TOLERANCE) + ABS_SLACK;
+        if cur.work_ratio() > allowed {
+            failures.push(format!(
+                "{}: work_ratio {:.4} exceeds baseline {:.4} (+{:.0}% & slack = {:.4})",
+                cur.name,
+                cur.work_ratio(),
+                base.work_ratio(),
+                TOLERANCE * 100.0,
+                allowed
+            ));
+        }
+    }
+    failures
 }
 
 fn check(baseline: &[BenchMetric], current: &[BenchMetric]) -> Vec<String> {

@@ -10,14 +10,16 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod intern;
 pub mod report;
 pub mod scenario;
 pub mod updates;
 pub mod user_study;
 
+pub use intern::{run_intern_comparison, InternSettings};
 pub use report::{
-    parse_bench_json, print_table, render_bench_json, write_bench_json, write_csv, BenchMetric,
-    Measurement,
+    parse_bench_json, parse_intern_json, print_table, render_bench_json, render_intern_json,
+    write_bench_json, write_csv, write_intern_json, BenchMetric, InternMetric, Measurement,
 };
 pub use scenario::{
     imdb_scenarios, run_search, tpch_scenarios, HarnessCaps, Scenario, ScenarioSettings,

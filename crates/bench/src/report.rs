@@ -164,6 +164,145 @@ pub fn write_bench_json(path: &Path, bench: &str, metrics: &[BenchMetric]) -> st
     fs::write(path, render_bench_json(bench, metrics))
 }
 
+/// One entry of the `BENCH_3.json` report: deterministic work counters of a
+/// memoized-interned path next to the owned-polynomial path it replaces,
+/// plus the memo hit/miss split behind the cached numbers.
+///
+/// `cached_work` / `owned_work` count the same unit per scenario — rows
+/// re-abstracted for `search/*` scenarios, polynomial constructions for
+/// `eval/*` scenarios — so their ratio is the machine-independent speedup
+/// proxy the CI gate diffs. Wall-clock columns are carried for humans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InternMetric {
+    /// Scenario name, e.g. `search/TPCH-Q3` or `eval/TPCH-Q4`.
+    pub name: String,
+    /// Work units the memoized interned path actually performed.
+    pub cached_work: u64,
+    /// Work units the owned-polynomial path performed on the same trace.
+    pub owned_work: u64,
+    /// Memoized lookups answered in O(1).
+    pub memo_hits: u64,
+    /// Memoized lookups that had to compute (equals `cached_work` when the
+    /// counter is construction-based).
+    pub memo_misses: u64,
+    /// Wall time of the interned path, milliseconds (informational).
+    pub cached_ms: f64,
+    /// Wall time of the owned path, milliseconds (informational).
+    pub owned_ms: f64,
+    /// Whether both paths produced identical results.
+    pub equal: bool,
+}
+
+impl InternMetric {
+    /// Cached work as a fraction of owned work (lower is better; the
+    /// acceptance bar is ≤ 0.5, i.e. at least a 2× reduction).
+    pub fn work_ratio(&self) -> f64 {
+        self.cached_work as f64 / self.owned_work.max(1) as f64
+    }
+
+    /// Fraction of memoized lookups answered without computing.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Serializes an intern-comparison report in the same hand-rolled
+/// line-oriented shape as [`render_bench_json`].
+pub fn render_intern_json(bench: &str, metrics: &[InternMetric]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"bench\": \"{bench}\",");
+    out.push_str("  \"entries\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(out, "      \"cached_work\": {},", m.cached_work);
+        let _ = writeln!(out, "      \"owned_work\": {},", m.owned_work);
+        let _ = writeln!(out, "      \"memo_hits\": {},", m.memo_hits);
+        let _ = writeln!(out, "      \"memo_misses\": {},", m.memo_misses);
+        let _ = writeln!(out, "      \"work_ratio\": {:.6},", m.work_ratio());
+        let _ = writeln!(out, "      \"hit_rate\": {:.6},", m.hit_rate());
+        let _ = writeln!(out, "      \"cached_ms\": {:.3},", m.cached_ms);
+        let _ = writeln!(out, "      \"owned_ms\": {:.3},", m.owned_ms);
+        let _ = writeln!(out, "      \"equal\": {}", m.equal);
+        out.push_str(if i + 1 < metrics.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes an intern-comparison report to `path` (creating parent
+/// directories).
+pub fn write_intern_json(
+    path: &Path,
+    bench: &str,
+    metrics: &[InternMetric],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, render_intern_json(bench, metrics))
+}
+
+/// Parses a report produced by [`render_intern_json`]. Returns
+/// `(bench name, entries)`; `None` on any malformed line.
+pub fn parse_intern_json(text: &str) -> Option<(String, Vec<InternMetric>)> {
+    let mut bench = String::new();
+    let mut entries = Vec::new();
+    let mut cur: Option<InternMetric> = None;
+    for raw in text.lines() {
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || matches!(line, "{" | "}" | "[" | "]" | "\"entries\": [") {
+            continue;
+        }
+        let (key, value) = line.split_once(':')?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "schema" => {}
+            "bench" => bench = value.trim_matches('"').to_owned(),
+            "name" => {
+                if let Some(done) = cur.take() {
+                    entries.push(done);
+                }
+                cur = Some(InternMetric {
+                    name: value.trim_matches('"').to_owned(),
+                    cached_work: 0,
+                    owned_work: 0,
+                    memo_hits: 0,
+                    memo_misses: 0,
+                    cached_ms: 0.0,
+                    owned_ms: 0.0,
+                    equal: false,
+                });
+            }
+            "cached_work" => cur.as_mut()?.cached_work = value.parse().ok()?,
+            "owned_work" => cur.as_mut()?.owned_work = value.parse().ok()?,
+            "memo_hits" => cur.as_mut()?.memo_hits = value.parse().ok()?,
+            "memo_misses" => cur.as_mut()?.memo_misses = value.parse().ok()?,
+            "work_ratio" | "hit_rate" => {} // derived; recomputed
+            "cached_ms" => cur.as_mut()?.cached_ms = value.parse().ok()?,
+            "owned_ms" => cur.as_mut()?.owned_ms = value.parse().ok()?,
+            "equal" => cur.as_mut()?.equal = value.parse().ok()?,
+            _ => return None,
+        }
+    }
+    if let Some(done) = cur.take() {
+        entries.push(done);
+    }
+    Some((bench, entries))
+}
+
 /// Parses a report produced by [`render_bench_json`] (line-oriented: one
 /// `"key": value` pair per line). Returns `(bench name, entries)`; `None`
 /// on any malformed line. Not a general JSON parser — exactly the shape the
@@ -273,6 +412,39 @@ mod tests {
         assert_eq!(parsed, metrics);
         assert!(metrics[0].work_ratio() < 0.1);
         assert_eq!(parse_bench_json("not json"), None);
+    }
+
+    #[test]
+    fn intern_json_roundtrips() {
+        let metrics = vec![
+            InternMetric {
+                name: "search/TPCH-Q3".into(),
+                cached_work: 14,
+                owned_work: 120,
+                memo_hits: 106,
+                memo_misses: 14,
+                cached_ms: 3.5,
+                owned_ms: 9.1,
+                equal: true,
+            },
+            InternMetric {
+                name: "eval/TPCH-Q4".into(),
+                cached_work: 40,
+                owned_work: 240,
+                memo_hits: 200,
+                memo_misses: 40,
+                cached_ms: 0.4,
+                owned_ms: 1.2,
+                equal: true,
+            },
+        ];
+        let text = render_intern_json("micro_intern", &metrics);
+        let (bench, parsed) = parse_intern_json(&text).expect("parses");
+        assert_eq!(bench, "micro_intern");
+        assert_eq!(parsed, metrics);
+        assert!(metrics[0].work_ratio() < 0.5);
+        assert!(metrics[0].hit_rate() > 0.8);
+        assert_eq!(parse_intern_json("not json"), None);
     }
 
     #[test]

@@ -127,7 +127,7 @@ fn abstracted_answer(
     deleted: &dyn Fn(&Database, AnnotId) -> bool,
 ) -> Option<bool> {
     let mut any_unknown = false;
-    for sym in &row.syms {
+    for sym in row.syms.iter() {
         match sym {
             Sym::Leaf(a) => {
                 if deleted(db, *a) {

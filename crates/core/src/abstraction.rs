@@ -5,6 +5,7 @@ use provabs_relational::Tuple;
 use provabs_semiring::{AnnotId, AnnotRegistry};
 use provabs_tree::NodeId;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A symbol of an abstracted provenance expression: either an original
 /// annotation or an inner tree node standing for all leaves below it.
@@ -17,12 +18,17 @@ pub enum Sym {
 }
 
 /// One row of an abstracted K-example.
+///
+/// The symbol list is shared (`Arc`): the search's memoized abstraction
+/// application hands the same materialized row to every candidate that
+/// abstracts the row's provenance identically, so cloning an `AbsRow` is a
+/// reference bump, not a symbol-vector copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AbsRow {
     /// The (unchanged) output tuple.
     pub output: Tuple,
     /// The abstracted occurrence list.
-    pub syms: Vec<Sym>,
+    pub syms: Arc<Vec<Sym>>,
 }
 
 /// An abstracted K-example `Ã = A_T(Ex)`.
@@ -111,21 +117,27 @@ impl Abstraction {
         bound.tree.ancestor_at(leaf, lift)
     }
 
+    /// Materializes the symbol list of row `r` (uncached reference path —
+    /// the memoized twin is [`Bound::apply_abstraction_cached`]).
+    pub(crate) fn row_syms(&self, bound: &Bound<'_>, r: usize) -> Vec<Sym> {
+        bound
+            .row_occurrences(r)
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| match self.target(bound, r, i) {
+                Some(node) => Sym::Abs(node),
+                None => Sym::Leaf(a),
+            })
+            .collect()
+    }
+
     /// Applies the abstraction, producing `A_T(Ex)`.
     pub fn apply(&self, bound: &Bound<'_>) -> AbsExample {
         AbsExample {
             rows: (0..bound.num_rows())
                 .map(|r| AbsRow {
                     output: bound.example.rows[r].output.clone(),
-                    syms: bound
-                        .row_occurrences(r)
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &a)| match self.target(bound, r, i) {
-                            Some(node) => Sym::Abs(node),
-                            None => Sym::Leaf(a),
-                        })
-                        .collect(),
+                    syms: Arc::new(self.row_syms(bound, r)),
                 })
                 .collect(),
         }

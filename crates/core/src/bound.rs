@@ -1,9 +1,12 @@
 //! Binding a K-example to its database and abstraction tree.
 
-use crate::{CoreError, CoreResult};
+use crate::sharded::ShardedMap;
+use crate::{AbsExample, AbsRow, Abstraction, CoreError, CoreResult, Sym};
 use provabs_relational::{Database, KExample};
-use provabs_semiring::AnnotId;
+use provabs_semiring::{AnnotId, PolyId, ProvStore};
 use provabs_tree::{AbstractionTree, NodeId};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 /// A K-example bound to a compatible abstraction tree and the database its
 /// annotations tag.
@@ -11,6 +14,16 @@ use provabs_tree::{AbstractionTree, NodeId};
 /// Precomputes the occurrence view of every row (Def. 3.1 indexes each
 /// variable occurrence) and, per occurrence, the tree leaf and its maximal
 /// lift (depth). All core algorithms operate on a `Bound`.
+///
+/// The bound also owns a [`ProvStore`] interning each row's provenance: two
+/// rows with the same monomial share one [`PolyId`], and the memoized
+/// abstraction application ([`Bound::apply_abstraction_cached`]) is keyed by
+/// that id, so the search abstracts each distinct polynomial under each
+/// distinct per-row lift vector exactly once for the bound's lifetime —
+/// across buckets, worker threads and warm restarts alike. The memo dies
+/// with the bound, which is what makes it sound: a database delta produces a
+/// new `Bound`, so retired annotations can never be resolved through a stale
+/// entry.
 #[derive(Debug)]
 pub struct Bound<'a> {
     /// The database whose tuples the example's annotations tag.
@@ -23,6 +36,23 @@ pub struct Bound<'a> {
     occ_annots: Vec<Vec<AnnotId>>,
     /// Per row/occurrence: the tree leaf, when the annotation is in `L_T`.
     leaf_nodes: Vec<Vec<Option<NodeId>>>,
+    /// Arena interning the rows' provenance (immutable after binding).
+    store: ProvStore,
+    /// Per row: the interned provenance polynomial.
+    row_polys: Vec<PolyId>,
+    /// Interns per-row lift vectors to fingerprints: probed by `&[u32]`
+    /// (no allocation on the hot path), first insert wins so every equal
+    /// vector resolves to one canonical id.
+    lift_ids: ShardedMap<Vec<u32>, u32>,
+    /// Fingerprint counter for `lift_ids` (racing workers may burn a value;
+    /// ids stay unique, which is all the keying needs).
+    next_lift: AtomicU32,
+    /// Memoized abstraction application:
+    /// `(row provenance, lift-vector fingerprint)` → the materialized
+    /// symbol list. Sharded and `Send + Sync`, shared by every worker of
+    /// the parallel search; first insert wins (values are deterministic, so
+    /// racing workers converge on equal rows).
+    abs_rows: ShardedMap<(PolyId, u32), Arc<Vec<Sym>>>,
 }
 
 impl<'a> Bound<'a> {
@@ -43,6 +73,8 @@ impl<'a> Bound<'a> {
         }
         let mut occ_annots = Vec::with_capacity(example.len());
         let mut leaf_nodes = Vec::with_capacity(example.len());
+        let mut store = ProvStore::new();
+        let mut row_polys = Vec::with_capacity(example.len());
         for row in &example.rows {
             let occs = row.monomial.occurrences();
             for &a in &occs {
@@ -56,6 +88,8 @@ impl<'a> Bound<'a> {
                 .collect();
             occ_annots.push(occs);
             leaf_nodes.push(leaves);
+            let mono = store.intern_monomial(row.monomial.clone());
+            row_polys.push(store.poly_of_monomial(mono));
         }
         Ok(Self {
             db,
@@ -63,6 +97,11 @@ impl<'a> Bound<'a> {
             example,
             occ_annots,
             leaf_nodes,
+            store,
+            row_polys,
+            lift_ids: ShardedMap::default(),
+            next_lift: AtomicU32::new(0),
+            abs_rows: ShardedMap::default(),
         })
     }
 
@@ -101,6 +140,70 @@ impl<'a> Bound<'a> {
     /// Total occurrence count.
     pub fn num_occurrences(&self) -> usize {
         self.occ_annots.iter().map(Vec::len).sum()
+    }
+
+    /// The arena interning the rows' provenance.
+    pub fn prov_store(&self) -> &ProvStore {
+        &self.store
+    }
+
+    /// The interned provenance polynomial of row `r`. Rows with equal
+    /// monomials share one id (and therefore share abstraction-application
+    /// memo entries).
+    pub fn row_poly(&self, r: usize) -> PolyId {
+        self.row_polys[r]
+    }
+
+    /// Number of distinct `(row provenance, per-row lifts)` pairs the
+    /// abstraction-application memo holds.
+    pub fn abs_memo_len(&self) -> usize {
+        self.abs_rows.len()
+    }
+
+    /// The fingerprint of a per-row lift vector: interned, probed by slice
+    /// so a known vector costs no allocation.
+    fn lift_fingerprint(&self, lifts: &[u32]) -> u32 {
+        if let Some(id) = self.lift_ids.get_borrowed(lifts) {
+            return id;
+        }
+        let id = self.next_lift.fetch_add(1, Ordering::Relaxed);
+        self.lift_ids.insert(lifts.to_vec(), id)
+    }
+
+    /// Applies `abs` through the bound's abstraction-application memo.
+    ///
+    /// Bit-identical to [`Abstraction::apply`], but each distinct
+    /// `(row provenance [`PolyId`], per-row lift vector)` pair — the
+    /// abstraction fingerprint of a row — is materialized once per bound and
+    /// shared (`Arc`) afterwards. Returns the abstracted example plus the
+    /// `(misses, hits)` pair for this application: misses are rows actually
+    /// re-abstracted, hits were answered in O(1) (the probe interns the lift
+    /// vector by reference and looks up a `Copy` key — no allocation).
+    pub fn apply_abstraction_cached(&self, abs: &Abstraction) -> (AbsExample, usize, usize) {
+        let mut misses = 0usize;
+        let mut hits = 0usize;
+        let rows = (0..self.num_rows())
+            .map(|r| {
+                let key = (self.row_polys[r], self.lift_fingerprint(&abs.lifts[r]));
+                let syms = match self.abs_rows.get(&key) {
+                    Some(s) => {
+                        hits += 1;
+                        s
+                    }
+                    None => {
+                        misses += 1;
+                        // First insert wins: racing workers computed the
+                        // same deterministic row and converge on one Arc.
+                        self.abs_rows.insert(key, Arc::new(abs.row_syms(self, r)))
+                    }
+                };
+                AbsRow {
+                    output: self.example.rows[r].output.clone(),
+                    syms,
+                }
+            })
+            .collect();
+        (AbsExample { rows }, misses, hits)
     }
 }
 

@@ -157,7 +157,7 @@ pub fn compression_baseline_with_budget(
         }
         targets_tried += 1;
         let abs = compress_to_symbols(bound, target);
-        let rows = abs.apply(bound).rows;
+        let rows = bound.apply_abstraction_cached(&abs).0.rows;
         let out = compute_privacy(bound, &rows, cfg, &cache);
         stats.absorb(&out.stats);
         if let Some(p) = out.privacy {

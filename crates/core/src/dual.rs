@@ -11,7 +11,7 @@
 //! evaluations that cannot improve the incumbent — by gating each privacy
 //! computation at threshold `p_best + 1`, which Algorithm 1 rejects cheaply.
 
-use crate::loi::{loss_of_information, LoiDistribution};
+use crate::loi::LoiDistribution;
 use crate::privacy::{compute_privacy, PrivacyCache, PrivacyConfig};
 use crate::search::{AbstractionSpace, BestAbstraction, SearchOutcome, SearchStats};
 use crate::Bound;
@@ -59,7 +59,7 @@ impl Default for DualConfig {
 /// assert!(best.loi <= cfg.l_max);
 /// ```
 pub fn find_max_privacy_abstraction(bound: &Bound<'_>, cfg: &DualConfig) -> SearchOutcome {
-    let space = AbstractionSpace::new(bound);
+    let space = AbstractionSpace::new(bound, &cfg.distribution);
     let mut stats = SearchStats::default();
     let cache = PrivacyCache::new();
     let mut best: Option<BestAbstraction> = None;
@@ -70,8 +70,7 @@ pub fn find_max_privacy_abstraction(bound: &Bound<'_>, cfg: &DualConfig) -> Sear
         }
         let mut bucket: Vec<(f64, Vec<u32>)> = Vec::new();
         let complete = space.for_each_with_edges(e, &mut |lifts| {
-            let abs = space.to_abstraction(bound, lifts);
-            let loi = loss_of_information(bound, &abs, &cfg.distribution);
+            let loi = space.loi_of(lifts);
             if loi <= cfg.l_max {
                 bucket.push((loi, lifts.to_vec()));
             }
@@ -89,7 +88,10 @@ pub fn find_max_privacy_abstraction(bound: &Bound<'_>, cfg: &DualConfig) -> Sear
             let mut pcfg = cfg.privacy.clone();
             pcfg.threshold = p_best + 1;
             stats.privacy_evaluations += 1;
-            let rows = abs.apply(bound).rows;
+            let (ex, misses, hits) = bound.apply_abstraction_cached(&abs);
+            let rows = ex.rows;
+            stats.rows_abstracted += misses;
+            stats.abs_cache_hits += hits;
             let out = compute_privacy(bound, &rows, &pcfg, &cache);
             stats.privacy_stats.absorb(&out.stats);
             if let Some(p) = out.privacy {

@@ -135,6 +135,21 @@ pub fn delta_loss_of_information(
 /// leaf at depth `leaf_depth` by `lift` edges — used by the search's
 /// lower-bound tables.
 pub fn single_lift_loi(bound: &Bound<'_>, r: usize, i: usize, lift: u32) -> f64 {
+    occurrence_loi(bound, r, i, lift, &LoiDistribution::Uniform)
+}
+
+/// The LOI contribution of lifting occurrence `(r, i)` by `lift` edges
+/// under `dist` — the per-occurrence term of the Prop. 3.5 decomposition.
+/// `loss_of_information` is exactly the sum of these terms over all
+/// occurrences, so the search can tabulate them once per bound and score
+/// every candidate by table lookups instead of tree walks.
+pub fn occurrence_loi(
+    bound: &Bound<'_>,
+    r: usize,
+    i: usize,
+    lift: u32,
+    dist: &LoiDistribution,
+) -> f64 {
     if lift == 0 {
         return 0.0;
     }
@@ -142,7 +157,10 @@ pub fn single_lift_loi(bound: &Bound<'_>, r: usize, i: usize, lift: u32) -> f64 
         .leaf_node(r, i)
         .and_then(|leaf| bound.tree.ancestor_at(leaf, lift))
     {
-        Some(node) => (bound.tree.leaf_count(node) as f64).ln(),
+        Some(node) => match dist {
+            LoiDistribution::Uniform => (bound.tree.leaf_count(node) as f64).ln(),
+            LoiDistribution::Weighted(w) => w.node_entropy(bound, node),
+        },
         None => f64::INFINITY,
     }
 }

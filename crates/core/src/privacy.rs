@@ -17,6 +17,7 @@ use provabs_reveng::{
 };
 use provabs_semiring::{AnnotId, SemiringKind};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// The query class against which privacy is measured (Table 4 rows).
@@ -143,8 +144,51 @@ impl PrivacyStats {
 /// ```
 #[derive(Debug, Default)]
 pub struct PrivacyCache {
+    /// Interns sorted occurrence lists to small ids: both caches key by
+    /// [`OccId`] instead of hashed owned annotation vectors, so repeat
+    /// lookups hash a handful of `u32`s rather than whole concretizations.
+    occs: OccInterner,
     consistent: ShardedMap<ConcKey, Arc<Vec<Cq>>>,
-    connectivity: ShardedMap<Vec<AnnotId>, bool>,
+    connectivity: ShardedMap<OccId, bool>,
+}
+
+/// An interned sorted occurrence list (id space private to one
+/// [`PrivacyCache`]).
+type OccId = u32;
+
+/// A sharded interner: sorted occurrence vector → dense-ish id. First
+/// insert wins under races, so every equal vector resolves to one canonical
+/// id (racing workers may burn a counter value — ids stay unique, which is
+/// all the keying needs).
+#[derive(Debug, Default)]
+struct OccInterner {
+    ids: ShardedMap<Vec<AnnotId>, OccId>,
+    next: AtomicU32,
+}
+
+impl OccInterner {
+    fn intern(&self, key: Vec<AnnotId>) -> OccId {
+        if let Some(id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.ids.insert(key, id)
+    }
+
+    /// Drops every interned list intersecting `touched`, returning the
+    /// evicted ids.
+    fn invalidate(&self, touched: &HashSet<AnnotId>) -> HashSet<OccId> {
+        let mut evicted = HashSet::new();
+        self.ids.retain_kv(|key, &id| {
+            if key.iter().any(|a| touched.contains(a)) {
+                evicted.insert(id);
+                false
+            } else {
+                true
+            }
+        });
+        evicted
+    }
 }
 
 impl PrivacyCache {
@@ -167,27 +211,31 @@ impl PrivacyCache {
     /// the entries whose annotations intersect `touched` (the deleted and
     /// inserted tuples of an [`AppliedDelta`](provabs_relational::AppliedDelta)).
     ///
-    /// Both caches are keyed by concrete annotation sets and their cached
-    /// values depend only on the tuples those annotations tag — consistent
-    /// queries on the resolved rows, connectivity on their value overlaps —
-    /// so entries disjoint from the delta stay exactly valid and survive.
-    /// Inserted annotations are fresh and appear in no key; they are
-    /// accepted here so callers can pass the whole touched set.
+    /// Keys are interned occurrence-list ids; the interner is the single
+    /// source of truth for which annotations an id covers, so invalidation
+    /// evicts the intersecting ids there and then drops exactly the cache
+    /// entries referencing them. Cached values depend only on the tuples
+    /// those annotations tag — consistent queries on the resolved rows,
+    /// connectivity on their value overlaps — so entries disjoint from the
+    /// delta stay exactly valid and survive. Inserted annotations are fresh
+    /// and appear in no key; they are accepted here so callers can pass the
+    /// whole touched set.
     pub fn invalidate(&self, touched: &std::collections::HashSet<AnnotId>) {
         if touched.is_empty() {
             return;
         }
-        self.consistent.retain(|key| {
-            !key.iter()
-                .any(|(_, occs)| occs.iter().any(|a| touched.contains(a)))
-        });
-        self.connectivity
-            .retain(|key| !key.iter().any(|a| touched.contains(a)));
+        let evicted = self.occs.invalidate(touched);
+        if evicted.is_empty() {
+            return;
+        }
+        self.connectivity.retain(|id| !evicted.contains(id));
+        self.consistent
+            .retain(|key| !key.iter().any(|(_, id)| evicted.contains(id)));
     }
 }
 
-/// Cache key: the concrete rows (output + sorted occurrence list).
-type ConcKey = Vec<(provabs_relational::Tuple, Vec<AnnotId>)>;
+/// Cache key: the concrete rows (output + interned sorted occurrence list).
+type ConcKey = Vec<(provabs_relational::Tuple, OccId)>;
 
 /// The result of a privacy evaluation.
 #[derive(Debug, Clone)]
@@ -246,18 +294,21 @@ fn row_connected(
     if !cfg.connectivity_filter {
         return true;
     }
-    let mut key: Vec<AnnotId> = occs.to_vec();
-    key.sort_unstable();
-    if cfg.caching {
-        if let Some(c) = cache.connectivity.get(&key) {
+    let key = cfg.caching.then(|| {
+        let mut sorted: Vec<AnnotId> = occs.to_vec();
+        sorted.sort_unstable();
+        cache.occs.intern(sorted)
+    });
+    if let Some(id) = key {
+        if let Some(c) = cache.connectivity.get(&id) {
             stats.connectivity_cache_hits += 1;
             return c;
         }
     }
     stats.connectivity_cache_misses += 1;
     let connected = provabs_relational::monomial_connected(bound.db, occs);
-    if cfg.caching {
-        cache.connectivity.insert(key, connected);
+    if let Some(id) = key {
+        cache.connectivity.insert(id, connected);
     }
     connected
 }
@@ -271,17 +322,18 @@ fn consistent_of(
     cache: &PrivacyCache,
     stats: &mut PrivacyStats,
 ) -> Arc<Vec<Cq>> {
-    let key: ConcKey = conc
-        .iter()
-        .enumerate()
-        .map(|(r, occs)| {
-            let mut sorted = occs.clone();
-            sorted.sort_unstable();
-            (abs_rows[r].output.clone(), sorted)
-        })
-        .collect();
-    if cfg.caching {
-        if let Some(qs) = cache.consistent.get(&key) {
+    let key: Option<ConcKey> = cfg.caching.then(|| {
+        conc.iter()
+            .enumerate()
+            .map(|(r, occs)| {
+                let mut sorted = occs.clone();
+                sorted.sort_unstable();
+                (abs_rows[r].output.clone(), cache.occs.intern(sorted))
+            })
+            .collect()
+    });
+    if let Some(k) = &key {
+        if let Some(qs) = cache.consistent.get(k) {
             stats.consistency_cache_hits += 1;
             return qs;
         }
@@ -297,9 +349,9 @@ fn consistent_of(
     } else {
         Vec::new()
     });
-    if cfg.caching {
+    if let Some(k) = key {
         // First insert wins; racing workers converge on the stored value.
-        return cache.consistent.insert(key, qs);
+        return cache.consistent.insert(k, qs);
     }
     qs
 }
@@ -672,6 +724,43 @@ mod tests {
         assert!(cache.len() < populated);
         let again = compute_privacy(&b, &rows, &cfg, &cache);
         assert_eq!(again.privacy, first.privacy);
+    }
+
+    #[test]
+    fn invalidate_evicts_exactly_the_intersecting_entries() {
+        // Regression for the interned-id key scheme: eviction must still be
+        // *exact* — precisely the entries whose annotations intersect the
+        // touched set disappear, nothing more, nothing less. We verify
+        // behaviorally: after invalidating, a re-run recomputes exactly the
+        // evicted consistency entries (misses == evicted) and answers the
+        // survivors from cache.
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        let abs = abs_lifting(&b, &[("h1", 1), ("h2", 1)]);
+        let rows = abs.apply(&b).rows;
+        let cfg = PrivacyConfig {
+            threshold: 1,
+            ..Default::default()
+        };
+        let cache = PrivacyCache::new();
+        let first = compute_privacy(&b, &rows, &cfg, &cache);
+        let populated = cache.len();
+        assert!(populated > 0);
+        let h2 = std::collections::HashSet::from([fx.db.annotations().get("h2").unwrap()]);
+        cache.invalidate(&h2);
+        let surviving = cache.len();
+        let evicted = populated - surviving;
+        assert!(evicted > 0, "h2 appears in concretizations — must evict");
+        assert!(surviving > 0, "h1-only concretizations must survive");
+        let second = compute_privacy(&b, &rows, &cfg, &cache);
+        assert_eq!(second.privacy, first.privacy);
+        assert_eq!(
+            second.stats.consistency_cache_misses, evicted,
+            "re-run must recompute exactly the evicted entries"
+        );
+        // The cache is fully warm again: a third run misses nothing.
+        let third = compute_privacy(&b, &rows, &cfg, &cache);
+        assert_eq!(third.stats.consistency_cache_misses, 0);
     }
 
     #[test]

@@ -24,9 +24,9 @@
 //! is defined positionally (first eligible success in sorted order), not by
 //! arrival time.
 
-use crate::loi::{loss_of_information, single_lift_loi, LoiDistribution};
+use crate::loi::{loss_of_information, occurrence_loi, LoiDistribution};
 use crate::privacy::{compute_privacy, PrivacyCache, PrivacyConfig, PrivacyStats};
-use crate::{Abstraction, Bound};
+use crate::{AbsRow, Abstraction, Bound};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -92,6 +92,15 @@ pub struct SearchConfig {
     /// assert!((sequential.loi - parallel.loi).abs() < 1e-12);
     /// ```
     pub parallelism: Option<usize>,
+    /// Route abstraction application through the bound's interned memo
+    /// ([`Bound::apply_abstraction_cached`]): each distinct
+    /// `(row provenance, per-row lifts)` pair is materialized once per
+    /// bound, across buckets, workers and warm restarts. Disabled, every
+    /// privacy-evaluated candidate re-abstracts every row from scratch —
+    /// the owned-polynomial baseline the `micro_intern` bench and the
+    /// `BENCH_3.json` perf gate compare against. Results are identical
+    /// either way; only [`SearchStats::rows_abstracted`] moves.
+    pub memoize_abstractions: bool,
 }
 
 impl Default for SearchConfig {
@@ -105,6 +114,7 @@ impl Default for SearchConfig {
             time_budget_ms: None,
             distribution: LoiDistribution::Uniform,
             parallelism: None,
+            memoize_abstractions: true,
         }
     }
 }
@@ -129,6 +139,14 @@ pub struct SearchStats {
     /// Privacy evaluations (the expensive part). In parallel runs this may
     /// exceed the sequential count by a bounded amount of speculation.
     pub privacy_evaluations: usize,
+    /// Rows actually (re-)abstracted — symbol lists materialized. With
+    /// [`SearchConfig::memoize_abstractions`] this counts memo misses only;
+    /// without it, every privacy-evaluated candidate pays
+    /// `bound.num_rows()`. The "derivations re-abstracted" counter of the
+    /// `BENCH_3.json` perf gate.
+    pub rows_abstracted: usize,
+    /// Abstraction applications answered from the bound's memo in O(1).
+    pub abs_cache_hits: usize,
     /// Whether `max_candidates` (or an inner cap) was hit.
     pub truncated: bool,
     /// Whether a warm-start incumbent seeded the search (see
@@ -168,24 +186,42 @@ pub(crate) struct AbstractionSpace {
     pub occs: Vec<(usize, usize)>,
     /// Per occurrence: maximal lift.
     pub max_lift: Vec<u32>,
-    /// Per occurrence, per lift `0..=max`: the uniform-LOI increment.
+    /// Per occurrence, per lift `0..=max`: the LOI increment under the
+    /// search's distribution (Prop. 3.5 decomposes total LOI into exactly
+    /// these terms).
     pub loi_table: Vec<Vec<f64>>,
 }
 
 impl AbstractionSpace {
-    pub fn new(bound: &Bound<'_>) -> Self {
+    pub fn new(bound: &Bound<'_>, dist: &LoiDistribution) -> Self {
         let occs = bound.occurrences();
         let max_lift: Vec<u32> = occs.iter().map(|&(r, i)| bound.max_lift(r, i)).collect();
         let loi_table: Vec<Vec<f64>> = occs
             .iter()
             .zip(&max_lift)
-            .map(|(&(r, i), &max)| (0..=max).map(|c| single_lift_loi(bound, r, i, c)).collect())
+            .map(|(&(r, i), &max)| {
+                (0..=max)
+                    .map(|c| occurrence_loi(bound, r, i, c, dist))
+                    .collect()
+            })
             .collect();
         Self {
             occs,
             max_lift,
             loi_table,
         }
+    }
+
+    /// The LOI of a candidate by table lookup — no tree walks, no
+    /// `Abstraction` materialization. Summed in flat-occurrence order, which
+    /// is exactly the nested row/occurrence order of
+    /// [`loss_of_information`], so the two agree bit for bit.
+    pub fn loi_of(&self, lifts: &[u32]) -> f64 {
+        lifts
+            .iter()
+            .zip(&self.loi_table)
+            .map(|(&l, table)| table[l as usize])
+            .sum()
     }
 
     /// Total lift budget `Σ max_lift`.
@@ -202,9 +238,9 @@ impl AbstractionSpace {
         abs
     }
 
-    /// `minLOI[e]`: the minimum uniform-LOI over all abstractions using
-    /// exactly `e` edges. Non-decreasing in `e` (each occurrence's LOI term
-    /// is non-decreasing in its lift).
+    /// `minLOI[e]`: the minimum LOI (under the space's distribution) over
+    /// all abstractions using exactly `e` edges. Non-decreasing in `e` (each
+    /// occurrence's LOI term is non-decreasing in its lift).
     pub fn min_loi_by_edges(&self) -> Vec<f64> {
         let total = self.total_edges() as usize;
         let mut dp = vec![f64::INFINITY; total + 1];
@@ -296,10 +332,35 @@ impl AbstractionSpace {
 }
 
 /// One worker's bucket report: successes as `(candidate index, privacy)`,
-/// the worker's accumulated privacy counters, and its evaluation count.
-type WorkerReport = (Vec<(usize, usize)>, PrivacyStats, usize);
+/// the worker's accumulated privacy counters, its evaluation count, and its
+/// abstraction-application `(misses, hits)`.
+struct WorkerReport {
+    successes: Vec<(usize, usize)>,
+    privacy_stats: PrivacyStats,
+    evals: usize,
+    rows_abstracted: usize,
+    abs_cache_hits: usize,
+}
 
-/// Enumerates bucket `e` with per-candidate LOIs, capped by the
+/// Materializes the abstracted rows of a candidate, memoized or from
+/// scratch per [`SearchConfig::memoize_abstractions`]. Returns the rows and
+/// the `(misses, hits)` accounting — the uncached path re-abstracts every
+/// row (all misses, by definition).
+fn abstracted_rows(
+    bound: &Bound<'_>,
+    abs: &Abstraction,
+    cfg: &SearchConfig,
+) -> (Vec<AbsRow>, usize, usize) {
+    if cfg.memoize_abstractions {
+        let (ex, misses, hits) = bound.apply_abstraction_cached(abs);
+        (ex.rows, misses, hits)
+    } else {
+        (abs.apply(bound).rows, bound.num_rows(), 0)
+    }
+}
+
+/// Enumerates bucket `e` with per-candidate LOIs (table lookups — the
+/// enumeration hot loop materializes no `Abstraction`), capped by the
 /// `max_candidates` accounting, and sorts by LOI (the tie-break of
 /// Algorithm 2 line 2). Returns the bucket and whether enumeration ran to
 /// completion. Shared by the sequential and parallel paths — their
@@ -307,16 +368,13 @@ type WorkerReport = (Vec<(usize, usize)>, PrivacyStats, usize);
 /// and cap behavior.
 fn collect_sorted_bucket(
     space: &AbstractionSpace,
-    bound: &Bound<'_>,
     cfg: &SearchConfig,
     e: u32,
     enumerated_so_far: usize,
 ) -> (Vec<(f64, Vec<u32>)>, bool) {
     let mut bucket: Vec<(f64, Vec<u32>)> = Vec::new();
     let complete = space.for_each_with_edges(e, &mut |lifts| {
-        let abs = space.to_abstraction(bound, lifts);
-        let loi = loss_of_information(bound, &abs, &cfg.distribution);
-        bucket.push((loi, lifts.to_vec()));
+        bucket.push((space.loi_of(lifts), lifts.to_vec()));
         bucket.len() + enumerated_so_far < cfg.max_candidates
     });
     bucket.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -399,7 +457,9 @@ pub fn find_optimal_abstraction_incremental(
             // the same lifts to different LOI, and the delta may have
             // changed the concretization space behind the privacy value.
             let loi = loss_of_information(bound, &prev.abstraction, &cfg.distribution);
-            let rows = prev.abstraction.apply(bound).rows;
+            let (rows, misses, hits) = abstracted_rows(bound, &prev.abstraction, cfg);
+            warm_stats.rows_abstracted += misses;
+            warm_stats.abs_cache_hits += hits;
             warm_stats.privacy_evaluations += 1;
             warm_stats.loi_evaluations += 1;
             let out = compute_privacy(bound, &rows, &cfg.privacy, cache);
@@ -418,6 +478,8 @@ pub fn find_optimal_abstraction_incremental(
     let mut outcome = search_with_incumbent(bound, cfg, cache, incumbent);
     outcome.stats.privacy_evaluations += warm_stats.privacy_evaluations;
     outcome.stats.loi_evaluations += warm_stats.loi_evaluations;
+    outcome.stats.rows_abstracted += warm_stats.rows_abstracted;
+    outcome.stats.abs_cache_hits += warm_stats.abs_cache_hits;
     outcome.stats.warm_start_used = warm_stats.warm_start_used;
     outcome
         .stats
@@ -447,7 +509,7 @@ fn sequential_search(
     cache: &PrivacyCache,
     incumbent: Option<BestAbstraction>,
 ) -> SearchOutcome {
-    let space = AbstractionSpace::new(bound);
+    let space = AbstractionSpace::new(bound, &cfg.distribution);
     let mut stats = SearchStats::default();
     let mut best: Option<BestAbstraction> = incumbent;
     let deadline = cfg
@@ -455,35 +517,41 @@ fn sequential_search(
         .map(|ms| Instant::now() + Duration::from_millis(ms));
     let out_of_time = move || deadline.is_some_and(|d| Instant::now() >= d);
 
-    let consider =
-        |lifts: &[u32], stats: &mut SearchStats, best: &mut Option<BestAbstraction>| -> bool {
-            if out_of_time() {
-                return false;
+    // `loi` is the candidate's table-sum LOI (bucket enumeration already
+    // paid for it; the unsorted ablation computes it the same way).
+    let consider = |lifts: &[u32],
+                    loi: f64,
+                    stats: &mut SearchStats,
+                    best: &mut Option<BestAbstraction>|
+     -> bool {
+        if out_of_time() {
+            return false;
+        }
+        stats.abstractions_enumerated += 1;
+        stats.loi_evaluations += 1;
+        let l_best = best.as_ref().map_or(f64::INFINITY, |b| b.loi);
+        if cfg.prioritize_loi && loi >= l_best {
+            return stats.abstractions_enumerated < cfg.max_candidates;
+        }
+        let abs = space.to_abstraction(bound, lifts);
+        stats.privacy_evaluations += 1;
+        let (rows, misses, hits) = abstracted_rows(bound, &abs, cfg);
+        stats.rows_abstracted += misses;
+        stats.abs_cache_hits += hits;
+        let out = compute_privacy(bound, &rows, &cfg.privacy, cache);
+        stats.privacy_stats.absorb(&out.stats);
+        if let Some(p) = out.privacy {
+            if loi < l_best {
+                *best = Some(BestAbstraction {
+                    edges_used: abs.edges_used(),
+                    abstraction: abs,
+                    loi,
+                    privacy: p,
+                });
             }
-            stats.abstractions_enumerated += 1;
-            let abs = space.to_abstraction(bound, lifts);
-            stats.loi_evaluations += 1;
-            let loi = loss_of_information(bound, &abs, &cfg.distribution);
-            let l_best = best.as_ref().map_or(f64::INFINITY, |b| b.loi);
-            if cfg.prioritize_loi && loi >= l_best {
-                return stats.abstractions_enumerated < cfg.max_candidates;
-            }
-            stats.privacy_evaluations += 1;
-            let rows = abs.apply(bound).rows;
-            let out = compute_privacy(bound, &rows, &cfg.privacy, cache);
-            stats.privacy_stats.absorb(&out.stats);
-            if let Some(p) = out.privacy {
-                if loi < l_best {
-                    *best = Some(BestAbstraction {
-                        edges_used: abs.edges_used(),
-                        abstraction: abs,
-                        loi,
-                        privacy: p,
-                    });
-                }
-            }
-            stats.abstractions_enumerated < cfg.max_candidates
-        };
+        }
+        stats.abstractions_enumerated < cfg.max_candidates
+    };
 
     if cfg.sort_abstractions {
         let min_loi = if cfg.early_termination {
@@ -500,10 +568,10 @@ fn sequential_search(
                 }
             }
             let (bucket, complete) =
-                collect_sorted_bucket(&space, bound, cfg, e, stats.abstractions_enumerated);
+                collect_sorted_bucket(&space, cfg, e, stats.abstractions_enumerated);
             stats.truncated |= !complete;
-            for (_, lifts) in &bucket {
-                if !consider(lifts, &mut stats, &mut best) {
+            for (loi, lifts) in &bucket {
+                if !consider(lifts, *loi, &mut stats, &mut best) {
                     stats.truncated = true;
                     break 'outer;
                 }
@@ -513,7 +581,9 @@ fn sequential_search(
             }
         }
     } else {
-        let complete = space.for_each_unsorted(&mut |lifts| consider(lifts, &mut stats, &mut best));
+        let complete = space.for_each_unsorted(&mut |lifts| {
+            consider(lifts, space.loi_of(lifts), &mut stats, &mut best)
+        });
         stats.truncated |= !complete;
     }
     SearchOutcome { best, stats }
@@ -541,7 +611,7 @@ fn parallel_search(
     workers: usize,
     initial: Option<BestAbstraction>,
 ) -> SearchOutcome {
-    let space = AbstractionSpace::new(bound);
+    let space = AbstractionSpace::new(bound, &cfg.distribution);
     let mut stats = SearchStats::default();
     let mut best: Option<BestAbstraction> = initial;
     let incumbent = SharedIncumbent::new();
@@ -567,7 +637,7 @@ fn parallel_search(
         }
         // Enumerate and sort the bucket — identical to the sequential path.
         let (bucket, complete) =
-            collect_sorted_bucket(&space, bound, cfg, e, stats.abstractions_enumerated);
+            collect_sorted_bucket(&space, cfg, e, stats.abstractions_enumerated);
         stats.truncated |= !complete;
 
         // How many candidates the sequential loop would consider before
@@ -605,7 +675,9 @@ fn parallel_search(
             let (loi, lifts) = &bucket[0];
             if *loi < incumbent.get() {
                 let abs = space.to_abstraction(bound, lifts);
-                let rows = abs.apply(bound).rows;
+                let (rows, misses, hits) = abstracted_rows(bound, &abs, cfg);
+                stats.rows_abstracted += misses;
+                stats.abs_cache_hits += hits;
                 stats.privacy_evaluations += 1;
                 let out = compute_privacy(bound, &rows, &cfg.privacy, cache);
                 stats.privacy_stats.absorb(&out.stats);
@@ -635,9 +707,13 @@ fn parallel_search(
                         let (next, best_success, timed_out, timeout_floor) =
                             (&next, &best_success, &timed_out, &timeout_floor);
                         s.spawn(move || {
-                            let mut successes: Vec<(usize, usize)> = Vec::new();
-                            let mut local_stats = PrivacyStats::default();
-                            let mut evals = 0usize;
+                            let mut report = WorkerReport {
+                                successes: Vec::new(),
+                                privacy_stats: PrivacyStats::default(),
+                                evals: 0,
+                                rows_abstracted: 0,
+                                abs_cache_hits: 0,
+                            };
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 if i >= eval_len {
@@ -661,16 +737,18 @@ fn parallel_search(
                                 // so no further LOI re-check is needed.
                                 let (_, lifts) = &bucket[i];
                                 let abs = space.to_abstraction(bound, lifts);
-                                let rows = abs.apply(bound).rows;
-                                evals += 1;
+                                let (rows, misses, hits) = abstracted_rows(bound, &abs, cfg);
+                                report.rows_abstracted += misses;
+                                report.abs_cache_hits += hits;
+                                report.evals += 1;
                                 let out = compute_privacy(bound, &rows, &cfg.privacy, cache);
-                                local_stats.absorb(&out.stats);
+                                report.privacy_stats.absorb(&out.stats);
                                 if let Some(p) = out.privacy {
-                                    successes.push((i, p));
+                                    report.successes.push((i, p));
                                     best_success.fetch_min(i, Ordering::AcqRel);
                                 }
                             }
-                            (successes, local_stats, evals)
+                            report
                         })
                     })
                     .collect();
@@ -681,10 +759,12 @@ fn parallel_search(
             })
         };
 
-        for (successes, local_stats, evals) in worker_results {
-            stats.privacy_evaluations += evals;
-            stats.privacy_stats.absorb(&local_stats);
-            for (i, p) in successes {
+        for report in worker_results {
+            stats.privacy_evaluations += report.evals;
+            stats.rows_abstracted += report.rows_abstracted;
+            stats.abs_cache_hits += report.abs_cache_hits;
+            stats.privacy_stats.absorb(&report.privacy_stats);
+            for (i, p) in report.successes {
                 // Eligibility re-check for the no-pruning ablation: a
                 // success can only displace the incumbent with a strictly
                 // smaller LOI.
@@ -991,7 +1071,7 @@ mod tests {
     fn min_loi_is_monotone() {
         let fx = running_example();
         let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
-        let space = AbstractionSpace::new(&b);
+        let space = AbstractionSpace::new(&b, &LoiDistribution::Uniform);
         let dp = space.min_loi_by_edges();
         assert_eq!(dp[0], 0.0);
         for e in 1..dp.len() {
@@ -1005,7 +1085,7 @@ mod tests {
     fn bucket_enumeration_counts() {
         let fx = running_example();
         let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
-        let space = AbstractionSpace::new(&b);
+        let space = AbstractionSpace::new(&b, &LoiDistribution::Uniform);
         // e = 0: exactly one abstraction (identity).
         let mut n0 = 0;
         space.for_each_with_edges(0, &mut |_| {

@@ -9,6 +9,7 @@
 //! different candidates mostly touch disjoint concretizations, with heavy
 //! read sharing on the ones they have in common.
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
 use std::sync::RwLock;
@@ -41,7 +42,20 @@ impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
 
     /// A clone of the value under `key`, if present.
     pub fn get(&self, key: &K) -> Option<V> {
-        self.shard(key)
+        self.get_borrowed(key)
+    }
+
+    /// [`ShardedMap::get`] through a borrowed form of the key (e.g. probe a
+    /// `Vec<u32>`-keyed map with a `&[u32]`), so hot-path lookups allocate
+    /// nothing. Sound because `Borrow` guarantees the borrowed form hashes
+    /// and compares identically — shard routing and the inner map agree.
+    pub fn get_borrowed<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let h = self.hasher.hash_one(key) as usize;
+        self.shards[h & (SHARDS - 1)]
             .read()
             .expect("shard lock poisoned")
             .get(key)
@@ -64,11 +78,17 @@ impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
     /// Writers of other shards proceed concurrently; the predicate runs
     /// under one shard's write lock at a time, so it must not touch the map.
     pub fn retain(&self, mut f: impl FnMut(&K) -> bool) {
+        self.retain_kv(|k, _| f(k));
+    }
+
+    /// [`ShardedMap::retain`] with the value visible to the predicate —
+    /// lets an interner collect the ids it evicts in one pass.
+    pub fn retain_kv(&self, mut f: impl FnMut(&K, &V) -> bool) {
         for shard in &self.shards {
             shard
                 .write()
                 .expect("shard lock poisoned")
-                .retain(|k, _| f(k));
+                .retain(|k, v| f(k, v));
         }
     }
 

@@ -43,8 +43,9 @@
 //! ```
 
 use crate::eval::{eval_cq_restricted, EvalWork, Restriction};
+use crate::interned::{IKRelation, IKRelationDelta};
 use crate::{Cq, Database, KRelation, RelId, Tuple, Ucq};
-use provabs_semiring::AnnotId;
+use provabs_semiring::{AnnotId, ProvStore};
 use std::collections::HashSet;
 
 /// One tuple insertion of a [`Delta`].
@@ -182,9 +183,15 @@ impl KRelationDelta {
 }
 
 /// Sums the restricted evaluations over every pivot position whose relation
-/// holds affected rows.
-fn eval_delta_side(db: &Database, q: &Cq, set: &HashSet<AnnotId>) -> (KRelation, EvalWork) {
-    let mut out = KRelation::default();
+/// holds affected rows. The parts *move* into the sum (interned ids, no
+/// polynomial clones).
+fn eval_delta_side(
+    db: &Database,
+    q: &Cq,
+    set: &HashSet<AnnotId>,
+    store: &mut ProvStore,
+) -> (IKRelation, EvalWork) {
+    let mut out = IKRelation::default();
     let mut work = EvalWork::default();
     if set.is_empty() || q.body.is_empty() {
         return (out, work);
@@ -213,11 +220,10 @@ fn eval_delta_side(db: &Database, q: &Cq, set: &HashSet<AnnotId>) -> (KRelation,
                 set,
                 pivot_rows,
             },
+            store,
         );
         work.absorb(&w);
-        for (t, p) in part.iter() {
-            out.add(t.clone(), p.clone());
-        }
+        out.absorb(store, part);
     }
     (out, work)
 }
@@ -229,7 +235,9 @@ pub fn eval_cq_retractions(
     q: &Cq,
     deletes: &HashSet<AnnotId>,
 ) -> (KRelation, EvalWork) {
-    eval_delta_side(db, q, deletes)
+    let mut store = ProvStore::new();
+    let (out, work) = eval_delta_side(db, q, deletes, &mut store);
+    (out.to_krelation(&store), work)
 }
 
 /// The provenance added by the tuples tagged by `inserts`. Must be
@@ -239,7 +247,31 @@ pub fn eval_cq_additions(
     q: &Cq,
     inserts: &HashSet<AnnotId>,
 ) -> (KRelation, EvalWork) {
-    eval_delta_side(db, q, inserts)
+    let mut store = ProvStore::new();
+    let (out, work) = eval_delta_side(db, q, inserts, &mut store);
+    (out.to_krelation(&store), work)
+}
+
+/// [`eval_cq_retractions`] trafficking in interned ids against a persistent
+/// store (the maintained-cache fast path).
+pub fn eval_cq_retractions_interned(
+    db: &Database,
+    q: &Cq,
+    deletes: &HashSet<AnnotId>,
+    store: &mut ProvStore,
+) -> (IKRelation, EvalWork) {
+    eval_delta_side(db, q, deletes, store)
+}
+
+/// [`eval_cq_additions`] trafficking in interned ids against a persistent
+/// store (the maintained-cache fast path).
+pub fn eval_cq_additions_interned(
+    db: &Database,
+    q: &Cq,
+    inserts: &HashSet<AnnotId>,
+    store: &mut ProvStore,
+) -> (IKRelation, EvalWork) {
+    eval_delta_side(db, q, inserts, store)
 }
 
 /// UCQ retractions: the sum of the disjuncts' retractions.
@@ -248,7 +280,9 @@ pub fn eval_ucq_retractions(
     u: &Ucq,
     deletes: &HashSet<AnnotId>,
 ) -> (KRelation, EvalWork) {
-    sum_disjuncts(db, u, deletes)
+    let mut store = ProvStore::new();
+    let (out, work) = sum_disjuncts(db, u, deletes, &mut store);
+    (out.to_krelation(&store), work)
 }
 
 /// UCQ additions: the sum of the disjuncts' additions.
@@ -257,18 +291,23 @@ pub fn eval_ucq_additions(
     u: &Ucq,
     inserts: &HashSet<AnnotId>,
 ) -> (KRelation, EvalWork) {
-    sum_disjuncts(db, u, inserts)
+    let mut store = ProvStore::new();
+    let (out, work) = sum_disjuncts(db, u, inserts, &mut store);
+    (out.to_krelation(&store), work)
 }
 
-fn sum_disjuncts(db: &Database, u: &Ucq, set: &HashSet<AnnotId>) -> (KRelation, EvalWork) {
-    let mut out = KRelation::default();
+fn sum_disjuncts(
+    db: &Database,
+    u: &Ucq,
+    set: &HashSet<AnnotId>,
+    store: &mut ProvStore,
+) -> (IKRelation, EvalWork) {
+    let mut out = IKRelation::default();
     let mut work = EvalWork::default();
     for d in &u.disjuncts {
-        let (part, w) = eval_delta_side(db, d, set);
+        let (part, w) = eval_delta_side(db, d, set, store);
         work.absorb(&w);
-        for (t, p) in part.iter() {
-            out.add(t.clone(), p.clone());
-        }
+        out.absorb(store, part);
     }
     (out, work)
 }
@@ -291,11 +330,50 @@ pub struct DeltaEvalOutcome {
 /// Computes retractions for every query, applies the delta to `db`, then
 /// computes additions — returning per-query [`KRelationDelta`]s whose merge
 /// into pre-delta cached results reproduces full re-evaluation exactly.
+///
+/// A thin owned boundary over [`apply_delta_with_queries_interned`]: callers
+/// maintaining caches across many batches should hold a persistent
+/// [`ProvStore`] and traffic in [`IKRelationDelta`]s instead, so repeated
+/// derivations and merges stay O(1) arena hits.
 pub fn apply_delta_with_queries(
     db: &mut Database,
     delta: &Delta,
     queries: &[Cq],
 ) -> DeltaEvalOutcome {
+    let mut store = ProvStore::new();
+    let out = apply_delta_with_queries_interned(db, delta, queries, &mut store);
+    DeltaEvalOutcome {
+        deltas: out
+            .deltas
+            .iter()
+            .map(|d| d.to_krelation_delta(&store))
+            .collect(),
+        applied: out.applied,
+        work: out.work,
+    }
+}
+
+/// The interned full incremental-maintenance cycle (see
+/// [`DeltaEvalOutcome`] for the owned twin).
+#[derive(Debug)]
+pub struct IDeltaEvalOutcome {
+    /// Per input query (same order): the interned change to merge into its
+    /// maintained [`IKRelation`].
+    pub deltas: Vec<IKRelationDelta>,
+    /// What the database actually changed (invalidation set).
+    pub applied: AppliedDelta,
+    /// Evaluation work spent on all retraction + addition passes combined.
+    pub work: EvalWork,
+}
+
+/// [`apply_delta_with_queries`] trafficking in interned ids against a
+/// caller-owned persistent [`ProvStore`].
+pub fn apply_delta_with_queries_interned(
+    db: &mut Database,
+    delta: &Delta,
+    queries: &[Cq],
+    store: &mut ProvStore,
+) -> IDeltaEvalOutcome {
     let deletes: HashSet<AnnotId> = delta
         .deletes
         .iter()
@@ -305,7 +383,7 @@ pub fn apply_delta_with_queries(
     let mut work = EvalWork::default();
     let mut removed_parts = Vec::with_capacity(queries.len());
     for q in queries {
-        let (removed, w) = eval_cq_retractions(db, q, &deletes);
+        let (removed, w) = eval_delta_side(db, q, &deletes, store);
         work.absorb(&w);
         removed_parts.push(removed);
     }
@@ -315,12 +393,12 @@ pub fn apply_delta_with_queries(
         .iter()
         .zip(removed_parts)
         .map(|(q, removed)| {
-            let (added, w) = eval_cq_additions(db, q, &inserts);
+            let (added, w) = eval_delta_side(db, q, &inserts, store);
             work.absorb(&w);
-            KRelationDelta { added, removed }
+            IKRelationDelta { added, removed }
         })
         .collect();
-    DeltaEvalOutcome {
+    IDeltaEvalOutcome {
         deltas,
         applied,
         work,

@@ -5,8 +5,9 @@
 //! summing, over all derivations yielding the tuple, the product of the
 //! annotations of the derivation's image.
 
+use crate::interned::IKRelation;
 use crate::{Cq, Database, Term, Tuple, Ucq, Value, VarId};
-use provabs_semiring::{AnnotId, Monomial, Polynomial};
+use provabs_semiring::{AnnotId, Monomial, Polynomial, ProvStore};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// An output K-relation: output tuples with their provenance polynomials.
@@ -139,8 +140,28 @@ pub fn eval_cq_limited(db: &Database, q: &Cq, limits: EvalLimits) -> KRelation {
 }
 
 /// [`eval_cq_limited`] also reporting the [`EvalWork`] counters.
+///
+/// This is the thin owned boundary over the interned engine: derivations
+/// accumulate as [`PolyId`](provabs_semiring::PolyId)s in a throwaway
+/// [`ProvStore`] and resolve to owned polynomials only here. Callers that
+/// evaluate repeatedly should hold a persistent store and call
+/// [`eval_cq_counted_interned`] so the arena's hash-consing and operation
+/// memos carry across evaluations.
 pub fn eval_cq_counted(db: &Database, q: &Cq, limits: EvalLimits) -> (KRelation, EvalWork) {
-    run_engine(db, q, limits, None)
+    let mut store = ProvStore::new();
+    let (out, work) = run_engine(db, q, limits, None, &mut store);
+    (out.to_krelation(&store), work)
+}
+
+/// The interned engine entry point: evaluates a CQ into an
+/// [`IKRelation`] whose provenance lives in `store`.
+pub fn eval_cq_counted_interned(
+    db: &Database,
+    q: &Cq,
+    limits: EvalLimits,
+    store: &mut ProvStore,
+) -> (IKRelation, EvalWork) {
+    run_engine(db, q, limits, None, store)
 }
 
 /// Restriction of an evaluation to derivations through a *pivot* atom
@@ -164,20 +185,27 @@ pub(crate) fn eval_cq_restricted(
     db: &Database,
     q: &Cq,
     restriction: Restriction<'_>,
-) -> (KRelation, EvalWork) {
-    run_engine(db, q, EvalLimits::default(), Some(restriction))
+    store: &mut ProvStore,
+) -> (IKRelation, EvalWork) {
+    run_engine(db, q, EvalLimits::default(), Some(restriction), store)
 }
+
+/// Per-output derivation accumulator of one evaluation: monomial ids with
+/// multiplicities. Outputs intern their *final* polynomial once when the
+/// engine finishes, so the arena never retains accumulation prefixes.
+type Accum = BTreeMap<Tuple, BTreeMap<provabs_semiring::MonoId, u64>>;
 
 fn run_engine(
     db: &Database,
     q: &Cq,
     limits: EvalLimits,
     restrict: Option<Restriction<'_>>,
-) -> (KRelation, EvalWork) {
-    let mut out = KRelation::default();
+    store: &mut ProvStore,
+) -> (IKRelation, EvalWork) {
     if q.body.is_empty() {
-        return (out, EvalWork::default());
+        return (IKRelation::default(), EvalWork::default());
     }
+    let mut acc = Accum::new();
     // A pivoted evaluation starts from the delta rows: they are the most
     // selective access path by construction.
     let order = plan_order(db, q, restrict.as_ref().map(|r| r.pivot));
@@ -187,7 +215,8 @@ fn run_engine(
         limits,
         derivations: 0,
         rows_examined: 0,
-        out: &mut out,
+        out: &mut acc,
+        store,
         order,
         restrict,
     };
@@ -198,16 +227,28 @@ fn run_engine(
         rows_examined: engine.rows_examined,
         derivations: engine.derivations as u64,
     };
+    let out = IKRelation::from_map(
+        acc.into_iter()
+            .map(|(t, terms)| (t, store.intern_mono_terms(terms)))
+            .collect(),
+    );
     (out, work)
 }
 
 /// Evaluates a UCQ: the sum of its disjuncts' outputs.
 pub fn eval_ucq(db: &Database, u: &Ucq) -> KRelation {
-    let mut out = KRelation::default();
+    let mut store = ProvStore::new();
+    eval_ucq_interned(db, u, &mut store).to_krelation(&store)
+}
+
+/// [`eval_ucq`] against a caller-owned [`ProvStore`]: disjunct outputs move
+/// into the sum (no polynomial clones) and the arena memos persist for the
+/// caller's next evaluation.
+pub fn eval_ucq_interned(db: &Database, u: &Ucq, store: &mut ProvStore) -> IKRelation {
+    let mut out = IKRelation::default();
     for d in &u.disjuncts {
-        for (t, p) in eval_cq(db, d).iter() {
-            out.add(t.clone(), p.clone());
-        }
+        let (part, _) = run_engine(db, d, EvalLimits::default(), None, store);
+        out.absorb(store, part);
     }
     out
 }
@@ -324,7 +365,8 @@ struct Engine<'a> {
     limits: EvalLimits,
     derivations: usize,
     rows_examined: u64,
-    out: &'a mut KRelation,
+    out: &'a mut Accum,
+    store: &'a mut ProvStore,
     order: Vec<usize>,
     restrict: Option<Restriction<'a>>,
 }
@@ -350,14 +392,18 @@ impl Engine<'_> {
                     Term::Var(v) => bindings[v].clone(),
                 })
                 .collect();
-            let is_new = self.out.provenance(&output).is_zero();
+            let is_new = !self.out.contains_key(&output);
             if is_new && self.out.len() >= self.limits.max_outputs {
                 return true; // skip new outputs, keep exploring existing ones
             }
-            self.out.add(
-                output,
-                Polynomial::from(Monomial::from_annots(image.iter().copied())),
-            );
+            // Hash-consed: a repeated derivation image is an O(1) arena hit.
+            // Multiplicities accumulate in the scratch map; the final
+            // polynomial is interned once per output after the search.
+            let mono = self
+                .store
+                .intern_monomial(Monomial::from_annots(image.iter().copied()));
+            let coeff = self.out.entry(output).or_default().entry(mono).or_insert(0);
+            *coeff = coeff.saturating_add(1);
             self.derivations += 1;
             return true;
         }
@@ -373,12 +419,13 @@ impl Engine<'_> {
             }
         }
         for (col, term) in atom.terms.iter().enumerate() {
-            let val = match term {
-                Term::Const(c) => Some(c.clone()),
-                Term::Var(v) => bindings.get(v).cloned(),
+            // Probe by reference: no `Value` clone per bound position.
+            let val: Option<&Value> = match term {
+                Term::Const(c) => Some(c),
+                Term::Var(v) => bindings.get(v),
             };
             if let Some(v) = val {
-                let rows = self.db.rows_matching(atom.rel, col, &v);
+                let rows = self.db.rows_matching(atom.rel, col, v);
                 if candidates.as_ref().is_none_or(|c| rows.len() < c.len()) {
                     candidates = Some(rows);
                 }

@@ -1,0 +1,289 @@
+//! Interned K-relations: the id-trafficking twin of [`KRelation`].
+//!
+//! The join engine and the delta-maintenance path produce and merge
+//! provenance polynomials constantly; owning them means cloning and
+//! re-sorting nested vectors on every derivation. An [`IKRelation`] maps
+//! output tuples to [`PolyId`]s of a [`ProvStore`] instead: accumulation,
+//! subtraction and equality are id operations, memoized at the arena level,
+//! and a repeated evaluation over the same database re-derives nothing.
+//!
+//! The owned [`KRelation`] stays the boundary type — serialization, display
+//! and the reverse-engineering layer keep working on owned polynomials via
+//! [`IKRelation::to_krelation`] / [`IKRelation::from_krelation`].
+//!
+//! Ids are relative to one store: mixing an `IKRelation` with a store other
+//! than the one that produced it is a logic error (all constructors below
+//! take the store explicitly to keep that pairing visible).
+
+use crate::{KRelation, Tuple};
+use provabs_semiring::{MonoId, PolyId, ProvStore};
+use std::collections::BTreeMap;
+
+/// An output K-relation trafficking in interned provenance.
+///
+/// Ordered by tuple so iteration is deterministic. Equality compares
+/// `PolyId`s, which is polynomial equality exactly when both sides were
+/// built against the same [`ProvStore`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IKRelation {
+    tuples: BTreeMap<Tuple, PolyId>,
+}
+
+impl IKRelation {
+    /// Wraps an already-normalized map (crate-internal: the join engine
+    /// accumulates derivations in a scratch map and interns each output's
+    /// *final* polynomial exactly once — no accumulation prefix is ever
+    /// retained by the arena).
+    pub(crate) fn from_map(tuples: BTreeMap<Tuple, PolyId>) -> Self {
+        debug_assert!(tuples.values().all(|&p| p != ProvStore::ZERO));
+        Self { tuples }
+    }
+
+    /// Number of distinct output tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether there are no outputs.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The interned provenance of `t` ([`ProvStore::ZERO`] if absent).
+    pub fn poly(&self, t: &Tuple) -> PolyId {
+        self.tuples.get(t).copied().unwrap_or(ProvStore::ZERO)
+    }
+
+    /// Whether `t` has non-zero provenance.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains_key(t)
+    }
+
+    /// Iterates over `(output, provenance id)` in tuple order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, PolyId)> {
+        self.tuples.iter().map(|(t, &p)| (t, p))
+    }
+
+    /// Adds one derivation monomial (coefficient 1) to the provenance of
+    /// `t`.
+    ///
+    /// Each call interns the updated polynomial, so a long run of
+    /// single-monomial additions to one tuple retains every accumulation
+    /// prefix in the arena. Fine for incremental single additions; bulk
+    /// producers (like the join engine) should gather the terms in a
+    /// scratch map and intern the final polynomial once via
+    /// [`ProvStore::intern_mono_terms`].
+    pub fn add_monomial(&mut self, store: &mut ProvStore, t: Tuple, m: MonoId) {
+        let entry = self.tuples.entry(t).or_insert(ProvStore::ZERO);
+        *entry = store.add_monomial(*entry, m);
+    }
+
+    /// Adds `p` to the provenance of `t`.
+    pub fn add_poly(&mut self, store: &mut ProvStore, t: Tuple, p: PolyId) {
+        if store.is_zero(p) {
+            return;
+        }
+        let entry = self.tuples.entry(t).or_insert(ProvStore::ZERO);
+        *entry = store.add(*entry, p);
+    }
+
+    /// Subtracts `p` from the provenance of `t`, dropping the output when it
+    /// reaches zero. Returns `false` (leaving `self` untouched) when the
+    /// subtraction would underflow.
+    pub fn subtract(&mut self, store: &mut ProvStore, t: &Tuple, p: PolyId) -> bool {
+        if store.is_zero(p) {
+            return true;
+        }
+        let Some(entry) = self.tuples.get_mut(t) else {
+            return false;
+        };
+        let Some(diff) = store.checked_sub(*entry, p) else {
+            return false;
+        };
+        if store.is_zero(diff) {
+            self.tuples.remove(t);
+        } else {
+            *entry = diff;
+        }
+        true
+    }
+
+    /// Merges `other` into `self`, consuming it — tuples move, ids are
+    /// `Copy`: no polynomial is cloned (the last-use path of UCQ and
+    /// delta-side accumulation).
+    pub fn absorb(&mut self, store: &mut ProvStore, other: IKRelation) {
+        for (t, p) in other.tuples {
+            let entry = self.tuples.entry(t).or_insert(ProvStore::ZERO);
+            *entry = store.add(*entry, p);
+        }
+    }
+
+    /// Re-interns this K-relation into `new_store` — the compaction path
+    /// for long-lived maintenance loops. A [`ProvStore`] grows
+    /// monotonically, so a caller feeding one arena from an unbounded
+    /// update stream should periodically create a fresh store, `rebase`
+    /// every maintained K-relation onto it, and drop the old arena (taking
+    /// all dead entries — including ids referencing retired annotations —
+    /// with it).
+    pub fn rebase(&self, old_store: &ProvStore, new_store: &mut ProvStore) -> IKRelation {
+        IKRelation {
+            tuples: self
+                .tuples
+                .iter()
+                .map(|(t, &p)| (t.clone(), new_store.intern(&old_store.resolve(p))))
+                .collect(),
+        }
+    }
+
+    /// Resolves into an owned [`KRelation`] (the boundary out of the arena).
+    pub fn to_krelation(&self, store: &ProvStore) -> KRelation {
+        self.tuples
+            .iter()
+            .map(|(t, &p)| (t.clone(), store.resolve(p)))
+            .collect()
+    }
+
+    /// Interns an owned [`KRelation`].
+    pub fn from_krelation(store: &mut ProvStore, rel: &KRelation) -> IKRelation {
+        IKRelation {
+            tuples: rel
+                .iter()
+                .map(|(t, p)| (t.clone(), store.intern(p)))
+                .collect(),
+        }
+    }
+}
+
+/// The interned twin of [`KRelationDelta`](crate::KRelationDelta):
+/// provenance ids to add and to retract against a maintained
+/// [`IKRelation`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IKRelationDelta {
+    /// Provenance gained (derivations through inserted tuples).
+    pub added: IKRelation,
+    /// Provenance lost (derivations through deleted tuples).
+    pub removed: IKRelation,
+}
+
+impl IKRelationDelta {
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Merges into a maintained interned K-relation: retractions subtracted
+    /// exactly (memoized [`ProvStore::checked_sub`]), additions summed,
+    /// zeroed outputs dropped. Returns `false` — with `base` left in an
+    /// unspecified but valid state — when a retraction is not contained in
+    /// `base`.
+    pub fn merge_into(&self, store: &mut ProvStore, base: &mut IKRelation) -> bool {
+        for (t, p) in self.removed.iter() {
+            if !base.subtract(store, t, p) {
+                return false;
+            }
+        }
+        for (t, p) in self.added.iter() {
+            base.add_poly(store, t.clone(), p);
+        }
+        true
+    }
+
+    /// Resolves into an owned [`KRelationDelta`](crate::KRelationDelta).
+    pub fn to_krelation_delta(&self, store: &ProvStore) -> crate::KRelationDelta {
+        crate::KRelationDelta {
+            added: self.added.to_krelation(store),
+            removed: self.removed.to_krelation(store),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provabs_semiring::{AnnotRegistry, Monomial, Polynomial};
+
+    #[test]
+    fn accumulation_matches_owned_krelation() {
+        let mut reg = AnnotRegistry::new();
+        let (a, b) = (reg.intern("a"), reg.intern("b"));
+        let mut store = ProvStore::new();
+        let ma = store.intern_monomial(Monomial::from_annots([a]));
+        let mb = store.intern_monomial(Monomial::from_annots([b]));
+        let t = Tuple::parse(&["1"]);
+        let mut ik = IKRelation::default();
+        ik.add_monomial(&mut store, t.clone(), ma);
+        ik.add_monomial(&mut store, t.clone(), mb);
+        ik.add_monomial(&mut store, t.clone(), ma);
+        let owned = ik.to_krelation(&store);
+        let expected = Polynomial::from_terms([
+            (Monomial::from_annots([a]), 2),
+            (Monomial::from_annots([b]), 1),
+        ]);
+        assert_eq!(owned.provenance(&t), expected);
+        // Round trip through the boundary lands on the same ids.
+        let back = IKRelation::from_krelation(&mut store, &owned);
+        assert_eq!(back, ik);
+    }
+
+    #[test]
+    fn subtract_mirrors_owned_semantics() {
+        let mut reg = AnnotRegistry::new();
+        let a = reg.intern("a");
+        let mut store = ProvStore::new();
+        let ma = store.intern_monomial(Monomial::from_annots([a]));
+        let t = Tuple::parse(&["1"]);
+        let mut ik = IKRelation::default();
+        ik.add_monomial(&mut store, t.clone(), ma);
+        let pa = store.poly_of_monomial(ma);
+        let twice = store.add(pa, pa);
+        // Underflow refused, relation untouched.
+        assert!(!ik.subtract(&mut store, &t, twice));
+        assert_eq!(ik.poly(&t), pa);
+        // Exact subtraction drops the output.
+        assert!(ik.subtract(&mut store, &t, pa));
+        assert!(ik.is_empty());
+        assert!(!ik.subtract(&mut store, &t, pa));
+    }
+
+    #[test]
+    fn rebase_compacts_onto_a_fresh_store() {
+        let mut reg = AnnotRegistry::new();
+        let (a, b) = (reg.intern("a"), reg.intern("b"));
+        let mut old = ProvStore::new();
+        let ma = old.intern_monomial(Monomial::from_annots([a]));
+        let mb = old.intern_monomial(Monomial::from_annots([b]));
+        let t = Tuple::parse(&["1"]);
+        let mut ik = IKRelation::default();
+        ik.add_monomial(&mut old, t.clone(), ma);
+        ik.add_monomial(&mut old, t.clone(), mb);
+        // Pollute the old arena with dead values a long stream would leave.
+        for i in 0..50 {
+            let dead = old.intern_monomial(Monomial::from_annots([reg.intern(&format!("d{i}"))]));
+            old.poly_of_monomial(dead);
+        }
+        let mut fresh = ProvStore::new();
+        let rebased = ik.rebase(&old, &mut fresh);
+        assert_eq!(rebased.to_krelation(&fresh), ik.to_krelation(&old));
+        // The fresh arena holds only the live state, not the dead entries.
+        assert!(fresh.num_polynomials() < old.num_polynomials());
+    }
+
+    #[test]
+    fn absorb_moves_and_merges() {
+        let mut reg = AnnotRegistry::new();
+        let (a, b) = (reg.intern("a"), reg.intern("b"));
+        let mut store = ProvStore::new();
+        let ma = store.intern_monomial(Monomial::from_annots([a]));
+        let mb = store.intern_monomial(Monomial::from_annots([b]));
+        let (t1, t2) = (Tuple::parse(&["1"]), Tuple::parse(&["2"]));
+        let mut left = IKRelation::default();
+        left.add_monomial(&mut store, t1.clone(), ma);
+        let mut right = IKRelation::default();
+        right.add_monomial(&mut store, t1.clone(), mb);
+        right.add_monomial(&mut store, t2.clone(), mb);
+        left.absorb(&mut store, right);
+        assert_eq!(left.len(), 2);
+        let p1 = store.resolve(left.poly(&t1));
+        assert_eq!(p1.num_monomials(), 2);
+    }
+}

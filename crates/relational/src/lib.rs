@@ -29,6 +29,7 @@
 mod database;
 mod delta;
 mod eval;
+mod interned;
 mod kexample;
 mod parser;
 mod query;
@@ -38,13 +39,16 @@ mod value;
 
 pub use database::{Database, TupleRef};
 pub use delta::{
-    apply_delta_with_queries, eval_cq_additions, eval_cq_retractions, eval_ucq_additions,
-    eval_ucq_retractions, AppliedDelta, Delta, DeltaEvalOutcome, DeltaInsert, KRelationDelta,
+    apply_delta_with_queries, apply_delta_with_queries_interned, eval_cq_additions,
+    eval_cq_additions_interned, eval_cq_retractions, eval_cq_retractions_interned,
+    eval_ucq_additions, eval_ucq_retractions, AppliedDelta, Delta, DeltaEvalOutcome, DeltaInsert,
+    IDeltaEvalOutcome, KRelationDelta,
 };
 pub use eval::{
-    eval_cq, eval_cq_counted, eval_cq_limited, eval_cqs_parallel, eval_ucq, EvalLimits, EvalWork,
-    KRelation,
+    eval_cq, eval_cq_counted, eval_cq_counted_interned, eval_cq_limited, eval_cqs_parallel,
+    eval_ucq, eval_ucq_interned, EvalLimits, EvalWork, KRelation,
 };
+pub use interned::{IKRelation, IKRelationDelta};
 pub use kexample::{monomial_connected, ConcreteRow, KExample, KRow};
 pub use parser::{parse_cq, parse_ucq, ParseError};
 pub use query::{Atom, Cq, RelId, Term, Ucq, VarId};

@@ -10,9 +10,11 @@
 use proptest::prelude::*;
 use proptest::TestRng;
 use provabs_relational::{
-    apply_delta_with_queries, eval_cq, eval_ucq, eval_ucq_additions, eval_ucq_retractions, Atom,
-    Cq, Database, Delta, KRelation, KRelationDelta, RelId, Term, Tuple, Ucq, Value, VarId,
+    apply_delta_with_queries, apply_delta_with_queries_interned, eval_cq, eval_cq_counted_interned,
+    eval_ucq, eval_ucq_additions, eval_ucq_retractions, Atom, Cq, Database, Delta, EvalLimits,
+    IKRelation, KRelation, KRelationDelta, RelId, Term, Tuple, Ucq, Value, VarId,
 };
+use provabs_semiring::ProvStore;
 use std::collections::HashSet;
 
 fn pick(rng: &mut TestRng, n: usize) -> usize {
@@ -139,6 +141,39 @@ proptest! {
                     &*cache,
                     &eval_cq(&db, q),
                     "delta merge != re-eval at batch {}, seed {}",
+                    batch,
+                    seed
+                );
+            }
+        }
+    }
+
+    /// The fully interned maintenance loop — persistent [`ProvStore`],
+    /// [`IKRelation`] caches, id-level merges — stays bit-for-bit equal to
+    /// owned full re-evaluation across a random update stream.
+    #[test]
+    fn interned_delta_stream_equals_owned_reeval(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::for_case(seed.wrapping_add(0x51ed_270b));
+        let (mut db, rels) = rand_db(&mut rng);
+        let queries: Vec<Cq> = (0..3).map(|_| rand_cq(&mut rng, &rels)).collect();
+        let mut store = ProvStore::new();
+        let mut cached: Vec<IKRelation> = queries
+            .iter()
+            .map(|q| eval_cq_counted_interned(&db, q, EvalLimits::default(), &mut store).0)
+            .collect();
+        let mut fresh = 0usize;
+        for batch in 0..4 {
+            let delta = rand_delta(&mut rng, &db, &rels, &mut fresh);
+            let out = apply_delta_with_queries_interned(&mut db, &delta, &queries, &mut store);
+            for ((q, cache), d) in queries.iter().zip(&mut cached).zip(&out.deltas) {
+                prop_assert!(
+                    d.merge_into(&mut store, cache),
+                    "retraction underflow at batch {batch} for {q:?}"
+                );
+                prop_assert_eq!(
+                    &cache.to_krelation(&store),
+                    &eval_cq(&db, q),
+                    "interned delta merge != owned re-eval at batch {}, seed {}",
                     batch,
                     seed
                 );

@@ -1,0 +1,690 @@
+//! A hash-consing arena for provenance monomials and polynomials.
+//!
+//! The abstraction search evaluates thousands of candidate abstractions over
+//! the *same* provenance polynomials; every owned-`Polynomial` operation
+//! clones nested `Vec<(Monomial, u64)>` structures and re-sorts them from
+//! scratch. [`ProvStore`] interns monomials and polynomials into small ids
+//! ([`MonoId`], [`PolyId`]): structurally equal values share one arena slot,
+//! so clone, equality and hashing become O(1) id operations, and the
+//! semiring operations (`add`, `mul`, `checked_sub`, `coarsen`) plus
+//! occurrence-level abstraction application are memoized at the arena level
+//! — each distinct input combination is computed exactly once for the
+//! lifetime of the store.
+//!
+//! # Id lifetimes and growth
+//!
+//! Ids are only meaningful relative to the store that issued them; a store
+//! never forgets or reuses an id, so ids stay valid for the store's whole
+//! lifetime. Because interning is canonical, `PolyId` equality *is*
+//! polynomial equality (and likewise for monomials) within one store.
+//!
+//! The flip side of "never forgets" is monotonic growth: an arena fed by an
+//! unbounded stream (e.g. a persistent store across endless maintenance
+//! batches) accumulates entries for values that will never be touched
+//! again, including ids referencing retired annotations. Long-lived
+//! streaming callers should periodically **rebuild**: create a fresh store
+//! and re-intern the live state they maintain (for cached K-relations,
+//! `IKRelation::rebase` in `provabs-relational` does exactly this). The
+//! rebuild cost is one pass over the live values — everything dead is
+//! dropped with the old arena.
+//!
+//! # Example
+//!
+//! ```
+//! use provabs_semiring::{AnnotRegistry, Polynomial, ProvStore};
+//!
+//! let mut reg = AnnotRegistry::new();
+//! let (a, b) = (reg.intern("a"), reg.intern("b"));
+//! let mut store = ProvStore::new();
+//! let pa = store.intern(&Polynomial::var(a));
+//! let pb = store.intern(&Polynomial::var(b));
+//! let sum = store.add(pa, pb);
+//! // Interning is canonical: recomputing the sum yields the same id, and
+//! // the memo answers without rebuilding the polynomial.
+//! assert_eq!(store.add(pb, pa), sum);
+//! assert_eq!(store.resolve(sum), Polynomial::var(a).add(&Polynomial::var(b)));
+//! ```
+
+use crate::{AnnotId, Monomial, Polynomial, SemiringKind};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// An interned [`Monomial`]: a dense index into a [`ProvStore`].
+///
+/// Only meaningful for the store that issued it. Equality of ids is equality
+/// of monomials within that store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MonoId(u32);
+
+/// An interned [`Polynomial`]: a dense index into a [`ProvStore`].
+///
+/// Only meaningful for the store that issued it. Equality of ids is equality
+/// of polynomials within that store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PolyId(u32);
+
+impl MonoId {
+    /// The dense arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PolyId {
+    /// The dense arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Deterministic work counters of a [`ProvStore`]: how many structures were
+/// actually built versus answered from the hash-consing tables and operation
+/// memos. Machine-independent, so they make stable perf-gate metrics (an
+/// allocation proxy: every `*_interned` / `memo_misses` paid a real
+/// construction, every hit was O(1)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreWork {
+    /// Monomials constructed into the arena (hash-consing misses).
+    pub monos_interned: u64,
+    /// Polynomials constructed into the arena (hash-consing misses).
+    pub polys_interned: u64,
+    /// Monomial interning requests answered by an existing slot.
+    pub mono_hits: u64,
+    /// Polynomial interning requests answered by an existing slot.
+    pub poly_hits: u64,
+    /// Semiring-operation memo hits (`add`/`mul`/`checked_sub`/`coarsen`).
+    pub memo_hits: u64,
+    /// Semiring-operation memo misses (operations actually computed).
+    pub memo_misses: u64,
+    /// Abstraction applications answered from the memo.
+    pub apply_hits: u64,
+    /// Abstraction applications actually computed.
+    pub apply_misses: u64,
+}
+
+impl StoreWork {
+    /// Total structures constructed — the allocations proxy.
+    pub fn constructions(&self) -> u64 {
+        self.monos_interned + self.polys_interned
+    }
+
+    /// Hit rate over every memoized lookup (`0.0` when nothing was asked).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.mono_hits + self.poly_hits + self.memo_hits + self.apply_hits;
+        let total =
+            hits + self.monos_interned + self.polys_interned + self.memo_misses + self.apply_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// Normal form of an interned polynomial: `(monomial, coefficient)` terms
+/// with strictly increasing `MonoId` and strictly positive coefficients.
+/// (Note the order is by *id*, not by monomial `Ord` — canonical within one
+/// store, which is all id-level operations need.)
+type Terms = Arc<Vec<(MonoId, u64)>>;
+
+/// The hash-consing arena. See the [module docs](self) for the contract.
+///
+/// The store is a plain `&mut self` structure with no interior mutability:
+/// engines own one (or borrow one exclusively) while they run. Concurrent
+/// consumers share *derived* values (ids are `Copy`, resolved structures are
+/// owned), never the store itself.
+#[derive(Debug)]
+pub struct ProvStore {
+    monos: Vec<Monomial>,
+    mono_ids: HashMap<Monomial, MonoId>,
+    polys: Vec<Terms>,
+    poly_ids: HashMap<Terms, PolyId>,
+    add_memo: HashMap<(PolyId, PolyId), PolyId>,
+    add_mono_memo: HashMap<(PolyId, MonoId), PolyId>,
+    mul_memo: HashMap<(PolyId, PolyId), PolyId>,
+    mul_mono_memo: HashMap<(MonoId, MonoId), MonoId>,
+    sub_memo: HashMap<(PolyId, PolyId), Option<PolyId>>,
+    coarsen_memo: HashMap<(PolyId, SemiringKind), PolyId>,
+    apply_memo: HashMap<(PolyId, u64), PolyId>,
+    work: StoreWork,
+}
+
+impl Default for ProvStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProvStore {
+    /// The interned zero polynomial (present in every store).
+    pub const ZERO: PolyId = PolyId(0);
+    /// The interned one polynomial (present in every store).
+    pub const ONE: PolyId = PolyId(1);
+    /// The interned empty monomial (present in every store).
+    pub const MONO_ONE: MonoId = MonoId(0);
+
+    /// An empty store holding only the canonical constants.
+    pub fn new() -> Self {
+        let mut store = Self {
+            monos: Vec::new(),
+            mono_ids: HashMap::new(),
+            polys: Vec::new(),
+            poly_ids: HashMap::new(),
+            add_memo: HashMap::new(),
+            add_mono_memo: HashMap::new(),
+            mul_memo: HashMap::new(),
+            mul_mono_memo: HashMap::new(),
+            sub_memo: HashMap::new(),
+            coarsen_memo: HashMap::new(),
+            apply_memo: HashMap::new(),
+            work: StoreWork::default(),
+        };
+        let one = store.intern_monomial(Monomial::one());
+        debug_assert_eq!(one, Self::MONO_ONE);
+        let zero = store.intern_terms(Vec::new());
+        debug_assert_eq!(zero, Self::ZERO);
+        let one_poly = store.intern_terms(vec![(one, 1)]);
+        debug_assert_eq!(one_poly, Self::ONE);
+        // The constants are part of every store, not work the caller caused.
+        store.work = StoreWork::default();
+        store
+    }
+
+    /// Number of distinct monomials interned.
+    pub fn num_monomials(&self) -> usize {
+        self.monos.len()
+    }
+
+    /// Number of distinct polynomials interned.
+    pub fn num_polynomials(&self) -> usize {
+        self.polys.len()
+    }
+
+    /// Snapshot of the work counters.
+    pub fn work(&self) -> StoreWork {
+        self.work
+    }
+
+    /// Interns a monomial, returning its canonical id.
+    pub fn intern_monomial(&mut self, m: Monomial) -> MonoId {
+        if let Some(&id) = self.mono_ids.get(&m) {
+            self.work.mono_hits += 1;
+            return id;
+        }
+        self.work.monos_interned += 1;
+        let id = MonoId(u32::try_from(self.monos.len()).expect("monomial arena overflow"));
+        self.monos.push(m.clone());
+        self.mono_ids.insert(m, id);
+        id
+    }
+
+    /// The monomial behind `id`.
+    pub fn monomial(&self, id: MonoId) -> &Monomial {
+        &self.monos[id.index()]
+    }
+
+    /// The normal-form terms of `p` (sorted by `MonoId`, positive
+    /// coefficients).
+    pub fn terms(&self, p: PolyId) -> &[(MonoId, u64)] {
+        &self.polys[p.index()]
+    }
+
+    /// Whether `p` is the zero polynomial.
+    pub fn is_zero(&self, p: PolyId) -> bool {
+        p == Self::ZERO
+    }
+
+    /// Interns normalized terms. Callers must pass strictly increasing
+    /// `MonoId`s with positive coefficients.
+    fn intern_terms(&mut self, terms: Vec<(MonoId, u64)>) -> PolyId {
+        debug_assert!(terms.windows(2).all(|w| w[0].0 < w[1].0), "terms unsorted");
+        debug_assert!(terms.iter().all(|&(_, c)| c > 0), "zero coefficient");
+        let terms: Terms = Arc::new(terms);
+        if let Some(&id) = self.poly_ids.get(&terms) {
+            self.work.poly_hits += 1;
+            return id;
+        }
+        self.work.polys_interned += 1;
+        let id = PolyId(u32::try_from(self.polys.len()).expect("polynomial arena overflow"));
+        self.polys.push(Arc::clone(&terms));
+        self.poly_ids.insert(terms, id);
+        id
+    }
+
+    /// The polynomial holding exactly one monomial with coefficient 1.
+    pub fn poly_of_monomial(&mut self, m: MonoId) -> PolyId {
+        self.intern_terms(vec![(m, 1)])
+    }
+
+    /// Interns a polynomial given as raw `(monomial id, coefficient)` terms:
+    /// duplicates accumulate (saturating) and zero coefficients drop.
+    ///
+    /// This is the bulk-accumulation boundary: engines that sum many
+    /// derivations into one polynomial should collect them in a scratch
+    /// map and intern the *final* normal form once through here — only that
+    /// polynomial is retained by the arena, not every accumulation prefix.
+    pub fn intern_mono_terms<I: IntoIterator<Item = (MonoId, u64)>>(&mut self, terms: I) -> PolyId {
+        let mut v: Vec<(MonoId, u64)> = terms.into_iter().filter(|&(_, c)| c > 0).collect();
+        v.sort_unstable_by_key(|&(m, _)| m);
+        let mut out: Vec<(MonoId, u64)> = Vec::with_capacity(v.len());
+        for (m, c) in v {
+            match out.last_mut() {
+                Some((last, acc)) if *last == m => *acc = acc.saturating_add(c),
+                _ => out.push((m, c)),
+            }
+        }
+        self.intern_terms(out)
+    }
+
+    /// Interns an owned polynomial.
+    pub fn intern(&mut self, p: &Polynomial) -> PolyId {
+        let mut terms: Vec<(MonoId, u64)> = p
+            .terms()
+            .iter()
+            .map(|(m, c)| (self.intern_monomial(m.clone()), *c))
+            .collect();
+        terms.sort_unstable_by_key(|&(m, _)| m);
+        self.intern_terms(terms)
+    }
+
+    /// Resolves `p` back to an owned [`Polynomial`] (the boundary out of the
+    /// arena — serialization, display, legacy callers).
+    pub fn resolve(&self, p: PolyId) -> Polynomial {
+        Polynomial::from_terms(
+            self.polys[p.index()]
+                .iter()
+                .map(|&(m, c)| (self.monos[m.index()].clone(), c)),
+        )
+    }
+
+    /// Memoized sum. Equal to
+    /// [`Polynomial::add`](crate::Polynomial::add) on the resolved values.
+    pub fn add(&mut self, a: PolyId, b: PolyId) -> PolyId {
+        if a == Self::ZERO {
+            return b;
+        }
+        if b == Self::ZERO {
+            return a;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.add_memo.get(&key) {
+            self.work.memo_hits += 1;
+            return r;
+        }
+        self.work.memo_misses += 1;
+        let (ta, tb) = (
+            Arc::clone(&self.polys[a.index()]),
+            Arc::clone(&self.polys[b.index()]),
+        );
+        let mut out: Vec<(MonoId, u64)> = Vec::with_capacity(ta.len() + tb.len());
+        let (mut i, mut j) = (0, 0);
+        while i < ta.len() && j < tb.len() {
+            match ta[i].0.cmp(&tb[j].0) {
+                std::cmp::Ordering::Less => {
+                    out.push(ta[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(tb[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((ta[i].0, ta[i].1.saturating_add(tb[j].1)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&ta[i..]);
+        out.extend_from_slice(&tb[j..]);
+        let r = self.intern_terms(out);
+        self.add_memo.insert(key, r);
+        r
+    }
+
+    /// Memoized `p + m` (one monomial, coefficient 1) — the single-step
+    /// accumulation primitive for incremental additions.
+    ///
+    /// Every step interns the updated polynomial, so a long run of calls
+    /// against one growing polynomial retains each prefix in the arena;
+    /// bulk producers (like the join engine) should accumulate in a scratch
+    /// map and intern the final normal form once via
+    /// [`ProvStore::intern_mono_terms`].
+    pub fn add_monomial(&mut self, p: PolyId, m: MonoId) -> PolyId {
+        let key = (p, m);
+        if let Some(&r) = self.add_mono_memo.get(&key) {
+            self.work.memo_hits += 1;
+            return r;
+        }
+        self.work.memo_misses += 1;
+        let tp = Arc::clone(&self.polys[p.index()]);
+        let mut out: Vec<(MonoId, u64)> = Vec::with_capacity(tp.len() + 1);
+        let mut placed = false;
+        for &(tm, c) in tp.iter() {
+            if !placed && tm >= m {
+                if tm == m {
+                    out.push((tm, c.saturating_add(1)));
+                } else {
+                    out.push((m, 1));
+                    out.push((tm, c));
+                }
+                placed = true;
+            } else {
+                out.push((tm, c));
+            }
+        }
+        if !placed {
+            out.push((m, 1));
+        }
+        let r = self.intern_terms(out);
+        self.add_mono_memo.insert(key, r);
+        r
+    }
+
+    /// Memoized product of two monomials.
+    pub fn mul_monomials(&mut self, a: MonoId, b: MonoId) -> MonoId {
+        if a == Self::MONO_ONE {
+            return b;
+        }
+        if b == Self::MONO_ONE {
+            return a;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.mul_mono_memo.get(&key) {
+            self.work.memo_hits += 1;
+            return r;
+        }
+        self.work.memo_misses += 1;
+        let product = self.monos[a.index()].mul(&self.monos[b.index()]);
+        let r = self.intern_monomial(product);
+        self.mul_mono_memo.insert(key, r);
+        r
+    }
+
+    /// Memoized product. Equal to
+    /// [`Polynomial::mul`](crate::Polynomial::mul) on the resolved values.
+    pub fn mul(&mut self, a: PolyId, b: PolyId) -> PolyId {
+        if a == Self::ZERO || b == Self::ZERO {
+            return Self::ZERO;
+        }
+        if a == Self::ONE {
+            return b;
+        }
+        if b == Self::ONE {
+            return a;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.mul_memo.get(&key) {
+            self.work.memo_hits += 1;
+            return r;
+        }
+        self.work.memo_misses += 1;
+        let (ta, tb) = (
+            Arc::clone(&self.polys[a.index()]),
+            Arc::clone(&self.polys[b.index()]),
+        );
+        let mut acc: BTreeMap<MonoId, u64> = BTreeMap::new();
+        for &(ma, ca) in ta.iter() {
+            for &(mb, cb) in tb.iter() {
+                let m = self.mul_monomials(ma, mb);
+                let e = acc.entry(m).or_insert(0);
+                *e = e.saturating_add(ca.saturating_mul(cb));
+            }
+        }
+        let r = self.intern_terms(acc.into_iter().collect());
+        self.mul_memo.insert(key, r);
+        r
+    }
+
+    /// Memoized coefficient-wise difference, defined exactly when
+    /// `b ≤_{N[X]} a`. Equal to
+    /// [`Polynomial::checked_sub`](crate::Polynomial::checked_sub) on the
+    /// resolved values — the merge primitive of incremental maintenance.
+    pub fn checked_sub(&mut self, a: PolyId, b: PolyId) -> Option<PolyId> {
+        if b == Self::ZERO {
+            return Some(a);
+        }
+        if a == b {
+            return Some(Self::ZERO);
+        }
+        let key = (a, b);
+        if let Some(&r) = self.sub_memo.get(&key) {
+            self.work.memo_hits += 1;
+            return r;
+        }
+        self.work.memo_misses += 1;
+        let (ta, tb) = (
+            Arc::clone(&self.polys[a.index()]),
+            Arc::clone(&self.polys[b.index()]),
+        );
+        let mut out: Vec<(MonoId, u64)> = Vec::with_capacity(ta.len());
+        let mut j = 0;
+        let mut ok = true;
+        for &(m, mut c) in ta.iter() {
+            if j < tb.len() && tb[j].0 < m {
+                ok = false; // b has a monomial a lacks
+                break;
+            }
+            if j < tb.len() && tb[j].0 == m {
+                let oc = tb[j].1;
+                if oc > c {
+                    ok = false;
+                    break;
+                }
+                c -= oc;
+                j += 1;
+            }
+            if c > 0 {
+                out.push((m, c));
+            }
+        }
+        let r = if ok && j == tb.len() {
+            Some(self.intern_terms(out))
+        } else {
+            None
+        };
+        self.sub_memo.insert(key, r);
+        r
+    }
+
+    /// Memoized projection into a coarser semiring. Equal to
+    /// [`Polynomial::coarsen`](crate::Polynomial::coarsen) on the resolved
+    /// values.
+    pub fn coarsen(&mut self, p: PolyId, kind: SemiringKind) -> PolyId {
+        if kind == SemiringKind::NX || p == Self::ZERO {
+            return p;
+        }
+        let key = (p, kind);
+        if let Some(&r) = self.coarsen_memo.get(&key) {
+            self.work.memo_hits += 1;
+            return r;
+        }
+        self.work.memo_misses += 1;
+        let coarse = self.resolve(p).coarsen(kind);
+        let r = self.intern(&coarse);
+        self.coarsen_memo.insert(key, r);
+        r
+    }
+
+    /// Memoized occurrence-level abstraction application (Def. 3.1 lifted to
+    /// polynomials): every annotation occurrence of every monomial is
+    /// replaced by `subst(i, a)`, where `i` is the occurrence's index within
+    /// its monomial's sorted occurrence list (as
+    /// [`Monomial::occurrences`] enumerates it) and `a` its annotation.
+    ///
+    /// Results are memoized by `(p, fingerprint)`. **The caller must
+    /// guarantee** that `fingerprint` uniquely identifies the substitution's
+    /// behavior on `p` (e.g. an interned id of the lift vector): the memo
+    /// trusts it blindly, and a colliding fingerprint returns the wrong
+    /// polynomial.
+    pub fn apply_abstraction(
+        &mut self,
+        p: PolyId,
+        fingerprint: u64,
+        mut subst: impl FnMut(usize, AnnotId) -> AnnotId,
+    ) -> PolyId {
+        let key = (p, fingerprint);
+        if let Some(&r) = self.apply_memo.get(&key) {
+            self.work.apply_hits += 1;
+            return r;
+        }
+        self.work.apply_misses += 1;
+        let terms = Arc::clone(&self.polys[p.index()]);
+        let mut acc: BTreeMap<MonoId, u64> = BTreeMap::new();
+        for &(m, c) in terms.iter() {
+            let occs = self.monos[m.index()].occurrences();
+            let mapped = Monomial::from_annots(occs.iter().enumerate().map(|(i, &a)| subst(i, a)));
+            let id = self.intern_monomial(mapped);
+            let e = acc.entry(id).or_insert(0);
+            *e = e.saturating_add(c);
+        }
+        let r = self.intern_terms(acc.into_iter().collect());
+        self.apply_memo.insert(key, r);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnnotRegistry;
+
+    fn setup() -> (AnnotRegistry, AnnotId, AnnotId, AnnotId) {
+        let mut reg = AnnotRegistry::new();
+        let a = reg.intern("a");
+        let b = reg.intern("b");
+        let c = reg.intern("c");
+        (reg, a, b, c)
+    }
+
+    #[test]
+    fn constants_are_canonical() {
+        let mut store = ProvStore::new();
+        assert!(store.is_zero(ProvStore::ZERO));
+        assert_eq!(store.intern(&Polynomial::zero()), ProvStore::ZERO);
+        assert_eq!(store.intern(&Polynomial::one()), ProvStore::ONE);
+        assert_eq!(store.intern_monomial(Monomial::one()), ProvStore::MONO_ONE);
+        assert_eq!(store.resolve(ProvStore::ZERO), Polynomial::zero());
+        assert_eq!(store.resolve(ProvStore::ONE), Polynomial::one());
+    }
+
+    #[test]
+    fn interning_is_canonical_and_counts_work() {
+        let (_, a, b, _) = setup();
+        let mut store = ProvStore::new();
+        let p = Polynomial::var(a).add(&Polynomial::var(b));
+        let id1 = store.intern(&p);
+        let before = store.work();
+        let id2 = store.intern(&p);
+        assert_eq!(id1, id2);
+        let after = store.work();
+        assert_eq!(after.polys_interned, before.polys_interned);
+        assert_eq!(after.poly_hits, before.poly_hits + 1);
+        assert_eq!(store.resolve(id1), p);
+    }
+
+    #[test]
+    fn ops_match_owned_reference() {
+        let (_, a, b, c) = setup();
+        let p = Polynomial::from_terms([
+            (Monomial::from_factors([(a, 2)]), 3),
+            (Monomial::from_annots([b, c]), 1),
+        ]);
+        let q = Polynomial::var(a).add(&Polynomial::from(Monomial::from_annots([b, c])));
+        let mut store = ProvStore::new();
+        let (pi, qi) = (store.intern(&p), store.intern(&q));
+        let sum = store.add(pi, qi);
+        assert_eq!(store.resolve(sum), p.add(&q));
+        let product = store.mul(pi, qi);
+        assert_eq!(store.resolve(product), p.mul(&q));
+        let diff = store.checked_sub(pi, qi);
+        assert_eq!(diff.map(|d| store.resolve(d)), p.checked_sub(&q));
+        assert_eq!(store.checked_sub(qi, pi), None);
+        for kind in SemiringKind::ALL {
+            let coarse = store.coarsen(pi, kind);
+            assert_eq!(store.resolve(coarse), p.coarsen(kind));
+        }
+    }
+
+    #[test]
+    fn add_monomial_accumulates_like_owned_add() {
+        let (_, a, b, _) = setup();
+        let mut store = ProvStore::new();
+        let ma = store.intern_monomial(Monomial::from_annots([a]));
+        let mb = store.intern_monomial(Monomial::from_annots([b]));
+        let mut p = ProvStore::ZERO;
+        for m in [ma, mb, ma] {
+            p = store.add_monomial(p, m);
+        }
+        let expected = Polynomial::var(a)
+            .add(&Polynomial::var(b))
+            .add(&Polynomial::var(a));
+        assert_eq!(store.resolve(p), expected);
+    }
+
+    #[test]
+    fn memoized_ops_pay_once() {
+        let (_, a, b, _) = setup();
+        let mut store = ProvStore::new();
+        let pa = store.intern(&Polynomial::var(a));
+        let pb = store.intern(&Polynomial::var(b));
+        let first = store.add(pa, pb);
+        let misses = store.work().memo_misses;
+        // Repeat, both orders: the commutative memo answers.
+        assert_eq!(store.add(pa, pb), first);
+        assert_eq!(store.add(pb, pa), first);
+        assert_eq!(store.work().memo_misses, misses);
+        assert!(store.work().memo_hits >= 2);
+    }
+
+    #[test]
+    fn apply_abstraction_substitutes_occurrences() {
+        let (mut reg, a, b, _) = setup();
+        let up = reg.intern("up");
+        // a^2*b: occurrences [a, a, b]; lift the *second* occurrence only.
+        let p = Polynomial::from(Monomial::from_factors([(a, 2), (b, 1)]));
+        let mut store = ProvStore::new();
+        let pi = store.intern(&p);
+        let lifted = store.apply_abstraction(pi, 1, |i, x| if i == 1 { up } else { x });
+        let expected = Polynomial::from(Monomial::from_annots([a, up, b]));
+        assert_eq!(store.resolve(lifted), expected);
+        // Identity substitution under a distinct fingerprint.
+        let same = store.apply_abstraction(pi, 2, |_, x| x);
+        assert_eq!(same, pi);
+        // The memo answers the repeat without recomputation.
+        let misses = store.work().apply_misses;
+        assert_eq!(
+            store.apply_abstraction(pi, 1, |_, _| unreachable!("memo must answer")),
+            lifted
+        );
+        assert_eq!(store.work().apply_misses, misses);
+        assert!(store.work().apply_hits >= 1);
+    }
+
+    #[test]
+    fn poly_id_equality_is_polynomial_equality() {
+        let (_, a, b, _) = setup();
+        let mut store = ProvStore::new();
+        // a + b built two different ways lands on one id.
+        let pa = store.intern(&Polynomial::var(a));
+        let pb = store.intern(&Polynomial::var(b));
+        let sum = store.add(pa, pb);
+        let direct = store.intern(&Polynomial::var(b).add(&Polynomial::var(a)));
+        assert_eq!(sum, direct);
+    }
+
+    #[test]
+    fn saturating_coefficients_do_not_wrap() {
+        let (_, a, _, _) = setup();
+        let mut store = ProvStore::new();
+        let big = Polynomial::from_terms([(Monomial::from_annots([a]), u64::MAX)]);
+        let bi = store.intern(&big);
+        let doubled = store.add(bi, bi);
+        assert_eq!(
+            store
+                .resolve(doubled)
+                .coefficient(&Monomial::from_annots([a])),
+            u64::MAX
+        );
+    }
+}

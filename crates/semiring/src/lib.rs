@@ -18,6 +18,10 @@
 //!   integer coefficients.
 //! * [`SemiringKind`] and [`coarsen`](Polynomial::coarsen) — projections of
 //!   an `N[X]` polynomial into the coarser semirings of Table 4.
+//! * [`ProvStore`] / [`MonoId`] / [`PolyId`] — a hash-consing arena that
+//!   interns monomials and polynomials into small ids with arena-level
+//!   memoized operations; the hot paths (join engine, abstraction search)
+//!   traffic in ids and resolve to owned values only at the boundary.
 //! * [`semimodule`] — tensor expressions `m ⊗ v` aggregated with
 //!   MAX/MIN/SUM/COUNT, the provenance of aggregate query results.
 //!
@@ -40,12 +44,14 @@
 #![warn(missing_docs)]
 
 mod annot;
+pub mod intern;
 mod monomial;
 mod polynomial;
 pub mod semimodule;
 mod semiring_kind;
 
 pub use annot::{AnnotId, AnnotRegistry};
+pub use intern::{MonoId, PolyId, ProvStore, StoreWork};
 pub use monomial::Monomial;
 pub use polynomial::Polynomial;
 pub use semimodule::{AggOp, AggValue, TensorTerm};

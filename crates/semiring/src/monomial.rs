@@ -27,7 +27,7 @@ impl Monomial {
         let mut factors: Vec<(AnnotId, u32)> = Vec::with_capacity(v.len());
         for a in v {
             match factors.last_mut() {
-                Some((last, e)) if *last == a => *e += 1,
+                Some((last, e)) if *last == a => *e = e.saturating_add(1),
                 _ => factors.push((a, 1)),
             }
         }
@@ -37,14 +37,16 @@ impl Monomial {
     /// Builds a monomial from `(annotation, exponent)` pairs.
     ///
     /// Pairs with zero exponent are dropped; duplicate annotations
-    /// accumulate.
+    /// accumulate, saturating at `u32::MAX` instead of wrapping (a wrapped
+    /// exponent would silently fabricate a *smaller* monomial and break the
+    /// divisibility order).
     pub fn from_factors<I: IntoIterator<Item = (AnnotId, u32)>>(factors: I) -> Self {
         let mut v: Vec<(AnnotId, u32)> = factors.into_iter().filter(|&(_, e)| e > 0).collect();
         v.sort_unstable_by_key(|&(a, _)| a);
         let mut out: Vec<(AnnotId, u32)> = Vec::with_capacity(v.len());
         for (a, e) in v {
             match out.last_mut() {
-                Some((last, acc)) if *last == a => *acc += e,
+                Some((last, acc)) if *last == a => *acc = acc.checked_add(e).unwrap_or(u32::MAX),
                 _ => out.push((a, e)),
             }
         }
@@ -56,9 +58,11 @@ impl Monomial {
         self.factors.is_empty()
     }
 
-    /// The total degree: sum of exponents.
+    /// The total degree: sum of exponents (saturating at `u32::MAX`).
     pub fn degree(&self) -> u32 {
-        self.factors.iter().map(|&(_, e)| e).sum()
+        self.factors
+            .iter()
+            .fold(0u32, |acc, &(_, e)| acc.saturating_add(e))
     }
 
     /// The number of distinct annotations.
@@ -120,7 +124,7 @@ impl Monomial {
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
-                    out.push((a, ea + eb));
+                    out.push((a, ea.saturating_add(eb)));
                     i += 1;
                     j += 1;
                 }
@@ -243,5 +247,21 @@ mod tests {
         let (_, a, b, _) = reg3();
         let m = Monomial::from_factors([(a, 0), (b, 1), (b, 2)]);
         assert_eq!(m.factors(), &[(b, 3)]);
+    }
+
+    #[test]
+    fn exponent_accumulation_saturates_at_the_boundary() {
+        let (_, a, b, _) = reg3();
+        // from_factors: u32::MAX + 1 must clamp, not wrap to 0 (which would
+        // silently drop the factor).
+        let m = Monomial::from_factors([(a, u32::MAX), (a, 1), (b, 1)]);
+        assert_eq!(m.exponent(a), u32::MAX);
+        assert_eq!(m.exponent(b), 1);
+        // mul across two saturated-at-the-top monomials.
+        let sq = m.mul(&m);
+        assert_eq!(sq.exponent(a), u32::MAX);
+        assert_eq!(sq.exponent(b), 2);
+        // degree sums saturate instead of panicking/wrapping.
+        assert_eq!(m.degree(), u32::MAX);
     }
 }

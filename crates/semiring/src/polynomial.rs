@@ -39,13 +39,18 @@ impl Polynomial {
 
     /// Builds from `(monomial, coefficient)` terms; duplicates accumulate and
     /// zero coefficients are dropped.
+    ///
+    /// Coefficient accumulation saturates at `u64::MAX` instead of wrapping:
+    /// a saturated coefficient is still the top of the natural order, so
+    /// comparisons and [`Polynomial::checked_sub`] stay monotone, whereas a
+    /// silent wrap would fabricate small coefficients.
     pub fn from_terms<I: IntoIterator<Item = (Monomial, u64)>>(terms: I) -> Self {
         let mut v: Vec<(Monomial, u64)> = terms.into_iter().filter(|&(_, c)| c > 0).collect();
         v.sort_unstable_by(|x, y| x.0.cmp(&y.0));
         let mut out: Vec<(Monomial, u64)> = Vec::with_capacity(v.len());
         for (m, c) in v {
             match out.last_mut() {
-                Some((last, acc)) if *last == m => *acc += c,
+                Some((last, acc)) if *last == m => *acc = acc.checked_add(c).unwrap_or(u64::MAX),
                 _ => out.push((m, c)),
             }
         }
@@ -104,7 +109,10 @@ impl Polynomial {
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
-                    out.push((self.terms[i].0.clone(), self.terms[i].1 + other.terms[j].1));
+                    out.push((
+                        self.terms[i].0.clone(),
+                        self.terms[i].1.saturating_add(other.terms[j].1),
+                    ));
                     i += 1;
                     j += 1;
                 }
@@ -124,7 +132,7 @@ impl Polynomial {
             other
                 .terms
                 .iter()
-                .map(move |(m2, c2)| (m1.mul(m2), c1 * c2))
+                .map(move |(m2, c2)| (m1.mul(m2), c1.saturating_mul(*c2)))
         }))
     }
 
@@ -417,6 +425,26 @@ mod tests {
         let p = Polynomial::from(Monomial::from_annots([a, b])).add(&Polynomial::var(c));
         assert!(p.survives_deletion(&|x| x == a));
         assert!(!p.survives_deletion(&|x| x == a || x == c));
+    }
+
+    #[test]
+    fn coefficient_accumulation_saturates_at_the_boundary() {
+        let (_, a, b, _) = setup();
+        let m = Monomial::from_annots([a]);
+        // from_terms: duplicate terms whose sum exceeds u64::MAX clamp.
+        let p = Polynomial::from_terms([(m.clone(), u64::MAX), (m.clone(), 2)]);
+        assert_eq!(p.coefficient(&m), u64::MAX);
+        // add: the merge path saturates too.
+        let top = Polynomial::from_terms([(m.clone(), u64::MAX)]);
+        assert_eq!(top.add(&top).coefficient(&m), u64::MAX);
+        // mul: coefficient products saturate.
+        let big = Polynomial::from_terms([(Monomial::from_annots([b]), u64::MAX)]);
+        let half = Polynomial::from_terms([(m.clone(), 3)]);
+        let prod = big.mul(&half);
+        assert_eq!(prod.coefficient(&Monomial::from_annots([a, b])), u64::MAX);
+        // Saturation keeps the natural order monotone: top - 1 is defined.
+        let one_of = Polynomial::from_terms([(m.clone(), 1)]);
+        assert!(top.checked_sub(&one_of).is_some());
     }
 
     #[test]

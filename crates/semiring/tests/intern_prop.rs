@@ -1,0 +1,104 @@
+//! Property-based tests: every [`ProvStore`] operation is bit-for-bit equal
+//! to the owned [`Polynomial`] reference implementation on random inputs,
+//! and interning is canonical (equal values ⇔ equal ids).
+
+use proptest::prelude::*;
+use provabs_semiring::{AnnotId, Monomial, Polynomial, ProvStore, SemiringKind};
+
+/// Strategy over small monomials on annotations x0..x5.
+fn arb_monomial() -> impl Strategy<Value = Monomial> {
+    prop::collection::vec((0u32..6, 1u32..3), 0..4)
+        .prop_map(|fs| Monomial::from_factors(fs.into_iter().map(|(a, e)| (AnnotId(a), e))))
+}
+
+/// Strategy over small polynomials.
+fn arb_poly() -> impl Strategy<Value = Polynomial> {
+    prop::collection::vec((arb_monomial(), 1u64..4), 0..4).prop_map(Polynomial::from_terms)
+}
+
+proptest! {
+    #[test]
+    fn intern_resolve_roundtrips(p in arb_poly()) {
+        let mut store = ProvStore::new();
+        let id = store.intern(&p);
+        prop_assert_eq!(store.resolve(id), p);
+    }
+
+    #[test]
+    fn interning_is_canonical(p in arb_poly(), q in arb_poly()) {
+        let mut store = ProvStore::new();
+        let (pi, qi) = (store.intern(&p), store.intern(&q));
+        prop_assert_eq!(pi == qi, p == q);
+    }
+
+    #[test]
+    fn add_matches_owned(p in arb_poly(), q in arb_poly()) {
+        let mut store = ProvStore::new();
+        let (pi, qi) = (store.intern(&p), store.intern(&q));
+        let sum = store.add(pi, qi);
+        prop_assert_eq!(store.resolve(sum), p.add(&q));
+        // Memoized repeat answers identically (both argument orders).
+        prop_assert_eq!(store.add(qi, pi), sum);
+    }
+
+    #[test]
+    fn mul_matches_owned(p in arb_poly(), q in arb_poly()) {
+        let mut store = ProvStore::new();
+        let (pi, qi) = (store.intern(&p), store.intern(&q));
+        let product = store.mul(pi, qi);
+        prop_assert_eq!(store.resolve(product), p.mul(&q));
+        prop_assert_eq!(store.mul(qi, pi), product);
+    }
+
+    #[test]
+    fn checked_sub_matches_owned(p in arb_poly(), q in arb_poly()) {
+        let mut store = ProvStore::new();
+        let (pi, qi) = (store.intern(&p), store.intern(&q));
+        let interned = store.checked_sub(pi, qi).map(|d| store.resolve(d));
+        prop_assert_eq!(interned, p.checked_sub(&q));
+        // The defined direction: (p + q) - q == p, exactly.
+        let sum = store.add(pi, qi);
+        let back = store.checked_sub(sum, qi).expect("p + q dominates q");
+        prop_assert_eq!(store.resolve(back), p);
+    }
+
+    #[test]
+    fn coarsen_matches_owned(p in arb_poly()) {
+        let mut store = ProvStore::new();
+        let pi = store.intern(&p);
+        for kind in SemiringKind::ALL {
+            let coarse = store.coarsen(pi, kind);
+            prop_assert_eq!(store.resolve(coarse), p.coarsen(kind), "kind {}", kind);
+        }
+    }
+
+    /// Abstraction application: lifting occurrence `i` of each monomial to a
+    /// fresh annotation determined by `(i + shift) % modulus` matches doing
+    /// the same substitution on the owned occurrence lists.
+    #[test]
+    fn apply_abstraction_matches_owned_substitution(
+        p in arb_poly(),
+        shift in 0usize..4,
+        modulus in 1usize..4,
+    ) {
+        let subst = |i: usize, a: AnnotId| -> AnnotId {
+            if (i + shift).is_multiple_of(modulus) { AnnotId(100 + a.0) } else { a }
+        };
+        let mut store = ProvStore::new();
+        let pi = store.intern(&p);
+        let fingerprint = (shift * 10 + modulus) as u64;
+        let lifted = store.apply_abstraction(pi, fingerprint, subst);
+        // Owned reference: substitute over each monomial's occurrence list.
+        let expected = Polynomial::from_terms(p.terms().iter().map(|(m, c)| {
+            let occs = m.occurrences();
+            let mapped = Monomial::from_annots(
+                occs.iter().enumerate().map(|(i, &a)| subst(i, a)),
+            );
+            (mapped, *c)
+        }));
+        prop_assert_eq!(store.resolve(lifted), expected);
+        // The memo answers the repeat under the same fingerprint.
+        let again = store.apply_abstraction(pi, fingerprint, subst);
+        prop_assert_eq!(again, lifted);
+    }
+}
