@@ -1,20 +1,23 @@
 //! The perf-regression gate: emits and checks `BENCH_*.json` baselines for
-//! the incremental update engine and the interned provenance arena.
+//! the incremental update engine, the interned provenance arena, and the
+//! dictionary-encoded columnar storage layer.
 //!
 //! ```text
-//! bench_gate [--bench updates|intern] --emit PATH
-//! bench_gate [--bench updates|intern] --check BASELINE PATH
+//! bench_gate [--bench updates|intern|storage] --emit PATH
+//! bench_gate [--bench updates|intern|storage] --check BASELINE PATH
 //! ```
 //!
 //! `--bench updates` (the default) replays the [`UpdateSettings::ci_gate`]
 //! delta-maintenance scenarios (`BENCH_2.json`); `--bench intern` runs the
-//! [`InternSettings::ci_gate`] memoization comparison (`BENCH_3.json`).
+//! [`InternSettings::ci_gate`] memoization comparison (`BENCH_3.json`);
+//! `--bench storage` runs the [`StorageSettings::ci_gate`] columnar-engine
+//! comparison (`BENCH_4.json`).
 //!
 //! The diff compares only deterministic work counters (rows examined,
-//! derivations, rows re-abstracted, retained constructions): with the fixed
-//! gate configurations they are identical across machines, so the gate is
-//! immune to CI-runner noise. Wall-clock columns are carried in the report
-//! for humans.
+//! derivations, rows re-abstracted, retained constructions, probe/moved
+//! bytes): with the fixed gate configurations they are identical across
+//! machines, so the gate is immune to CI-runner noise. Wall-clock columns
+//! are carried in the report for humans.
 //!
 //! Gate rules, per baseline entry:
 //! * the entry must still exist in the current run;
@@ -22,7 +25,10 @@
 //! * the fast path must beat the reference outright — for `updates`,
 //!   `delta_rows < full_rows` and `delta_derivations < full_derivations`;
 //!   for `intern`, `cached_work * 2 <= owned_work` (the ≥ 2× reduction the
-//!   arena promises);
+//!   arena promises); for `storage`, `id_probe_bytes * 2 <=
+//!   value_probe_bytes` **and** `id_moved_bytes * 2 <= value_moved_bytes`
+//!   (the ≥ 2× join-probe hash-work reduction the dictionary encoding
+//!   promises);
 //! * `work_ratio` may not regress by more than [`TOLERANCE`] (relative)
 //!   plus a small absolute slack.
 //!
@@ -33,8 +39,10 @@
 //! Exit status: 0 clean, 1 regression, 2 usage/IO error.
 
 use provabs_bench::{
-    parse_bench_json, parse_intern_json, run_intern_comparison, run_update_comparison,
-    write_bench_json, write_intern_json, BenchMetric, InternMetric, InternSettings, UpdateSettings,
+    parse_bench_json, parse_intern_json, parse_storage_json, run_intern_comparison,
+    run_storage_comparison, run_update_comparison, write_bench_json, write_intern_json,
+    write_storage_json, BenchMetric, InternMetric, InternSettings, StorageMetric, StorageSettings,
+    UpdateSettings,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -45,7 +53,9 @@ const TOLERANCE: f64 = 0.15;
 const ABS_SLACK: f64 = 0.02;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench_gate [--bench updates|intern] --emit PATH | --check BASELINE PATH");
+    eprintln!(
+        "usage: bench_gate [--bench updates|intern|storage] --emit PATH | --check BASELINE PATH"
+    );
     ExitCode::from(2)
 }
 
@@ -64,6 +74,7 @@ fn main() -> ExitCode {
     match bench.as_str() {
         "updates" => run_updates_gate(&args),
         "intern" => run_intern_gate(&args),
+        "storage" => run_storage_gate(&args),
         _ => usage(),
     }
 }
@@ -152,6 +163,48 @@ fn run_intern_gate(args: &[String]) -> ExitCode {
     }
 }
 
+fn run_storage_gate(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("--emit") => {
+            let [_, path] = args else {
+                return usage();
+            };
+            let metrics = run_storage_comparison(&StorageSettings::ci_gate());
+            if let Err(e) = write_storage_json(Path::new(path), "micro_storage", &metrics) {
+                eprintln!("bench_gate: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            print_storage_summary(&metrics);
+            println!("bench_gate: wrote {path}");
+            ExitCode::SUCCESS
+        }
+        Some("--check") => {
+            let [_, baseline_path, out_path] = args else {
+                return usage();
+            };
+            let baseline_text = match std::fs::read_to_string(baseline_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("bench_gate: cannot read baseline {baseline_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let Some((_, baseline)) = parse_storage_json(&baseline_text) else {
+                eprintln!("bench_gate: baseline {baseline_path} is not a storage report");
+                return ExitCode::from(2);
+            };
+            let current = run_storage_comparison(&StorageSettings::ci_gate());
+            if let Err(e) = write_storage_json(Path::new(out_path), "micro_storage", &current) {
+                eprintln!("bench_gate: cannot write {out_path}: {e}");
+                return ExitCode::from(2);
+            }
+            print_storage_summary(&current);
+            verdict(check_storage(&baseline, &current), baseline.len())
+        }
+        _ => usage(),
+    }
+}
+
 fn verdict(failures: Vec<String>, gated: usize) -> ExitCode {
     if failures.is_empty() {
         println!("bench_gate: OK ({gated} entries within tolerance)");
@@ -208,6 +261,98 @@ fn print_intern_summary(metrics: &[InternMetric]) {
             m.equal
         );
     }
+}
+
+fn print_storage_summary(metrics: &[StorageMetric]) {
+    println!(
+        "{:<16} {:>8} {:>12} {:>14} {:>7} {:>7} {:>10} {:>10} {:>6}",
+        "scenario",
+        "probes",
+        "id_pr_bytes",
+        "value_pr_bytes",
+        "ratio",
+        "moved",
+        "engine_ms",
+        "oracle_ms",
+        "equal"
+    );
+    for m in metrics {
+        println!(
+            "{:<16} {:>8} {:>12} {:>14} {:>7.4} {:>7.4} {:>10.2} {:>10.2} {:>6}",
+            m.name,
+            m.probes,
+            m.id_probe_bytes,
+            m.value_probe_bytes,
+            m.work_ratio(),
+            m.moved_ratio(),
+            m.engine_ms,
+            m.oracle_ms,
+            m.equal
+        );
+    }
+}
+
+fn check_storage(baseline: &[StorageMetric], current: &[StorageMetric]) -> Vec<String> {
+    let mut failures = Vec::new();
+    // Fail closed: a gate that compares nothing protects nothing.
+    if baseline.is_empty() {
+        failures.push("baseline holds no entries — re-emit it with --emit".to_owned());
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.name == cur.name) {
+            failures.push(format!(
+                "{}: scenario has no baseline entry (ungated) — re-emit the baseline",
+                cur.name
+            ));
+        }
+    }
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.name == base.name) else {
+            failures.push(format!("{}: entry missing from current run", base.name));
+            continue;
+        };
+        if !cur.equal {
+            failures.push(format!(
+                "{}: columnar engine no longer matches the owned-value oracle",
+                cur.name
+            ));
+        }
+        if cur.id_probe_bytes * 2 > cur.value_probe_bytes {
+            failures.push(format!(
+                "{}: probe bytes {} vs owned {} — dictionary ids no longer halve the hash work",
+                cur.name, cur.id_probe_bytes, cur.value_probe_bytes
+            ));
+        }
+        if cur.id_moved_bytes * 2 > cur.value_moved_bytes {
+            failures.push(format!(
+                "{}: moved bytes {} vs owned {} — id bindings no longer halve the bytes moved",
+                cur.name, cur.id_moved_bytes, cur.value_moved_bytes
+            ));
+        }
+        let allowed = base.work_ratio() * (1.0 + TOLERANCE) + ABS_SLACK;
+        if cur.work_ratio() > allowed {
+            failures.push(format!(
+                "{}: work_ratio {:.4} exceeds baseline {:.4} (+{:.0}% & slack = {:.4})",
+                cur.name,
+                cur.work_ratio(),
+                base.work_ratio(),
+                TOLERANCE * 100.0,
+                allowed
+            ));
+        }
+        let allowed_moved = base.moved_ratio() * (1.0 + TOLERANCE) + ABS_SLACK;
+        if cur.moved_ratio() > allowed_moved {
+            failures.push(format!(
+                "{}: moved_ratio {:.4} exceeds baseline {:.4} (+{:.0}% & slack = {:.4})",
+                cur.name,
+                cur.moved_ratio(),
+                base.moved_ratio(),
+                TOLERANCE * 100.0,
+                allowed_moved
+            ));
+        }
+    }
+    failures
 }
 
 fn check_intern(baseline: &[InternMetric], current: &[InternMetric]) -> Vec<String> {

@@ -13,15 +13,18 @@ pub mod figures;
 pub mod intern;
 pub mod report;
 pub mod scenario;
+pub mod storage;
 pub mod updates;
 pub mod user_study;
 
 pub use intern::{run_intern_comparison, InternSettings};
 pub use report::{
-    parse_bench_json, parse_intern_json, print_table, render_bench_json, render_intern_json,
-    write_bench_json, write_csv, write_intern_json, BenchMetric, InternMetric, Measurement,
+    parse_bench_json, parse_intern_json, parse_storage_json, print_table, render_bench_json,
+    render_intern_json, render_storage_json, write_bench_json, write_csv, write_intern_json,
+    write_storage_json, BenchMetric, InternMetric, Measurement, StorageMetric,
 };
 pub use scenario::{
     imdb_scenarios, run_search, tpch_scenarios, HarnessCaps, Scenario, ScenarioSettings,
 };
+pub use storage::{run_storage_comparison, StorageSettings};
 pub use updates::{run_update_comparison, UpdateSettings};

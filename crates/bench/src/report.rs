@@ -254,6 +254,148 @@ pub fn write_intern_json(
     fs::write(path, render_intern_json(bench, metrics))
 }
 
+/// One entry of the `BENCH_4.json` report: deterministic storage-layer work
+/// counters of the dictionary-encoded columnar engine next to what the
+/// row-oriented owned-`Value` engine it replaced would have spent on the
+/// identical evaluation — join-probe hash bytes and binding/output
+/// bytes-moved, counted per probe and per move by the engine itself
+/// ([`EvalWork`](provabs_relational::EvalWork)).
+///
+/// `id_probe_bytes / value_probe_bytes` is the machine-independent
+/// join-probe hash-work ratio the CI gate diffs (acceptance bar: ≤ 0.5,
+/// i.e. at least a 2× reduction); the moved-bytes pair tracks binding and
+/// output materialization the same way. Wall-clock columns are for humans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageMetric {
+    /// Scenario name, e.g. `eval/TPCH-Q3` or `churn/TPCH-Q4`.
+    pub name: String,
+    /// Index probes the engine issued.
+    pub probes: u64,
+    /// Bytes those probes fed the hasher (4 per probe — a `ValueId`).
+    pub id_probe_bytes: u64,
+    /// Bytes the same probes would have hashed as owned `Value`s.
+    pub value_probe_bytes: u64,
+    /// Bytes moved into bindings and output accumulation as ids.
+    pub id_moved_bytes: u64,
+    /// Bytes the same moves would have cloned as owned `Value`s.
+    pub value_moved_bytes: u64,
+    /// Wall time of the engine run, milliseconds (informational).
+    pub engine_ms: f64,
+    /// Wall time of the owned-value oracle, milliseconds (informational).
+    pub oracle_ms: f64,
+    /// Whether the engine output matched the owned-value oracle
+    /// bit-for-bit.
+    pub equal: bool,
+}
+
+impl StorageMetric {
+    /// Id probe-hash bytes as a fraction of owned probe-hash bytes (lower
+    /// is better; the acceptance bar is ≤ 0.5).
+    pub fn work_ratio(&self) -> f64 {
+        self.id_probe_bytes as f64 / self.value_probe_bytes.max(1) as f64
+    }
+
+    /// Id moved bytes as a fraction of owned moved bytes.
+    pub fn moved_ratio(&self) -> f64 {
+        self.id_moved_bytes as f64 / self.value_moved_bytes.max(1) as f64
+    }
+}
+
+/// Serializes a storage-comparison report in the same hand-rolled
+/// line-oriented shape as [`render_bench_json`].
+pub fn render_storage_json(bench: &str, metrics: &[StorageMetric]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"bench\": \"{bench}\",");
+    out.push_str("  \"entries\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(out, "      \"probes\": {},", m.probes);
+        let _ = writeln!(out, "      \"id_probe_bytes\": {},", m.id_probe_bytes);
+        let _ = writeln!(out, "      \"value_probe_bytes\": {},", m.value_probe_bytes);
+        let _ = writeln!(out, "      \"id_moved_bytes\": {},", m.id_moved_bytes);
+        let _ = writeln!(out, "      \"value_moved_bytes\": {},", m.value_moved_bytes);
+        let _ = writeln!(out, "      \"work_ratio\": {:.6},", m.work_ratio());
+        let _ = writeln!(out, "      \"moved_ratio\": {:.6},", m.moved_ratio());
+        let _ = writeln!(out, "      \"engine_ms\": {:.3},", m.engine_ms);
+        let _ = writeln!(out, "      \"oracle_ms\": {:.3},", m.oracle_ms);
+        let _ = writeln!(out, "      \"equal\": {}", m.equal);
+        out.push_str(if i + 1 < metrics.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes a storage-comparison report to `path` (creating parent
+/// directories).
+pub fn write_storage_json(
+    path: &Path,
+    bench: &str,
+    metrics: &[StorageMetric],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, render_storage_json(bench, metrics))
+}
+
+/// Parses a report produced by [`render_storage_json`]. Returns
+/// `(bench name, entries)`; `None` on any malformed line.
+pub fn parse_storage_json(text: &str) -> Option<(String, Vec<StorageMetric>)> {
+    let mut bench = String::new();
+    let mut entries = Vec::new();
+    let mut cur: Option<StorageMetric> = None;
+    for raw in text.lines() {
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || matches!(line, "{" | "}" | "[" | "]" | "\"entries\": [") {
+            continue;
+        }
+        let (key, value) = line.split_once(':')?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "schema" => {}
+            "bench" => bench = value.trim_matches('"').to_owned(),
+            "name" => {
+                if let Some(done) = cur.take() {
+                    entries.push(done);
+                }
+                cur = Some(StorageMetric {
+                    name: value.trim_matches('"').to_owned(),
+                    probes: 0,
+                    id_probe_bytes: 0,
+                    value_probe_bytes: 0,
+                    id_moved_bytes: 0,
+                    value_moved_bytes: 0,
+                    engine_ms: 0.0,
+                    oracle_ms: 0.0,
+                    equal: false,
+                });
+            }
+            "probes" => cur.as_mut()?.probes = value.parse().ok()?,
+            "id_probe_bytes" => cur.as_mut()?.id_probe_bytes = value.parse().ok()?,
+            "value_probe_bytes" => cur.as_mut()?.value_probe_bytes = value.parse().ok()?,
+            "id_moved_bytes" => cur.as_mut()?.id_moved_bytes = value.parse().ok()?,
+            "value_moved_bytes" => cur.as_mut()?.value_moved_bytes = value.parse().ok()?,
+            "work_ratio" | "moved_ratio" => {} // derived; recomputed
+            "engine_ms" => cur.as_mut()?.engine_ms = value.parse().ok()?,
+            "oracle_ms" => cur.as_mut()?.oracle_ms = value.parse().ok()?,
+            "equal" => cur.as_mut()?.equal = value.parse().ok()?,
+            _ => return None,
+        }
+    }
+    if let Some(done) = cur.take() {
+        entries.push(done);
+    }
+    Some((bench, entries))
+}
+
 /// Parses a report produced by [`render_intern_json`]. Returns
 /// `(bench name, entries)`; `None` on any malformed line.
 pub fn parse_intern_json(text: &str) -> Option<(String, Vec<InternMetric>)> {
@@ -445,6 +587,41 @@ mod tests {
         assert!(metrics[0].work_ratio() < 0.5);
         assert!(metrics[0].hit_rate() > 0.8);
         assert_eq!(parse_intern_json("not json"), None);
+    }
+
+    #[test]
+    fn storage_json_roundtrips() {
+        let metrics = vec![
+            StorageMetric {
+                name: "eval/TPCH-Q3".into(),
+                probes: 1200,
+                id_probe_bytes: 4800,
+                value_probe_bytes: 19200,
+                id_moved_bytes: 2400,
+                value_moved_bytes: 14400,
+                engine_ms: 0.8,
+                oracle_ms: 40.2,
+                equal: true,
+            },
+            StorageMetric {
+                name: "churn/TPCH-Q4".into(),
+                probes: 90,
+                id_probe_bytes: 360,
+                value_probe_bytes: 1440,
+                id_moved_bytes: 100,
+                value_moved_bytes: 600,
+                engine_ms: 0.1,
+                oracle_ms: 2.0,
+                equal: true,
+            },
+        ];
+        let text = render_storage_json("micro_storage", &metrics);
+        let (bench, parsed) = parse_storage_json(&text).expect("parses");
+        assert_eq!(bench, "micro_storage");
+        assert_eq!(parsed, metrics);
+        assert!(metrics[0].work_ratio() <= 0.5);
+        assert!(metrics[0].moved_ratio() <= 0.5);
+        assert_eq!(parse_storage_json("not json"), None);
     }
 
     #[test]

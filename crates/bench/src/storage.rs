@@ -1,0 +1,239 @@
+//! The storage-comparison axis: the dictionary-encoded columnar engine
+//! versus the row-oriented owned-`Value` path it replaced (the
+//! `micro_storage` bench and the `BENCH_4.json` CI perf gate both drive
+//! this).
+//!
+//! Two scenario families, each contributing deterministic work counters the
+//! gate can diff:
+//!
+//! * `eval/<query>` — one full evaluation of a TPC-H workload query. The
+//!   engine counts, per join probe, both the 4 id bytes it actually fed
+//!   the hasher and the bytes the owned path would have hashed for the
+//!   *identical* probe (enum discriminant + payload of the probed value),
+//!   and likewise for every binding/output move
+//!   ([`EvalWork`]) — same plan, same
+//!   candidate sets, so the owned column is an exact replay, not an
+//!   estimate. Correctness is witnessed against the structurally
+//!   independent naive owned-value oracle
+//!   ([`provabs_relational::oracle`]), which joins by decoded scans with no
+//!   indexes and no interning.
+//! * `churn/<query>` — a deterministic update stream maintained through the
+//!   delta path; counters accumulate over every retraction/addition pass
+//!   and the maintained cache must equal the oracle's re-evaluation of the
+//!   final database.
+//!
+//! The counters are machine-independent (same database, same query, same
+//! plan ⇒ same bytes), so the gate is immune to runner noise; wall-clock
+//! columns are carried for humans.
+
+use crate::report::StorageMetric;
+use provabs_datagen::tpch::{self, TpchConfig};
+use provabs_datagen::{ChurnConfig, ChurnGenerator};
+use provabs_relational::oracle::oracle_eval_cq;
+use provabs_relational::{
+    apply_delta_with_queries, eval_cq_counted, Cq, Database, EvalLimits, EvalWork,
+};
+use std::time::Instant;
+
+/// Shape of one storage-comparison sweep.
+#[derive(Debug, Clone)]
+pub struct StorageSettings {
+    /// TPC-H scale (lineitem rows). Keep oracle-feasible: the reference
+    /// evaluator joins by naive scans.
+    pub lineitem_rows: usize,
+    /// Workload queries swept by the `eval/` scenarios.
+    pub eval_queries: Vec<String>,
+    /// Workload queries swept by the `churn/` scenarios.
+    pub churn_queries: Vec<String>,
+    /// Batches replayed per churn scenario.
+    pub batches: usize,
+    /// Changes per batch.
+    pub batch_size: usize,
+    /// Insert fraction of the churn stream.
+    pub insert_ratio: f64,
+    /// Generator / stream seed.
+    pub seed: u64,
+}
+
+impl Default for StorageSettings {
+    fn default() -> Self {
+        Self {
+            lineitem_rows: 600,
+            eval_queries: vec!["TPCH-Q3".into(), "TPCH-Q4".into(), "TPCH-Q10".into()],
+            churn_queries: vec!["TPCH-Q3".into(), "TPCH-Q4".into()],
+            batches: 3,
+            batch_size: 8,
+            insert_ratio: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+impl StorageSettings {
+    /// The fixed configuration of the CI perf gate: small enough for a
+    /// 1-CPU runner, deterministic, and the shape `BENCH_4.json` is built
+    /// from. Changing this invalidates the checked-in baseline — re-emit
+    /// it.
+    pub fn ci_gate() -> Self {
+        Self::default()
+    }
+}
+
+/// Runs every scenario of `settings`, returning one metric per scenario.
+pub fn run_storage_comparison(settings: &StorageSettings) -> Vec<StorageMetric> {
+    let mut out = Vec::new();
+    let (db_proto, _) = tpch::generate(&TpchConfig {
+        lineitem_rows: settings.lineitem_rows,
+        seed: settings.seed,
+    });
+    let workloads = tpch::tpch_queries(db_proto.schema());
+    let find = |name: &String| workloads.iter().find(|w| &w.name == name);
+    for qname in &settings.eval_queries {
+        if let Some(w) = find(qname) {
+            out.push(eval_metric(&db_proto, qname, &w.query));
+        }
+    }
+    for qname in &settings.churn_queries {
+        if let Some(w) = find(qname) {
+            out.push(churn_metric(&db_proto, qname, &w.query, settings));
+        }
+    }
+    out
+}
+
+fn metric_from(
+    name: String,
+    work: EvalWork,
+    engine_ms: f64,
+    oracle_ms: f64,
+    equal: bool,
+) -> StorageMetric {
+    StorageMetric {
+        name,
+        probes: work.probes,
+        id_probe_bytes: work.probe_bytes_id,
+        value_probe_bytes: work.probe_bytes_value,
+        id_moved_bytes: work.moved_bytes_id,
+        value_moved_bytes: work.moved_bytes_value,
+        engine_ms,
+        oracle_ms,
+        equal,
+    }
+}
+
+/// One `eval/` scenario: a full evaluation, counters from the engine,
+/// equality against the owned-value oracle.
+fn eval_metric(db_proto: &Database, qname: &str, query: &Cq) -> StorageMetric {
+    let mut db = db_proto.clone();
+    db.build_indexes();
+    let t0 = Instant::now();
+    let (out, work) = eval_cq_counted(&db, query, EvalLimits::default());
+    let engine_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let oracle = oracle_eval_cq(&db, query);
+    let oracle_ms = t1.elapsed().as_secs_f64() * 1e3;
+    metric_from(
+        format!("eval/{qname}"),
+        work,
+        engine_ms,
+        oracle_ms,
+        out == oracle,
+    )
+}
+
+/// One `churn/` scenario: the delta path maintains the query's K-relation
+/// over a deterministic update stream; counters accumulate across every
+/// restricted pass and the final cache must equal the oracle.
+fn churn_metric(
+    db_proto: &Database,
+    qname: &str,
+    query: &Cq,
+    settings: &StorageSettings,
+) -> StorageMetric {
+    let mut db = db_proto.clone();
+    db.build_indexes();
+    let mut cached = provabs_relational::eval_cq(&db, query);
+    let mut gen = ChurnGenerator::new(&ChurnConfig {
+        batch_size: settings.batch_size,
+        insert_ratio: settings.insert_ratio,
+        seed: settings.seed ^ 0x5707_a6e5,
+    });
+    let mut work = EvalWork::default();
+    let mut engine_ms = 0.0f64;
+    let mut merged = true;
+    for _ in 0..settings.batches {
+        let delta = gen.next_batch(&db);
+        let t0 = Instant::now();
+        let outcome = apply_delta_with_queries(&mut db, &delta, std::slice::from_ref(query));
+        merged &= outcome.deltas[0].merge_into(&mut cached);
+        engine_ms += t0.elapsed().as_secs_f64() * 1e3;
+        work.absorb(&outcome.work);
+    }
+    let t1 = Instant::now();
+    let oracle = oracle_eval_cq(&db, query);
+    let oracle_ms = t1.elapsed().as_secs_f64() * 1e3;
+    metric_from(
+        format!("churn/{qname}"),
+        work,
+        engine_ms,
+        oracle_ms,
+        merged && cached == oracle,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_settings() -> StorageSettings {
+        StorageSettings {
+            lineitem_rows: 300,
+            eval_queries: vec!["TPCH-Q4".into()],
+            churn_queries: vec!["TPCH-Q4".into()],
+            batches: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn comparison_confirms_equality_and_savings() {
+        let metrics = run_storage_comparison(&quick_settings());
+        assert_eq!(metrics.len(), 2);
+        for m in &metrics {
+            assert!(m.equal, "{}: engine diverged from the owned oracle", m.name);
+            assert!(
+                m.id_probe_bytes * 2 <= m.value_probe_bytes,
+                "{}: probe bytes {} vs owned {} — below the 2x bar",
+                m.name,
+                m.id_probe_bytes,
+                m.value_probe_bytes
+            );
+            assert!(
+                m.id_moved_bytes * 2 <= m.value_moved_bytes,
+                "{}: moved bytes {} vs owned {} — below the 2x bar",
+                m.name,
+                m.id_moved_bytes,
+                m.value_moved_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn gate_settings_are_deterministic() {
+        let settings = StorageSettings {
+            eval_queries: vec!["TPCH-Q4".into()],
+            churn_queries: vec!["TPCH-Q4".into()],
+            ..StorageSettings::ci_gate()
+        };
+        let a = run_storage_comparison(&settings);
+        let b = run_storage_comparison(&settings);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.probes, y.probes, "{}", x.name);
+            assert_eq!(x.id_probe_bytes, y.id_probe_bytes, "{}", x.name);
+            assert_eq!(x.value_probe_bytes, y.value_probe_bytes, "{}", x.name);
+            assert_eq!(x.id_moved_bytes, y.id_moved_bytes, "{}", x.name);
+            assert_eq!(x.value_moved_bytes, y.value_moved_bytes, "{}", x.name);
+        }
+    }
+}

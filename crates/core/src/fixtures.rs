@@ -144,6 +144,40 @@ mod tests {
     }
 
     #[test]
+    fn fixture_round_trips_through_the_value_interner() {
+        // The fixture inserts owned tuples; storage dictionary-encodes
+        // them. Decoding every tagged tuple and looking each value back up
+        // must land on the exact stored column ids — the concretize /
+        // reverse-engineering layers rely on this boundary decode being
+        // lossless.
+        let fx = running_example();
+        let ex = &fx.exreal;
+        for row in &ex.rows {
+            for a in row.monomial.occurrences() {
+                let loc = fx.db.locate(a).expect("example annotations resolve");
+                let decoded = fx.db.decode_row(loc.rel, loc.row);
+                for (col, v) in decoded.values().iter().enumerate() {
+                    let id = fx
+                        .db
+                        .interner()
+                        .lookup(v)
+                        .expect("decoded value is interned");
+                    assert_eq!(fx.db.column(loc.rel, col)[loc.row], id);
+                }
+            }
+        }
+        // Resolution through the owned boundary agrees with the decode.
+        let resolved = ex.resolve(&fx.db).expect("resolvable");
+        for row in &resolved {
+            for (a, rel, t) in &row.occurrences {
+                let loc = fx.db.locate(*a).unwrap();
+                assert_eq!(loc.rel, *rel);
+                assert_eq!(&fx.db.decode_row(loc.rel, loc.row), t);
+            }
+        }
+    }
+
+    #[test]
     fn queries_parse_with_expected_shapes() {
         let fx = running_example();
         for q in [&fx.qreal, &fx.qfalse1, &fx.qfalse2, &fx.qgeneral] {

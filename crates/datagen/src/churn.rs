@@ -121,6 +121,11 @@ impl ChurnGenerator {
     }
 
     /// Column-mixes two random rows of a random non-empty relation.
+    ///
+    /// Donor cells are read straight from the columnar storage as interned
+    /// ids; only the chosen cells decode into the emitted tuple (the
+    /// [`Delta`] boundary is owned). Nothing else of the donor rows is
+    /// materialized.
     fn mix_tuple(
         &mut self,
         db: &Database,
@@ -130,16 +135,13 @@ impl ChurnGenerator {
             return None;
         }
         let rel = nonempty[self.rng.random_range(0..nonempty.len())];
-        let tuples = db.tuples(rel);
-        let a = &tuples[self.rng.random_range(0..tuples.len())];
-        let b = &tuples[self.rng.random_range(0..tuples.len())];
-        let tuple = (0..a.arity())
+        let n = db.relation_len(rel);
+        let a = self.rng.random_range(0..n);
+        let b = self.rng.random_range(0..n);
+        let tuple = (0..db.schema().arity(rel))
             .map(|col| {
-                if self.rng.random_bool(0.5) {
-                    a[col].clone()
-                } else {
-                    b[col].clone()
-                }
+                let row = if self.rng.random_bool(0.5) { a } else { b };
+                db.value(db.column(rel, col)[row]).clone()
             })
             .collect();
         Some((rel, tuple))

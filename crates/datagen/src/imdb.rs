@@ -5,7 +5,7 @@
 //! Cruise — are guaranteed to exist with sufficiently many co-stars so that
 //! the anchored queries (Q3, Q6) return multiple rows.
 
-use provabs_relational::{parse_cq, Database, RelId, Schema};
+use provabs_relational::{parse_cq, Database, RelId, Schema, Value, ValueId};
 use provabs_semiring::AnnotId;
 use provabs_tree::{AbstractionTree, TreeBuilder};
 use rand::rngs::StdRng;
@@ -68,8 +68,22 @@ pub fn generate(cfg: &ImdbConfig) -> (Database, ImdbRelations) {
     };
     let n_people = cfg.num_people.max(20);
     let n_movies = cfg.num_movies.max(20);
+    // Direct interned emission: the categorical pools and the dense id key
+    // space intern once, every row lands as ids (see the TPC-H generator).
+    let genre_ids: Vec<ValueId> = GENRES
+        .iter()
+        .map(|g| db.intern_value(Value::str(g)))
+        .collect();
+    let country_ids: Vec<ValueId> = COUNTRIES
+        .iter()
+        .map(|c| db.intern_value(Value::str(c)))
+        .collect();
+    let ints: Vec<ValueId> = (0..n_people.max(n_movies) as i64)
+        .map(|i| db.intern_value(Value::int(i)))
+        .collect();
     // Person 0 is Kevin Bacon, person 1 is Tom Cruise.
-    for i in 0..n_people {
+    let person_keys: Vec<ValueId> = ints[..n_people].to_vec();
+    for (i, &pid) in person_keys.iter().enumerate() {
         let name = match i {
             0 => "Kevin Bacon".to_owned(),
             1 => "Tom Cruise".to_owned(),
@@ -80,12 +94,10 @@ pub fn generate(cfg: &ImdbConfig) -> (Database, ImdbRelations) {
         // inner nodes) well populated.
         let byear = 1930 + (rng.random_range(0..=32i64) + rng.random_range(0..=33i64));
         let byear = if i == 0 { 1958 } else { byear };
-        let country = COUNTRIES[rng.random_range(0..COUNTRIES.len())];
-        db.insert_str(
-            rels.person,
-            &format!("pe{i}"),
-            &[&i.to_string(), &name, &byear.to_string(), country],
-        );
+        let country = country_ids[rng.random_range(0..country_ids.len())];
+        let name = db.intern_value(Value::str(&name));
+        let byear = db.intern_value(Value::int(byear));
+        db.insert_ids(rels.person, &format!("pe{i}"), &[pid, name, byear, country]);
     }
     let mut cast_edge = 0usize;
     let mut genre_edge = 0usize;
@@ -94,25 +106,23 @@ pub fn generate(cfg: &ImdbConfig) -> (Database, ImdbRelations) {
         let year = 1980 + (rng.random_range(0..=14i64) + rng.random_range(0..=15i64));
         // Every 10th movie is from 1995 so Q1 has results.
         let year = if m % 10 == 0 { 1995 } else { year };
-        db.insert_str(
-            rels.movie,
-            &format!("mo{m}"),
-            &[&m.to_string(), &format!("Movie {m:05}"), &year.to_string()],
-        );
+        let title = db.intern_value(Value::str(&format!("Movie {m:05}")));
+        let year = db.intern_value(Value::int(year));
+        db.insert_ids(rels.movie, &format!("mo{m}"), &[ints[m], title, year]);
         // 1–2 genres.
-        let g1 = rng.random_range(0..GENRES.len());
-        db.insert_str(
+        let g1 = rng.random_range(0..genre_ids.len());
+        db.insert_ids(
             rels.genre,
             &format!("ge{genre_edge}"),
-            &[&m.to_string(), GENRES[g1]],
+            &[ints[m], genre_ids[g1]],
         );
         genre_edge += 1;
         if rng.random_bool(0.4) {
-            let g2 = (g1 + 1 + rng.random_range(0..GENRES.len() - 1)) % GENRES.len();
-            db.insert_str(
+            let g2 = (g1 + 1 + rng.random_range(0..genre_ids.len() - 1)) % genre_ids.len();
+            db.insert_ids(
                 rels.genre,
                 &format!("ge{genre_edge}"),
-                &[&m.to_string(), GENRES[g2]],
+                &[ints[m], genre_ids[g2]],
             );
             genre_edge += 1;
         }
@@ -131,20 +141,12 @@ pub fn generate(cfg: &ImdbConfig) -> (Database, ImdbRelations) {
             }
         }
         for p in members {
-            db.insert_str(
-                rels.cast,
-                &format!("ca{cast_edge}"),
-                &[&m.to_string(), &p.to_string()],
-            );
+            db.insert_ids(rels.cast, &format!("ca{cast_edge}"), &[ints[m], ints[p]]);
             cast_edge += 1;
         }
         // One director (exactly one per movie, so `m` numbers the edge).
         let d = rng.random_range(0..n_people);
-        db.insert_str(
-            rels.directs,
-            &format!("di{m}"),
-            &[&m.to_string(), &d.to_string()],
-        );
+        db.insert_ids(rels.directs, &format!("di{m}"), &[ints[m], ints[d]]);
     }
     db.build_indexes();
     (db, rels)
@@ -163,37 +165,44 @@ pub fn generate(cfg: &ImdbConfig) -> (Database, ImdbRelations) {
 /// 5. main categories under the root.
 pub fn imdb_tree(db: &mut Database, rels: &ImdbRelations) -> AbstractionTree {
     // Collect the categorization data before interning (borrow discipline).
+    // All reads are columnar: year/genre columns decode per *distinct* cell
+    // through the dictionary, and the movie-year join below is keyed by the
+    // interned movie id — cast/directs edges never decode their key column.
+    let int_col = |db: &Database, rel: RelId, col: usize, default: i64| -> Vec<i64> {
+        db.column(rel, col)
+            .iter()
+            .map(|&v| db.value(v).as_int().unwrap_or(default))
+            .collect()
+    };
     let birth_year_of: Vec<(AnnotId, i64)> = db
         .tuple_annots(rels.person)
         .iter()
-        .zip(db.tuples(rels.person))
-        .map(|(&a, t)| (a, t[2].as_int().unwrap_or(1970)))
+        .copied()
+        .zip(int_col(db, rels.person, 2, 1970))
         .collect();
-    let movie_year: std::collections::HashMap<i64, i64> = db
-        .tuples(rels.movie)
+    let movie_year: std::collections::HashMap<ValueId, i64> = db
+        .column(rels.movie, 0)
         .iter()
-        .map(|t| (t[0].as_int().unwrap(), t[2].as_int().unwrap_or(2000)))
+        .copied()
+        .zip(int_col(db, rels.movie, 2, 2000))
         .collect();
     let movie_year_of: Vec<(AnnotId, i64)> = db
         .tuple_annots(rels.movie)
         .iter()
-        .zip(db.tuples(rels.movie))
-        .map(|(&a, t)| (a, t[2].as_int().unwrap_or(2000)))
+        .copied()
+        .zip(int_col(db, rels.movie, 2, 2000))
         .collect();
     let genre_of: Vec<(AnnotId, String)> = db
         .tuple_annots(rels.genre)
         .iter()
-        .zip(db.tuples(rels.genre))
-        .map(|(&a, t)| (a, t[1].as_str().unwrap_or("Unknown").to_owned()))
+        .zip(db.column(rels.genre, 1))
+        .map(|(&a, &g)| (a, db.value(g).as_str().unwrap_or("Unknown").to_owned()))
         .collect();
     let edge_years = |rel: RelId, db: &Database| -> Vec<(AnnotId, i64)> {
         db.tuple_annots(rel)
             .iter()
-            .zip(db.tuples(rel))
-            .map(|(&a, t)| {
-                let mid = t[0].as_int().unwrap_or(0);
-                (a, movie_year.get(&mid).copied().unwrap_or(2000))
-            })
+            .zip(db.column(rel, 0))
+            .map(|(&a, mid)| (a, movie_year.get(mid).copied().unwrap_or(2000)))
             .collect()
     };
     let cast_years = edge_years(rels.cast, db);
@@ -326,11 +335,8 @@ mod tests {
     #[test]
     fn anchors_exist() {
         let (db, rels) = generate(&ImdbConfig::default());
-        let names: Vec<&str> = db
-            .tuples(rels.person)
-            .iter()
-            .filter_map(|t| t[1].as_str())
-            .collect();
+        let people = db.tuples(rels.person);
+        let names: Vec<&str> = people.iter().filter_map(|t| t[1].as_str()).collect();
         assert!(names.contains(&"Kevin Bacon"));
         assert!(names.contains(&"Tom Cruise"));
     }

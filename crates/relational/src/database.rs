@@ -1,5 +1,6 @@
-//! Abstractly-tagged K-databases.
+//! Abstractly-tagged K-databases on dictionary-encoded columnar storage.
 
+use crate::vintern::{ValueId, ValueInterner};
 use crate::{RelId, Schema, Tuple, Value};
 use provabs_semiring::{AnnotId, AnnotRegistry};
 use std::collections::HashMap;
@@ -13,24 +14,41 @@ pub struct TupleRef {
     pub row: usize,
 }
 
-/// Storage for one relation: tuples plus their annotations.
+/// Storage for one relation: one dense [`ValueId`] vector per column, the
+/// parallel annotation column, and per-column hash indexes.
+///
+/// Rows are addressed by position; `annots.len()` is the row count (arity-0
+/// relations hold rows with no value columns). Per-column posting lists are
+/// keyed by `ValueId` and hold `u32` row numbers — the whole access path
+/// hashes and stores 4-byte ids, never owned [`Value`]s.
 #[derive(Debug, Default, Clone)]
 struct RelationData {
-    tuples: Vec<Tuple>,
+    columns: Vec<Vec<ValueId>>,
     annots: Vec<AnnotId>,
     /// Per-column value index, built lazily by [`Database::build_indexes`].
-    indexes: Vec<HashMap<Value, Vec<usize>>>,
+    indexes: Vec<HashMap<ValueId, Vec<u32>>>,
+}
+
+impl RelationData {
+    fn len(&self) -> usize {
+        self.annots.len()
+    }
 }
 
 /// An **abstractly-tagged K-database** (§2.1): every tuple is annotated with
 /// a distinct annotation from the registry.
 ///
-/// The database owns the schema, the tuples, the annotation registry, and
-/// per-column hash indexes used by the evaluator.
+/// The database owns the schema, the columnar tuple storage, the
+/// [`ValueInterner`] dictionary-encoding the constant domain, the annotation
+/// registry, and per-column hash indexes used by the evaluator. Tuples live
+/// as columns of dense [`ValueId`]s; owned [`Tuple`]s/[`Value`]s exist only
+/// at the API boundary ([`Database::insert`] encodes, [`Database::tuples`] /
+/// [`Database::tuple_by_annot`] decode).
 #[derive(Debug, Default, Clone)]
 pub struct Database {
     schema: Schema,
     relations: Vec<RelationData>,
+    values: ValueInterner,
     annots: AnnotRegistry,
     /// Reverse map annotation → tuple location.
     annot_loc: HashMap<AnnotId, TupleRef>,
@@ -51,7 +69,10 @@ impl Database {
     /// Adds a relation to the schema.
     pub fn add_relation(&mut self, name: &str, columns: &[&str]) -> RelId {
         let id = self.schema.add_relation(name, columns);
-        let mut data = RelationData::default();
+        let mut data = RelationData {
+            columns: vec![Vec::new(); columns.len()],
+            ..Default::default()
+        };
         if self.indexed {
             // Keep the invariant that an indexed database has one index per
             // column of every relation, so later inserts can maintain them.
@@ -71,7 +92,23 @@ impl Database {
         &self.annots
     }
 
+    /// The value dictionary encoding the constant domain.
+    pub fn interner(&self) -> &ValueInterner {
+        &self.values
+    }
+
+    /// Interns a constant into the value dictionary without storing a
+    /// tuple — the id-level producer API ([`Database::insert_ids`] consumes
+    /// the ids). Generators that emit many tuples sharing categorical
+    /// values intern each distinct value once and reuse the id.
+    pub fn intern_value(&mut self, v: Value) -> ValueId {
+        self.values.intern(v)
+    }
+
     /// Inserts `tuple` into `rel` with annotation label `annot`.
+    ///
+    /// This is the owned boundary over [`Database::insert_ids`]: each value
+    /// is dictionary-encoded and the row is stored columnar.
     ///
     /// # Panics
     /// Panics if the arity mismatches the schema or the annotation label is
@@ -86,6 +123,24 @@ impl Database {
             "arity mismatch inserting into {}",
             self.schema.relation_name(rel)
         );
+        let ids: Vec<ValueId> = tuple.0.into_iter().map(|v| self.values.intern(v)).collect();
+        self.insert_ids(rel, annot, &ids)
+    }
+
+    /// Inserts a row given as already-interned [`ValueId`]s (the direct
+    /// producer path: no owned [`Value`] is constructed). Ids must come from
+    /// this database's interner ([`Database::intern_value`]).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch or annotation reuse (see
+    /// [`Database::insert`]).
+    pub fn insert_ids(&mut self, rel: RelId, annot: &str, ids: &[ValueId]) -> AnnotId {
+        assert_eq!(
+            ids.len(),
+            self.schema.arity(rel),
+            "arity mismatch inserting into {}",
+            self.schema.relation_name(rel)
+        );
         let id = self.annots.intern(annot);
         assert!(
             !self.annot_loc.contains_key(&id),
@@ -96,17 +151,20 @@ impl Database {
             "annotation {annot} tagged a deleted tuple and may not be reused"
         );
         let data = &mut self.relations[rel.0 as usize];
-        let row = data.tuples.len();
+        let row = data.len();
+        let row32 = u32::try_from(row).expect("relation exceeds u32 rows");
         if self.indexed {
             // Incremental maintenance: append the new row to every
             // per-column posting list instead of invalidating the indexes
             // (a full rebuild would degrade every later lookup to a scan
             // until someone called `build_indexes` again).
-            for (col, v) in tuple.values().iter().enumerate() {
-                data.indexes[col].entry(v.clone()).or_default().push(row);
+            for (col, &v) in ids.iter().enumerate() {
+                data.indexes[col].entry(v).or_default().push(row32);
             }
         }
-        data.tuples.push(tuple);
+        for (col, &v) in ids.iter().enumerate() {
+            data.columns[col].push(v);
+        }
         data.annots.push(id);
         self.annot_loc.insert(id, TupleRef { rel, row });
         id
@@ -118,44 +176,54 @@ impl Database {
     }
 
     /// Deletes the tuple tagged by `annot`, returning its relation and
-    /// values, or `None` when the annotation tags no tuple.
+    /// (decoded) values, or `None` when the annotation tags no tuple.
     ///
     /// Storage stays dense (the relation's last row moves into the freed
-    /// slot), and when indexes are built they are maintained incrementally:
-    /// the deleted row is unlinked from its posting lists and the moved
-    /// row's entries are renamed — no rebuild, no scan-degradation. Row
-    /// indexes previously handed out for the moved row are invalidated;
-    /// annotations remain the stable way to name a tuple.
+    /// slot in every column), and when indexes are built they are maintained
+    /// incrementally: the deleted row is unlinked from its posting lists and
+    /// the moved row's entries are renamed — no rebuild, no
+    /// scan-degradation. Row indexes previously handed out for the moved
+    /// row are invalidated; annotations remain the stable way to name a
+    /// tuple.
     pub fn delete(&mut self, annot: AnnotId) -> Option<(RelId, Tuple)> {
         let loc = self.annot_loc.remove(&annot)?;
         self.retired.insert(annot);
         let data = &mut self.relations[loc.rel.0 as usize];
-        let last = data.tuples.len() - 1;
-        let removed = data.tuples.swap_remove(loc.row);
+        let last = data.len() - 1;
+        let removed: Vec<ValueId> = data
+            .columns
+            .iter_mut()
+            .map(|col| col.swap_remove(loc.row))
+            .collect();
         data.annots.swap_remove(loc.row);
         if self.indexed {
-            for (col, v) in removed.values().iter().enumerate() {
-                let entry = data.indexes[col].get_mut(v).expect("indexed value present");
+            let (row32, last32) = (loc.row as u32, last as u32);
+            for (col, &v) in removed.iter().enumerate() {
+                let entry = data.indexes[col]
+                    .get_mut(&v)
+                    .expect("indexed value present");
                 let pos = entry
                     .iter()
-                    .position(|&r| r == loc.row)
+                    .position(|&r| r == row32)
                     .expect("row in posting list");
                 entry.swap_remove(pos);
                 if entry.is_empty() {
-                    data.indexes[col].remove(v);
+                    data.indexes[col].remove(&v);
                 }
             }
             if loc.row != last {
                 // The previous last row now lives at `loc.row`: rename it in
                 // every posting list it appears in.
-                let moved = data.tuples[loc.row].clone();
-                for (col, v) in moved.values().iter().enumerate() {
-                    let entry = data.indexes[col].get_mut(v).expect("indexed value present");
+                for col in 0..data.columns.len() {
+                    let v = data.columns[col][loc.row];
+                    let entry = data.indexes[col]
+                        .get_mut(&v)
+                        .expect("indexed value present");
                     let pos = entry
                         .iter()
-                        .position(|&r| r == last)
+                        .position(|&r| r == last32)
                         .expect("moved row in posting list");
-                    entry[pos] = loc.row;
+                    entry[pos] = row32;
                 }
             }
         }
@@ -169,17 +237,18 @@ impl Database {
                 },
             );
         }
-        Some((loc.rel, removed))
+        let tuple = Tuple::new(removed.iter().map(|&v| self.values.value(v).clone()));
+        Some((loc.rel, tuple))
     }
 
     /// Number of tuples in `rel`.
     pub fn relation_len(&self, rel: RelId) -> usize {
-        self.relations[rel.0 as usize].tuples.len()
+        self.relations[rel.0 as usize].len()
     }
 
     /// Total number of tuples.
     pub fn len(&self) -> usize {
-        self.relations.iter().map(|r| r.tuples.len()).sum()
+        self.relations.iter().map(RelationData::len).sum()
     }
 
     /// Whether the database has no tuples.
@@ -187,9 +256,34 @@ impl Database {
         self.len() == 0
     }
 
-    /// The tuples of `rel`.
-    pub fn tuples(&self, rel: RelId) -> &[Tuple] {
-        &self.relations[rel.0 as usize].tuples
+    /// The [`ValueId`] column `col` of `rel` — the raw storage the engine
+    /// probes and binds.
+    pub fn column(&self, rel: RelId, col: usize) -> &[ValueId] {
+        &self.relations[rel.0 as usize].columns[col]
+    }
+
+    /// The value behind an interned id (the decode boundary).
+    pub fn value(&self, id: ValueId) -> &Value {
+        self.values.value(id)
+    }
+
+    /// Decodes row `row` of `rel` into an owned [`Tuple`].
+    pub fn decode_row(&self, rel: RelId, row: usize) -> Tuple {
+        let data = &self.relations[rel.0 as usize];
+        Tuple::new(
+            data.columns
+                .iter()
+                .map(|col| self.values.value(col[row]).clone()),
+        )
+    }
+
+    /// Materializes the tuples of `rel` as owned values — a decode of the
+    /// whole relation, for boundary consumers (tests, exports, displays).
+    /// The engine never calls this; it reads [`Database::column`] slices.
+    pub fn tuples(&self, rel: RelId) -> Vec<Tuple> {
+        (0..self.relation_len(rel))
+            .map(|row| self.decode_row(rel, row))
+            .collect()
     }
 
     /// The annotations of `rel`, parallel to [`Database::tuples`].
@@ -202,10 +296,22 @@ impl Database {
         self.annot_loc.get(&annot).copied()
     }
 
-    /// The tuple tagged by `annot`, if any.
-    pub fn tuple_by_annot(&self, annot: AnnotId) -> Option<(RelId, &Tuple)> {
+    /// The (decoded) tuple tagged by `annot`, if any.
+    pub fn tuple_by_annot(&self, annot: AnnotId) -> Option<(RelId, Tuple)> {
         self.locate(annot)
-            .map(|loc| (loc.rel, &self.relations[loc.rel.0 as usize].tuples[loc.row]))
+            .map(|loc| (loc.rel, self.decode_row(loc.rel, loc.row)))
+    }
+
+    /// The distinct [`ValueId`]s of the row at `loc`, sorted — the probe
+    /// set of the concretization-connectivity edge relation (two tuples are
+    /// connected iff these sets intersect; see
+    /// [`monomial_connected`](crate::monomial_connected)).
+    pub fn row_value_ids(&self, loc: TupleRef) -> Vec<ValueId> {
+        let data = &self.relations[loc.rel.0 as usize];
+        let mut ids: Vec<ValueId> = data.columns.iter().map(|col| col[loc.row]).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
     }
 
     /// Builds per-column hash indexes for every relation. Idempotent; called
@@ -214,12 +320,11 @@ impl Database {
         if self.indexed {
             return;
         }
-        for (rid, data) in self.relations.iter_mut().enumerate() {
-            let arity = self.schema.arity(RelId(rid as u16));
-            let mut idx: Vec<HashMap<Value, Vec<usize>>> = vec![HashMap::new(); arity];
-            for (row, t) in data.tuples.iter().enumerate() {
-                for (col, v) in t.values().iter().enumerate() {
-                    idx[col].entry(v.clone()).or_default().push(row);
+        for data in &mut self.relations {
+            let mut idx: Vec<HashMap<ValueId, Vec<u32>>> = vec![HashMap::new(); data.columns.len()];
+            for (col, column) in data.columns.iter().enumerate() {
+                for (row, &v) in column.iter().enumerate() {
+                    idx[col].entry(v).or_default().push(row as u32);
                 }
             }
             data.indexes = idx;
@@ -232,19 +337,48 @@ impl Database {
         self.indexed
     }
 
+    /// The posting list of `rel.col = v` when indexes are built (`None`
+    /// means "not indexed", **not** "no rows" — an indexed miss returns an
+    /// empty slice).
+    pub fn postings(&self, rel: RelId, col: usize, v: ValueId) -> Option<&[u32]> {
+        if !self.indexed {
+            return None;
+        }
+        Some(
+            self.relations[rel.0 as usize].indexes[col]
+                .get(&v)
+                .map_or(&[][..], Vec::as_slice),
+        )
+    }
+
+    /// Scans column `col` of `rel` for rows equal to `v` (the unindexed
+    /// fallback; id equality, no decoding).
+    pub fn scan_matching(&self, rel: RelId, col: usize, v: ValueId) -> Vec<u32> {
+        self.relations[rel.0 as usize].columns[col]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &id)| id == v)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
     /// Row indexes of `rel` whose column `col` equals `v`, using the hash
     /// index when built and falling back to a scan otherwise.
+    ///
+    /// Owned boundary: the value is dictionary-looked-up first — a constant
+    /// that was never interned matches nothing. The engine probes by
+    /// [`ValueId`] directly ([`Database::postings`]).
     pub fn rows_matching(&self, rel: RelId, col: usize, v: &Value) -> Vec<usize> {
-        let data = &self.relations[rel.0 as usize];
-        if self.indexed {
-            data.indexes[col].get(v).cloned().unwrap_or_default()
-        } else {
-            data.tuples
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| &t[col] == v)
-                .map(|(i, _)| i)
-                .collect()
+        let Some(id) = self.values.lookup(v) else {
+            return Vec::new();
+        };
+        match self.postings(rel, col, id) {
+            Some(rows) => rows.iter().map(|&r| r as usize).collect(),
+            None => self
+                .scan_matching(rel, col, id)
+                .into_iter()
+                .map(|r| r as usize)
+                .collect(),
         }
     }
 
@@ -279,14 +413,34 @@ mod tests {
     }
 
     #[test]
+    fn storage_is_dictionary_encoded() {
+        let (db, r) = sample_db();
+        // Three rows, two distinct values per column: the interner holds
+        // each constant once and the columns reference it by id.
+        assert_eq!(db.interner().len(), 4); // 1, 2, 'x', 'y'
+        assert_eq!(db.column(r, 0).len(), 3);
+        assert_eq!(db.column(r, 0)[0], db.column(r, 0)[2]); // both rows hold 1
+        assert_eq!(db.column(r, 1)[0], db.column(r, 1)[1]); // both rows hold 'x'
+        assert_eq!(db.value(db.column(r, 1)[2]), &Value::str("y"));
+        // Decoding round-trips through the dictionary.
+        assert_eq!(db.decode_row(r, 1), Tuple::parse(&["2", "x"]));
+        assert_eq!(db.tuples(r)[2], Tuple::parse(&["1", "y"]));
+    }
+
+    #[test]
     fn rows_matching_with_and_without_index() {
         let (mut db, r) = sample_db();
         let scan = db.rows_matching(r, 1, &Value::str("x"));
         assert_eq!(scan, vec![0, 1]);
+        assert!(db
+            .postings(r, 1, db.interner().lookup(&Value::str("x")).unwrap())
+            .is_none());
         db.build_indexes();
         let indexed = db.rows_matching(r, 1, &Value::str("x"));
         assert_eq!(indexed, vec![0, 1]);
         assert!(db.rows_matching(r, 0, &Value::Int(9)).is_empty());
+        let x = db.interner().lookup(&Value::str("x")).unwrap();
+        assert_eq!(db.postings(r, 1, x).unwrap(), &[0, 1]);
     }
 
     #[test]
@@ -319,6 +473,18 @@ mod tests {
         db.insert_str(s, "s1", &["7"]);
         assert!(db.is_indexed());
         assert_eq!(db.rows_matching(s, 0, &Value::Int(7)), vec![0]);
+    }
+
+    #[test]
+    fn insert_ids_equals_owned_insert() {
+        let (mut db, r) = sample_db();
+        db.build_indexes();
+        let one = db.intern_value(Value::int(1));
+        let z = db.intern_value(Value::str("z"));
+        db.insert_ids(r, "t4", &[one, z]);
+        assert_eq!(db.tuples(r)[3], Tuple::parse(&["1", "z"]));
+        assert_eq!(db.rows_matching(r, 0, &Value::Int(1)), vec![0, 2, 3]);
+        assert_eq!(db.rows_matching(r, 1, &Value::str("z")), vec![3]);
     }
 
     #[test]
@@ -366,6 +532,19 @@ mod tests {
             Vec::<usize>::new()
         );
         assert_eq!(db.rows_matching(r, 1, &Value::str("x")), vec![0, 1]);
+    }
+
+    #[test]
+    fn row_value_ids_are_sorted_distinct() {
+        let (mut db, r) = sample_db();
+        db.insert_str(r, "t4", &["5", "5"]);
+        let t4 = db.annotations().get("t4").unwrap();
+        let ids = db.row_value_ids(db.locate(t4).unwrap());
+        assert_eq!(ids.len(), 1); // repeated constant collapses
+        assert_eq!(db.value(ids[0]), &Value::Int(5));
+        let t1 = db.annotations().get("t1").unwrap();
+        let ids1 = db.row_value_ids(db.locate(t1).unwrap());
+        assert!(ids1.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -126,7 +126,11 @@ impl AppliedDelta {
 impl Database {
     /// Applies `delta`: deletions first (unknown annotations skipped), then
     /// insertions. Indexes are maintained incrementally throughout — an
-    /// indexed database stays indexed.
+    /// indexed database stays indexed. All maintenance happens at
+    /// [`ValueId`](crate::ValueId) granularity on the columnar storage:
+    /// inserts dictionary-encode the new row and append it to every
+    /// posting list, deletes swap-remove each column and rename the moved
+    /// row's postings — no owned `Value` is hashed either way.
     ///
     /// # Panics
     /// Panics if an insertion reuses a live annotation label or mismatches

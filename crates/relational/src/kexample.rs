@@ -114,11 +114,12 @@ pub struct ConcreteRow {
 }
 
 impl ConcreteRow {
-    /// Resolves an occurrence list against `db`.
+    /// Resolves an occurrence list against `db` (the decode boundary:
+    /// columnar rows materialize into owned tuples here).
     pub fn resolve(db: &Database, output: &Tuple, occs: &[AnnotId]) -> Option<ConcreteRow> {
         let occurrences = occs
             .iter()
-            .map(|&a| db.tuple_by_annot(a).map(|(rel, t)| (a, rel, t.clone())))
+            .map(|&a| db.tuple_by_annot(a).map(|(rel, t)| (a, rel, t)))
             .collect::<Option<Vec<_>>>()?;
         Some(ConcreteRow {
             output: output.clone(),
@@ -157,14 +158,51 @@ impl ConcreteRow {
 ///
 /// Annotations that do not tag tuples of `db` make the monomial disconnected
 /// (they cannot join anything), unless it is a single occurrence.
+///
+/// Runs entirely on interned storage: each occurrence's row collapses to its
+/// sorted distinct [`ValueId`](crate::ValueId) set once, and the edge test
+/// is a merge probe of two sorted id lists — no tuple is decoded and no
+/// `Value` is compared, unlike the owned
+/// [`Tuple::shares_constant`] scan ([`ConcreteRow::is_connected`] keeps the
+/// owned path for already-resolved rows; a regression test pins both to the
+/// same connectivity graph).
 pub fn monomial_connected(db: &Database, occs: &[AnnotId]) -> bool {
     if occs.len() <= 1 {
         return true;
     }
-    match ConcreteRow::resolve(db, &Tuple::new([]), occs) {
-        Some(row) => row.is_connected(),
-        None => false,
+    let Some(locs) = occs
+        .iter()
+        .map(|&a| db.locate(a))
+        .collect::<Option<Vec<_>>>()
+    else {
+        return false;
+    };
+    // Sorted distinct value-id sets per occurrence; edges via merge probe.
+    let id_sets: Vec<Vec<crate::ValueId>> = locs.iter().map(|&loc| db.row_value_ids(loc)).collect();
+    let share = |a: &[crate::ValueId], b: &[crate::ValueId]| -> bool {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    };
+    let n = id_sets.len();
+    let mut reached = vec![false; n];
+    let mut stack = vec![0usize];
+    reached[0] = true;
+    while let Some(i) = stack.pop() {
+        for j in 0..n {
+            if !reached[j] && share(&id_sets[i], &id_sets[j]) {
+                reached[j] = true;
+                stack.push(j);
+            }
+        }
     }
+    reached.into_iter().all(|r| r)
 }
 
 #[cfg(test)]
@@ -233,6 +271,46 @@ mod tests {
         assert!(monomial_connected(&db, &[a("h3"), a("i6")]));
         // Single occurrences are trivially connected.
         assert!(monomial_connected(&db, &[a("p1")]));
+    }
+
+    #[test]
+    fn interned_connectivity_graph_matches_value_scan() {
+        // Regression for the ValueId fast path: for every pair and a sweep
+        // of triples of annotations, the interned merge-probe connectivity
+        // must agree with the owned value-scan connectivity
+        // (ConcreteRow::is_connected over decoded tuples).
+        let db = figure1_db();
+        let annots: Vec<_> = [
+            "i1", "i2", "i3", "i4", "i5", "i6", "h1", "h2", "h3", "h4", "h5", "h6", "p1", "p2",
+        ]
+        .iter()
+        .map(|n| db.annotations().get(n).unwrap())
+        .collect();
+        let value_based = |occs: &[provabs_semiring::AnnotId]| -> bool {
+            ConcreteRow::resolve(&db, &Tuple::new([]), occs)
+                .map(|r| r.is_connected())
+                .unwrap_or(false)
+        };
+        for (i, &a) in annots.iter().enumerate() {
+            for &b in &annots[i + 1..] {
+                assert_eq!(
+                    monomial_connected(&db, &[a, b]),
+                    value_based(&[a, b]),
+                    "pair connectivity diverged"
+                );
+            }
+        }
+        for (i, &a) in annots.iter().enumerate() {
+            for (j, &b) in annots.iter().enumerate().skip(i + 1) {
+                for &c in &annots[j + 1..] {
+                    assert_eq!(
+                        monomial_connected(&db, &[a, b, c]),
+                        value_based(&[a, b, c]),
+                        "triple connectivity diverged"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

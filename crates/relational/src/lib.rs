@@ -31,11 +31,13 @@ mod delta;
 mod eval;
 mod interned;
 mod kexample;
+pub mod oracle;
 mod parser;
 mod query;
 mod schema;
 mod tuple;
 mod value;
+mod vintern;
 
 pub use database::{Database, TupleRef};
 pub use delta::{
@@ -55,3 +57,4 @@ pub use query::{Atom, Cq, RelId, Term, Ucq, VarId};
 pub use schema::{RelationSchema, Schema};
 pub use tuple::Tuple;
 pub use value::Value;
+pub use vintern::{hash_width, ValueId, ValueInterner, ID_WIDTH, VALUE_MOVE_WIDTH};

@@ -33,6 +33,12 @@ impl Tuple {
     /// Whether two tuples share at least one constant (the edge relation of
     /// the paper's concretization-connectivity graph: "there is an edge
     /// between two tuples if they share a constant").
+    ///
+    /// This is the owned-value scan for already-decoded tuples (O(n·m)
+    /// `Value` comparisons). Connectivity over tuples still *in* a database
+    /// should go through [`monomial_connected`](crate::monomial_connected),
+    /// which probes sorted interned [`ValueId`](crate::ValueId) sets and
+    /// never decodes a value.
     pub fn shares_constant(&self, other: &Tuple) -> bool {
         self.0.iter().any(|v| other.0.contains(v))
     }

@@ -27,8 +27,27 @@ impl Value {
         Value::Int(i)
     }
 
-    /// Parses a literal: digits (with optional sign) become [`Value::Int`],
-    /// everything else a [`Value::Str`].
+    /// Parses a raw field literal: anything `i64` accepts becomes
+    /// [`Value::Int`], everything else a [`Value::Str`].
+    ///
+    /// The exact semantics, pinned by unit tests:
+    ///
+    /// * Integer recognition is precisely `str::parse::<i64>` — an optional
+    ///   leading `+` or `-` followed by ASCII digits, no whitespace, no
+    ///   separators. Non-canonical spellings **normalize**: `"+5"` and
+    ///   `"005"` parse to `Int(5)`, `"-0"` to `Int(0)`.
+    /// * Out-of-range digit strings (beyond `i64`) fall back to `Str`, as
+    ///   does anything else (`"5 "`, `"1_000"`, `"0x1f"`, `""`).
+    /// * [`Display`](std::fmt::Display) renders the canonical decimal form,
+    ///   so `parse(&int.to_string())` is the identity on integers, while
+    ///   `parse` ∘ `Display` is *not* the identity on textual variants
+    ///   (`"+5"` → `Int(5)` → `"5"`), nor on strings (`Display` adds the
+    ///   quoting `parse` does not strip: `Str("x")` renders as `'x'`).
+    ///
+    /// `parse` is the raw-field decoder used by
+    /// [`Tuple::parse`](crate::Tuple::parse) and the data generators; the
+    /// query parser has its own tokenizer and does **not** route through
+    /// it.
     pub fn parse(s: &str) -> Self {
         match s.parse::<i64>() {
             Ok(i) => Value::Int(i),
@@ -114,6 +133,48 @@ mod tests {
         assert_eq!(Value::parse("42"), Value::Int(42));
         assert_eq!(Value::parse("-7"), Value::Int(-7));
         assert_eq!(Value::parse("Dance"), Value::str("Dance"));
+    }
+
+    #[test]
+    fn parse_normalizes_noncanonical_int_spellings() {
+        // Pinned: integer recognition is exactly `str::parse::<i64>`, so
+        // sign and leading-zero variants normalize to one canonical Int.
+        assert_eq!(Value::parse("+5"), Value::Int(5));
+        assert_eq!(Value::parse("-0"), Value::Int(0));
+        assert_eq!(Value::parse("005"), Value::Int(5));
+        assert_eq!(Value::parse("+0"), Value::Int(0));
+        assert_eq!(Value::parse(&i64::MIN.to_string()), Value::Int(i64::MIN));
+    }
+
+    #[test]
+    fn parse_rejects_near_ints_as_strings() {
+        // Out-of-range, whitespace, separators, radix prefixes: all Str.
+        assert_eq!(
+            Value::parse("9223372036854775808"), // i64::MAX + 1
+            Value::str("9223372036854775808")
+        );
+        assert_eq!(Value::parse(" 5"), Value::str(" 5"));
+        assert_eq!(Value::parse("5 "), Value::str("5 "));
+        assert_eq!(Value::parse("1_000"), Value::str("1_000"));
+        assert_eq!(Value::parse("0x1f"), Value::str("0x1f"));
+        assert_eq!(Value::parse(""), Value::str(""));
+        assert_eq!(Value::parse("+"), Value::str("+"));
+    }
+
+    #[test]
+    fn display_then_parse_is_identity_on_canonical_ints_only() {
+        for i in [0i64, 5, -5, i64::MAX, i64::MIN] {
+            let v = Value::Int(i);
+            assert_eq!(Value::parse(&v.to_string()), v);
+        }
+        // Textual variants normalize (parse ∘ display ∘ parse is stable)...
+        assert_eq!(Value::parse("+5").to_string(), "5");
+        assert_eq!(Value::parse("-0").to_string(), "0");
+        // ...and strings do not round-trip through Display's quoting.
+        assert_eq!(
+            Value::parse(&Value::str("x").to_string()),
+            Value::str("'x'")
+        );
     }
 
     #[test]
