@@ -1,0 +1,48 @@
+//! Planner microbenchmark: cost-based planning versus written-order
+//! execution on adversarially-ordered workloads.
+//!
+//! Two axes mirror the `BENCH_5.json` perf-gate scenarios:
+//! * `eval` — one full evaluation of an adversarially-ordered TPC-H query
+//!   under the cost-based planner and under literal written order;
+//! * `plan` — the planning step alone (statistics collection + greedy
+//!   ordering), to show it is microseconds against the milliseconds it
+//!   saves.
+//!
+//! Wall time only; the counter-based comparison the CI gate diffs lives in
+//! `provabs_bench::planner` / `bench_gate --bench planner`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provabs_datagen::adversarial_order;
+use provabs_datagen::tpch::{self, TpchConfig};
+use provabs_relational::{eval_cq_counted_mode, plan_cq, EvalLimits, PlanMode};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_planner");
+    group.sample_size(10);
+
+    let (mut db, _) = tpch::generate(&TpchConfig {
+        lineitem_rows: 600,
+        seed: 42,
+    });
+    db.build_indexes();
+    let q3 = tpch::tpch_queries(db.schema())
+        .into_iter()
+        .find(|w| w.name == "TPCH-Q3")
+        .expect("TPCH-Q3 exists")
+        .query;
+    let adv = adversarial_order(&db, &q3);
+
+    group.bench_function(BenchmarkId::new("eval/TPCH-Q3-adv", "cost-based"), |b| {
+        b.iter(|| eval_cq_counted_mode(&db, &adv, EvalLimits::default(), PlanMode::CostBased));
+    });
+    group.bench_function(BenchmarkId::new("eval/TPCH-Q3-adv", "written-order"), |b| {
+        b.iter(|| eval_cq_counted_mode(&db, &adv, EvalLimits::default(), PlanMode::WrittenOrder));
+    });
+    group.bench_function(BenchmarkId::new("plan/TPCH-Q3-adv", "cost-based"), |b| {
+        b.iter(|| plan_cq(&db, &adv, PlanMode::CostBased, None));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,17 +1,20 @@
 //! The perf-regression gate: emits and checks `BENCH_*.json` baselines for
-//! the incremental update engine, the interned provenance arena, and the
-//! dictionary-encoded columnar storage layer.
+//! the incremental update engine, the interned provenance arena, the
+//! dictionary-encoded columnar storage layer, and the cost-based query
+//! planner.
 //!
 //! ```text
-//! bench_gate [--bench updates|intern|storage] --emit PATH
-//! bench_gate [--bench updates|intern|storage] --check BASELINE PATH
+//! bench_gate [--bench updates|intern|storage|planner] --emit PATH
+//! bench_gate [--bench updates|intern|storage|planner] --check BASELINE PATH
 //! ```
 //!
 //! `--bench updates` (the default) replays the [`UpdateSettings::ci_gate`]
 //! delta-maintenance scenarios (`BENCH_2.json`); `--bench intern` runs the
 //! [`InternSettings::ci_gate`] memoization comparison (`BENCH_3.json`);
 //! `--bench storage` runs the [`StorageSettings::ci_gate`] columnar-engine
-//! comparison (`BENCH_4.json`).
+//! comparison (`BENCH_4.json`); `--bench planner` runs the
+//! [`PlannerSettings::ci_gate`] planned-versus-written-order comparison on
+//! adversarially-ordered workloads (`BENCH_5.json`).
 //!
 //! The diff compares only deterministic work counters (rows examined,
 //! derivations, rows re-abstracted, retained constructions, probe/moved
@@ -28,7 +31,9 @@
 //!   arena promises); for `storage`, `id_probe_bytes * 2 <=
 //!   value_probe_bytes` **and** `id_moved_bytes * 2 <= value_moved_bytes`
 //!   (the ≥ 2× join-probe hash-work reduction the dictionary encoding
-//!   promises);
+//!   promises); for `planner`, `planned_rows * 2 <= written_rows` (the
+//!   ≥ 2× probe-work reduction the cost-based planner promises on the
+//!   adversarially-ordered suite);
 //! * `work_ratio` may not regress by more than [`TOLERANCE`] (relative)
 //!   plus a small absolute slack.
 //!
@@ -39,9 +44,10 @@
 //! Exit status: 0 clean, 1 regression, 2 usage/IO error.
 
 use provabs_bench::{
-    parse_bench_json, parse_intern_json, parse_storage_json, run_intern_comparison,
-    run_storage_comparison, run_update_comparison, write_bench_json, write_intern_json,
-    write_storage_json, BenchMetric, InternMetric, InternSettings, StorageMetric, StorageSettings,
+    parse_bench_json, parse_intern_json, parse_planner_json, parse_storage_json,
+    run_intern_comparison, run_planner_comparison, run_storage_comparison, run_update_comparison,
+    write_bench_json, write_intern_json, write_planner_json, write_storage_json, BenchMetric,
+    InternMetric, InternSettings, PlannerMetric, PlannerSettings, StorageMetric, StorageSettings,
     UpdateSettings,
 };
 use std::path::Path;
@@ -54,7 +60,7 @@ const ABS_SLACK: f64 = 0.02;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bench_gate [--bench updates|intern|storage] --emit PATH | --check BASELINE PATH"
+        "usage: bench_gate [--bench updates|intern|storage|planner] --emit PATH | --check BASELINE PATH"
     );
     ExitCode::from(2)
 }
@@ -72,25 +78,42 @@ fn main() -> ExitCode {
         "updates".to_owned()
     };
     match bench.as_str() {
-        "updates" => run_updates_gate(&args),
-        "intern" => run_intern_gate(&args),
-        "storage" => run_storage_gate(&args),
+        "updates" => drive_gate(&UPDATES_GATE, &args),
+        "intern" => drive_gate(&INTERN_GATE, &args),
+        "storage" => drive_gate(&STORAGE_GATE, &args),
+        "planner" => drive_gate(&PLANNER_GATE, &args),
         _ => usage(),
     }
 }
+/// The per-gate wiring: how to run the comparison, (de)serialize the
+/// report, print a human summary, and judge the current run against a
+/// baseline. Everything else — argument parsing, baseline IO, fail-closed
+/// verdicts — is shared by [`drive_gate`], so a fix to the gate protocol
+/// lands in one place for all four benches.
+type ParseFn<M> = fn(&str) -> Option<(String, Vec<M>)>;
 
-fn run_updates_gate(args: &[String]) -> ExitCode {
+struct GateOps<M> {
+    bench: &'static str,
+    kind: &'static str,
+    run: fn() -> Vec<M>,
+    write: fn(&Path, &str, &[M]) -> std::io::Result<()>,
+    parse: ParseFn<M>,
+    print: fn(&[M]),
+    check: fn(&[M], &[M]) -> Vec<String>,
+}
+
+fn drive_gate<M>(ops: &GateOps<M>, args: &[String]) -> ExitCode {
     match args.first().map(String::as_str) {
         Some("--emit") => {
             let [_, path] = args else {
                 return usage();
             };
-            let metrics = run_update_comparison(&UpdateSettings::ci_gate());
-            if let Err(e) = write_bench_json(Path::new(path), "micro_updates", &metrics) {
+            let metrics = (ops.run)();
+            if let Err(e) = (ops.write)(Path::new(path), ops.bench, &metrics) {
                 eprintln!("bench_gate: cannot write {path}: {e}");
                 return ExitCode::from(2);
             }
-            print_summary(&metrics);
+            (ops.print)(&metrics);
             println!("bench_gate: wrote {path}");
             ExitCode::SUCCESS
         }
@@ -105,105 +128,64 @@ fn run_updates_gate(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            let Some((_, baseline)) = parse_bench_json(&baseline_text) else {
-                eprintln!("bench_gate: baseline {baseline_path} is not a bench report");
+            let Some((_, baseline)) = (ops.parse)(&baseline_text) else {
+                eprintln!(
+                    "bench_gate: baseline {baseline_path} is not {} report",
+                    ops.kind
+                );
                 return ExitCode::from(2);
             };
-            let current = run_update_comparison(&UpdateSettings::ci_gate());
-            if let Err(e) = write_bench_json(Path::new(out_path), "micro_updates", &current) {
+            let current = (ops.run)();
+            if let Err(e) = (ops.write)(Path::new(out_path), ops.bench, &current) {
                 eprintln!("bench_gate: cannot write {out_path}: {e}");
                 return ExitCode::from(2);
             }
-            print_summary(&current);
-            verdict(check(&baseline, &current), baseline.len())
+            (ops.print)(&current);
+            verdict((ops.check)(&baseline, &current), baseline.len())
         }
         _ => usage(),
     }
 }
 
-fn run_intern_gate(args: &[String]) -> ExitCode {
-    match args.first().map(String::as_str) {
-        Some("--emit") => {
-            let [_, path] = args else {
-                return usage();
-            };
-            let metrics = run_intern_comparison(&InternSettings::ci_gate());
-            if let Err(e) = write_intern_json(Path::new(path), "micro_intern", &metrics) {
-                eprintln!("bench_gate: cannot write {path}: {e}");
-                return ExitCode::from(2);
-            }
-            print_intern_summary(&metrics);
-            println!("bench_gate: wrote {path}");
-            ExitCode::SUCCESS
-        }
-        Some("--check") => {
-            let [_, baseline_path, out_path] = args else {
-                return usage();
-            };
-            let baseline_text = match std::fs::read_to_string(baseline_path) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("bench_gate: cannot read baseline {baseline_path}: {e}");
-                    return ExitCode::from(2);
-                }
-            };
-            let Some((_, baseline)) = parse_intern_json(&baseline_text) else {
-                eprintln!("bench_gate: baseline {baseline_path} is not an intern report");
-                return ExitCode::from(2);
-            };
-            let current = run_intern_comparison(&InternSettings::ci_gate());
-            if let Err(e) = write_intern_json(Path::new(out_path), "micro_intern", &current) {
-                eprintln!("bench_gate: cannot write {out_path}: {e}");
-                return ExitCode::from(2);
-            }
-            print_intern_summary(&current);
-            verdict(check_intern(&baseline, &current), baseline.len())
-        }
-        _ => usage(),
-    }
-}
+const UPDATES_GATE: GateOps<BenchMetric> = GateOps {
+    bench: "micro_updates",
+    kind: "a bench",
+    run: || run_update_comparison(&UpdateSettings::ci_gate()),
+    write: write_bench_json,
+    parse: parse_bench_json,
+    print: print_summary,
+    check,
+};
 
-fn run_storage_gate(args: &[String]) -> ExitCode {
-    match args.first().map(String::as_str) {
-        Some("--emit") => {
-            let [_, path] = args else {
-                return usage();
-            };
-            let metrics = run_storage_comparison(&StorageSettings::ci_gate());
-            if let Err(e) = write_storage_json(Path::new(path), "micro_storage", &metrics) {
-                eprintln!("bench_gate: cannot write {path}: {e}");
-                return ExitCode::from(2);
-            }
-            print_storage_summary(&metrics);
-            println!("bench_gate: wrote {path}");
-            ExitCode::SUCCESS
-        }
-        Some("--check") => {
-            let [_, baseline_path, out_path] = args else {
-                return usage();
-            };
-            let baseline_text = match std::fs::read_to_string(baseline_path) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("bench_gate: cannot read baseline {baseline_path}: {e}");
-                    return ExitCode::from(2);
-                }
-            };
-            let Some((_, baseline)) = parse_storage_json(&baseline_text) else {
-                eprintln!("bench_gate: baseline {baseline_path} is not a storage report");
-                return ExitCode::from(2);
-            };
-            let current = run_storage_comparison(&StorageSettings::ci_gate());
-            if let Err(e) = write_storage_json(Path::new(out_path), "micro_storage", &current) {
-                eprintln!("bench_gate: cannot write {out_path}: {e}");
-                return ExitCode::from(2);
-            }
-            print_storage_summary(&current);
-            verdict(check_storage(&baseline, &current), baseline.len())
-        }
-        _ => usage(),
-    }
-}
+const INTERN_GATE: GateOps<InternMetric> = GateOps {
+    bench: "micro_intern",
+    kind: "an intern",
+    run: || run_intern_comparison(&InternSettings::ci_gate()),
+    write: write_intern_json,
+    parse: parse_intern_json,
+    print: print_intern_summary,
+    check: check_intern,
+};
+
+const STORAGE_GATE: GateOps<StorageMetric> = GateOps {
+    bench: "micro_storage",
+    kind: "a storage",
+    run: || run_storage_comparison(&StorageSettings::ci_gate()),
+    write: write_storage_json,
+    parse: parse_storage_json,
+    print: print_storage_summary,
+    check: check_storage,
+};
+
+const PLANNER_GATE: GateOps<PlannerMetric> = GateOps {
+    bench: "micro_planner",
+    kind: "a planner",
+    run: || run_planner_comparison(&PlannerSettings::ci_gate()),
+    write: write_planner_json,
+    parse: parse_planner_json,
+    print: print_planner_summary,
+    check: check_planner,
+};
 
 fn verdict(failures: Vec<String>, gated: usize) -> ExitCode {
     if failures.is_empty() {
@@ -290,6 +272,94 @@ fn print_storage_summary(metrics: &[StorageMetric]) {
             m.equal
         );
     }
+}
+
+fn print_planner_summary(metrics: &[PlannerMetric]) {
+    println!(
+        "{:<20} {:>12} {:>12} {:>7} {:>7} {:>9} {:>9} {:>10} {:>10} {:>6}",
+        "scenario",
+        "planned_rows",
+        "written_rows",
+        "ratio",
+        "probes",
+        "reordered",
+        "est_rows",
+        "plan_ms",
+        "written_ms",
+        "equal"
+    );
+    for m in metrics {
+        println!(
+            "{:<20} {:>12} {:>12} {:>7.4} {:>7.4} {:>9} {:>9} {:>10.2} {:>10.2} {:>6}",
+            m.name,
+            m.planned_rows,
+            m.written_rows,
+            m.work_ratio(),
+            m.probe_ratio(),
+            m.atoms_reordered,
+            m.est_rows,
+            m.planned_ms,
+            m.written_ms,
+            m.equal
+        );
+    }
+}
+
+fn check_planner(baseline: &[PlannerMetric], current: &[PlannerMetric]) -> Vec<String> {
+    let mut failures = Vec::new();
+    // Fail closed: a gate that compares nothing protects nothing.
+    if baseline.is_empty() {
+        failures.push("baseline holds no entries — re-emit it with --emit".to_owned());
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.name == cur.name) {
+            failures.push(format!(
+                "{}: scenario has no baseline entry (ungated) — re-emit the baseline",
+                cur.name
+            ));
+        }
+    }
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.name == base.name) else {
+            failures.push(format!("{}: entry missing from current run", base.name));
+            continue;
+        };
+        if !cur.equal {
+            failures.push(format!(
+                "{}: planned evaluation no longer matches written-order / oracle output",
+                cur.name
+            ));
+        }
+        if cur.planned_rows * 2 > cur.written_rows {
+            failures.push(format!(
+                "{}: planned {} vs written {} rows — the planner no longer halves the probe work",
+                cur.name, cur.planned_rows, cur.written_rows
+            ));
+        }
+        let allowed = base.work_ratio() * (1.0 + TOLERANCE) + ABS_SLACK;
+        if cur.work_ratio() > allowed {
+            failures.push(format!(
+                "{}: work_ratio {:.4} exceeds baseline {:.4} (+{:.0}% & slack = {:.4})",
+                cur.name,
+                cur.work_ratio(),
+                base.work_ratio(),
+                TOLERANCE * 100.0,
+                allowed
+            ));
+        }
+        let allowed_probe = base.probe_ratio() * (1.0 + TOLERANCE) + ABS_SLACK;
+        if cur.probe_ratio() > allowed_probe {
+            failures.push(format!(
+                "{}: probe_ratio {:.4} exceeds baseline {:.4} (+{:.0}% & slack = {:.4})",
+                cur.name,
+                cur.probe_ratio(),
+                base.probe_ratio(),
+                TOLERANCE * 100.0,
+                allowed_probe
+            ));
+        }
+    }
+    failures
 }
 
 fn check_storage(baseline: &[StorageMetric], current: &[StorageMetric]) -> Vec<String> {

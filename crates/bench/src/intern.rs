@@ -37,7 +37,7 @@ use provabs_core::privacy::{PrivacyCache, PrivacyConfig};
 use provabs_core::search::{find_optimal_abstraction_with_cache, SearchConfig, SearchOutcome};
 use provabs_core::Bound;
 use provabs_datagen::tpch::{self, TpchConfig};
-use provabs_relational::{eval_cq_counted_interned, EvalLimits};
+use provabs_relational::{eval_cq_counted_interned_mode, EvalLimits, PlanMode};
 use provabs_semiring::ProvStore;
 use std::time::Instant;
 
@@ -70,6 +70,12 @@ pub struct InternSettings {
     pub eval_queries: Vec<String>,
     /// Generator / tree seed.
     pub seed: u64,
+    /// Atom-order mode of every evaluation (scenario construction and the
+    /// `eval/` rounds). Defaults to [`PlanMode::Greedy`] — the pre-planner
+    /// order the checked-in `BENCH_3.json` scenarios were built under (the
+    /// output-capped K-example extraction keeps a different output subset
+    /// under a different plan).
+    pub plan_mode: PlanMode,
 }
 
 impl Default for InternSettings {
@@ -88,6 +94,7 @@ impl Default for InternSettings {
             eval_rounds: 3,
             eval_queries: vec!["TPCH-Q3".into(), "TPCH-Q4".into(), "TPCH-Q10".into()],
             seed: 42,
+            plan_mode: PlanMode::Greedy,
         }
     }
 }
@@ -112,6 +119,7 @@ pub fn run_intern_comparison(settings: &InternSettings) -> Vec<InternMetric> {
         rows: settings.example_rows,
         tpch_lineitems: settings.lineitem_rows,
         seed: settings.seed,
+        plan_mode: settings.plan_mode,
         ..Default::default()
     };
     let scenarios = tpch_scenarios(&scenario_settings);
@@ -130,11 +138,21 @@ pub fn run_intern_comparison(settings: &InternSettings) -> Vec<InternMetric> {
     let mut db = db_proto;
     db.build_indexes();
     let workloads = tpch::tpch_queries(db.schema());
+    // The eval rounds read the mode back from the search configuration's
+    // `plan_queries` — the single declaration point for "how evaluations on
+    // behalf of this comparison plan their joins".
+    let eval_mode = search_config(settings, true).plan_queries;
     for qname in &settings.eval_queries {
         let Some(w) = workloads.iter().find(|w| &w.name == qname) else {
             continue;
         };
-        out.push(eval_metric(&db, qname, &w.query, settings.eval_rounds));
+        out.push(eval_metric(
+            &db,
+            qname,
+            &w.query,
+            settings.eval_rounds,
+            eval_mode,
+        ));
     }
     out
 }
@@ -151,6 +169,7 @@ fn search_config(settings: &InternSettings, memoize: bool) -> SearchConfig {
         time_budget_ms: None, // wall-clock budgets break determinism
         parallelism: Some(1),
         memoize_abstractions: memoize,
+        plan_queries: settings.plan_mode,
         ..Default::default()
     }
 }
@@ -209,6 +228,7 @@ fn eval_metric(
     qname: &str,
     query: &provabs_relational::Cq,
     rounds: usize,
+    mode: PlanMode,
 ) -> InternMetric {
     let rounds = rounds.max(1);
     let mut owned_work = 0u64;
@@ -217,7 +237,8 @@ fn eval_metric(
     for _ in 0..rounds {
         let t0 = Instant::now();
         let mut store = ProvStore::new();
-        let (out, _) = eval_cq_counted_interned(db, query, EvalLimits::default(), &mut store);
+        let (out, _) =
+            eval_cq_counted_interned_mode(db, query, EvalLimits::default(), &mut store, mode);
         let owned = out.to_krelation(&store);
         owned_ms += t0.elapsed().as_secs_f64() * 1e3;
         owned_work += store.work().constructions();
@@ -228,7 +249,8 @@ fn eval_metric(
     let mut cached_results = Vec::with_capacity(rounds);
     for _ in 0..rounds {
         let t0 = Instant::now();
-        let (out, _) = eval_cq_counted_interned(db, query, EvalLimits::default(), &mut store);
+        let (out, _) =
+            eval_cq_counted_interned_mode(db, query, EvalLimits::default(), &mut store, mode);
         cached_ms += t0.elapsed().as_secs_f64() * 1e3;
         cached_results.push(out.to_krelation(&store));
     }

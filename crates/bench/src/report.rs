@@ -345,6 +345,154 @@ pub fn write_storage_json(
     fs::write(path, render_storage_json(bench, metrics))
 }
 
+/// One entry of the `BENCH_5.json` report: deterministic work counters of a
+/// cost-based-planned evaluation next to the written-order execution of the
+/// *same adversarially-ordered query* — candidate rows examined and index
+/// probes issued, counted by the engine itself
+/// ([`EvalWork`](provabs_relational::EvalWork)), plus the planner's own
+/// counters (atoms it moved, rows it predicted).
+///
+/// `planned_rows / written_rows` is the machine-independent probe-work
+/// ratio the CI gate diffs (acceptance bar: ≤ 0.5, i.e. the planner must
+/// at least halve the join work the pessimal written order pays).
+/// Wall-clock columns are carried for humans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerMetric {
+    /// Scenario name, e.g. `tpch/TPCH-Q3/adv` or `churn/TPCH-Q10/adv`.
+    pub name: String,
+    /// Candidate rows the cost-based plan examined.
+    pub planned_rows: u64,
+    /// Candidate rows written-order execution examined.
+    pub written_rows: u64,
+    /// Index probes the cost-based plan issued.
+    pub planned_probes: u64,
+    /// Index probes written-order execution issued.
+    pub written_probes: u64,
+    /// Atoms the planner placed at a different position than written.
+    pub atoms_reordered: u64,
+    /// The planner's summed per-step row estimates (its own prediction of
+    /// `planned_rows`).
+    pub est_rows: u64,
+    /// Wall time of the planned run, milliseconds (informational).
+    pub planned_ms: f64,
+    /// Wall time of the written-order run, milliseconds (informational).
+    pub written_ms: f64,
+    /// Whether both executions (and the naive oracle) produced bit-for-bit
+    /// identical K-relations.
+    pub equal: bool,
+}
+
+impl PlannerMetric {
+    /// Planned probe work as a fraction of written-order probe work (lower
+    /// is better; the acceptance bar is ≤ 0.5).
+    pub fn work_ratio(&self) -> f64 {
+        self.planned_rows as f64 / self.written_rows.max(1) as f64
+    }
+
+    /// Planned index probes as a fraction of written-order probes.
+    pub fn probe_ratio(&self) -> f64 {
+        self.planned_probes as f64 / self.written_probes.max(1) as f64
+    }
+}
+
+/// Serializes a planner-comparison report in the same hand-rolled
+/// line-oriented shape as [`render_bench_json`].
+pub fn render_planner_json(bench: &str, metrics: &[PlannerMetric]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"bench\": \"{bench}\",");
+    out.push_str("  \"entries\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(out, "      \"planned_rows\": {},", m.planned_rows);
+        let _ = writeln!(out, "      \"written_rows\": {},", m.written_rows);
+        let _ = writeln!(out, "      \"planned_probes\": {},", m.planned_probes);
+        let _ = writeln!(out, "      \"written_probes\": {},", m.written_probes);
+        let _ = writeln!(out, "      \"atoms_reordered\": {},", m.atoms_reordered);
+        let _ = writeln!(out, "      \"est_rows\": {},", m.est_rows);
+        let _ = writeln!(out, "      \"work_ratio\": {:.6},", m.work_ratio());
+        let _ = writeln!(out, "      \"probe_ratio\": {:.6},", m.probe_ratio());
+        let _ = writeln!(out, "      \"planned_ms\": {:.3},", m.planned_ms);
+        let _ = writeln!(out, "      \"written_ms\": {:.3},", m.written_ms);
+        let _ = writeln!(out, "      \"equal\": {}", m.equal);
+        out.push_str(if i + 1 < metrics.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes a planner-comparison report to `path` (creating parent
+/// directories).
+pub fn write_planner_json(
+    path: &Path,
+    bench: &str,
+    metrics: &[PlannerMetric],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, render_planner_json(bench, metrics))
+}
+
+/// Parses a report produced by [`render_planner_json`]. Returns
+/// `(bench name, entries)`; `None` on any malformed line.
+pub fn parse_planner_json(text: &str) -> Option<(String, Vec<PlannerMetric>)> {
+    let mut bench = String::new();
+    let mut entries = Vec::new();
+    let mut cur: Option<PlannerMetric> = None;
+    for raw in text.lines() {
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || matches!(line, "{" | "}" | "[" | "]" | "\"entries\": [") {
+            continue;
+        }
+        let (key, value) = line.split_once(':')?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "schema" => {}
+            "bench" => bench = value.trim_matches('"').to_owned(),
+            "name" => {
+                if let Some(done) = cur.take() {
+                    entries.push(done);
+                }
+                cur = Some(PlannerMetric {
+                    name: value.trim_matches('"').to_owned(),
+                    planned_rows: 0,
+                    written_rows: 0,
+                    planned_probes: 0,
+                    written_probes: 0,
+                    atoms_reordered: 0,
+                    est_rows: 0,
+                    planned_ms: 0.0,
+                    written_ms: 0.0,
+                    equal: false,
+                });
+            }
+            "planned_rows" => cur.as_mut()?.planned_rows = value.parse().ok()?,
+            "written_rows" => cur.as_mut()?.written_rows = value.parse().ok()?,
+            "planned_probes" => cur.as_mut()?.planned_probes = value.parse().ok()?,
+            "written_probes" => cur.as_mut()?.written_probes = value.parse().ok()?,
+            "atoms_reordered" => cur.as_mut()?.atoms_reordered = value.parse().ok()?,
+            "est_rows" => cur.as_mut()?.est_rows = value.parse().ok()?,
+            "work_ratio" | "probe_ratio" => {} // derived; recomputed
+            "planned_ms" => cur.as_mut()?.planned_ms = value.parse().ok()?,
+            "written_ms" => cur.as_mut()?.written_ms = value.parse().ok()?,
+            "equal" => cur.as_mut()?.equal = value.parse().ok()?,
+            _ => return None,
+        }
+    }
+    if let Some(done) = cur.take() {
+        entries.push(done);
+    }
+    Some((bench, entries))
+}
+
 /// Parses a report produced by [`render_storage_json`]. Returns
 /// `(bench name, entries)`; `None` on any malformed line.
 pub fn parse_storage_json(text: &str) -> Option<(String, Vec<StorageMetric>)> {
@@ -622,6 +770,43 @@ mod tests {
         assert!(metrics[0].work_ratio() <= 0.5);
         assert!(metrics[0].moved_ratio() <= 0.5);
         assert_eq!(parse_storage_json("not json"), None);
+    }
+
+    #[test]
+    fn planner_json_roundtrips() {
+        let metrics = vec![
+            PlannerMetric {
+                name: "tpch/TPCH-Q3/adv".into(),
+                planned_rows: 210,
+                written_rows: 4100,
+                planned_probes: 300,
+                written_probes: 2500,
+                atoms_reordered: 3,
+                est_rows: 190,
+                planned_ms: 0.4,
+                written_ms: 5.0,
+                equal: true,
+            },
+            PlannerMetric {
+                name: "churn/TPCH-Q10/adv".into(),
+                planned_rows: 44,
+                written_rows: 900,
+                planned_probes: 66,
+                written_probes: 700,
+                atoms_reordered: 2,
+                est_rows: 40,
+                planned_ms: 0.1,
+                written_ms: 0.9,
+                equal: true,
+            },
+        ];
+        let text = render_planner_json("micro_planner", &metrics);
+        let (bench, parsed) = parse_planner_json(&text).expect("parses");
+        assert_eq!(bench, "micro_planner");
+        assert_eq!(parsed, metrics);
+        assert!(metrics[0].work_ratio() <= 0.5);
+        assert!(metrics[0].probe_ratio() <= 0.5);
+        assert_eq!(parse_planner_json("not json"), None);
     }
 
     #[test]

@@ -6,8 +6,8 @@ use provabs_core::search::{find_optimal_abstraction, SearchConfig};
 use provabs_core::Bound;
 use provabs_datagen::imdb::{self, ImdbConfig};
 use provabs_datagen::tpch::{self, TpchConfig};
-use provabs_datagen::{kexample_for, Workload};
-use provabs_relational::{Cq, Database, KExample};
+use provabs_datagen::{kexample_for_mode, Workload};
+use provabs_relational::{Cq, Database, KExample, PlanMode};
 use provabs_tree::AbstractionTree;
 use std::time::Instant;
 
@@ -36,6 +36,12 @@ pub struct ScenarioSettings {
     /// Shuffle tree leaves before division (random subcategories) instead
     /// of clustering similar tuples.
     pub shuffle_tree: bool,
+    /// Atom-order mode of the K-example-extracting evaluation (the
+    /// extraction is output-capped, so the mode decides *which* outputs
+    /// become the example). Cost-based by default; the `BENCH_3.json`
+    /// intern harness pins [`PlanMode::Greedy`] to reproduce its baseline
+    /// scenarios.
+    pub plan_mode: PlanMode,
 }
 
 impl Default for ScenarioSettings {
@@ -50,6 +56,7 @@ impl Default for ScenarioSettings {
             imdb_movies: 150,
             seed: 42,
             shuffle_tree: false,
+            plan_mode: PlanMode::default(),
         }
     }
 }
@@ -114,7 +121,7 @@ pub fn tpch_scenarios(settings: &ScenarioSettings) -> Vec<Scenario> {
         .into_iter()
         .filter_map(|Workload { name, query }| {
             let mut db = db_proto.clone();
-            let example = kexample_for(&db, &query, settings.rows)?;
+            let example = kexample_for_mode(&db, &query, settings.rows, settings.plan_mode)?;
             let tree = tpch::tpch_tree_covering(
                 &mut db,
                 &rels,
@@ -150,7 +157,7 @@ pub fn imdb_scenarios(settings: &ScenarioSettings) -> Vec<Scenario> {
         .into_iter()
         .filter_map(|Workload { name, query }| {
             let mut db = db_proto.clone();
-            let example = kexample_for(&db, &query, settings.rows)?;
+            let example = kexample_for_mode(&db, &query, settings.rows, settings.plan_mode)?;
             let tree = imdb::imdb_tree(&mut db, &rels);
             Some(Scenario {
                 name,

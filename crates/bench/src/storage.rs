@@ -31,7 +31,8 @@ use provabs_datagen::tpch::{self, TpchConfig};
 use provabs_datagen::{ChurnConfig, ChurnGenerator};
 use provabs_relational::oracle::oracle_eval_cq;
 use provabs_relational::{
-    apply_delta_with_queries, eval_cq_counted, Cq, Database, EvalLimits, EvalWork,
+    apply_delta_with_queries_mode, eval_cq_counted_mode, Cq, Database, EvalLimits, EvalWork,
+    PlanMode,
 };
 use std::time::Instant;
 
@@ -53,6 +54,10 @@ pub struct StorageSettings {
     pub insert_ratio: f64,
     /// Generator / stream seed.
     pub seed: u64,
+    /// Atom-order mode of every engine evaluation. Defaults to
+    /// [`PlanMode::Greedy`] — the pre-planner order the checked-in
+    /// `BENCH_4.json` probe/moved-bytes counters were measured under.
+    pub plan_mode: PlanMode,
 }
 
 impl Default for StorageSettings {
@@ -65,6 +70,7 @@ impl Default for StorageSettings {
             batch_size: 8,
             insert_ratio: 0.5,
             seed: 42,
+            plan_mode: PlanMode::Greedy,
         }
     }
 }
@@ -90,7 +96,7 @@ pub fn run_storage_comparison(settings: &StorageSettings) -> Vec<StorageMetric> 
     let find = |name: &String| workloads.iter().find(|w| &w.name == name);
     for qname in &settings.eval_queries {
         if let Some(w) = find(qname) {
-            out.push(eval_metric(&db_proto, qname, &w.query));
+            out.push(eval_metric(&db_proto, qname, &w.query, settings.plan_mode));
         }
     }
     for qname in &settings.churn_queries {
@@ -123,11 +129,11 @@ fn metric_from(
 
 /// One `eval/` scenario: a full evaluation, counters from the engine,
 /// equality against the owned-value oracle.
-fn eval_metric(db_proto: &Database, qname: &str, query: &Cq) -> StorageMetric {
+fn eval_metric(db_proto: &Database, qname: &str, query: &Cq, mode: PlanMode) -> StorageMetric {
     let mut db = db_proto.clone();
     db.build_indexes();
     let t0 = Instant::now();
-    let (out, work) = eval_cq_counted(&db, query, EvalLimits::default());
+    let (out, work) = eval_cq_counted_mode(&db, query, EvalLimits::default(), mode);
     let engine_ms = t0.elapsed().as_secs_f64() * 1e3;
     let t1 = Instant::now();
     let oracle = oracle_eval_cq(&db, query);
@@ -152,7 +158,7 @@ fn churn_metric(
 ) -> StorageMetric {
     let mut db = db_proto.clone();
     db.build_indexes();
-    let mut cached = provabs_relational::eval_cq(&db, query);
+    let mut cached = eval_cq_counted_mode(&db, query, EvalLimits::default(), settings.plan_mode).0;
     let mut gen = ChurnGenerator::new(&ChurnConfig {
         batch_size: settings.batch_size,
         insert_ratio: settings.insert_ratio,
@@ -164,7 +170,12 @@ fn churn_metric(
     for _ in 0..settings.batches {
         let delta = gen.next_batch(&db);
         let t0 = Instant::now();
-        let outcome = apply_delta_with_queries(&mut db, &delta, std::slice::from_ref(query));
+        let outcome = apply_delta_with_queries_mode(
+            &mut db,
+            &delta,
+            std::slice::from_ref(query),
+            settings.plan_mode,
+        );
         merged &= outcome.deltas[0].merge_into(&mut cached);
         engine_ms += t0.elapsed().as_secs_f64() * 1e3;
         work.absorb(&outcome.work);

@@ -60,3 +60,4 @@ mod sharded;
 pub use abstraction::{AbsExample, AbsRow, Abstraction, Sym};
 pub use bound::Bound;
 pub use error::{CoreError, CoreResult};
+pub use provabs_relational::PlanMode;

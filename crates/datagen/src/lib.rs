@@ -15,15 +15,19 @@
 //! * workload helpers turning query outputs into K-examples and deriving
 //!   the join-scaling variants of Figure 16;
 //! * update-stream (churn) generators feeding the incremental update
-//!   engine with deterministic insert/delete batches ([`churn`]).
+//!   engine with deterministic insert/delete batches ([`churn`]);
+//! * adversarially-ordered query variants stressing the cost-based planner
+//!   ([`adversarial`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod churn;
 pub mod imdb;
 pub mod tpch;
 pub mod workload;
 
+pub use adversarial::{adversarial_order, adversarial_workloads};
 pub use churn::{ChurnConfig, ChurnGenerator};
-pub use workload::{join_variants, kexample_for, Workload};
+pub use workload::{join_variants, kexample_for, kexample_for_mode, Workload};

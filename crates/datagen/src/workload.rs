@@ -1,6 +1,8 @@
 //! Workload helpers: K-example construction and query scaling.
 
-use provabs_relational::{eval_cq_limited, Cq, Database, EvalLimits, KExample, Term};
+use provabs_relational::{
+    eval_cq_counted_mode, Cq, Database, EvalLimits, KExample, PlanMode, Term,
+};
 use std::collections::HashSet;
 
 /// A named workload query.
@@ -25,16 +27,31 @@ pub struct Workload {
 /// Evaluation is capped: the paper's K-examples carry one monomial per
 /// output, so only the first derivation of each output is needed.
 pub fn kexample_for(db: &Database, query: &Cq, rows: usize) -> Option<KExample> {
+    kexample_for_mode(db, query, rows, PlanMode::default())
+}
+
+/// [`kexample_for`] under an explicit [`PlanMode`]. The evaluation is
+/// output-capped, and *which* outputs survive a cap depends on the atom
+/// order — so harnesses that replay checked-in baselines built before the
+/// cost-based planner pass [`PlanMode::Greedy`] to reproduce the same
+/// K-examples bit for bit.
+pub fn kexample_for_mode(
+    db: &Database,
+    query: &Cq,
+    rows: usize,
+    mode: PlanMode,
+) -> Option<KExample> {
     if rows == 0 {
         return Some(KExample::default());
     }
-    let out = eval_cq_limited(
+    let (out, _) = eval_cq_counted_mode(
         db,
         query,
         EvalLimits {
             max_outputs: rows.saturating_mul(8).max(64),
             max_derivations: 2_000_000,
         },
+        mode,
     );
     let candidates = KExample::from_krelation(&out, usize::MAX);
     if candidates.len() < rows {

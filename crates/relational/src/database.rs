@@ -351,6 +351,35 @@ impl Database {
         )
     }
 
+    /// Number of distinct [`ValueId`]s in column `col` of `rel` — a planner
+    /// statistic. Read from the index map's size when indexes are built
+    /// (O(1), exact under incremental maintenance: inserts and deletes keep
+    /// posting lists keyed per live value); counted by a scan otherwise.
+    pub fn distinct_count(&self, rel: RelId, col: usize) -> usize {
+        let data = &self.relations[rel.0 as usize];
+        if self.indexed {
+            return data.indexes[col].len();
+        }
+        data.columns[col]
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    }
+
+    /// Number of rows of `rel` whose column `col` equals `v` — the exact
+    /// posting-list length when indexes are built, a scan count otherwise.
+    /// A planner statistic: for a single-constant atom this *is* the
+    /// candidate-set size the engine will iterate.
+    pub fn posting_len(&self, rel: RelId, col: usize, v: ValueId) -> usize {
+        match self.postings(rel, col, v) {
+            Some(rows) => rows.len(),
+            None => self.relations[rel.0 as usize].columns[col]
+                .iter()
+                .filter(|&&id| id == v)
+                .count(),
+        }
+    }
+
     /// Scans column `col` of `rel` for rows equal to `v` (the unindexed
     /// fallback; id equality, no decoding).
     pub fn scan_matching(&self, rel: RelId, col: usize, v: ValueId) -> Vec<u32> {
@@ -545,6 +574,28 @@ mod tests {
         let t1 = db.annotations().get("t1").unwrap();
         let ids1 = db.row_value_ids(db.locate(t1).unwrap());
         assert!(ids1.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn statistics_are_exact_indexed_or_not() {
+        let (mut db, r) = sample_db();
+        // Unindexed: scan-counted.
+        assert_eq!(db.distinct_count(r, 0), 2); // 1, 2
+        assert_eq!(db.distinct_count(r, 1), 2); // x, y
+        let x = db.interner().lookup(&Value::str("x")).unwrap();
+        assert_eq!(db.posting_len(r, 1, x), 2);
+        db.build_indexes();
+        assert_eq!(db.distinct_count(r, 0), 2);
+        assert_eq!(db.posting_len(r, 1, x), 2);
+        // Maintained through incremental insert and delete.
+        db.insert_str(r, "t4", &["3", "x"]);
+        assert_eq!(db.distinct_count(r, 0), 3);
+        assert_eq!(db.posting_len(r, 1, x), 3);
+        let t3 = db.annotations().get("t3").unwrap();
+        db.delete(t3).unwrap(); // the only 'y' row
+        assert_eq!(db.distinct_count(r, 1), 1);
+        let y = db.interner().lookup(&Value::str("y")).unwrap();
+        assert_eq!(db.posting_len(r, 1, y), 0);
     }
 
     #[test]

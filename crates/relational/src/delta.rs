@@ -44,6 +44,7 @@
 
 use crate::eval::{eval_cq_restricted, EvalWork, Restriction};
 use crate::interned::{IKRelation, IKRelationDelta};
+use crate::plan::PlanMode;
 use crate::{Cq, Database, KRelation, RelId, Tuple, Ucq};
 use provabs_semiring::{AnnotId, ProvStore};
 use std::collections::HashSet;
@@ -194,6 +195,7 @@ fn eval_delta_side(
     q: &Cq,
     set: &HashSet<AnnotId>,
     store: &mut ProvStore,
+    mode: PlanMode,
 ) -> (IKRelation, EvalWork) {
     let mut out = IKRelation::default();
     let mut work = EvalWork::default();
@@ -225,6 +227,7 @@ fn eval_delta_side(
                 pivot_rows,
             },
             store,
+            mode,
         );
         work.absorb(&w);
         out.absorb(store, part);
@@ -240,7 +243,7 @@ pub fn eval_cq_retractions(
     deletes: &HashSet<AnnotId>,
 ) -> (KRelation, EvalWork) {
     let mut store = ProvStore::new();
-    let (out, work) = eval_delta_side(db, q, deletes, &mut store);
+    let (out, work) = eval_delta_side(db, q, deletes, &mut store, PlanMode::default());
     (out.to_krelation(&store), work)
 }
 
@@ -252,7 +255,7 @@ pub fn eval_cq_additions(
     inserts: &HashSet<AnnotId>,
 ) -> (KRelation, EvalWork) {
     let mut store = ProvStore::new();
-    let (out, work) = eval_delta_side(db, q, inserts, &mut store);
+    let (out, work) = eval_delta_side(db, q, inserts, &mut store, PlanMode::default());
     (out.to_krelation(&store), work)
 }
 
@@ -264,7 +267,19 @@ pub fn eval_cq_retractions_interned(
     deletes: &HashSet<AnnotId>,
     store: &mut ProvStore,
 ) -> (IKRelation, EvalWork) {
-    eval_delta_side(db, q, deletes, store)
+    eval_delta_side(db, q, deletes, store, PlanMode::default())
+}
+
+/// [`eval_cq_retractions_interned`] under an explicit [`PlanMode`] (each
+/// pivot pass plans the body with the pivot leading).
+pub fn eval_cq_retractions_interned_mode(
+    db: &Database,
+    q: &Cq,
+    deletes: &HashSet<AnnotId>,
+    store: &mut ProvStore,
+    mode: PlanMode,
+) -> (IKRelation, EvalWork) {
+    eval_delta_side(db, q, deletes, store, mode)
 }
 
 /// [`eval_cq_additions`] trafficking in interned ids against a persistent
@@ -275,7 +290,18 @@ pub fn eval_cq_additions_interned(
     inserts: &HashSet<AnnotId>,
     store: &mut ProvStore,
 ) -> (IKRelation, EvalWork) {
-    eval_delta_side(db, q, inserts, store)
+    eval_delta_side(db, q, inserts, store, PlanMode::default())
+}
+
+/// [`eval_cq_additions_interned`] under an explicit [`PlanMode`].
+pub fn eval_cq_additions_interned_mode(
+    db: &Database,
+    q: &Cq,
+    inserts: &HashSet<AnnotId>,
+    store: &mut ProvStore,
+    mode: PlanMode,
+) -> (IKRelation, EvalWork) {
+    eval_delta_side(db, q, inserts, store, mode)
 }
 
 /// UCQ retractions: the sum of the disjuncts' retractions.
@@ -284,8 +310,18 @@ pub fn eval_ucq_retractions(
     u: &Ucq,
     deletes: &HashSet<AnnotId>,
 ) -> (KRelation, EvalWork) {
+    eval_ucq_retractions_mode(db, u, deletes, PlanMode::default())
+}
+
+/// [`eval_ucq_retractions`] under an explicit [`PlanMode`].
+pub fn eval_ucq_retractions_mode(
+    db: &Database,
+    u: &Ucq,
+    deletes: &HashSet<AnnotId>,
+    mode: PlanMode,
+) -> (KRelation, EvalWork) {
     let mut store = ProvStore::new();
-    let (out, work) = sum_disjuncts(db, u, deletes, &mut store);
+    let (out, work) = sum_disjuncts(db, u, deletes, &mut store, mode);
     (out.to_krelation(&store), work)
 }
 
@@ -295,8 +331,18 @@ pub fn eval_ucq_additions(
     u: &Ucq,
     inserts: &HashSet<AnnotId>,
 ) -> (KRelation, EvalWork) {
+    eval_ucq_additions_mode(db, u, inserts, PlanMode::default())
+}
+
+/// [`eval_ucq_additions`] under an explicit [`PlanMode`].
+pub fn eval_ucq_additions_mode(
+    db: &Database,
+    u: &Ucq,
+    inserts: &HashSet<AnnotId>,
+    mode: PlanMode,
+) -> (KRelation, EvalWork) {
     let mut store = ProvStore::new();
-    let (out, work) = sum_disjuncts(db, u, inserts, &mut store);
+    let (out, work) = sum_disjuncts(db, u, inserts, &mut store, mode);
     (out.to_krelation(&store), work)
 }
 
@@ -305,11 +351,12 @@ fn sum_disjuncts(
     u: &Ucq,
     set: &HashSet<AnnotId>,
     store: &mut ProvStore,
+    mode: PlanMode,
 ) -> (IKRelation, EvalWork) {
     let mut out = IKRelation::default();
     let mut work = EvalWork::default();
     for d in &u.disjuncts {
-        let (part, w) = eval_delta_side(db, d, set, store);
+        let (part, w) = eval_delta_side(db, d, set, store, mode);
         work.absorb(&w);
         out.absorb(store, part);
     }
@@ -344,8 +391,21 @@ pub fn apply_delta_with_queries(
     delta: &Delta,
     queries: &[Cq],
 ) -> DeltaEvalOutcome {
+    apply_delta_with_queries_mode(db, delta, queries, PlanMode::default())
+}
+
+/// [`apply_delta_with_queries`] under an explicit [`PlanMode`] — every
+/// retraction and addition pass plans its pivot-restricted body with `mode`
+/// (harnesses replaying checked-in counter baselines pass
+/// [`PlanMode::Greedy`]).
+pub fn apply_delta_with_queries_mode(
+    db: &mut Database,
+    delta: &Delta,
+    queries: &[Cq],
+    mode: PlanMode,
+) -> DeltaEvalOutcome {
     let mut store = ProvStore::new();
-    let out = apply_delta_with_queries_interned(db, delta, queries, &mut store);
+    let out = apply_delta_with_queries_interned_mode(db, delta, queries, &mut store, mode);
     DeltaEvalOutcome {
         deltas: out
             .deltas
@@ -378,6 +438,17 @@ pub fn apply_delta_with_queries_interned(
     queries: &[Cq],
     store: &mut ProvStore,
 ) -> IDeltaEvalOutcome {
+    apply_delta_with_queries_interned_mode(db, delta, queries, store, PlanMode::default())
+}
+
+/// [`apply_delta_with_queries_interned`] under an explicit [`PlanMode`].
+pub fn apply_delta_with_queries_interned_mode(
+    db: &mut Database,
+    delta: &Delta,
+    queries: &[Cq],
+    store: &mut ProvStore,
+    mode: PlanMode,
+) -> IDeltaEvalOutcome {
     let deletes: HashSet<AnnotId> = delta
         .deletes
         .iter()
@@ -387,7 +458,7 @@ pub fn apply_delta_with_queries_interned(
     let mut work = EvalWork::default();
     let mut removed_parts = Vec::with_capacity(queries.len());
     for q in queries {
-        let (removed, w) = eval_delta_side(db, q, &deletes, store);
+        let (removed, w) = eval_delta_side(db, q, &deletes, store, mode);
         work.absorb(&w);
         removed_parts.push(removed);
     }
@@ -397,7 +468,7 @@ pub fn apply_delta_with_queries_interned(
         .iter()
         .zip(removed_parts)
         .map(|(q, removed)| {
-            let (added, w) = eval_delta_side(db, q, &inserts, store);
+            let (added, w) = eval_delta_side(db, q, &inserts, store, mode);
             work.absorb(&w);
             IKRelationDelta { added, removed }
         })

@@ -13,6 +13,7 @@
 //! are thin decode shims over the interned ones.
 
 use crate::interned::IKRelation;
+use crate::plan::{plan_cq_with_costs, AtomCost, PlanMode, PlanTrace, PlanWork, QueryPlan};
 use crate::vintern::{ValueId, ID_WIDTH, VALUE_MOVE_WIDTH};
 use crate::{Cq, Database, Term, Tuple, Ucq, VarId};
 use provabs_semiring::{AnnotId, Monomial, Polynomial, ProvStore};
@@ -144,6 +145,9 @@ pub struct EvalWork {
     pub moved_bytes_id: u64,
     /// Bytes the same moves would have cloned as owned [`crate::Value`]s.
     pub moved_bytes_value: u64,
+    /// Planner counters: queries planned, atoms reordered, estimated rows
+    /// (see [`PlanWork`]).
+    pub plan: PlanWork,
 }
 
 impl EvalWork {
@@ -156,6 +160,7 @@ impl EvalWork {
         self.probe_bytes_value += other.probe_bytes_value;
         self.moved_bytes_id += other.moved_bytes_id;
         self.moved_bytes_value += other.moved_bytes_value;
+        self.plan.absorb(&other.plan);
     }
 }
 
@@ -166,9 +171,9 @@ pub fn eval_cq(db: &Database, q: &Cq) -> KRelation {
 
 /// Evaluates a CQ under [`EvalLimits`].
 ///
-/// The evaluator orders atoms greedily (most bound variables first, breaking
-/// ties toward smaller relations), then backtracks over candidate rows
-/// fetched through per-column hash indexes keyed by [`ValueId`].
+/// The evaluator executes the cost-based [`QueryPlan`] of the query (see
+/// [`crate::plan_cq`]), backtracking over candidate rows fetched through
+/// per-column hash indexes keyed by [`ValueId`].
 pub fn eval_cq_limited(db: &Database, q: &Cq, limits: EvalLimits) -> KRelation {
     eval_cq_counted(db, q, limits).0
 }
@@ -182,9 +187,40 @@ pub fn eval_cq_limited(db: &Database, q: &Cq, limits: EvalLimits) -> KRelation {
 /// [`eval_cq_counted_interned`] so the arena's hash-consing and operation
 /// memos carry across evaluations.
 pub fn eval_cq_counted(db: &Database, q: &Cq, limits: EvalLimits) -> (KRelation, EvalWork) {
+    eval_cq_counted_mode(db, q, limits, PlanMode::default())
+}
+
+/// [`eval_cq_counted`] under an explicit [`PlanMode`].
+///
+/// The output K-relation of an **unlimited** evaluation is identical for
+/// every mode (the join is order-independent); only the work counters move.
+/// Under [`EvalLimits`] truncation, *which* outputs survive the cap depends
+/// on enumeration order and therefore on the plan — callers replaying
+/// checked-in counter baselines pass [`PlanMode::Greedy`].
+pub fn eval_cq_counted_mode(
+    db: &Database,
+    q: &Cq,
+    limits: EvalLimits,
+    mode: PlanMode,
+) -> (KRelation, EvalWork) {
     let mut store = ProvStore::new();
-    let (out, work) = run_engine(db, q, limits, None, &mut store);
+    let (out, work) = run_engine(db, q, limits, None, &mut store, mode);
     (out.to_krelation(&store), work)
+}
+
+/// [`eval_cq_counted_mode`] also returning the executed [`QueryPlan`] and
+/// the engine's per-step actual row counts — the estimated-versus-actual
+/// diagnostic surface of the planner (`bench::planner` logs it; tests pin
+/// expected plans through it).
+pub fn eval_cq_traced(
+    db: &Database,
+    q: &Cq,
+    limits: EvalLimits,
+    mode: PlanMode,
+) -> (KRelation, EvalWork, PlanTrace) {
+    let mut store = ProvStore::new();
+    let (out, work, trace) = run_engine_traced(db, q, limits, None, &mut store, mode);
+    (out.to_krelation(&store), work, trace)
 }
 
 /// The interned engine entry point: evaluates a CQ into an
@@ -195,7 +231,18 @@ pub fn eval_cq_counted_interned(
     limits: EvalLimits,
     store: &mut ProvStore,
 ) -> (IKRelation, EvalWork) {
-    run_engine(db, q, limits, None, store)
+    run_engine(db, q, limits, None, store, PlanMode::default())
+}
+
+/// [`eval_cq_counted_interned`] under an explicit [`PlanMode`].
+pub fn eval_cq_counted_interned_mode(
+    db: &Database,
+    q: &Cq,
+    limits: EvalLimits,
+    store: &mut ProvStore,
+    mode: PlanMode,
+) -> (IKRelation, EvalWork) {
+    run_engine(db, q, limits, None, store, mode)
 }
 
 /// Restriction of an evaluation to derivations through a *pivot* atom
@@ -220,8 +267,9 @@ pub(crate) fn eval_cq_restricted(
     q: &Cq,
     restriction: Restriction<'_>,
     store: &mut ProvStore,
+    mode: PlanMode,
 ) -> (IKRelation, EvalWork) {
-    run_engine(db, q, EvalLimits::default(), Some(restriction), store)
+    run_engine(db, q, EvalLimits::default(), Some(restriction), store, mode)
 }
 
 /// One compiled body-atom position: the variable, or the constant resolved
@@ -247,22 +295,56 @@ fn run_engine(
     limits: EvalLimits,
     restrict: Option<Restriction<'_>>,
     store: &mut ProvStore,
+    mode: PlanMode,
 ) -> (IKRelation, EvalWork) {
+    let (out, work, _) = run_engine_traced(db, q, limits, restrict, store, mode);
+    (out, work)
+}
+
+fn run_engine_traced(
+    db: &Database,
+    q: &Cq,
+    limits: EvalLimits,
+    restrict: Option<Restriction<'_>>,
+    store: &mut ProvStore,
+    mode: PlanMode,
+) -> (IKRelation, EvalWork, PlanTrace) {
+    let empty_trace = || PlanTrace {
+        plan: QueryPlan {
+            mode,
+            pivoted: restrict.as_ref().map(|r| r.pivot),
+            steps: Vec::new(),
+        },
+        actual_rows: Vec::new(),
+    };
     if q.body.is_empty() {
-        return (IKRelation::default(), EvalWork::default());
+        return (IKRelation::default(), EvalWork::default(), empty_trace());
     }
-    // Compile the query against the dictionary: constants resolve to ids
-    // once, not per probe.
+    // Statistics compile once per evaluation (constants resolve to ids
+    // here, once — the slot compilation below reuses them); the dead-atom
+    // short-circuit and the planner both read them. Short-circuit: an atom
+    // whose relation is empty, or whose compiled constant resolves to no
+    // id or an empty posting list, can never match, so no derivation
+    // exists — whatever atom order would run and wherever that atom sits
+    // in it. Without this check a dead atom ordered late still pays full
+    // candidate iteration for every atom before it (and the slot
+    // compilation it no longer needs).
+    let costs = AtomCost::compile(db, q);
+    if costs.iter().any(|c| c.dead) {
+        return (IKRelation::default(), EvalWork::default(), empty_trace());
+    }
     let compiled: Vec<Vec<Slot>> = q
         .body
         .iter()
-        .map(|atom| {
+        .zip(&costs)
+        .map(|(atom, cost)| {
             atom.terms
                 .iter()
-                .map(|t| match t {
+                .enumerate()
+                .map(|(col, t)| match t {
                     Term::Var(v) => Slot::Var(*v),
                     Term::Const(c) => Slot::Const {
-                        id: db.interner().lookup(c),
+                        id: cost.const_id(col),
                         width: crate::vintern::hash_width(c),
                     },
                 })
@@ -272,8 +354,12 @@ fn run_engine(
     let head_vars: Vec<VarId> = q.head.iter().filter_map(Term::as_var).collect();
     let mut acc = Accum::new();
     // A pivoted evaluation starts from the delta rows: they are the most
-    // selective access path by construction.
-    let order = plan_order(db, q, restrict.as_ref().map(|r| r.pivot));
+    // selective access path by construction; the rest of the body is the
+    // planner's to order.
+    let plan = plan_cq_with_costs(db, q, &costs, mode, restrict.as_ref().map(|r| r.pivot));
+    let order = plan.atom_order();
+    let mut work = EvalWork::default();
+    work.plan.record(&plan);
     let mut engine = Engine {
         db,
         q,
@@ -281,7 +367,8 @@ fn run_engine(
         head_vars,
         limits,
         derivations: 0,
-        work: EvalWork::default(),
+        work,
+        depth_rows: vec![0; order.len()],
         out: &mut acc,
         store,
         order,
@@ -290,6 +377,10 @@ fn run_engine(
     let mut bindings: HashMap<VarId, ValueId> = HashMap::new();
     let mut image: Vec<provabs_semiring::AnnotId> = Vec::with_capacity(q.body.len());
     engine.solve(0, &mut bindings, &mut image);
+    let trace = PlanTrace {
+        plan,
+        actual_rows: std::mem::take(&mut engine.depth_rows),
+    };
     let mut work = engine.work;
     work.derivations = engine.derivations as u64;
     // Decode boundary: each distinct output materializes its owned tuple
@@ -313,7 +404,7 @@ fn run_engine(
             })
             .collect(),
     );
-    (out, work)
+    (out, work, trace)
 }
 
 /// Evaluates a UCQ: the sum of its disjuncts' outputs.
@@ -326,9 +417,20 @@ pub fn eval_ucq(db: &Database, u: &Ucq) -> KRelation {
 /// into the sum (no polynomial clones) and the arena memos persist for the
 /// caller's next evaluation.
 pub fn eval_ucq_interned(db: &Database, u: &Ucq, store: &mut ProvStore) -> IKRelation {
+    eval_ucq_interned_mode(db, u, store, PlanMode::default())
+}
+
+/// [`eval_ucq_interned`] under an explicit [`PlanMode`] (each disjunct is
+/// planned independently).
+pub fn eval_ucq_interned_mode(
+    db: &Database,
+    u: &Ucq,
+    store: &mut ProvStore,
+    mode: PlanMode,
+) -> IKRelation {
     let mut out = IKRelation::default();
     for d in &u.disjuncts {
-        let (part, _) = run_engine(db, d, EvalLimits::default(), None, store);
+        let (part, _) = run_engine(db, d, EvalLimits::default(), None, store, mode);
         out.absorb(store, part);
     }
     out
@@ -390,56 +492,6 @@ pub fn eval_cqs_parallel(db: &Database, queries: &[Cq], workers: usize) -> Vec<K
         .collect()
 }
 
-/// Chooses an atom evaluation order: start from the atom with the most
-/// constants (smallest candidate set), then repeatedly pick the atom sharing
-/// the most variables with the bound set. `first` forces a leading atom
-/// (the delta pivot of a restricted evaluation).
-fn plan_order(db: &Database, q: &Cq, first: Option<usize>) -> Vec<usize> {
-    let n = q.body.len();
-    let mut chosen = vec![false; n];
-    let mut order = Vec::with_capacity(n);
-    let mut bound: Vec<VarId> = Vec::new();
-    if let Some(i) = first {
-        chosen[i] = true;
-        for v in q.body[i].variables() {
-            if !bound.contains(&v) {
-                bound.push(v);
-            }
-        }
-        order.push(i);
-    }
-    while order.len() < n {
-        let mut best: Option<(usize, (usize, isize))> = None;
-        for (i, atom) in q.body.iter().enumerate() {
-            if chosen[i] {
-                continue;
-            }
-            let bound_positions = atom
-                .terms
-                .iter()
-                .filter(|t| match t {
-                    Term::Const(_) => true,
-                    Term::Var(v) => bound.contains(v),
-                })
-                .count();
-            let size = db.relation_len(atom.rel) as isize;
-            let key = (bound_positions, -size);
-            if best.is_none_or(|(_, bk)| key > bk) {
-                best = Some((i, key));
-            }
-        }
-        let (i, _) = best.expect("atom remains");
-        chosen[i] = true;
-        for v in q.body[i].variables() {
-            if !bound.contains(&v) {
-                bound.push(v);
-            }
-        }
-        order.push(i);
-    }
-    order
-}
-
 /// A candidate row set: a borrowed posting list (the indexed fast path), an
 /// owned row list (scans, delta pivots), or the full relation.
 enum Cand<'a> {
@@ -480,6 +532,9 @@ struct Engine<'a> {
     limits: EvalLimits,
     derivations: usize,
     work: EvalWork,
+    /// Candidate rows examined per plan depth (the per-step "actual" the
+    /// trace reports next to the plan's estimates).
+    depth_rows: Vec<u64>,
     out: &'a mut Accum,
     store: &'a mut ProvStore,
     order: Vec<usize>,
@@ -575,6 +630,7 @@ impl Engine<'_> {
         rows.for_each(|row| {
             let row = row as usize;
             self.work.rows_examined += 1;
+            self.depth_rows[depth] += 1;
             if let Some(r) = &self.restrict {
                 // Membership by original atom position: before the pivot
                 // only non-delta rows, at the pivot only delta rows.
@@ -740,6 +796,43 @@ mod tests {
     }
 
     #[test]
+    fn dead_constant_atoms_short_circuit_with_zero_probes() {
+        // 'Dance' is interned but every Dance row is deleted below, leaving
+        // an *empty posting list* (unlike the never-interned case): the
+        // engine must conclude emptiness at compile time. Regression: the
+        // engine used to iterate every candidate row of the atoms ordered
+        // before the dead one.
+        let mut db = figure1_db();
+        for label in ["h1", "h2", "h3"] {
+            let a = db.annotations().get(label).unwrap();
+            db.delete(a).unwrap();
+        }
+        let q = parse_cq(
+            "Q(id) :- Person(id, name, age), Hobbies(id, 'Dance', src)",
+            db.schema(),
+        )
+        .unwrap();
+        for mode in [
+            crate::PlanMode::CostBased,
+            crate::PlanMode::Greedy,
+            crate::PlanMode::WrittenOrder,
+        ] {
+            let (out, work) = super::eval_cq_counted_mode(&db, &q, EvalLimits::default(), mode);
+            assert!(out.is_empty(), "{mode:?}");
+            assert_eq!(work.rows_examined, 0, "{mode:?}: examined candidate rows");
+            assert_eq!(work.probes, 0, "{mode:?}: issued index probes");
+            assert_eq!(work.plan.queries_planned, 0, "{mode:?}: planned anyway");
+        }
+        // The delta path short-circuits identically.
+        let deletes: std::collections::HashSet<_> =
+            [db.annotations().get("p1").unwrap()].into_iter().collect();
+        let (removed, dwork) = crate::eval_cq_retractions(&db, &q, &deletes);
+        assert!(removed.is_empty());
+        assert_eq!(dwork.rows_examined, 0);
+        assert_eq!(dwork.probes, 0);
+    }
+
+    #[test]
     fn limits_cap_outputs() {
         let db = figure1_db();
         let q = parse_cq("Q(id) :- Hobbies(id, h, s)", db.schema()).unwrap();
@@ -827,6 +920,29 @@ mod tests {
         // Deterministic: same database, same query, same counters.
         let (_, again) = eval_cq_counted(&db, &q, EvalLimits::default());
         assert_eq!(work, again);
+    }
+
+    #[test]
+    fn traced_evaluation_reports_per_step_actuals() {
+        let db = figure1_db();
+        let q = parse_cq(
+            "Q(id) :- Person(id, name, age), Hobbies(id, 'Dance', src1), Interests(id, 'Music', src2)",
+            db.schema(),
+        )
+        .unwrap();
+        let (out, work, trace) =
+            super::eval_cq_traced(&db, &q, EvalLimits::default(), crate::PlanMode::CostBased);
+        assert_eq!(out, eval_cq(&db, &q));
+        assert_eq!(trace.plan.steps.len(), q.body.len());
+        assert_eq!(trace.actual_rows.len(), q.body.len());
+        // Per-step actuals decompose the engine's total exactly.
+        assert_eq!(trace.actual_rows.iter().sum::<u64>(), work.rows_examined);
+        assert_eq!(work.plan.queries_planned, 1);
+        assert_eq!(work.plan.est_rows, trace.plan.est_rows_total());
+        // Person (2 rows) beats the 'Dance' posting list (3 rows) and
+        // opens the plan.
+        assert_eq!(trace.plan.steps[0].atom, 0);
+        assert_eq!(trace.actual_rows[0], 2);
     }
 
     #[test]

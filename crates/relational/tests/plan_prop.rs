@@ -1,0 +1,252 @@
+//! Property tests pinning the cost-based query planner down: for random
+//! mixed int/string databases, random CQs/UCQs and random delta streams,
+//! evaluation under every [`PlanMode`] must be bit-for-bit equal — tuples
+//! *and* provenance polynomials — to written-order evaluation and to the
+//! structurally independent naive oracle (`provabs_relational::oracle`).
+//! The plan itself must always be a valid permutation of the body and
+//! identical across repeated planning (content determinism).
+//!
+//! Each proptest case draws one seed; everything else derives from it
+//! through the deterministic `TestRng`, so failures reproduce exactly.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use provabs_relational::oracle::{oracle_eval_cq, oracle_eval_ucq};
+use provabs_relational::{
+    apply_delta_with_queries_mode, eval_cq_counted_mode, eval_ucq_additions_mode,
+    eval_ucq_interned_mode, eval_ucq_retractions_mode, plan_cq, Atom, Cq, Database, Delta,
+    EvalLimits, KRelation, KRelationDelta, PlanMode, RelId, Term, Tuple, Ucq, Value, VarId,
+};
+use provabs_semiring::ProvStore;
+use std::collections::HashSet;
+
+const MODES: [PlanMode; 3] = [
+    PlanMode::CostBased,
+    PlanMode::Greedy,
+    PlanMode::WrittenOrder,
+];
+
+fn pick(rng: &mut TestRng, n: usize) -> usize {
+    assert!(n > 0);
+    (rng.next_u64() % n as u64) as usize
+}
+
+/// A mixed int/string domain, small enough that joins actually happen.
+fn rand_value(rng: &mut TestRng) -> Value {
+    match pick(rng, 7) {
+        0..=3 => Value::Int(pick(rng, 4) as i64),
+        4 => Value::str("a"),
+        5 => Value::str("longer-string-value"),
+        _ => Value::str("bb"),
+    }
+}
+
+fn rand_tuple(rng: &mut TestRng, arity: usize) -> Tuple {
+    (0..arity).map(|_| rand_value(rng)).collect()
+}
+
+/// A random database over R(a,b), S(b,c), T(c). Relations may come out
+/// empty (a case the planner must survive).
+fn rand_db(rng: &mut TestRng) -> (Database, Vec<(RelId, usize)>) {
+    let mut db = Database::new();
+    let r = db.add_relation("R", &["a", "b"]);
+    let s = db.add_relation("S", &["b", "c"]);
+    let t = db.add_relation("T", &["c"]);
+    let rels = vec![(r, 2), (s, 2), (t, 1)];
+    let mut label = 0usize;
+    for &(rel, arity) in &rels {
+        for _ in 0..pick(rng, 10) {
+            db.insert(rel, &format!("t{label}"), rand_tuple(rng, arity));
+            label += 1;
+        }
+    }
+    db.build_indexes();
+    (db, rels)
+}
+
+/// A random CQ (1–4 atoms). Unlike the storage properties, constant-only
+/// *atoms* are allowed (the planner must order them too); only a fully
+/// ground body is redrawn, because a safe head needs a variable.
+fn rand_cq(rng: &mut TestRng, rels: &[(RelId, usize)]) -> Cq {
+    loop {
+        let num_atoms = 1 + pick(rng, 4);
+        let body: Vec<Atom> = (0..num_atoms)
+            .map(|_| {
+                let (rel, arity) = rels[pick(rng, rels.len())];
+                let terms = (0..arity)
+                    .map(|_| {
+                        if pick(rng, 3) == 0 {
+                            Term::Const(rand_value(rng))
+                        } else {
+                            Term::Var(VarId(pick(rng, 4) as u32))
+                        }
+                    })
+                    .collect();
+                Atom { rel, terms }
+            })
+            .collect();
+        let mut vars: Vec<VarId> = body
+            .iter()
+            .flat_map(|a| a.terms.iter())
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(*v),
+                Term::Const(_) => None,
+            })
+            .collect();
+        vars.sort_unstable_by_key(|v| v.0);
+        vars.dedup();
+        if vars.is_empty() {
+            continue; // fully ground body: no safe head exists
+        }
+        let head_len = 1 + pick(rng, vars.len().min(2));
+        let head = (0..head_len)
+            .map(|_| Term::Var(vars[pick(rng, vars.len())]))
+            .collect();
+        return Cq::new(head, body);
+    }
+}
+
+fn rand_delta(
+    rng: &mut TestRng,
+    db: &Database,
+    rels: &[(RelId, usize)],
+    fresh: &mut usize,
+) -> Delta {
+    let mut delta = Delta::new();
+    let mut dying: HashSet<_> = HashSet::new();
+    for _ in 0..(1 + pick(rng, 6)) {
+        let insert = pick(rng, 2) == 0;
+        let (rel, arity) = rels[pick(rng, rels.len())];
+        if insert || db.relation_len(rel) == 0 {
+            delta.insert(rel, format!("u{fresh}"), rand_tuple(rng, arity));
+            *fresh += 1;
+        } else {
+            let annots = db.tuple_annots(rel);
+            let a = annots[pick(rng, annots.len())];
+            if dying.insert(a) {
+                delta.delete(a);
+            }
+        }
+    }
+    delta
+}
+
+/// The plan must visit every atom exactly once, and planning twice must
+/// yield the identical plan (content determinism).
+fn assert_plan_valid(db: &Database, q: &Cq, mode: PlanMode) {
+    let plan = plan_cq(db, q, mode, None);
+    let mut order = plan.atom_order();
+    assert_eq!(plan_cq(db, q, mode, None), plan, "plan not deterministic");
+    order.sort_unstable();
+    assert_eq!(order, (0..q.body.len()).collect::<Vec<_>>(), "{mode:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every plan mode produces the identical K-relation — tuples and
+    /// provenance polynomials — and matches the naive oracle.
+    #[test]
+    fn planned_cq_eval_is_mode_invariant_and_matches_oracle(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::for_case(seed);
+        let (db, rels) = rand_db(&mut rng);
+        for _ in 0..4 {
+            let q = rand_cq(&mut rng, &rels);
+            let oracle = oracle_eval_cq(&db, &q);
+            for mode in MODES {
+                assert_plan_valid(&db, &q, mode);
+                let (out, work) = eval_cq_counted_mode(&db, &q, EvalLimits::default(), mode);
+                prop_assert_eq!(
+                    &out, &oracle,
+                    "{:?} != oracle, seed {}, query {:?}", mode, seed, q
+                );
+                // A dead-constant body short-circuits before planning;
+                // otherwise exactly one plan is recorded.
+                prop_assert!(work.plan.queries_planned <= 1);
+                if work.rows_examined > 0 {
+                    prop_assert_eq!(work.plan.queries_planned, 1);
+                }
+            }
+        }
+    }
+
+    /// UCQ evaluation is mode-invariant too (each disjunct planned
+    /// independently), including the summed provenance — and so is the UCQ
+    /// delta cycle (retractions before, additions after the batch applies).
+    #[test]
+    fn planned_ucq_eval_and_delta_are_mode_invariant(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::for_case(seed.wrapping_add(0xdead_beef));
+        let (db, rels) = rand_db(&mut rng);
+        let u = Ucq { disjuncts: (0..1 + pick(&mut rng, 3)).map(|_| rand_cq(&mut rng, &rels)).collect() };
+        let oracle = oracle_eval_ucq(&db, &u);
+        for mode in MODES {
+            let mut store = ProvStore::new();
+            let out = eval_ucq_interned_mode(&db, &u, &mut store, mode).to_krelation(&store);
+            prop_assert_eq!(&out, &oracle, "{:?} != oracle, seed {}", mode, seed);
+        }
+        let mut fresh = 0usize;
+        let delta = rand_delta(&mut rng, &db, &rels, &mut fresh);
+        for mode in MODES {
+            let mut db = db.clone();
+            let mut cached = oracle.clone();
+            let deletes: HashSet<_> = delta
+                .deletes
+                .iter()
+                .copied()
+                .filter(|&a| db.locate(a).is_some())
+                .collect();
+            let (removed, _) = eval_ucq_retractions_mode(&db, &u, &deletes, mode);
+            let applied = db.apply_delta(&delta);
+            let inserts: HashSet<_> = applied.inserted.iter().copied().collect();
+            let (added, _) = eval_ucq_additions_mode(&db, &u, &inserts, mode);
+            let d = KRelationDelta { added, removed };
+            prop_assert!(d.merge_into(&mut cached), "underflow under {:?}", mode);
+            prop_assert_eq!(
+                &cached,
+                &oracle_eval_ucq(&db, &u),
+                "UCQ delta merge != oracle under {:?}, seed {}", mode, seed
+            );
+        }
+    }
+
+    /// Random delta streams: the maintained cache under every plan mode is
+    /// bit-for-bit equal to the oracle's re-evaluation after every batch.
+    #[test]
+    fn planned_delta_streams_match_oracle(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::for_case(seed.wrapping_add(0x01a1_1e70));
+        let (db0, rels) = rand_db(&mut rng);
+        let queries: Vec<Cq> = (0..2).map(|_| rand_cq(&mut rng, &rels)).collect();
+        // One database clone per mode: each replays the same batches.
+        let mut dbs: Vec<Database> = MODES.iter().map(|_| db0.clone()).collect();
+        let mut caches: Vec<Vec<KRelation>> = MODES
+            .iter()
+            .zip(&dbs)
+            .map(|(&mode, db)| {
+                queries
+                    .iter()
+                    .map(|q| eval_cq_counted_mode(db, q, EvalLimits::default(), mode).0)
+                    .collect()
+            })
+            .collect();
+        let mut fresh = 0usize;
+        for batch in 0..4 {
+            // Draw the batch once against the first clone (all clones hold
+            // identical content, so the delta applies to every one).
+            let delta = rand_delta(&mut rng, &dbs[0], &rels, &mut fresh);
+            for ((&mode, db), cached) in MODES.iter().zip(&mut dbs).zip(&mut caches) {
+                let out = apply_delta_with_queries_mode(db, &delta, &queries, mode);
+                for ((q, cache), d) in queries.iter().zip(cached.iter_mut()).zip(&out.deltas) {
+                    prop_assert!(
+                        d.merge_into(cache),
+                        "retraction underflow at batch {} under {:?} for {:?}", batch, mode, q
+                    );
+                    prop_assert_eq!(
+                        &*cache,
+                        &oracle_eval_cq(db, q),
+                        "delta merge != oracle at batch {} under {:?}, seed {}", batch, mode, seed
+                    );
+                }
+            }
+        }
+    }
+}

@@ -2,13 +2,18 @@
 //! running example and a TPC-H workload query, `parallelism: None` (all
 //! cores), `Some(1)` (the sequential trace) and explicit pool sizes must
 //! return the same optimum — same abstraction, same LOI, same privacy.
+//! The cost-based query planner joins the contract: plans and engine work
+//! counters are pure functions of database content + query, so they may
+//! not move with the thread count either.
 
 use provabs::core::privacy::{PrivacyCache, PrivacyConfig};
 use provabs::core::search::{
     find_optimal_abstraction, find_optimal_abstraction_with_cache, SearchConfig,
 };
 use provabs::core::{fixtures, Bound};
+use provabs::relational::{eval_cq_counted_mode, eval_cqs_parallel, plan_cq, EvalLimits, PlanMode};
 use provabs_bench::{tpch_scenarios, ScenarioSettings};
+use provabs_datagen::tpch::{self, TpchConfig};
 
 fn cfg(parallelism: Option<usize>, threshold: usize) -> SearchConfig {
     SearchConfig {
@@ -38,6 +43,71 @@ fn running_example_same_best_across_thread_counts() {
         assert_eq!(par.privacy, seq.privacy);
         assert_eq!(par.edges_used, seq.edges_used);
         assert!((par.loi - seq.loi).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn query_plans_and_work_counters_identical_across_parallelism() {
+    // The TPC-H fixture of the parallel-determinism suite. `plan_cq` and
+    // the engine take no thread count, so the parallelism-sensitive claim
+    // is this: evaluating the whole workload through the shared-`&Database`
+    // parallel batch evaluator at 1, 2 or 8 workers (a) returns the same
+    // outputs in the same slots, and (b) leaves the database — and
+    // therefore the statistics every plan reads — untouched, so replanning
+    // and recounting *after* each parallel run still reproduces the
+    // reference `QueryPlan`s and `EvalWork`/`PlanWork` counters bit for
+    // bit, in every mode.
+    let (mut db, _) = tpch::generate(&TpchConfig {
+        lineitem_rows: 400,
+        seed: 42,
+    });
+    db.build_indexes();
+    let workloads = tpch::tpch_queries(db.schema());
+    let queries: Vec<_> = workloads.iter().map(|w| w.query.clone()).collect();
+    let modes = [
+        PlanMode::CostBased,
+        PlanMode::Greedy,
+        PlanMode::WrittenOrder,
+    ];
+    // Reference plans and counters, computed once before any parallel run.
+    let plans: Vec<Vec<_>> = modes
+        .iter()
+        .map(|&mode| {
+            queries
+                .iter()
+                .map(|q| plan_cq(&db, q, mode, None))
+                .collect()
+        })
+        .collect();
+    let reference: Vec<_> = queries
+        .iter()
+        .map(|q| eval_cq_counted_mode(&db, q, EvalLimits::default(), PlanMode::default()))
+        .collect();
+    for parallelism in [1usize, 2, 8] {
+        let batch = eval_cqs_parallel(&db, &queries, parallelism);
+        for (i, w) in workloads.iter().enumerate() {
+            assert_eq!(
+                batch[i], reference[i].0,
+                "{}: output moved at parallelism {parallelism}",
+                w.name
+            );
+            let (out, work) =
+                eval_cq_counted_mode(&db, &w.query, EvalLimits::default(), PlanMode::default());
+            assert_eq!(out, reference[i].0, "{}: post-batch output", w.name);
+            assert_eq!(
+                work, reference[i].1,
+                "{}: EvalWork/PlanWork moved after a {parallelism}-worker batch",
+                w.name
+            );
+            for (&mode, mode_plans) in modes.iter().zip(&plans) {
+                assert_eq!(
+                    plan_cq(&db, &w.query, mode, None),
+                    mode_plans[i],
+                    "{}: plan moved after a {parallelism}-worker batch ({mode:?})",
+                    w.name
+                );
+            }
+        }
     }
 }
 
