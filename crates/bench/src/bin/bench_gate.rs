@@ -1,11 +1,11 @@
 //! The perf-regression gate: emits and checks `BENCH_*.json` baselines for
 //! the incremental update engine, the interned provenance arena, the
-//! dictionary-encoded columnar storage layer, and the cost-based query
-//! planner.
+//! dictionary-encoded columnar storage layer, the cost-based query
+//! planner, and the durable paged storage layer.
 //!
 //! ```text
-//! bench_gate [--bench updates|intern|storage|planner] --emit PATH
-//! bench_gate [--bench updates|intern|storage|planner] --check BASELINE PATH
+//! bench_gate [--bench updates|intern|storage|planner|durability] --emit PATH
+//! bench_gate [--bench updates|intern|storage|planner|durability] --check BASELINE PATH
 //! ```
 //!
 //! `--bench updates` (the default) replays the [`UpdateSettings::ci_gate`]
@@ -14,13 +14,16 @@
 //! `--bench storage` runs the [`StorageSettings::ci_gate`] columnar-engine
 //! comparison (`BENCH_4.json`); `--bench planner` runs the
 //! [`PlannerSettings::ci_gate`] planned-versus-written-order comparison on
-//! adversarially-ordered workloads (`BENCH_5.json`).
+//! adversarially-ordered workloads (`BENCH_5.json`); `--bench durability`
+//! runs the [`DurabilitySettings::ci_gate`] reopen-versus-rebuild recovery
+//! comparison (`BENCH_6.json`).
 //!
 //! The diff compares only deterministic work counters (rows examined,
 //! derivations, rows re-abstracted, retained constructions, probe/moved
-//! bytes): with the fixed gate configurations they are identical across
-//! machines, so the gate is immune to CI-runner noise. Wall-clock columns
-//! are carried in the report for humans.
+//! bytes, pages/bytes read on recovery): with the fixed gate
+//! configurations they are identical across machines, so the gate is
+//! immune to CI-runner noise. Wall-clock columns are carried in the report
+//! for humans.
 //!
 //! Gate rules, per baseline entry:
 //! * the entry must still exist in the current run;
@@ -33,7 +36,9 @@
 //!   (the ≥ 2× join-probe hash-work reduction the dictionary encoding
 //!   promises); for `planner`, `planned_rows * 2 <= written_rows` (the
 //!   ≥ 2× probe-work reduction the cost-based planner promises on the
-//!   adversarially-ordered suite);
+//!   adversarially-ordered suite); for `durability`, `reopen_bytes * 2 <=
+//!   rebuild_bytes` (warm reopen must at least halve the cold-rebuild
+//!   work) and `pages_read` may not grow past the baseline's page budget;
 //! * `work_ratio` may not regress by more than [`TOLERANCE`] (relative)
 //!   plus a small absolute slack.
 //!
@@ -44,11 +49,12 @@
 //! Exit status: 0 clean, 1 regression, 2 usage/IO error.
 
 use provabs_bench::{
-    parse_bench_json, parse_intern_json, parse_planner_json, parse_storage_json,
-    run_intern_comparison, run_planner_comparison, run_storage_comparison, run_update_comparison,
-    write_bench_json, write_intern_json, write_planner_json, write_storage_json, BenchMetric,
-    InternMetric, InternSettings, PlannerMetric, PlannerSettings, StorageMetric, StorageSettings,
-    UpdateSettings,
+    parse_bench_json, parse_durability_json, parse_intern_json, parse_planner_json,
+    parse_storage_json, run_durability_comparison, run_intern_comparison, run_planner_comparison,
+    run_storage_comparison, run_update_comparison, write_bench_json, write_durability_json,
+    write_intern_json, write_planner_json, write_storage_json, BenchMetric, DurabilityMetric,
+    DurabilitySettings, InternMetric, InternSettings, PlannerMetric, PlannerSettings,
+    StorageMetric, StorageSettings, UpdateSettings,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -60,7 +66,7 @@ const ABS_SLACK: f64 = 0.02;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bench_gate [--bench updates|intern|storage|planner] --emit PATH | --check BASELINE PATH"
+        "usage: bench_gate [--bench updates|intern|storage|planner|durability] --emit PATH | --check BASELINE PATH"
     );
     ExitCode::from(2)
 }
@@ -82,6 +88,7 @@ fn main() -> ExitCode {
         "intern" => drive_gate(&INTERN_GATE, &args),
         "storage" => drive_gate(&STORAGE_GATE, &args),
         "planner" => drive_gate(&PLANNER_GATE, &args),
+        "durability" => drive_gate(&DURABILITY_GATE, &args),
         _ => usage(),
     }
 }
@@ -185,6 +192,16 @@ const PLANNER_GATE: GateOps<PlannerMetric> = GateOps {
     parse: parse_planner_json,
     print: print_planner_summary,
     check: check_planner,
+};
+
+const DURABILITY_GATE: GateOps<DurabilityMetric> = GateOps {
+    bench: "micro_durability",
+    kind: "a durability",
+    run: || run_durability_comparison(&DurabilitySettings::ci_gate()),
+    write: write_durability_json,
+    parse: parse_durability_json,
+    print: print_durability_summary,
+    check: check_durability,
 };
 
 fn verdict(failures: Vec<String>, gated: usize) -> ExitCode {
@@ -303,6 +320,94 @@ fn print_planner_summary(metrics: &[PlannerMetric]) {
             m.equal
         );
     }
+}
+
+fn print_durability_summary(metrics: &[DurabilityMetric]) {
+    println!(
+        "{:<34} {:>7} {:>12} {:>13} {:>7} {:>8} {:>7} {:>10} {:>10} {:>6}",
+        "scenario",
+        "pages",
+        "reopen_bytes",
+        "rebuild_bytes",
+        "ratio",
+        "replayed",
+        "fsyncs",
+        "reopen_ms",
+        "rebuild_ms",
+        "equal"
+    );
+    for m in metrics {
+        println!(
+            "{:<34} {:>7} {:>12} {:>13} {:>7.4} {:>8} {:>7} {:>10.2} {:>10.2} {:>6}",
+            m.name,
+            m.pages_read,
+            m.reopen_bytes,
+            m.rebuild_bytes,
+            m.work_ratio(),
+            m.wal_txns_replayed,
+            m.workload_fsyncs,
+            m.reopen_ms,
+            m.rebuild_ms,
+            m.equal
+        );
+    }
+}
+
+fn check_durability(baseline: &[DurabilityMetric], current: &[DurabilityMetric]) -> Vec<String> {
+    let mut failures = Vec::new();
+    // Fail closed: a gate that compares nothing protects nothing.
+    if baseline.is_empty() {
+        failures.push("baseline holds no entries — re-emit it with --emit".to_owned());
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.name == cur.name) {
+            failures.push(format!(
+                "{}: scenario has no baseline entry (ungated) — re-emit the baseline",
+                cur.name
+            ));
+        }
+    }
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.name == base.name) else {
+            failures.push(format!("{}: entry missing from current run", base.name));
+            continue;
+        };
+        if !cur.equal {
+            failures.push(format!(
+                "{}: recovered database no longer matches the in-memory oracle",
+                cur.name
+            ));
+        }
+        if cur.reopen_bytes * 2 > cur.rebuild_bytes {
+            failures.push(format!(
+                "{}: reopen read {} bytes vs rebuild {} — warm reopen no longer halves the work",
+                cur.name, cur.reopen_bytes, cur.rebuild_bytes
+            ));
+        }
+        let allowed = base.work_ratio() * (1.0 + TOLERANCE) + ABS_SLACK;
+        if cur.work_ratio() > allowed {
+            failures.push(format!(
+                "{}: work_ratio {:.4} exceeds baseline {:.4} (+{:.0}% & slack = {:.4})",
+                cur.name,
+                cur.work_ratio(),
+                base.work_ratio(),
+                TOLERANCE * 100.0,
+                allowed
+            ));
+        }
+        let page_budget = (base.pages_read as f64) * (1.0 + TOLERANCE) + 2.0;
+        if (cur.pages_read as f64) > page_budget {
+            failures.push(format!(
+                "{}: {} pages read on reopen exceeds baseline {} (+{:.0}% & slack = {:.0})",
+                cur.name,
+                cur.pages_read,
+                base.pages_read,
+                TOLERANCE * 100.0,
+                page_budget
+            ));
+        }
+    }
+    failures
 }
 
 fn check_planner(baseline: &[PlannerMetric], current: &[PlannerMetric]) -> Vec<String> {

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durability;
 pub mod figures;
 pub mod intern;
 pub mod planner;
@@ -18,13 +19,15 @@ pub mod storage;
 pub mod updates;
 pub mod user_study;
 
+pub use durability::{run_durability_comparison, DurabilitySettings};
 pub use intern::{run_intern_comparison, InternSettings};
 pub use planner::{run_planner_comparison, PlannerSettings};
 pub use report::{
-    parse_bench_json, parse_intern_json, parse_planner_json, parse_storage_json, print_table,
-    render_bench_json, render_intern_json, render_planner_json, render_storage_json,
-    write_bench_json, write_csv, write_intern_json, write_planner_json, write_storage_json,
-    BenchMetric, InternMetric, Measurement, PlannerMetric, StorageMetric,
+    parse_bench_json, parse_durability_json, parse_intern_json, parse_planner_json,
+    parse_storage_json, print_table, render_bench_json, render_durability_json, render_intern_json,
+    render_planner_json, render_storage_json, write_bench_json, write_csv, write_durability_json,
+    write_intern_json, write_planner_json, write_storage_json, BenchMetric, DurabilityMetric,
+    InternMetric, Measurement, PlannerMetric, StorageMetric,
 };
 pub use scenario::{
     imdb_scenarios, run_search, tpch_scenarios, HarnessCaps, Scenario, ScenarioSettings,

@@ -644,6 +644,144 @@ pub fn parse_bench_json(text: &str) -> Option<(String, Vec<BenchMetric>)> {
     Some((bench, entries))
 }
 
+/// One entry of the `BENCH_6.json` report: the page I/O the durable storage
+/// layer pays to *reopen* a persisted database next to the analytic byte
+/// cost of *rebuilding* the same logical state from scratch, counted by the
+/// VFS and the pager themselves.
+///
+/// `reopen_bytes / rebuild_bytes` is the machine-independent read-work
+/// ratio the CI gate diffs (acceptance bar: ≤ 0.5, i.e. warm reopen must at
+/// least halve the work of a cold rebuild). Both counters depend only on
+/// database content, page size, and the deterministic churn stream — never
+/// on the runner. Wall-clock columns are carried for humans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityMetric {
+    /// Scenario name, e.g. `reopen/checkpointed/insert-heavy`.
+    pub name: String,
+    /// Pages physically read from the VFS during `open` (header +
+    /// snapshot decode; WAL bytes are counted in `reopen_bytes` only).
+    pub pages_read: u64,
+    /// Bytes physically read from the VFS during `open` (pages + WAL).
+    pub reopen_bytes: u64,
+    /// Analytic byte cost of re-ingesting the same logical state tuple by
+    /// tuple (value moves + interning hashes + column slots + postings +
+    /// labels).
+    pub rebuild_bytes: u64,
+    /// WAL transactions replayed on top of the snapshot during `open`.
+    pub wal_txns_replayed: u64,
+    /// Fsyncs the persisted workload issued (create + batches +
+    /// checkpoints) — the durability price of the write path.
+    pub workload_fsyncs: u64,
+    /// Wall time of the reopen, milliseconds (informational).
+    pub reopen_ms: f64,
+    /// Wall time of the in-memory rebuild, milliseconds (informational).
+    pub rebuild_ms: f64,
+    /// Whether the recovered database (and the rebuilt one) matched the
+    /// in-memory oracle bit for bit (`Database::same_state`).
+    pub equal: bool,
+}
+
+impl DurabilityMetric {
+    /// Reopen read work as a fraction of the rebuild cost (lower is
+    /// better; the acceptance bar is ≤ 0.5).
+    pub fn work_ratio(&self) -> f64 {
+        self.reopen_bytes as f64 / self.rebuild_bytes.max(1) as f64
+    }
+}
+
+/// Serializes a durability report in the same hand-rolled line-oriented
+/// shape as [`render_bench_json`].
+pub fn render_durability_json(bench: &str, metrics: &[DurabilityMetric]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"bench\": \"{bench}\",");
+    out.push_str("  \"entries\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(out, "      \"pages_read\": {},", m.pages_read);
+        let _ = writeln!(out, "      \"reopen_bytes\": {},", m.reopen_bytes);
+        let _ = writeln!(out, "      \"rebuild_bytes\": {},", m.rebuild_bytes);
+        let _ = writeln!(out, "      \"wal_txns_replayed\": {},", m.wal_txns_replayed);
+        let _ = writeln!(out, "      \"workload_fsyncs\": {},", m.workload_fsyncs);
+        let _ = writeln!(out, "      \"work_ratio\": {:.6},", m.work_ratio());
+        let _ = writeln!(out, "      \"reopen_ms\": {:.3},", m.reopen_ms);
+        let _ = writeln!(out, "      \"rebuild_ms\": {:.3},", m.rebuild_ms);
+        let _ = writeln!(out, "      \"equal\": {}", m.equal);
+        out.push_str(if i + 1 < metrics.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes a durability report to `path` (creating parent directories).
+pub fn write_durability_json(
+    path: &Path,
+    bench: &str,
+    metrics: &[DurabilityMetric],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, render_durability_json(bench, metrics))
+}
+
+/// Parses a report produced by [`render_durability_json`]. Returns
+/// `(bench name, entries)`; `None` on any malformed line.
+pub fn parse_durability_json(text: &str) -> Option<(String, Vec<DurabilityMetric>)> {
+    let mut bench = String::new();
+    let mut entries = Vec::new();
+    let mut cur: Option<DurabilityMetric> = None;
+    for raw in text.lines() {
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || matches!(line, "{" | "}" | "[" | "]" | "\"entries\": [") {
+            continue;
+        }
+        let (key, value) = line.split_once(':')?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "schema" => {}
+            "bench" => bench = value.trim_matches('"').to_owned(),
+            "name" => {
+                if let Some(done) = cur.take() {
+                    entries.push(done);
+                }
+                cur = Some(DurabilityMetric {
+                    name: value.trim_matches('"').to_owned(),
+                    pages_read: 0,
+                    reopen_bytes: 0,
+                    rebuild_bytes: 0,
+                    wal_txns_replayed: 0,
+                    workload_fsyncs: 0,
+                    reopen_ms: 0.0,
+                    rebuild_ms: 0.0,
+                    equal: false,
+                });
+            }
+            "pages_read" => cur.as_mut()?.pages_read = value.parse().ok()?,
+            "reopen_bytes" => cur.as_mut()?.reopen_bytes = value.parse().ok()?,
+            "rebuild_bytes" => cur.as_mut()?.rebuild_bytes = value.parse().ok()?,
+            "wal_txns_replayed" => cur.as_mut()?.wal_txns_replayed = value.parse().ok()?,
+            "workload_fsyncs" => cur.as_mut()?.workload_fsyncs = value.parse().ok()?,
+            "work_ratio" => {} // derived; recomputed
+            "reopen_ms" => cur.as_mut()?.reopen_ms = value.parse().ok()?,
+            "rebuild_ms" => cur.as_mut()?.rebuild_ms = value.parse().ok()?,
+            "equal" => cur.as_mut()?.equal = value.parse().ok()?,
+            _ => return None,
+        }
+    }
+    if let Some(done) = cur.take() {
+        entries.push(done);
+    }
+    Some((bench, entries))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -807,6 +945,40 @@ mod tests {
         assert!(metrics[0].work_ratio() <= 0.5);
         assert!(metrics[0].probe_ratio() <= 0.5);
         assert_eq!(parse_planner_json("not json"), None);
+    }
+
+    #[test]
+    fn durability_json_roundtrips() {
+        let metrics = vec![
+            DurabilityMetric {
+                name: "reopen/checkpointed/insert-heavy".into(),
+                pages_read: 120,
+                reopen_bytes: 490_000,
+                rebuild_bytes: 2_100_000,
+                wal_txns_replayed: 0,
+                workload_fsyncs: 14,
+                reopen_ms: 1.8,
+                rebuild_ms: 9.5,
+                equal: true,
+            },
+            DurabilityMetric {
+                name: "reopen/wal-tail/delete-heavy".into(),
+                pages_read: 110,
+                reopen_bytes: 460_000,
+                rebuild_bytes: 1_900_000,
+                wal_txns_replayed: 4,
+                workload_fsyncs: 10,
+                reopen_ms: 1.6,
+                rebuild_ms: 8.8,
+                equal: true,
+            },
+        ];
+        let text = render_durability_json("micro_durability", &metrics);
+        let (bench, parsed) = parse_durability_json(&text).expect("parses");
+        assert_eq!(bench, "micro_durability");
+        assert_eq!(parsed, metrics);
+        assert!(metrics[0].work_ratio() <= 0.5);
+        assert_eq!(parse_durability_json("not json"), None);
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //!   enumeration and LOI-before-privacy, plus a sound monotone
 //!   lower-bound early termination.
 //! * [`dual`] — the dual problem (max privacy under an LOI budget).
+//! * [`persist`] — checksummed serialization of search incumbents through
+//!   the storage layer, for warm restarts across process lifetimes.
 //! * [`compression`] — the provenance-compression baseline of \[24\]
 //!   (SIGMOD 2019) driven to a privacy threshold, used by Figure 18.
 //! * [`fixtures`] — the paper's running example (Figures 1–6) as a reusable
@@ -53,6 +55,7 @@ pub mod dual;
 mod error;
 pub mod fixtures;
 pub mod loi;
+pub mod persist;
 pub mod privacy;
 pub mod search;
 mod sharded;

@@ -1,0 +1,276 @@
+//! Persisting search state across process lifetimes.
+//!
+//! The incremental search ([`find_optimal_abstraction_incremental`]) can
+//! seed itself from a previous optimum — but only within one process, since
+//! [`BestAbstraction`] lives in memory. This module serializes a
+//! [`BestAbstraction`] through the storage [`Vfs`] so a *restarted* process
+//! can warm-start from the incumbent its predecessor found: encode on
+//! shutdown with [`save_best`], decode on startup with [`load_best`], and
+//! hand the result to the incremental search.
+//!
+//! The format is checksummed and fail-closed like every other durable
+//! artifact ([`checksum64`] over the whole record): a flipped bit loads as
+//! [`StorageError::Corrupt`], never as a silently wrong incumbent. A loaded
+//! abstraction that no longer fits the current [`Bound`] (the database
+//! changed shape across the restart) is the incremental search's problem —
+//! it re-validates and simply drops ill-fitting warm starts — so loading
+//! deliberately performs structural validation only.
+//!
+//! LOI values are `f64`s; they round-trip bit-exactly via
+//! [`f64::to_bits`], preserving the determinism contract of the storage
+//! layer.
+//!
+//! [`find_optimal_abstraction_incremental`]: crate::search::find_optimal_abstraction_incremental
+//! [`Bound`]: crate::Bound
+
+use crate::search::BestAbstraction;
+use crate::Abstraction;
+use provabs_relational::storage::{
+    checksum64, ByteReader, ByteWriter, SharedVfs, StorageError, Vfs,
+};
+
+const MAGIC: u32 = 0x5041_4253; // "PABS"
+const FORMAT_VERSION: u32 = 1;
+
+/// Serializes `best` to a checksummed byte record.
+pub fn encode_best(best: &BestAbstraction) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(MAGIC);
+    w.u32(FORMAT_VERSION);
+    w.u64(best.loi.to_bits());
+    w.u64(best.privacy as u64);
+    w.u32(best.edges_used);
+    w.u32(best.abstraction.lifts.len() as u32);
+    for row in &best.abstraction.lifts {
+        w.u32(row.len() as u32);
+        for &l in row {
+            w.u32(l);
+        }
+    }
+    let mut bytes = w.into_bytes();
+    let sum = checksum64(u64::from(MAGIC), &bytes);
+    bytes.extend_from_slice(&sum.to_le_bytes());
+    bytes
+}
+
+/// Decodes a record written by [`encode_best`], fail-closed: checksum
+/// mismatches, truncation, trailing bytes, and impossible counts all
+/// surface as [`StorageError::Corrupt`].
+pub fn decode_best(bytes: &[u8]) -> Result<BestAbstraction, StorageError> {
+    if bytes.len() < 8 {
+        return Err(StorageError::Corrupt(
+            "search-state record shorter than its checksum".into(),
+        ));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let want = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    if checksum64(u64::from(MAGIC), body) != want {
+        return Err(StorageError::Corrupt(
+            "search-state checksum mismatch".into(),
+        ));
+    }
+    let mut r = ByteReader::new(body);
+    if r.u32()? != MAGIC {
+        return Err(StorageError::Corrupt("search-state magic mismatch".into()));
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(StorageError::Corrupt(format!(
+            "unsupported search-state format version {version}"
+        )));
+    }
+    let loi = f64::from_bits(r.u64()?);
+    let privacy = usize::try_from(r.u64()?)
+        .map_err(|_| StorageError::Corrupt("privacy count overflows usize".into()))?;
+    let edges_used = r.u32()?;
+    let nrows = r.u32()? as usize;
+    let mut lifts = Vec::with_capacity(nrows.min(r.remaining() / 4));
+    for _ in 0..nrows {
+        let len = r.u32()? as usize;
+        let mut row = Vec::with_capacity(len.min(r.remaining() / 4));
+        for _ in 0..len {
+            row.push(r.u32()?);
+        }
+        lifts.push(row);
+    }
+    r.expect_end()?;
+    let best = BestAbstraction {
+        abstraction: Abstraction { lifts },
+        loi,
+        privacy,
+        edges_used,
+    };
+    if best.abstraction.edges_used() != best.edges_used {
+        return Err(StorageError::Corrupt(format!(
+            "search-state edge count {} disagrees with its lifts ({})",
+            best.edges_used,
+            best.abstraction.edges_used()
+        )));
+    }
+    Ok(best)
+}
+
+/// Writes `best` durably to `file`: full record, truncate to length, sync.
+pub fn save_best(vfs: &SharedVfs, file: &str, best: &BestAbstraction) -> Result<(), StorageError> {
+    let bytes = encode_best(best);
+    let mut v = lock(vfs)?;
+    v.write_at(file, 0, &bytes)?;
+    v.truncate(file, bytes.len() as u64)?;
+    v.sync(file)
+}
+
+/// Loads the record `save_best` wrote, or [`StorageError::NotFound`] /
+/// [`StorageError::Corrupt`] — never a partial or damaged incumbent.
+pub fn load_best(vfs: &SharedVfs, file: &str) -> Result<BestAbstraction, StorageError> {
+    let mut v = lock(vfs)?;
+    if !v.exists(file) {
+        return Err(StorageError::NotFound(file.to_owned()));
+    }
+    let len = usize::try_from(v.file_len(file)?)
+        .map_err(|_| StorageError::Corrupt("search-state file overflows usize".into()))?;
+    let mut bytes = vec![0u8; len];
+    let got = v.read_at(file, 0, &mut bytes)?;
+    if got != len {
+        return Err(StorageError::Corrupt(format!(
+            "search-state short read: {got} of {len} bytes"
+        )));
+    }
+    drop(v);
+    decode_best(&bytes)
+}
+
+fn lock(
+    vfs: &SharedVfs,
+) -> Result<std::sync::MutexGuard<'_, dyn Vfs + Send + 'static>, StorageError> {
+    vfs.lock()
+        .map_err(|_| StorageError::Io("VFS lock poisoned".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::running_example;
+    use crate::privacy::{PrivacyCache, PrivacyConfig};
+    use crate::search::{
+        find_optimal_abstraction_incremental, find_optimal_abstraction_with_cache, SearchConfig,
+    };
+    use crate::Bound;
+    use provabs_relational::storage::{shared, MemVfs};
+
+    fn search_cfg() -> SearchConfig {
+        SearchConfig {
+            privacy: PrivacyConfig {
+                threshold: 2,
+                ..Default::default()
+            },
+            parallelism: Some(1),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_exactly() {
+        let best = BestAbstraction {
+            abstraction: Abstraction {
+                lifts: vec![vec![1, 0, 2], vec![], vec![3]],
+            },
+            loi: 15f64.ln(),
+            privacy: 7,
+            edges_used: 6,
+        };
+        let back = decode_best(&encode_best(&best)).unwrap();
+        assert_eq!(back.abstraction.lifts, best.abstraction.lifts);
+        assert_eq!(back.loi.to_bits(), best.loi.to_bits(), "bit-exact LOI");
+        assert_eq!(back.privacy, best.privacy);
+        assert_eq!(back.edges_used, best.edges_used);
+    }
+
+    #[test]
+    fn every_byte_flip_fails_closed() {
+        let best = BestAbstraction {
+            abstraction: Abstraction {
+                lifts: vec![vec![1, 2], vec![0]],
+            },
+            loi: 2.5,
+            privacy: 3,
+            edges_used: 3,
+        };
+        let bytes = encode_best(&best);
+        for off in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[off] ^= 0x10;
+            assert!(
+                matches!(decode_best(&bad), Err(StorageError::Corrupt(_))),
+                "flip at {off} went unnoticed"
+            );
+        }
+        // Truncation too.
+        assert!(matches!(
+            decode_best(&bytes[..bytes.len() - 1]),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    /// The cross-process warm restart: the first "process" searches cold
+    /// and saves its optimum; the second loads it from storage and must
+    /// both use it (`warm_start_used`) and land on the same optimum.
+    #[test]
+    fn warm_restart_across_process_lifetimes() {
+        let vfs = shared(MemVfs::new());
+        let fx = running_example();
+        let cfg = search_cfg();
+        let cold_best = {
+            // Process 1: cold search, persist the incumbent, exit.
+            let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+            let cold = find_optimal_abstraction_with_cache(&b, &cfg, &PrivacyCache::new());
+            assert!(!cold.stats.warm_start_used);
+            let best = cold.best.unwrap();
+            save_best(&vfs, "search.state", &best).unwrap();
+            best
+        };
+        // Process 2: fresh caches, incumbent loaded from storage.
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        let loaded = load_best(&vfs, "search.state").unwrap();
+        assert_eq!(loaded.loi.to_bits(), cold_best.loi.to_bits());
+        let warm =
+            find_optimal_abstraction_incremental(&b, &cfg, &PrivacyCache::new(), Some(&loaded));
+        assert!(
+            warm.stats.warm_start_used,
+            "the persisted incumbent must seed the restarted search"
+        );
+        let warm_best = warm.best.unwrap();
+        assert!((warm_best.loi - cold_best.loi).abs() < 1e-12);
+        assert_eq!(warm_best.privacy, cold_best.privacy);
+        assert_eq!(warm_best.edges_used, cold_best.edges_used);
+    }
+
+    #[test]
+    fn loading_nothing_is_not_found_and_flips_are_corrupt() {
+        let vfs = shared(MemVfs::new());
+        assert!(matches!(
+            load_best(&vfs, "absent"),
+            Err(StorageError::NotFound(_))
+        ));
+        let best = BestAbstraction {
+            abstraction: Abstraction {
+                lifts: vec![vec![1]],
+            },
+            loi: 1.0,
+            privacy: 2,
+            edges_used: 1,
+        };
+        save_best(&vfs, "s", &best).unwrap();
+        {
+            let mut v = vfs.lock().unwrap();
+            let len = v.file_len("s").unwrap();
+            let mut buf = vec![0u8; len as usize];
+            v.read_at("s", 0, &mut buf).unwrap();
+            buf[5] ^= 0x80;
+            v.write_at("s", 0, &buf).unwrap();
+        }
+        assert!(matches!(
+            load_best(&vfs, "s"),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+}

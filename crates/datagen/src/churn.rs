@@ -40,6 +40,47 @@ impl Default for ChurnConfig {
     }
 }
 
+impl ChurnConfig {
+    /// A growth-dominated stream (90% inserts) — the WAL-append-heavy
+    /// recovery workload of the durability experiments.
+    pub fn insert_heavy(seed: u64) -> Self {
+        Self {
+            batch_size: 16,
+            insert_ratio: 0.9,
+            seed,
+        }
+    }
+
+    /// A shrink-dominated stream (90% deletes) — stresses swap-remove
+    /// posting maintenance, whose path-dependent row order recovery must
+    /// reproduce verbatim.
+    pub fn delete_heavy(seed: u64) -> Self {
+        Self {
+            batch_size: 16,
+            insert_ratio: 0.1,
+            seed,
+        }
+    }
+}
+
+/// Materializes a full recovery workload: `batches` deltas drawn against an
+/// evolving copy of `db` — exactly the transaction stream a durability
+/// harness replays through a durable database and crashes at arbitrary
+/// prefixes. Returns the delta stream and the in-memory oracle state after
+/// all of it (prefix oracles are re-derivable by applying a prefix to a
+/// clone of `db`).
+pub fn recovery_stream(db: &Database, cfg: &ChurnConfig, batches: usize) -> (Vec<Delta>, Database) {
+    let mut generator = ChurnGenerator::new(cfg);
+    let mut oracle = db.clone();
+    let mut deltas = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let delta = generator.next_batch(&oracle);
+        oracle.apply_delta(&delta);
+        deltas.push(delta);
+    }
+    (deltas, oracle)
+}
+
 /// A deterministic source of update batches against an evolving database.
 ///
 /// The generator holds no reference to the database: each call to
@@ -240,6 +281,45 @@ mod tests {
         assert!(delta.deletes.is_empty());
         db.apply_delta(&delta);
         assert_eq!(db.relation_len(RelId(0)), 5);
+    }
+
+    #[test]
+    fn heavy_presets_skew_the_mix() {
+        let db = small_db();
+        let grow = ChurnGenerator::new(&ChurnConfig::insert_heavy(3)).next_batch(&db);
+        assert!(grow.inserts.len() > grow.deletes.len() * 3);
+        let shrink = ChurnGenerator::new(&ChurnConfig::delete_heavy(3)).next_batch(&db);
+        assert!(shrink.deletes.len() > shrink.inserts.len() * 3);
+    }
+
+    /// Churn streams as recovery workloads: the materialized stream must
+    /// replay cleanly through the durable engine, and a reopen after all of
+    /// it must land bit-for-bit on the stream's own oracle.
+    #[test]
+    fn recovery_stream_round_trips_through_durable_storage() {
+        use provabs_relational::storage::{shared, DurableDatabase, DurableOptions, MemVfs};
+        let mut db = small_db();
+        db.build_indexes();
+        for cfg in [ChurnConfig::insert_heavy(21), ChurnConfig::delete_heavy(21)] {
+            let (deltas, oracle) = recovery_stream(&db, &cfg, 6);
+            assert_eq!(deltas.len(), 6);
+            let vfs = shared(MemVfs::new());
+            let mut ddb = DurableDatabase::create(
+                vfs.clone(),
+                "churn",
+                db.clone(),
+                DurableOptions::default(),
+            )
+            .unwrap();
+            for delta in &deltas {
+                ddb.apply_delta(delta).unwrap();
+            }
+            drop(ddb);
+            let (re, info) =
+                DurableDatabase::open(vfs, "churn", DurableOptions::default()).unwrap();
+            assert_eq!(info.committed_txns, 6);
+            assert!(re.db().same_state(&oracle), "reopen != churn oracle");
+        }
     }
 
     #[test]

@@ -29,5 +29,5 @@ pub mod tpch;
 pub mod workload;
 
 pub use adversarial::{adversarial_order, adversarial_workloads};
-pub use churn::{ChurnConfig, ChurnGenerator};
+pub use churn::{recovery_stream, ChurnConfig, ChurnGenerator};
 pub use workload::{join_variants, kexample_for, kexample_for_mode, Workload};

@@ -22,11 +22,11 @@ pub struct TupleRef {
 /// keyed by `ValueId` and hold `u32` row numbers — the whole access path
 /// hashes and stores 4-byte ids, never owned [`Value`]s.
 #[derive(Debug, Default, Clone)]
-struct RelationData {
-    columns: Vec<Vec<ValueId>>,
-    annots: Vec<AnnotId>,
+pub(crate) struct RelationData {
+    pub(crate) columns: Vec<Vec<ValueId>>,
+    pub(crate) annots: Vec<AnnotId>,
     /// Per-column value index, built lazily by [`Database::build_indexes`].
-    indexes: Vec<HashMap<ValueId, Vec<u32>>>,
+    pub(crate) indexes: Vec<HashMap<ValueId, Vec<u32>>>,
 }
 
 impl RelationData {
@@ -46,18 +46,18 @@ impl RelationData {
 /// [`Database::tuple_by_annot`] decode).
 #[derive(Debug, Default, Clone)]
 pub struct Database {
-    schema: Schema,
-    relations: Vec<RelationData>,
-    values: ValueInterner,
-    annots: AnnotRegistry,
+    pub(crate) schema: Schema,
+    pub(crate) relations: Vec<RelationData>,
+    pub(crate) values: ValueInterner,
+    pub(crate) annots: AnnotRegistry,
     /// Reverse map annotation → tuple location.
-    annot_loc: HashMap<AnnotId, TupleRef>,
+    pub(crate) annot_loc: HashMap<AnnotId, TupleRef>,
     /// Annotations whose tuples were deleted. A retired annotation may
     /// never tag again: provenance held from before the deletion (cached
     /// K-relations, abstraction-tree leaves) must keep failing to resolve
     /// instead of silently resolving to an unrelated tuple.
-    retired: std::collections::HashSet<AnnotId>,
-    indexed: bool,
+    pub(crate) retired: std::collections::HashSet<AnnotId>,
+    pub(crate) indexed: bool,
 }
 
 impl Database {
@@ -185,17 +185,30 @@ impl Database {
     /// scan-degradation. Row indexes previously handed out for the moved
     /// row are invalidated; annotations remain the stable way to name a
     /// tuple.
+    ///
+    /// # Mutation order (pinned for durability)
+    ///
+    /// The storage layer serializes columns *before* posting lists on pages
+    /// (see `storage::snapshot`), so a crash-consistent snapshot of a
+    /// mid-delete database must never hold posting lists referencing column
+    /// state that no longer exists. This method therefore pins the exact
+    /// mutation order: **all posting-list edits (unlink of the deleted row,
+    /// rename of the moved row) complete before any column or annotation
+    /// vector is touched**. The deleted row's values are read out first
+    /// without mutating, so the unlink and the rename see exactly the state
+    /// they would have seen under the historical
+    /// swap-remove-then-fix-indexes order — posting lists end bit-for-bit
+    /// identical — but there is no window in which an index entry points at
+    /// a [`ValueId`] the columns no longer hold.
     pub fn delete(&mut self, annot: AnnotId) -> Option<(RelId, Tuple)> {
         let loc = self.annot_loc.remove(&annot)?;
         self.retired.insert(annot);
         let data = &mut self.relations[loc.rel.0 as usize];
         let last = data.len() - 1;
-        let removed: Vec<ValueId> = data
-            .columns
-            .iter_mut()
-            .map(|col| col.swap_remove(loc.row))
-            .collect();
-        data.annots.swap_remove(loc.row);
+        // Step 1: read the dying row's ids without mutating anything.
+        let removed: Vec<ValueId> = data.columns.iter().map(|col| col[loc.row]).collect();
+        // Step 2: all posting-list mutations, while the columns still hold
+        // both the dying row and (if distinct) the row about to move.
         if self.indexed {
             let (row32, last32) = (loc.row as u32, last as u32);
             for (col, &v) in removed.iter().enumerate() {
@@ -212,10 +225,12 @@ impl Database {
                 }
             }
             if loc.row != last {
-                // The previous last row now lives at `loc.row`: rename it in
-                // every posting list it appears in.
+                // The last row is about to move into `loc.row`: rename it in
+                // every posting list it appears in. Its values are read from
+                // row `last`, which the swap-remove below has not touched
+                // yet.
                 for col in 0..data.columns.len() {
-                    let v = data.columns[col][loc.row];
+                    let v = data.columns[col][last];
                     let entry = data.indexes[col]
                         .get_mut(&v)
                         .expect("indexed value present");
@@ -227,6 +242,11 @@ impl Database {
                 }
             }
         }
+        // Step 3: only now compact the columnar storage.
+        for col in &mut data.columns {
+            col.swap_remove(loc.row);
+        }
+        data.annots.swap_remove(loc.row);
         if loc.row != last {
             let moved_annot = data.annots[loc.row];
             self.annot_loc.insert(
@@ -294,6 +314,12 @@ impl Database {
     /// Resolves an annotation to its tuple location, if it tags one.
     pub fn locate(&self, annot: AnnotId) -> Option<TupleRef> {
         self.annot_loc.get(&annot).copied()
+    }
+
+    /// Whether `annot` tagged a tuple that was since deleted (a retired
+    /// annotation may never tag again).
+    pub fn is_retired(&self, annot: AnnotId) -> bool {
+        self.retired.contains(&annot)
     }
 
     /// The (decoded) tuple tagged by `annot`, if any.
@@ -415,6 +441,56 @@ impl Database {
     /// abstraction-tree inner nodes living in the same label space).
     pub fn intern_label(&mut self, label: &str) -> AnnotId {
         self.annots.intern(label)
+    }
+
+    /// Deep structural equality with `other`: schema, columnar tuple
+    /// storage, annotation columns, posting lists (contents **and row
+    /// order**), interner contents, annotation registry, retirement set,
+    /// and the indexed flag must all match bit-for-bit.
+    ///
+    /// This is the recovery invariant checked by the durability suites: a
+    /// database reopened from disk must be `same_state` with the in-memory
+    /// oracle that applied the same committed deltas. Plain `==` would be
+    /// too weak (it is not derived) and row-set equality too coarse —
+    /// posting-list row order is observable through candidate enumeration,
+    /// so it must survive persistence exactly.
+    pub fn same_state(&self, other: &Database) -> bool {
+        if self.schema.len() != other.schema.len()
+            || self.relations.len() != other.relations.len()
+            || self.indexed != other.indexed
+            || self.values.len() != other.values.len()
+            || self.annots.len() != other.annots.len()
+        {
+            return false;
+        }
+        if self
+            .schema
+            .relation_ids()
+            .any(|rel| self.schema.relation(rel) != other.schema.relation(rel))
+        {
+            return false;
+        }
+        if (0..self.values.len() as u32)
+            .any(|i| self.values.value(ValueId(i)) != other.values.value(ValueId(i)))
+        {
+            return false;
+        }
+        if self
+            .annots
+            .ids()
+            .any(|id| self.annots.name(id) != other.annots.name(id))
+        {
+            return false;
+        }
+        if self
+            .relations
+            .iter()
+            .zip(&other.relations)
+            .any(|(a, b)| a.columns != b.columns || a.annots != b.annots || a.indexes != b.indexes)
+        {
+            return false;
+        }
+        self.annot_loc == other.annot_loc && self.retired == other.retired
     }
 }
 
@@ -603,5 +679,55 @@ mod tests {
         let (mut db, _) = sample_db();
         let fb = db.intern_label("Facebook");
         assert!(db.tuple_by_annot(fb).is_none());
+    }
+
+    #[test]
+    fn same_state_is_deep_and_order_sensitive() {
+        let (mut a, r) = sample_db();
+        let (mut b, _) = sample_db();
+        assert!(a.same_state(&b));
+        a.build_indexes();
+        assert!(!a.same_state(&b), "indexed flag must participate");
+        b.build_indexes();
+        assert!(a.same_state(&b));
+        // A delete followed by a re-insert of the same values leaves the
+        // tuple multiset equal but the registry/retirement state different.
+        let t1 = a.annotations().get("t1").unwrap();
+        a.delete(t1).unwrap();
+        assert!(!a.same_state(&b));
+        let t1b = b.annotations().get("t1").unwrap();
+        b.delete(t1b).unwrap();
+        assert!(a.same_state(&b));
+        a.insert_str(r, "t4", &["1", "x"]);
+        assert!(!a.same_state(&b));
+        b.insert_str(r, "t4", &["1", "x"]);
+        assert!(a.same_state(&b));
+    }
+
+    #[test]
+    fn delete_mutation_order_matches_historical_posting_state() {
+        // The pinned order (postings first, then columns) must produce
+        // posting lists bit-for-bit identical to the historical
+        // swap-remove-first order. The scenario exercises the tricky case:
+        // the moved (last) row shares a value with the deleted row, so the
+        // unlink and the rename hit the same posting vector.
+        let mut db = Database::new();
+        let r = db.add_relation("R", &["a"]);
+        db.insert_str(r, "d1", &["7"]);
+        db.insert_str(r, "d2", &["8"]);
+        db.insert_str(r, "d3", &["7"]); // last row, same value as d1
+        db.build_indexes();
+        let d1 = db.annotations().get("d1").unwrap();
+        db.delete(d1).unwrap();
+        let seven = db.interner().lookup(&Value::Int(7)).unwrap();
+        // Historical order: unlink swap_removes row 0 from [0, 2] → [2],
+        // then rename 2 → 0 in place → [0]. Exact vector, not just set.
+        assert_eq!(db.postings(r, 0, seven).unwrap(), &[0]);
+        assert_eq!(
+            db.tuples(r),
+            vec![Tuple::parse(&["7"]), Tuple::parse(&["8"])]
+        );
+        let d3 = db.annotations().get("d3").unwrap();
+        assert_eq!(db.locate(d3).unwrap().row, 0);
     }
 }

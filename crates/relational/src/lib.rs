@@ -36,6 +36,7 @@ mod parser;
 pub mod plan;
 mod query;
 mod schema;
+pub mod storage;
 mod tuple;
 mod value;
 mod vintern;

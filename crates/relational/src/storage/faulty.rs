@@ -1,0 +1,397 @@
+//! Fault injection at the VFS boundary.
+//!
+//! [`FaultyVfs`] models a process + disk pair: every write lands in a
+//! *volatile* image (the OS page cache), and only [`Vfs::sync`] copies a
+//! file's volatile image to its *durable* image (the platter). An injected
+//! crash makes every subsequent operation fail with
+//! [`StorageError::Crashed`] until [`FaultyVfs::recover`] is called — at
+//! which point the volatile image is discarded and the durable image is
+//! what a restarted process sees. Unsynced writes therefore vanish
+//! wholesale, exactly the fsync-barrier contract the WAL protocol is
+//! designed against.
+//!
+//! Faults are keyed by deterministic operation sequence numbers (the k-th
+//! mutating op, the k-th sync), so a test can first dry-run a workload
+//! fault-free, read the [`OpRecord`] log to locate every write-ordering
+//! boundary, and then re-run it once per boundary with a crash injected
+//! exactly there — the crash-matrix suite does precisely this.
+
+use super::vfs::{mem_read_at, mem_write_at};
+use super::{IoStats, StorageError, Vfs};
+use std::collections::HashMap;
+
+/// One injected fault, keyed by operation sequence number.
+///
+/// Mutating operations (`write_at`, `truncate`) share one sequence; syncs
+/// have their own. All faults crash the process model except
+/// [`Fault::DropSync`], which models an fsync that reports success
+/// without persisting — observable only when a later crash discards the
+/// volatile image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Crash before the k-th mutating operation applies at all.
+    CrashBeforeWrite(u64),
+    /// The k-th mutating operation persists only its first `keep` bytes to
+    /// the volatile image, then the process crashes — a torn page / torn
+    /// frame. On a truncate this degenerates to [`Fault::CrashBeforeWrite`].
+    TornWrite {
+        /// Mutating-operation sequence number.
+        write: u64,
+        /// Bytes of the write that land before the crash.
+        keep: usize,
+    },
+    /// Crash before the k-th sync copies anything to the durable image.
+    CrashBeforeSync(u64),
+    /// The k-th sync returns `Ok` but persists nothing (a lying fsync).
+    DropSync(u64),
+}
+
+/// What kind of mutating operation an [`OpRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A positional write.
+    Write,
+    /// A truncate (or extend).
+    Truncate,
+    /// A sync.
+    Sync,
+}
+
+/// One logged operation of a workload — the dry run's map of every
+/// write-ordering boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Sequence number within its class (mutating ops and syncs count
+    /// separately, matching the [`Fault`] keys).
+    pub seq: u64,
+    /// File the operation targeted.
+    pub file: String,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Write offset (0 for truncate/sync).
+    pub offset: u64,
+    /// Bytes written, or the new length for a truncate (0 for sync).
+    pub len: u64,
+}
+
+/// The fault-injecting in-memory VFS (volatile + durable images per
+/// file). With no faults armed it behaves exactly like
+/// [`MemVfs`](super::MemVfs) plus an operation log.
+#[derive(Debug, Default)]
+pub struct FaultyVfs {
+    volatile: HashMap<String, Vec<u8>>,
+    durable: HashMap<String, Vec<u8>>,
+    crashed: bool,
+    write_seq: u64,
+    sync_seq: u64,
+    faults: Vec<Fault>,
+    log: Vec<OpRecord>,
+    stats: IoStats,
+}
+
+impl FaultyVfs {
+    /// A fault-free instance (dry runs, oracle twins).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An instance with `faults` armed.
+    pub fn with_faults(faults: Vec<Fault>) -> Self {
+        Self {
+            faults,
+            ..Self::default()
+        }
+    }
+
+    /// Whether an injected crash has fired (all I/O fails until
+    /// [`FaultyVfs::recover`]).
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Restarts the process model: the volatile image is discarded, the
+    /// durable image becomes visible, pending faults are disarmed. This is
+    /// the moment a real deployment would re-exec and call
+    /// [`DurableDatabase::open`](super::DurableDatabase::open).
+    pub fn recover(&mut self) {
+        self.volatile = self.durable.clone();
+        self.crashed = false;
+        self.faults.clear();
+    }
+
+    /// The operation log (sequence numbers match the [`Fault`] keys).
+    pub fn op_log(&self) -> &[OpRecord] {
+        &self.log
+    }
+
+    /// Mutating operations issued so far (the exclusive upper bound of
+    /// valid [`Fault::CrashBeforeWrite`] keys for a completed workload).
+    pub fn write_count(&self) -> u64 {
+        self.write_seq
+    }
+
+    /// Syncs issued so far.
+    pub fn sync_count(&self) -> u64 {
+        self.sync_seq
+    }
+
+    /// XORs `mask` into one byte of **both** images — media corruption,
+    /// as opposed to a crash (see [`MemVfs::corrupt_byte`]).
+    ///
+    /// # Panics
+    /// Panics if the durable image lacks the file or offset.
+    ///
+    /// [`MemVfs::corrupt_byte`]: super::MemVfs::corrupt_byte
+    pub fn corrupt_byte(&mut self, file: &str, offset: u64, mask: u8) {
+        let pos = usize::try_from(offset).expect("offset fits usize");
+        for image in [&mut self.durable, &mut self.volatile] {
+            let data = image.get_mut(file).expect("corrupting a missing file");
+            *data.get_mut(pos).expect("corrupting past end of file") ^= mask;
+        }
+    }
+
+    /// The durable image of `file` (what survives a crash), for test
+    /// inspection.
+    pub fn durable_image(&self, file: &str) -> Option<&[u8]> {
+        self.durable.get(file).map(Vec::as_slice)
+    }
+
+    fn check_alive(&self) -> Result<(), StorageError> {
+        if self.crashed {
+            Err(StorageError::Crashed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Consumes one mutating-op sequence number; returns how many bytes of
+    /// the operation may apply (`None` = all of it).
+    fn arm_write(&mut self, full: usize) -> Result<Option<usize>, StorageError> {
+        let seq = self.write_seq;
+        self.write_seq += 1;
+        for f in &self.faults {
+            match *f {
+                Fault::CrashBeforeWrite(k) if k == seq => {
+                    self.crashed = true;
+                    return Err(StorageError::Crashed);
+                }
+                Fault::TornWrite { write, keep } if write == seq => {
+                    self.crashed = true;
+                    return Ok(Some(keep.min(full)));
+                }
+                _ => {}
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl Vfs for FaultyVfs {
+    fn exists(&self, file: &str) -> bool {
+        self.volatile.contains_key(file)
+    }
+
+    fn file_len(&self, file: &str) -> Result<u64, StorageError> {
+        self.check_alive()?;
+        self.volatile
+            .get(file)
+            .map(|d| d.len() as u64)
+            .ok_or_else(|| StorageError::NotFound(file.to_owned()))
+    }
+
+    fn read_at(&mut self, file: &str, offset: u64, buf: &mut [u8]) -> Result<usize, StorageError> {
+        self.check_alive()?;
+        let data = self
+            .volatile
+            .get(file)
+            .ok_or_else(|| StorageError::NotFound(file.to_owned()))?;
+        let n = mem_read_at(data, offset, buf);
+        self.stats.reads += 1;
+        self.stats.bytes_read += n as u64;
+        Ok(n)
+    }
+
+    fn write_at(&mut self, file: &str, offset: u64, data: &[u8]) -> Result<(), StorageError> {
+        self.check_alive()?;
+        let seq = self.write_seq;
+        match self.arm_write(data.len())? {
+            Some(keep) => {
+                // Torn: a prefix lands in the volatile image, then the
+                // crash fires. Whether it ever becomes durable depends on
+                // a later sync that will never come.
+                let entry = self.volatile.entry(file.to_owned()).or_default();
+                mem_write_at(entry, offset, &data[..keep]);
+                Err(StorageError::Crashed)
+            }
+            None => {
+                let entry = self.volatile.entry(file.to_owned()).or_default();
+                mem_write_at(entry, offset, data);
+                self.stats.writes += 1;
+                self.stats.bytes_written += data.len() as u64;
+                self.log.push(OpRecord {
+                    seq,
+                    file: file.to_owned(),
+                    kind: OpKind::Write,
+                    offset,
+                    len: data.len() as u64,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn truncate(&mut self, file: &str, len: u64) -> Result<(), StorageError> {
+        self.check_alive()?;
+        let seq = self.write_seq;
+        // A torn truncate degenerates to crash-before: length changes are
+        // atomic in the model.
+        if self.arm_write(0)?.is_some() {
+            return Err(StorageError::Crashed);
+        }
+        let entry = self.volatile.entry(file.to_owned()).or_default();
+        entry.resize(usize::try_from(len).expect("length fits usize"), 0);
+        self.log.push(OpRecord {
+            seq,
+            file: file.to_owned(),
+            kind: OpKind::Truncate,
+            offset: 0,
+            len,
+        });
+        Ok(())
+    }
+
+    fn sync(&mut self, file: &str) -> Result<(), StorageError> {
+        self.check_alive()?;
+        let seq = self.sync_seq;
+        self.sync_seq += 1;
+        let mut drop_sync = false;
+        for f in &self.faults {
+            match *f {
+                Fault::CrashBeforeSync(k) if k == seq => {
+                    self.crashed = true;
+                    return Err(StorageError::Crashed);
+                }
+                Fault::DropSync(k) if k == seq => drop_sync = true,
+                _ => {}
+            }
+        }
+        self.stats.syncs += 1;
+        self.log.push(OpRecord {
+            seq,
+            file: file.to_owned(),
+            kind: OpKind::Sync,
+            offset: 0,
+            len: 0,
+        });
+        if !drop_sync {
+            match self.volatile.get(file) {
+                Some(data) => {
+                    self.durable.insert(file.to_owned(), data.clone());
+                }
+                None => {
+                    self.durable.remove(file);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn delete(&mut self, file: &str) -> Result<(), StorageError> {
+        self.check_alive()?;
+        self.volatile.remove(file);
+        self.durable.remove(file);
+        Ok(())
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsynced_writes_vanish_on_crash() {
+        let mut vfs = FaultyVfs::with_faults(vec![Fault::CrashBeforeWrite(2)]);
+        vfs.write_at("f", 0, b"aa").unwrap(); // write 0
+        vfs.sync("f").unwrap(); // sync 0: "aa" durable
+        vfs.write_at("f", 2, b"bb").unwrap(); // write 1: volatile only
+        assert_eq!(vfs.file_len("f").unwrap(), 4);
+        assert!(matches!(
+            vfs.write_at("f", 4, b"cc"),
+            Err(StorageError::Crashed)
+        ));
+        assert!(vfs.crashed());
+        assert!(matches!(vfs.file_len("f"), Err(StorageError::Crashed)));
+        vfs.recover();
+        // Only the synced prefix survived; the unsynced "bb" is gone.
+        assert_eq!(vfs.file_len("f").unwrap(), 2);
+        assert_eq!(vfs.durable_image("f").unwrap(), b"aa");
+    }
+
+    #[test]
+    fn torn_write_keeps_a_prefix() {
+        let mut vfs = FaultyVfs::with_faults(vec![Fault::TornWrite { write: 0, keep: 3 }]);
+        assert!(vfs.write_at("f", 0, b"abcdef").is_err());
+        vfs.recover();
+        // The torn prefix was never synced, so after recovery the durable
+        // image has no file at all.
+        assert!(vfs.durable_image("f").is_none());
+        // With a sync between, the torn prefix of a *second* write can
+        // survive on top of durable data.
+        let mut vfs = FaultyVfs::with_faults(vec![Fault::TornWrite { write: 1, keep: 2 }]);
+        vfs.write_at("f", 0, b"xxxx").unwrap();
+        vfs.sync("f").unwrap();
+        assert!(vfs.write_at("f", 0, b"abcd").is_err());
+        vfs.recover();
+        assert_eq!(vfs.durable_image("f").unwrap(), b"xxxx");
+    }
+
+    #[test]
+    fn dropped_sync_lies() {
+        let mut vfs = FaultyVfs::with_faults(vec![Fault::DropSync(0), Fault::CrashBeforeWrite(1)]);
+        vfs.write_at("f", 0, b"data").unwrap();
+        vfs.sync("f").unwrap(); // reports Ok, persists nothing
+        assert!(vfs.write_at("f", 4, b"more").is_err());
+        vfs.recover();
+        assert!(vfs.durable_image("f").is_none(), "the fsync lied");
+    }
+
+    #[test]
+    fn crash_before_sync_loses_the_batch() {
+        let mut vfs = FaultyVfs::with_faults(vec![Fault::CrashBeforeSync(1)]);
+        vfs.write_at("f", 0, b"one").unwrap();
+        vfs.sync("f").unwrap();
+        vfs.write_at("f", 3, b"two").unwrap();
+        assert!(vfs.sync("f").is_err());
+        vfs.recover();
+        assert_eq!(vfs.durable_image("f").unwrap(), b"one");
+    }
+
+    #[test]
+    fn op_log_locates_boundaries() {
+        let mut vfs = FaultyVfs::new();
+        vfs.write_at("a", 0, b"12").unwrap();
+        vfs.truncate("a", 1).unwrap();
+        vfs.sync("a").unwrap();
+        assert_eq!(vfs.write_count(), 2);
+        assert_eq!(vfs.sync_count(), 1);
+        let log = vfs.op_log();
+        assert_eq!(log.len(), 3);
+        assert_eq!((log[0].seq, log[0].kind), (0, OpKind::Write));
+        assert_eq!((log[1].seq, log[1].kind), (1, OpKind::Truncate));
+        assert_eq!((log[2].seq, log[2].kind), (0, OpKind::Sync));
+    }
+
+    #[test]
+    fn recovery_disarms_pending_faults() {
+        let mut vfs = FaultyVfs::with_faults(vec![Fault::CrashBeforeWrite(0)]);
+        assert!(vfs.write_at("f", 0, b"x").is_err());
+        vfs.recover();
+        vfs.write_at("f", 0, b"x").unwrap();
+        vfs.sync("f").unwrap();
+        assert_eq!(vfs.durable_image("f").unwrap(), b"x");
+    }
+}

@@ -1,0 +1,387 @@
+//! The virtual file system boundary of the storage layer.
+//!
+//! Everything durable goes through the [`Vfs`] trait: the [`Pager`]
+//! (pages), the [`Wal`] (frames), and the header protocol of
+//! [`DurableDatabase`](super::DurableDatabase). Two backends live here — a
+//! real [`FileVfs`] and an in-memory [`MemVfs`] for tests and benches —
+//! and a third, the fault-injecting [`FaultyVfs`](super::FaultyVfs), in
+//! its own module. All three keep deterministic [`IoStats`] counters, the
+//! measurement substrate of the durability perf gate.
+//!
+//! [`Pager`]: super::Pager
+//! [`Wal`]: super::Wal
+
+use super::StorageError;
+use std::collections::HashMap;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Deterministic I/O counters, kept by every [`Vfs`] implementation.
+///
+/// These are logical operation counts (one `write_at` call = one write),
+/// not OS-level syscall counts — they are a pure function of the workload
+/// and therefore reproducible across machines, which is what the
+/// durability bench gate diffs.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of `read_at` calls.
+    pub reads: u64,
+    /// Number of `write_at` calls.
+    pub writes: u64,
+    /// Number of `sync` calls.
+    pub syncs: u64,
+    /// Total bytes returned by reads.
+    pub bytes_read: u64,
+    /// Total bytes accepted by writes.
+    pub bytes_written: u64,
+}
+
+impl IoStats {
+    /// The counters accumulated since `earlier` (a snapshot of the same
+    /// stream) — how benches isolate the cost of one phase.
+    pub fn delta_since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            syncs: self.syncs - earlier.syncs,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+        }
+    }
+}
+
+/// A minimal virtual file system: named byte files with positional reads
+/// and writes, explicit durability (`sync`), and deterministic counters.
+///
+/// The contract mirrors POSIX closely enough to be honest about crash
+/// semantics: a `write_at` is *not* durable until the file is `sync`ed,
+/// writes past the end zero-fill the gap, and reads past the end are
+/// short. Object-safe on purpose — the engine holds a [`SharedVfs`].
+pub trait Vfs: std::fmt::Debug {
+    /// Whether `file` exists.
+    fn exists(&self, file: &str) -> bool;
+
+    /// The current length of `file` in bytes.
+    fn file_len(&self, file: &str) -> Result<u64, StorageError>;
+
+    /// Reads up to `buf.len()` bytes at `offset`, returning the count read
+    /// (short at end-of-file, `0` at or past it).
+    fn read_at(&mut self, file: &str, offset: u64, buf: &mut [u8]) -> Result<usize, StorageError>;
+
+    /// Writes `data` at `offset`, creating the file and zero-filling any
+    /// gap. Not durable until [`Vfs::sync`].
+    fn write_at(&mut self, file: &str, offset: u64, data: &[u8]) -> Result<(), StorageError>;
+
+    /// Truncates (or extends with zeros) `file` to `len` bytes, creating
+    /// it if missing. Not durable until [`Vfs::sync`].
+    fn truncate(&mut self, file: &str, len: u64) -> Result<(), StorageError>;
+
+    /// Makes all prior writes to `file` durable.
+    fn sync(&mut self, file: &str) -> Result<(), StorageError>;
+
+    /// Removes `file` if it exists (durable immediately, like an unlinked
+    /// name after a directory sync).
+    fn delete(&mut self, file: &str) -> Result<(), StorageError>;
+
+    /// The cumulative operation counters.
+    fn stats(&self) -> IoStats;
+}
+
+/// A shareable, lockable VFS handle: the durable engine and the test
+/// harness hold clones of the same `Arc`, so a test can crash, corrupt,
+/// or inspect the store the engine is using.
+pub type SharedVfs = Arc<Mutex<dyn Vfs + Send>>;
+
+/// Wraps a concrete backend into a [`SharedVfs`].
+pub fn shared<V: Vfs + Send + 'static>(vfs: V) -> SharedVfs {
+    Arc::new(Mutex::new(vfs))
+}
+
+/// The in-memory backend: a map of named byte vectors. Fast, hermetic,
+/// and inspectable — the default substrate for tests and benches.
+#[derive(Debug, Default)]
+pub struct MemVfs {
+    files: HashMap<String, Vec<u8>>,
+    stats: IoStats,
+}
+
+impl MemVfs {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// XORs `mask` into one stored byte — the corruption-injection hook
+    /// (checksum tests flip bits in pages and WAL frames on "disk").
+    ///
+    /// # Panics
+    /// Panics if the file or offset does not exist: corrupting nothing
+    /// would silently turn a corruption test into a no-op.
+    pub fn corrupt_byte(&mut self, file: &str, offset: u64, mask: u8) {
+        let data = self.files.get_mut(file).expect("corrupting a missing file");
+        let byte = data
+            .get_mut(usize::try_from(offset).expect("offset fits usize"))
+            .expect("corrupting past end of file");
+        *byte ^= mask;
+    }
+
+    /// A read-only view of a stored file (test inspection).
+    pub fn raw(&self, file: &str) -> Option<&[u8]> {
+        self.files.get(file).map(Vec::as_slice)
+    }
+}
+
+/// Positional read over an in-memory byte vector (shared by [`MemVfs`]
+/// and the fault-injecting decorator).
+pub(super) fn mem_read_at(data: &[u8], offset: u64, buf: &mut [u8]) -> usize {
+    let len = data.len() as u64;
+    if offset >= len {
+        return 0;
+    }
+    let start = offset as usize;
+    let n = buf.len().min(data.len() - start);
+    buf[..n].copy_from_slice(&data[start..start + n]);
+    n
+}
+
+/// Positional write with zero-fill over an in-memory byte vector.
+pub(super) fn mem_write_at(data: &mut Vec<u8>, offset: u64, bytes: &[u8]) {
+    let start = usize::try_from(offset).expect("offset fits usize");
+    let end = start + bytes.len();
+    if data.len() < end {
+        data.resize(end, 0);
+    }
+    data[start..end].copy_from_slice(bytes);
+}
+
+impl Vfs for MemVfs {
+    fn exists(&self, file: &str) -> bool {
+        self.files.contains_key(file)
+    }
+
+    fn file_len(&self, file: &str) -> Result<u64, StorageError> {
+        self.files
+            .get(file)
+            .map(|d| d.len() as u64)
+            .ok_or_else(|| StorageError::NotFound(file.to_owned()))
+    }
+
+    fn read_at(&mut self, file: &str, offset: u64, buf: &mut [u8]) -> Result<usize, StorageError> {
+        let data = self
+            .files
+            .get(file)
+            .ok_or_else(|| StorageError::NotFound(file.to_owned()))?;
+        let n = mem_read_at(data, offset, buf);
+        self.stats.reads += 1;
+        self.stats.bytes_read += n as u64;
+        Ok(n)
+    }
+
+    fn write_at(&mut self, file: &str, offset: u64, data: &[u8]) -> Result<(), StorageError> {
+        let entry = self.files.entry(file.to_owned()).or_default();
+        mem_write_at(entry, offset, data);
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    fn truncate(&mut self, file: &str, len: u64) -> Result<(), StorageError> {
+        let entry = self.files.entry(file.to_owned()).or_default();
+        entry.resize(usize::try_from(len).expect("length fits usize"), 0);
+        Ok(())
+    }
+
+    fn sync(&mut self, file: &str) -> Result<(), StorageError> {
+        let _ = file; // everything in memory is as durable as it gets
+        self.stats.syncs += 1;
+        Ok(())
+    }
+
+    fn delete(&mut self, file: &str) -> Result<(), StorageError> {
+        self.files.remove(file);
+        Ok(())
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+}
+
+/// The real backend: files under a root directory, one `std::fs` handle
+/// per operation (simple and crash-honest — no process-level buffering
+/// hides an unsynced write).
+#[derive(Debug)]
+pub struct FileVfs {
+    root: PathBuf,
+    stats: IoStats,
+}
+
+impl FileVfs {
+    /// A VFS rooted at `root` (created if missing).
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self, StorageError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| StorageError::Io(e.to_string()))?;
+        Ok(Self {
+            root,
+            stats: IoStats::default(),
+        })
+    }
+
+    fn path(&self, file: &str) -> PathBuf {
+        self.root.join(file)
+    }
+
+    fn open_rw(&self, file: &str) -> Result<std::fs::File, StorageError> {
+        std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(self.path(file))
+            .map_err(|e| StorageError::Io(format!("{file}: {e}")))
+    }
+}
+
+impl Vfs for FileVfs {
+    fn exists(&self, file: &str) -> bool {
+        self.path(file).exists()
+    }
+
+    fn file_len(&self, file: &str) -> Result<u64, StorageError> {
+        std::fs::metadata(self.path(file))
+            .map(|m| m.len())
+            .map_err(|_| StorageError::NotFound(file.to_owned()))
+    }
+
+    fn read_at(&mut self, file: &str, offset: u64, buf: &mut [u8]) -> Result<usize, StorageError> {
+        if !self.exists(file) {
+            return Err(StorageError::NotFound(file.to_owned()));
+        }
+        let mut f = self.open_rw(file)?;
+        f.seek(SeekFrom::Start(offset))
+            .map_err(|e| StorageError::Io(e.to_string()))?;
+        let mut total = 0;
+        while total < buf.len() {
+            let n = f
+                .read(&mut buf[total..])
+                .map_err(|e| StorageError::Io(e.to_string()))?;
+            if n == 0 {
+                break;
+            }
+            total += n;
+        }
+        self.stats.reads += 1;
+        self.stats.bytes_read += total as u64;
+        Ok(total)
+    }
+
+    fn write_at(&mut self, file: &str, offset: u64, data: &[u8]) -> Result<(), StorageError> {
+        let mut f = self.open_rw(file)?;
+        f.seek(SeekFrom::Start(offset))
+            .map_err(|e| StorageError::Io(e.to_string()))?;
+        f.write_all(data)
+            .map_err(|e| StorageError::Io(e.to_string()))?;
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    fn truncate(&mut self, file: &str, len: u64) -> Result<(), StorageError> {
+        let f = self.open_rw(file)?;
+        f.set_len(len).map_err(|e| StorageError::Io(e.to_string()))
+    }
+
+    fn sync(&mut self, file: &str) -> Result<(), StorageError> {
+        let f = self.open_rw(file)?;
+        f.sync_all().map_err(|e| StorageError::Io(e.to_string()))?;
+        self.stats.syncs += 1;
+        Ok(())
+    }
+
+    fn delete(&mut self, file: &str) -> Result<(), StorageError> {
+        match std::fs::remove_file(self.path(file)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StorageError::Io(e.to_string())),
+        }
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(vfs: &mut dyn Vfs) {
+        assert!(!vfs.exists("f"));
+        assert!(matches!(
+            vfs.read_at("f", 0, &mut [0; 4]),
+            Err(StorageError::NotFound(_))
+        ));
+        vfs.write_at("f", 0, b"hello").unwrap();
+        vfs.write_at("f", 8, b"world").unwrap(); // gap zero-fills
+        assert_eq!(vfs.file_len("f").unwrap(), 13);
+        let mut buf = [0u8; 13];
+        assert_eq!(vfs.read_at("f", 0, &mut buf).unwrap(), 13);
+        assert_eq!(&buf[..5], b"hello");
+        assert_eq!(&buf[5..8], &[0, 0, 0]);
+        assert_eq!(&buf[8..], b"world");
+        // Short read at the tail, empty read past it.
+        let mut tail = [0u8; 8];
+        assert_eq!(vfs.read_at("f", 10, &mut tail).unwrap(), 3);
+        assert_eq!(vfs.read_at("f", 99, &mut tail).unwrap(), 0);
+        vfs.truncate("f", 5).unwrap();
+        assert_eq!(vfs.file_len("f").unwrap(), 5);
+        vfs.sync("f").unwrap();
+        vfs.delete("f").unwrap();
+        assert!(!vfs.exists("f"));
+        let stats = vfs.stats();
+        assert_eq!(stats.writes, 2);
+        assert_eq!(stats.bytes_written, 10);
+        assert!(stats.reads >= 3 && stats.syncs == 1);
+    }
+
+    #[test]
+    fn mem_vfs_semantics() {
+        let mut vfs = MemVfs::new();
+        exercise(&mut vfs);
+    }
+
+    #[test]
+    fn file_vfs_semantics() {
+        let dir = std::env::temp_dir().join(format!("provabs-vfs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut vfs = FileVfs::new(&dir).unwrap();
+        exercise(&mut vfs);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mem_corruption_hook_flips_exactly_one_bit_pattern() {
+        let mut vfs = MemVfs::new();
+        vfs.write_at("f", 0, &[0b1010_1010]).unwrap();
+        vfs.corrupt_byte("f", 0, 0b0000_0001);
+        assert_eq!(vfs.raw("f").unwrap(), &[0b1010_1011]);
+    }
+
+    #[test]
+    fn stats_delta_isolates_a_phase() {
+        let mut vfs = MemVfs::new();
+        vfs.write_at("f", 0, b"abc").unwrap();
+        let before = vfs.stats();
+        vfs.read_at("f", 0, &mut [0; 3]).unwrap();
+        let d = vfs.stats().delta_since(&before);
+        assert_eq!((d.reads, d.writes, d.bytes_read), (1, 0, 3));
+    }
+
+    #[test]
+    fn shared_handle_coerces_and_locks() {
+        let handle: SharedVfs = shared(MemVfs::new());
+        handle.lock().unwrap().write_at("f", 0, b"x").unwrap();
+        assert_eq!(handle.lock().unwrap().file_len("f").unwrap(), 1);
+    }
+}

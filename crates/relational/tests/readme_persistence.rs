@@ -1,0 +1,26 @@
+//! Pins the README "Durable storage & crash recovery" quickstart so the
+//! documented snippet cannot rot.
+
+use provabs_relational::storage::{shared, DurableDatabase, DurableOptions, MemVfs};
+use provabs_relational::{Database, Delta};
+
+#[test]
+fn readme_persistence_quickstart() {
+    let vfs = shared(MemVfs::new()); // or FileVfs::new("some/dir")?
+    let mut db = Database::new();
+    let r = db.add_relation("R", &["a", "b"]);
+    db.insert_str(r, "t1", &["1", "x"]);
+
+    // Persist, mutate transactionally, checkpoint.
+    let mut ddb =
+        DurableDatabase::create(vfs.clone(), "mydb", db, DurableOptions::default()).unwrap();
+    let mut delta = Delta::new();
+    delta.insert(r, "t2", provabs_relational::Tuple::parse(&["2", "y"]));
+    ddb.apply_delta(&delta).unwrap(); // WAL-committed before it's acknowledged
+    ddb.checkpoint().unwrap(); // fold the WAL tail into the snapshot
+
+    // A "restarted process": recover from the files alone.
+    let (re, info) = DurableDatabase::open(vfs, "mydb", DurableOptions::default()).unwrap();
+    assert_eq!(info.committed_txns, 1);
+    assert_eq!(re.db().len(), 2);
+}
