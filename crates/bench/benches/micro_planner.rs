@@ -14,7 +14,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use provabs_datagen::adversarial_order;
 use provabs_datagen::tpch::{self, TpchConfig};
-use provabs_relational::{eval_cq_counted_mode, plan_cq, EvalLimits, PlanMode};
+use provabs_relational::{plan_cq, Evaluator, Execution, PlanMode};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_planner");
@@ -33,10 +33,16 @@ fn bench(c: &mut Criterion) {
     let adv = adversarial_order(&db, &q3);
 
     group.bench_function(BenchmarkId::new("eval/TPCH-Q3-adv", "cost-based"), |b| {
-        b.iter(|| eval_cq_counted_mode(&db, &adv, EvalLimits::default(), PlanMode::CostBased));
+        let eval = Evaluator::new(&db)
+            .plan(PlanMode::CostBased)
+            .execution(Execution::Scalar);
+        b.iter(|| eval.eval_cq(&adv));
     });
     group.bench_function(BenchmarkId::new("eval/TPCH-Q3-adv", "written-order"), |b| {
-        b.iter(|| eval_cq_counted_mode(&db, &adv, EvalLimits::default(), PlanMode::WrittenOrder));
+        let eval = Evaluator::new(&db)
+            .plan(PlanMode::WrittenOrder)
+            .execution(Execution::Scalar);
+        b.iter(|| eval.eval_cq(&adv));
     });
     group.bench_function(BenchmarkId::new("plan/TPCH-Q3-adv", "cost-based"), |b| {
         b.iter(|| plan_cq(&db, &adv, PlanMode::CostBased, None));

@@ -1,0 +1,91 @@
+//! Vectorized-execution microbenchmark: the block-at-a-time pipeline
+//! versus the scalar binding-at-a-time engine, same plan, same database.
+//!
+//! One axis mirrors the `BENCH_7.json` perf-gate scenarios: `eval` — a
+//! full evaluation of a TPC-H or IMDB workload query, run once through
+//! [`Execution::Block`] and once through [`Execution::Scalar`]. A block
+//! size sweep on TPC-H Q3 shows where the blocking overhead amortizes.
+//!
+//! Wall time only; the counter-based comparison the CI gate diffs lives in
+//! `provabs_bench::vectorized` / `bench_gate --bench vectorized`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provabs_datagen::imdb::{self, ImdbConfig};
+use provabs_datagen::tpch::{self, TpchConfig};
+use provabs_relational::{Evaluator, Execution, PlanMode, DEFAULT_BLOCK_SIZE};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_vectorized");
+    group.sample_size(10);
+
+    let (tpch_proto, _) = tpch::generate(&TpchConfig {
+        lineitem_rows: 600,
+        seed: 42,
+    });
+    let q3 = tpch::tpch_queries(tpch_proto.schema())
+        .into_iter()
+        .find(|w| w.name == "TPCH-Q3")
+        .expect("TPCH-Q3 exists")
+        .query;
+    let mut tpch_db = tpch_proto;
+    tpch_db.build_indexes();
+
+    group.bench_function(BenchmarkId::new("eval/TPCH-Q3", "block"), |b| {
+        let eval = Evaluator::new(&tpch_db)
+            .plan(PlanMode::CostBased)
+            .execution(Execution::Block {
+                block_size: DEFAULT_BLOCK_SIZE,
+            });
+        b.iter(|| eval.eval_cq(&q3));
+    });
+    group.bench_function(BenchmarkId::new("eval/TPCH-Q3", "scalar"), |b| {
+        let eval = Evaluator::new(&tpch_db)
+            .plan(PlanMode::CostBased)
+            .execution(Execution::Scalar);
+        b.iter(|| eval.eval_cq(&q3));
+    });
+    for block_size in [64usize, 256, 1024] {
+        group.bench_function(
+            BenchmarkId::new("eval/TPCH-Q3/block-size", block_size),
+            |b| {
+                let eval = Evaluator::new(&tpch_db)
+                    .plan(PlanMode::CostBased)
+                    .execution(Execution::Block { block_size });
+                b.iter(|| eval.eval_cq(&q3));
+            },
+        );
+    }
+
+    let (imdb_proto, _) = imdb::generate(&ImdbConfig {
+        num_people: 150,
+        num_movies: 150,
+        cast_per_movie: 5,
+        seed: 42,
+    });
+    let q2 = imdb::imdb_queries(imdb_proto.schema())
+        .into_iter()
+        .find(|w| w.name == "IMDB-Q2")
+        .expect("IMDB-Q2 exists")
+        .query;
+    let mut imdb_db = imdb_proto;
+    imdb_db.build_indexes();
+
+    group.bench_function(BenchmarkId::new("eval/IMDB-Q2", "block"), |b| {
+        let eval = Evaluator::new(&imdb_db)
+            .plan(PlanMode::CostBased)
+            .execution(Execution::Block {
+                block_size: DEFAULT_BLOCK_SIZE,
+            });
+        b.iter(|| eval.eval_cq(&q2));
+    });
+    group.bench_function(BenchmarkId::new("eval/IMDB-Q2", "scalar"), |b| {
+        let eval = Evaluator::new(&imdb_db)
+            .plan(PlanMode::CostBased)
+            .execution(Execution::Scalar);
+        b.iter(|| eval.eval_cq(&q2));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

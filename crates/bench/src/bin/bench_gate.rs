@@ -1,11 +1,12 @@
 //! The perf-regression gate: emits and checks `BENCH_*.json` baselines for
 //! the incremental update engine, the interned provenance arena, the
 //! dictionary-encoded columnar storage layer, the cost-based query
-//! planner, and the durable paged storage layer.
+//! planner, the durable paged storage layer, and the vectorized block
+//! execution pipeline.
 //!
 //! ```text
-//! bench_gate [--bench updates|intern|storage|planner|durability] --emit PATH
-//! bench_gate [--bench updates|intern|storage|planner|durability] --check BASELINE PATH
+//! bench_gate [--bench updates|intern|storage|planner|durability|vectorized] --emit PATH
+//! bench_gate [--bench updates|intern|storage|planner|durability|vectorized] --check BASELINE PATH
 //! ```
 //!
 //! `--bench updates` (the default) replays the [`UpdateSettings::ci_gate`]
@@ -16,7 +17,9 @@
 //! [`PlannerSettings::ci_gate`] planned-versus-written-order comparison on
 //! adversarially-ordered workloads (`BENCH_5.json`); `--bench durability`
 //! runs the [`DurabilitySettings::ci_gate`] reopen-versus-rebuild recovery
-//! comparison (`BENCH_6.json`).
+//! comparison (`BENCH_6.json`); `--bench vectorized` runs the
+//! [`VectorizedSettings::ci_gate`] block-versus-scalar execution
+//! comparison (`BENCH_7.json`).
 //!
 //! The diff compares only deterministic work counters (rows examined,
 //! derivations, rows re-abstracted, retained constructions, probe/moved
@@ -39,6 +42,10 @@
 //!   adversarially-ordered suite); for `durability`, `reopen_bytes * 2 <=
 //!   rebuild_bytes` (warm reopen must at least halve the cold-rebuild
 //!   work) and `pages_read` may not grow past the baseline's page budget;
+//!   for `vectorized`, `block_probe_bytes * 2 <= scalar_probe_bytes`
+//!   **and** `block_moved_bytes * 2 <= scalar_moved_bytes` (the ≥ 2×
+//!   probe-hash and operator-boundary byte reductions the block pipeline
+//!   promises);
 //! * `work_ratio` may not regress by more than [`TOLERANCE`] (relative)
 //!   plus a small absolute slack.
 //!
@@ -50,11 +57,12 @@
 
 use provabs_bench::{
     parse_bench_json, parse_durability_json, parse_intern_json, parse_planner_json,
-    parse_storage_json, run_durability_comparison, run_intern_comparison, run_planner_comparison,
-    run_storage_comparison, run_update_comparison, write_bench_json, write_durability_json,
-    write_intern_json, write_planner_json, write_storage_json, BenchMetric, DurabilityMetric,
+    parse_storage_json, parse_vectorized_json, run_durability_comparison, run_intern_comparison,
+    run_planner_comparison, run_storage_comparison, run_update_comparison,
+    run_vectorized_comparison, write_bench_json, write_durability_json, write_intern_json,
+    write_planner_json, write_storage_json, write_vectorized_json, BenchMetric, DurabilityMetric,
     DurabilitySettings, InternMetric, InternSettings, PlannerMetric, PlannerSettings,
-    StorageMetric, StorageSettings, UpdateSettings,
+    StorageMetric, StorageSettings, UpdateSettings, VectorizedMetric, VectorizedSettings,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -66,7 +74,7 @@ const ABS_SLACK: f64 = 0.02;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bench_gate [--bench updates|intern|storage|planner|durability] --emit PATH | --check BASELINE PATH"
+        "usage: bench_gate [--bench updates|intern|storage|planner|durability|vectorized] --emit PATH | --check BASELINE PATH"
     );
     ExitCode::from(2)
 }
@@ -89,6 +97,7 @@ fn main() -> ExitCode {
         "storage" => drive_gate(&STORAGE_GATE, &args),
         "planner" => drive_gate(&PLANNER_GATE, &args),
         "durability" => drive_gate(&DURABILITY_GATE, &args),
+        "vectorized" => drive_gate(&VECTORIZED_GATE, &args),
         _ => usage(),
     }
 }
@@ -202,6 +211,16 @@ const DURABILITY_GATE: GateOps<DurabilityMetric> = GateOps {
     parse: parse_durability_json,
     print: print_durability_summary,
     check: check_durability,
+};
+
+const VECTORIZED_GATE: GateOps<VectorizedMetric> = GateOps {
+    bench: "micro_vectorized",
+    kind: "a vectorized",
+    run: || run_vectorized_comparison(&VectorizedSettings::ci_gate()),
+    write: write_vectorized_json,
+    parse: parse_vectorized_json,
+    print: print_vectorized_summary,
+    check: check_vectorized,
 };
 
 fn verdict(failures: Vec<String>, gated: usize) -> ExitCode {
@@ -511,6 +530,100 @@ fn check_storage(baseline: &[StorageMetric], current: &[StorageMetric]) -> Vec<S
                 cur.name,
                 cur.work_ratio(),
                 base.work_ratio(),
+                TOLERANCE * 100.0,
+                allowed
+            ));
+        }
+        let allowed_moved = base.moved_ratio() * (1.0 + TOLERANCE) + ABS_SLACK;
+        if cur.moved_ratio() > allowed_moved {
+            failures.push(format!(
+                "{}: moved_ratio {:.4} exceeds baseline {:.4} (+{:.0}% & slack = {:.4})",
+                cur.name,
+                cur.moved_ratio(),
+                base.moved_ratio(),
+                TOLERANCE * 100.0,
+                allowed_moved
+            ));
+        }
+    }
+    failures
+}
+
+fn print_vectorized_summary(metrics: &[VectorizedMetric]) {
+    println!(
+        "{:<16} {:>11} {:>13} {:>7} {:>11} {:>13} {:>7} {:>8} {:>8} {:>6}",
+        "scenario",
+        "blk_pr_bytes",
+        "scl_pr_bytes",
+        "ratio",
+        "blk_moved",
+        "scl_moved",
+        "moved",
+        "blocks",
+        "gallops",
+        "equal"
+    );
+    for m in metrics {
+        println!(
+            "{:<16} {:>11} {:>13} {:>7.4} {:>11} {:>13} {:>7.4} {:>8} {:>8} {:>6}",
+            m.name,
+            m.block_probe_bytes,
+            m.scalar_probe_bytes,
+            m.probe_ratio(),
+            m.block_moved_bytes,
+            m.scalar_moved_bytes,
+            m.moved_ratio(),
+            m.blocks_emitted,
+            m.gallop_steps,
+            m.equal
+        );
+    }
+}
+
+fn check_vectorized(baseline: &[VectorizedMetric], current: &[VectorizedMetric]) -> Vec<String> {
+    let mut failures = Vec::new();
+    // Fail closed: a gate that compares nothing protects nothing.
+    if baseline.is_empty() {
+        failures.push("baseline holds no entries — re-emit it with --emit".to_owned());
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.name == cur.name) {
+            failures.push(format!(
+                "{}: scenario has no baseline entry (ungated) — re-emit the baseline",
+                cur.name
+            ));
+        }
+    }
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.name == base.name) else {
+            failures.push(format!("{}: entry missing from current run", base.name));
+            continue;
+        };
+        if !cur.equal {
+            failures.push(format!(
+                "{}: block engine no longer matches the scalar engine / oracle",
+                cur.name
+            ));
+        }
+        if cur.block_probe_bytes * 2 > cur.scalar_probe_bytes {
+            failures.push(format!(
+                "{}: probe bytes {} vs scalar {} — the block pipeline no longer halves the hash work",
+                cur.name, cur.block_probe_bytes, cur.scalar_probe_bytes
+            ));
+        }
+        if cur.block_moved_bytes * 2 > cur.scalar_moved_bytes {
+            failures.push(format!(
+                "{}: moved bytes {} vs scalar {} — the block pipeline no longer halves the boundary traffic",
+                cur.name, cur.block_moved_bytes, cur.scalar_moved_bytes
+            ));
+        }
+        let allowed = base.probe_ratio() * (1.0 + TOLERANCE) + ABS_SLACK;
+        if cur.probe_ratio() > allowed {
+            failures.push(format!(
+                "{}: probe_ratio {:.4} exceeds baseline {:.4} (+{:.0}% & slack = {:.4})",
+                cur.name,
+                cur.probe_ratio(),
+                base.probe_ratio(),
                 TOLERANCE * 100.0,
                 allowed
             ));

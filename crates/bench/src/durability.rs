@@ -232,11 +232,13 @@ fn logically_equal(a: &Database, b: &Database) -> bool {
 /// label's bytes through the annotation registry.
 fn rebuild_bytes(db: &Database) -> u64 {
     let mut total = 0u64;
+    let mut row_buf = Vec::new();
     for rel in db.schema().relation_ids() {
         let annots = db.tuple_annots(rel);
         for (row, &annot) in annots.iter().enumerate() {
             total += db.annotations().name(annot).len() as u64;
-            for v in db.decode_row(rel, row).values() {
+            db.decode_row_into(rel, row, &mut row_buf);
+            for v in &row_buf {
                 total += VALUE_MOVE_WIDTH + hash_width(v) + ID_WIDTH + ID_WIDTH;
             }
         }

@@ -37,7 +37,7 @@ use provabs_core::privacy::{PrivacyCache, PrivacyConfig};
 use provabs_core::search::{find_optimal_abstraction_with_cache, SearchConfig, SearchOutcome};
 use provabs_core::Bound;
 use provabs_datagen::tpch::{self, TpchConfig};
-use provabs_relational::{eval_cq_counted_interned_mode, EvalLimits, PlanMode};
+use provabs_relational::{Evaluator, Execution, PlanMode};
 use provabs_semiring::ProvStore;
 use std::time::Instant;
 
@@ -234,11 +234,12 @@ fn eval_metric(
     let mut owned_work = 0u64;
     let mut owned_ms = 0.0f64;
     let mut owned_results = Vec::with_capacity(rounds);
+    // BENCH_3 replays counters recorded on the scalar engine.
+    let eval = Evaluator::new(db).plan(mode).execution(Execution::Scalar);
     for _ in 0..rounds {
         let t0 = Instant::now();
         let mut store = ProvStore::new();
-        let (out, _) =
-            eval_cq_counted_interned_mode(db, query, EvalLimits::default(), &mut store, mode);
+        let (out, _) = eval.interned(&mut store).eval_cq(query);
         let owned = out.to_krelation(&store);
         owned_ms += t0.elapsed().as_secs_f64() * 1e3;
         owned_work += store.work().constructions();
@@ -249,8 +250,7 @@ fn eval_metric(
     let mut cached_results = Vec::with_capacity(rounds);
     for _ in 0..rounds {
         let t0 = Instant::now();
-        let (out, _) =
-            eval_cq_counted_interned_mode(db, query, EvalLimits::default(), &mut store, mode);
+        let (out, _) = eval.interned(&mut store).eval_cq(query);
         cached_ms += t0.elapsed().as_secs_f64() * 1e3;
         cached_results.push(out.to_krelation(&store));
     }

@@ -32,8 +32,7 @@ use provabs_datagen::tpch::{self, TpchConfig};
 use provabs_datagen::{adversarial_order, ChurnConfig, ChurnGenerator};
 use provabs_relational::oracle::oracle_eval_cq;
 use provabs_relational::{
-    apply_delta_with_queries_mode, eval_cq_traced, Cq, Database, EvalLimits, EvalWork, KRelation,
-    PlanMode,
+    eval_cq_traced, Cq, Database, EvalLimits, EvalWork, Execution, KRelation, PlanMode, Updater,
 };
 use std::time::Instant;
 
@@ -201,8 +200,11 @@ fn churn_metric(
         for _ in 0..settings.batches {
             let delta = gen.next_batch(&db);
             let t0 = Instant::now();
-            let outcome =
-                apply_delta_with_queries_mode(&mut db, &delta, std::slice::from_ref(adv), mode);
+            // BENCH_5 replays counters recorded on the scalar engine.
+            let outcome = Updater::new()
+                .plan(mode)
+                .execution(Execution::Scalar)
+                .apply(&mut db, &delta, std::slice::from_ref(adv));
             merged &= outcome.deltas[0].merge_into(&mut cached);
             ms += t0.elapsed().as_secs_f64() * 1e3;
             work.absorb(&outcome.work);

@@ -782,6 +782,184 @@ pub fn parse_durability_json(text: &str) -> Option<(String, Vec<DurabilityMetric
     Some((bench, entries))
 }
 
+/// One entry of the `BENCH_7.json` report: deterministic work counters of
+/// a vectorized block-at-a-time evaluation next to the scalar execution of
+/// the *same query under the same plan* — probe-hash bytes fed to hash
+/// lookups and id bytes moved through bindings/outputs, counted by the
+/// engine itself ([`EvalWork`](provabs_relational::EvalWork)), plus the
+/// block engine's own counters (blocks emitted, selection-vector
+/// survivors, gallop steps).
+///
+/// `block_probe_bytes / scalar_probe_bytes` and `block_moved_bytes /
+/// scalar_moved_bytes` are the machine-independent ratios the CI gate
+/// diffs (acceptance bar: ≤ 0.5 each — the block pipeline must at least
+/// halve both the per-binding hash work and the bytes moved). Wall-clock
+/// columns are carried for humans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorizedMetric {
+    /// Scenario name, e.g. `eval/TPCH-Q3` or `eval/IMDB-Q2`.
+    pub name: String,
+    /// Index probes the block engine issued (sorted-index lookups).
+    pub block_probes: u64,
+    /// Hash probes the scalar engine issued for the same evaluation.
+    pub scalar_probes: u64,
+    /// Bytes the block engine fed to hash probes (constants only — the
+    /// per-binding work moved into sorted merges).
+    pub block_probe_bytes: u64,
+    /// Bytes the scalar engine fed to hash probes (4 per binding probe).
+    pub scalar_probe_bytes: u64,
+    /// Id bytes the block engine moved (8 per selection survivor, 4 per
+    /// output key column).
+    pub block_moved_bytes: u64,
+    /// Id bytes the scalar engine moved into bindings and outputs.
+    pub scalar_moved_bytes: u64,
+    /// Blocks the pipeline emitted.
+    pub blocks_emitted: u64,
+    /// Rows that survived selection vectors across all blocks.
+    pub selection_survivors: u64,
+    /// Galloping-search steps spent in sorted merges.
+    pub gallop_steps: u64,
+    /// Wall time of the block run, milliseconds (informational).
+    pub block_ms: f64,
+    /// Wall time of the scalar run, milliseconds (informational).
+    pub scalar_ms: f64,
+    /// Whether block, scalar and the naive owned-value oracle agreed
+    /// bit-for-bit.
+    pub equal: bool,
+}
+
+impl VectorizedMetric {
+    /// Block probe-hash bytes as a fraction of scalar probe-hash bytes
+    /// (lower is better; the acceptance bar is ≤ 0.5).
+    pub fn probe_ratio(&self) -> f64 {
+        self.block_probe_bytes as f64 / self.scalar_probe_bytes.max(1) as f64
+    }
+
+    /// Block moved bytes as a fraction of scalar moved bytes.
+    pub fn moved_ratio(&self) -> f64 {
+        self.block_moved_bytes as f64 / self.scalar_moved_bytes.max(1) as f64
+    }
+}
+
+/// Serializes a vectorized-comparison report in the same hand-rolled
+/// line-oriented shape as [`render_bench_json`].
+pub fn render_vectorized_json(bench: &str, metrics: &[VectorizedMetric]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"bench\": \"{bench}\",");
+    out.push_str("  \"entries\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(out, "      \"block_probes\": {},", m.block_probes);
+        let _ = writeln!(out, "      \"scalar_probes\": {},", m.scalar_probes);
+        let _ = writeln!(out, "      \"block_probe_bytes\": {},", m.block_probe_bytes);
+        let _ = writeln!(
+            out,
+            "      \"scalar_probe_bytes\": {},",
+            m.scalar_probe_bytes
+        );
+        let _ = writeln!(out, "      \"block_moved_bytes\": {},", m.block_moved_bytes);
+        let _ = writeln!(
+            out,
+            "      \"scalar_moved_bytes\": {},",
+            m.scalar_moved_bytes
+        );
+        let _ = writeln!(out, "      \"blocks_emitted\": {},", m.blocks_emitted);
+        let _ = writeln!(
+            out,
+            "      \"selection_survivors\": {},",
+            m.selection_survivors
+        );
+        let _ = writeln!(out, "      \"gallop_steps\": {},", m.gallop_steps);
+        let _ = writeln!(out, "      \"probe_ratio\": {:.6},", m.probe_ratio());
+        let _ = writeln!(out, "      \"moved_ratio\": {:.6},", m.moved_ratio());
+        let _ = writeln!(out, "      \"block_ms\": {:.3},", m.block_ms);
+        let _ = writeln!(out, "      \"scalar_ms\": {:.3},", m.scalar_ms);
+        let _ = writeln!(out, "      \"equal\": {}", m.equal);
+        out.push_str(if i + 1 < metrics.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes a vectorized-comparison report to `path` (creating parent
+/// directories).
+pub fn write_vectorized_json(
+    path: &Path,
+    bench: &str,
+    metrics: &[VectorizedMetric],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, render_vectorized_json(bench, metrics))
+}
+
+/// Parses a report produced by [`render_vectorized_json`]. Returns
+/// `(bench name, entries)`; `None` on any malformed line.
+pub fn parse_vectorized_json(text: &str) -> Option<(String, Vec<VectorizedMetric>)> {
+    let mut bench = String::new();
+    let mut entries = Vec::new();
+    let mut cur: Option<VectorizedMetric> = None;
+    for raw in text.lines() {
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || matches!(line, "{" | "}" | "[" | "]" | "\"entries\": [") {
+            continue;
+        }
+        let (key, value) = line.split_once(':')?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "schema" => {}
+            "bench" => bench = value.trim_matches('"').to_owned(),
+            "name" => {
+                if let Some(done) = cur.take() {
+                    entries.push(done);
+                }
+                cur = Some(VectorizedMetric {
+                    name: value.trim_matches('"').to_owned(),
+                    block_probes: 0,
+                    scalar_probes: 0,
+                    block_probe_bytes: 0,
+                    scalar_probe_bytes: 0,
+                    block_moved_bytes: 0,
+                    scalar_moved_bytes: 0,
+                    blocks_emitted: 0,
+                    selection_survivors: 0,
+                    gallop_steps: 0,
+                    block_ms: 0.0,
+                    scalar_ms: 0.0,
+                    equal: false,
+                });
+            }
+            "block_probes" => cur.as_mut()?.block_probes = value.parse().ok()?,
+            "scalar_probes" => cur.as_mut()?.scalar_probes = value.parse().ok()?,
+            "block_probe_bytes" => cur.as_mut()?.block_probe_bytes = value.parse().ok()?,
+            "scalar_probe_bytes" => cur.as_mut()?.scalar_probe_bytes = value.parse().ok()?,
+            "block_moved_bytes" => cur.as_mut()?.block_moved_bytes = value.parse().ok()?,
+            "scalar_moved_bytes" => cur.as_mut()?.scalar_moved_bytes = value.parse().ok()?,
+            "blocks_emitted" => cur.as_mut()?.blocks_emitted = value.parse().ok()?,
+            "selection_survivors" => cur.as_mut()?.selection_survivors = value.parse().ok()?,
+            "gallop_steps" => cur.as_mut()?.gallop_steps = value.parse().ok()?,
+            "probe_ratio" | "moved_ratio" => {} // derived; recomputed
+            "block_ms" => cur.as_mut()?.block_ms = value.parse().ok()?,
+            "scalar_ms" => cur.as_mut()?.scalar_ms = value.parse().ok()?,
+            "equal" => cur.as_mut()?.equal = value.parse().ok()?,
+            _ => return None,
+        }
+    }
+    if let Some(done) = cur.take() {
+        entries.push(done);
+    }
+    Some((bench, entries))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -908,6 +1086,49 @@ mod tests {
         assert!(metrics[0].work_ratio() <= 0.5);
         assert!(metrics[0].moved_ratio() <= 0.5);
         assert_eq!(parse_storage_json("not json"), None);
+    }
+
+    #[test]
+    fn vectorized_json_roundtrips() {
+        let metrics = vec![
+            VectorizedMetric {
+                name: "eval/TPCH-Q3".into(),
+                block_probes: 400,
+                scalar_probes: 1200,
+                block_probe_bytes: 16,
+                scalar_probe_bytes: 4800,
+                block_moved_bytes: 900,
+                scalar_moved_bytes: 2400,
+                blocks_emitted: 5,
+                selection_survivors: 80,
+                gallop_steps: 300,
+                block_ms: 0.5,
+                scalar_ms: 0.8,
+                equal: true,
+            },
+            VectorizedMetric {
+                name: "eval/IMDB-Q2".into(),
+                block_probes: 30,
+                scalar_probes: 90,
+                block_probe_bytes: 8,
+                scalar_probe_bytes: 360,
+                block_moved_bytes: 40,
+                scalar_moved_bytes: 100,
+                blocks_emitted: 2,
+                selection_survivors: 10,
+                gallop_steps: 25,
+                block_ms: 0.1,
+                scalar_ms: 0.2,
+                equal: true,
+            },
+        ];
+        let text = render_vectorized_json("micro_vectorized", &metrics);
+        let (bench, parsed) = parse_vectorized_json(&text).expect("parses");
+        assert_eq!(bench, "micro_vectorized");
+        assert_eq!(parsed, metrics);
+        assert!(metrics[0].probe_ratio() <= 0.5);
+        assert!(metrics[0].moved_ratio() <= 0.5);
+        assert_eq!(parse_vectorized_json("not json"), None);
     }
 
     #[test]

@@ -30,10 +30,7 @@ use crate::report::StorageMetric;
 use provabs_datagen::tpch::{self, TpchConfig};
 use provabs_datagen::{ChurnConfig, ChurnGenerator};
 use provabs_relational::oracle::oracle_eval_cq;
-use provabs_relational::{
-    apply_delta_with_queries_mode, eval_cq_counted_mode, Cq, Database, EvalLimits, EvalWork,
-    PlanMode,
-};
+use provabs_relational::{Cq, Database, EvalWork, Evaluator, Execution, PlanMode, Updater};
 use std::time::Instant;
 
 /// Shape of one storage-comparison sweep.
@@ -133,7 +130,11 @@ fn eval_metric(db_proto: &Database, qname: &str, query: &Cq, mode: PlanMode) -> 
     let mut db = db_proto.clone();
     db.build_indexes();
     let t0 = Instant::now();
-    let (out, work) = eval_cq_counted_mode(&db, query, EvalLimits::default(), mode);
+    // BENCH_4 replays counters recorded on the scalar engine.
+    let (out, work) = Evaluator::new(&db)
+        .plan(mode)
+        .execution(Execution::Scalar)
+        .eval_cq(query);
     let engine_ms = t0.elapsed().as_secs_f64() * 1e3;
     let t1 = Instant::now();
     let oracle = oracle_eval_cq(&db, query);
@@ -158,7 +159,11 @@ fn churn_metric(
 ) -> StorageMetric {
     let mut db = db_proto.clone();
     db.build_indexes();
-    let mut cached = eval_cq_counted_mode(&db, query, EvalLimits::default(), settings.plan_mode).0;
+    let mut cached = Evaluator::new(&db)
+        .plan(settings.plan_mode)
+        .execution(Execution::Scalar)
+        .eval_cq(query)
+        .0;
     let mut gen = ChurnGenerator::new(&ChurnConfig {
         batch_size: settings.batch_size,
         insert_ratio: settings.insert_ratio,
@@ -170,12 +175,10 @@ fn churn_metric(
     for _ in 0..settings.batches {
         let delta = gen.next_batch(&db);
         let t0 = Instant::now();
-        let outcome = apply_delta_with_queries_mode(
-            &mut db,
-            &delta,
-            std::slice::from_ref(query),
-            settings.plan_mode,
-        );
+        let outcome = Updater::new()
+            .plan(settings.plan_mode)
+            .execution(Execution::Scalar)
+            .apply(&mut db, &delta, std::slice::from_ref(query));
         merged &= outcome.deltas[0].merge_into(&mut cached);
         engine_ms += t0.elapsed().as_secs_f64() * 1e3;
         work.absorb(&outcome.work);

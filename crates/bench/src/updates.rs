@@ -12,9 +12,7 @@
 use crate::report::BenchMetric;
 use provabs_datagen::tpch::{self, TpchConfig};
 use provabs_datagen::{ChurnConfig, ChurnGenerator};
-use provabs_relational::{
-    apply_delta_with_queries_mode, eval_cq_counted_mode, Cq, EvalLimits, EvalWork, PlanMode,
-};
+use provabs_relational::{Cq, EvalWork, Evaluator, Execution, PlanMode, Updater};
 use std::time::Instant;
 
 /// Shape of one update scenario sweep.
@@ -98,7 +96,12 @@ fn replay(
 ) -> BenchMetric {
     let mut db = db_proto.clone();
     db.build_indexes();
-    let mut cached = eval_cq_counted_mode(&db, query, EvalLimits::default(), settings.plan_mode).0;
+    // BENCH_2 replays counters recorded on the scalar engine.
+    let mut cached = Evaluator::new(&db)
+        .plan(settings.plan_mode)
+        .execution(Execution::Scalar)
+        .eval_cq(query)
+        .0;
     let mut gen = ChurnGenerator::new(&ChurnConfig {
         batch_size: settings.batch_size,
         insert_ratio,
@@ -112,17 +115,18 @@ fn replay(
     for _ in 0..settings.batches {
         let delta = gen.next_batch(&db);
         let t0 = Instant::now();
-        let outcome = apply_delta_with_queries_mode(
-            &mut db,
-            &delta,
-            std::slice::from_ref(query),
-            settings.plan_mode,
-        );
+        let outcome = Updater::new()
+            .plan(settings.plan_mode)
+            .execution(Execution::Scalar)
+            .apply(&mut db, &delta, std::slice::from_ref(query));
         let merged = outcome.deltas[0].merge_into(&mut cached);
         delta_ms += t0.elapsed().as_secs_f64() * 1e3;
         delta_work.absorb(&outcome.work);
         let t1 = Instant::now();
-        let (full, w) = eval_cq_counted_mode(&db, query, EvalLimits::default(), settings.plan_mode);
+        let (full, w) = Evaluator::new(&db)
+            .plan(settings.plan_mode)
+            .execution(Execution::Scalar)
+            .eval_cq(query);
         full_ms += t1.elapsed().as_secs_f64() * 1e3;
         full_work.absorb(&w);
         equal &= merged && cached == full;

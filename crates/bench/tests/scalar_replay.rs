@@ -1,0 +1,114 @@
+//! Scalar-replay determinism contract: the vectorized rebuild of the
+//! evaluation hot path must not disturb a single counter recorded on the
+//! scalar engine.
+//!
+//! The checked-in `BENCH_4.json` / `BENCH_5.json` baselines were emitted
+//! before the block pipeline existed. Re-running their gate configurations
+//! today — through the `Evaluator`/`Updater` builders pinned to
+//! [`Execution::Scalar`] — must reproduce every deterministic counter
+//! **exactly**, not merely within the perf gate's 15% tolerance. Any drift
+//! means the scalar path stopped being a bit-identical replay of the
+//! pre-vectorization engine, which breaks the migration story for every
+//! downstream baseline.
+//!
+//! Wall-clock columns (`*_ms`) are machine noise and are the only fields
+//! excluded from the diff.
+
+use provabs_bench::{
+    parse_planner_json, parse_storage_json, run_planner_comparison, run_storage_comparison,
+    PlannerSettings, StorageSettings,
+};
+
+fn read_baseline(name: &str) -> String {
+    let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn storage_counters_replay_bench_4_exactly() {
+    let (_, baseline) =
+        parse_storage_json(&read_baseline("BENCH_4.json")).expect("parse BENCH_4.json");
+    assert!(!baseline.is_empty(), "BENCH_4.json is empty");
+    let current = run_storage_comparison(&StorageSettings::ci_gate());
+    for base in &baseline {
+        let cur = current
+            .iter()
+            .find(|m| m.name == base.name)
+            .unwrap_or_else(|| panic!("{}: scenario vanished from the storage sweep", base.name));
+        assert_eq!(cur.probes, base.probes, "{}: probes drifted", base.name);
+        assert_eq!(
+            cur.id_probe_bytes, base.id_probe_bytes,
+            "{}: id_probe_bytes drifted",
+            base.name
+        );
+        assert_eq!(
+            cur.value_probe_bytes, base.value_probe_bytes,
+            "{}: value_probe_bytes drifted",
+            base.name
+        );
+        assert_eq!(
+            cur.id_moved_bytes, base.id_moved_bytes,
+            "{}: id_moved_bytes drifted",
+            base.name
+        );
+        assert_eq!(
+            cur.value_moved_bytes, base.value_moved_bytes,
+            "{}: value_moved_bytes drifted",
+            base.name
+        );
+        assert!(
+            cur.equal,
+            "{}: engine no longer matches the oracle",
+            base.name
+        );
+    }
+}
+
+#[test]
+fn planner_counters_replay_bench_5_exactly() {
+    let (_, baseline) =
+        parse_planner_json(&read_baseline("BENCH_5.json")).expect("parse BENCH_5.json");
+    assert!(!baseline.is_empty(), "BENCH_5.json is empty");
+    let current = run_planner_comparison(&PlannerSettings::ci_gate());
+    for base in &baseline {
+        let cur = current
+            .iter()
+            .find(|m| m.name == base.name)
+            .unwrap_or_else(|| panic!("{}: scenario vanished from the planner sweep", base.name));
+        assert_eq!(
+            cur.planned_rows, base.planned_rows,
+            "{}: planned_rows drifted",
+            base.name
+        );
+        assert_eq!(
+            cur.written_rows, base.written_rows,
+            "{}: written_rows drifted",
+            base.name
+        );
+        assert_eq!(
+            cur.planned_probes, base.planned_probes,
+            "{}: planned_probes drifted",
+            base.name
+        );
+        assert_eq!(
+            cur.written_probes, base.written_probes,
+            "{}: written_probes drifted",
+            base.name
+        );
+        assert_eq!(
+            cur.atoms_reordered, base.atoms_reordered,
+            "{}: atoms_reordered drifted",
+            base.name
+        );
+        assert_eq!(
+            cur.est_rows, base.est_rows,
+            "{}: est_rows drifted",
+            base.name
+        );
+        assert!(
+            cur.equal,
+            "{}: planned/written/oracle outputs diverged",
+            base.name
+        );
+    }
+}

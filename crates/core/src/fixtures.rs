@@ -152,11 +152,12 @@ mod tests {
         // lossless.
         let fx = running_example();
         let ex = &fx.exreal;
+        let mut decoded = Vec::new();
         for row in &ex.rows {
             for a in row.monomial.occurrences() {
                 let loc = fx.db.locate(a).expect("example annotations resolve");
-                let decoded = fx.db.decode_row(loc.rel, loc.row);
-                for (col, v) in decoded.values().iter().enumerate() {
+                fx.db.decode_row_into(loc.rel, loc.row, &mut decoded);
+                for (col, v) in decoded.iter().enumerate() {
                     let id = fx
                         .db
                         .interner()

@@ -27,7 +27,7 @@
 use crate::loi::{loss_of_information, occurrence_loi, LoiDistribution};
 use crate::privacy::{compute_privacy, PrivacyCache, PrivacyConfig, PrivacyStats};
 use crate::{AbsRow, Abstraction, Bound};
-use provabs_relational::PlanMode;
+use provabs_relational::{Execution, PlanMode};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -119,6 +119,12 @@ pub struct SearchConfig {
     /// counter baselines pin [`PlanMode::Greedy`] here (the `bench::intern`
     /// harness does exactly that for `BENCH_3.json`).
     pub plan_queries: PlanMode,
+    /// The [`Execution`] for the same on-behalf-of evaluations as
+    /// [`SearchConfig::plan_queries`]: vectorized block execution by
+    /// default; harnesses replaying counter baselines recorded before the
+    /// block engine pin [`Execution::Scalar`] (alongside
+    /// [`PlanMode::Greedy`]) so `EvalWork` stays bit-identical.
+    pub execution: Execution,
 }
 
 impl Default for SearchConfig {
@@ -134,6 +140,7 @@ impl Default for SearchConfig {
             parallelism: None,
             memoize_abstractions: true,
             plan_queries: PlanMode::default(),
+            execution: Execution::default(),
         }
     }
 }

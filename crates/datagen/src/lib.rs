@@ -30,4 +30,4 @@ pub mod workload;
 
 pub use adversarial::{adversarial_order, adversarial_workloads};
 pub use churn::{recovery_stream, ChurnConfig, ChurnGenerator};
-pub use workload::{join_variants, kexample_for, kexample_for_mode, Workload};
+pub use workload::{join_variants, kexample_for, kexample_for_cfg, kexample_for_mode, Workload};

@@ -1,7 +1,7 @@
 //! Workload helpers: K-example construction and query scaling.
 
 use provabs_relational::{
-    eval_cq_counted_mode, Cq, Database, EvalLimits, KExample, PlanMode, Term,
+    Cq, Database, EvalLimits, Evaluator, Execution, KExample, PlanMode, Term,
 };
 use std::collections::HashSet;
 
@@ -34,25 +34,37 @@ pub fn kexample_for(db: &Database, query: &Cq, rows: usize) -> Option<KExample> 
 /// output-capped, and *which* outputs survive a cap depends on the atom
 /// order — so harnesses that replay checked-in baselines built before the
 /// cost-based planner pass [`PlanMode::Greedy`] to reproduce the same
-/// K-examples bit for bit.
+/// K-examples bit for bit. Execution is pinned to [`Execution::Scalar`]
+/// for the same reason (capped enumeration order differs per engine); use
+/// [`kexample_for_cfg`] to choose.
 pub fn kexample_for_mode(
     db: &Database,
     query: &Cq,
     rows: usize,
     mode: PlanMode,
 ) -> Option<KExample> {
+    kexample_for_cfg(db, query, rows, mode, Execution::Scalar)
+}
+
+/// [`kexample_for_mode`] under an explicit [`Execution`] as well.
+pub fn kexample_for_cfg(
+    db: &Database,
+    query: &Cq,
+    rows: usize,
+    mode: PlanMode,
+    exec: Execution,
+) -> Option<KExample> {
     if rows == 0 {
         return Some(KExample::default());
     }
-    let (out, _) = eval_cq_counted_mode(
-        db,
-        query,
-        EvalLimits {
+    let (out, _) = Evaluator::new(db)
+        .plan(mode)
+        .execution(exec)
+        .limits(EvalLimits {
             max_outputs: rows.saturating_mul(8).max(64),
             max_derivations: 2_000_000,
-        },
-        mode,
-    );
+        })
+        .eval_cq(query);
     let candidates = KExample::from_krelation(&out, usize::MAX);
     if candidates.len() < rows {
         return None;

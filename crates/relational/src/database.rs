@@ -288,13 +288,26 @@ impl Database {
     }
 
     /// Decodes row `row` of `rel` into an owned [`Tuple`].
+    ///
+    /// Allocates a fresh values vector per call; decode loops should reuse
+    /// a buffer through [`Database::decode_row_into`] instead.
     pub fn decode_row(&self, rel: RelId, row: usize) -> Tuple {
+        let mut out = Vec::new();
+        self.decode_row_into(rel, row, &mut out);
+        Tuple::new(out)
+    }
+
+    /// Decodes row `row` of `rel` into a reusable buffer (cleared first):
+    /// the allocation-free decode path for boundary consumers that walk
+    /// many rows.
+    pub fn decode_row_into(&self, rel: RelId, row: usize, out: &mut Vec<Value>) {
+        out.clear();
         let data = &self.relations[rel.0 as usize];
-        Tuple::new(
+        out.extend(
             data.columns
                 .iter()
                 .map(|col| self.values.value(col[row]).clone()),
-        )
+        );
     }
 
     /// Materializes the tuples of `rel` as owned values — a decode of the

@@ -43,6 +43,7 @@
 //! ```
 
 use crate::eval::{eval_cq_restricted, EvalWork, Restriction};
+use crate::exec::Execution;
 use crate::interned::{IKRelation, IKRelationDelta};
 use crate::plan::PlanMode;
 use crate::{Cq, Database, KRelation, RelId, Tuple, Ucq};
@@ -190,12 +191,13 @@ impl KRelationDelta {
 /// Sums the restricted evaluations over every pivot position whose relation
 /// holds affected rows. The parts *move* into the sum (interned ids, no
 /// polynomial clones).
-fn eval_delta_side(
+pub(crate) fn eval_delta_side(
     db: &Database,
     q: &Cq,
     set: &HashSet<AnnotId>,
     store: &mut ProvStore,
     mode: PlanMode,
+    exec: Execution,
 ) -> (IKRelation, EvalWork) {
     let mut out = IKRelation::default();
     let mut work = EvalWork::default();
@@ -228,6 +230,7 @@ fn eval_delta_side(
             },
             store,
             mode,
+            exec,
         );
         work.absorb(&w);
         out.absorb(store, part);
@@ -243,7 +246,14 @@ pub fn eval_cq_retractions(
     deletes: &HashSet<AnnotId>,
 ) -> (KRelation, EvalWork) {
     let mut store = ProvStore::new();
-    let (out, work) = eval_delta_side(db, q, deletes, &mut store, PlanMode::default());
+    let (out, work) = eval_delta_side(
+        db,
+        q,
+        deletes,
+        &mut store,
+        PlanMode::default(),
+        Execution::Scalar,
+    );
     (out.to_krelation(&store), work)
 }
 
@@ -255,7 +265,14 @@ pub fn eval_cq_additions(
     inserts: &HashSet<AnnotId>,
 ) -> (KRelation, EvalWork) {
     let mut store = ProvStore::new();
-    let (out, work) = eval_delta_side(db, q, inserts, &mut store, PlanMode::default());
+    let (out, work) = eval_delta_side(
+        db,
+        q,
+        inserts,
+        &mut store,
+        PlanMode::default(),
+        Execution::Scalar,
+    );
     (out.to_krelation(&store), work)
 }
 
@@ -267,11 +284,19 @@ pub fn eval_cq_retractions_interned(
     deletes: &HashSet<AnnotId>,
     store: &mut ProvStore,
 ) -> (IKRelation, EvalWork) {
-    eval_delta_side(db, q, deletes, store, PlanMode::default())
+    eval_delta_side(
+        db,
+        q,
+        deletes,
+        store,
+        PlanMode::default(),
+        Execution::Scalar,
+    )
 }
 
 /// [`eval_cq_retractions_interned`] under an explicit [`PlanMode`] (each
 /// pivot pass plans the body with the pivot leading).
+#[deprecated(note = "use Evaluator::new(db).plan(mode).interned(store).retractions_cq(q, deletes)")]
 pub fn eval_cq_retractions_interned_mode(
     db: &Database,
     q: &Cq,
@@ -279,7 +304,7 @@ pub fn eval_cq_retractions_interned_mode(
     store: &mut ProvStore,
     mode: PlanMode,
 ) -> (IKRelation, EvalWork) {
-    eval_delta_side(db, q, deletes, store, mode)
+    eval_delta_side(db, q, deletes, store, mode, Execution::Scalar)
 }
 
 /// [`eval_cq_additions`] trafficking in interned ids against a persistent
@@ -290,10 +315,18 @@ pub fn eval_cq_additions_interned(
     inserts: &HashSet<AnnotId>,
     store: &mut ProvStore,
 ) -> (IKRelation, EvalWork) {
-    eval_delta_side(db, q, inserts, store, PlanMode::default())
+    eval_delta_side(
+        db,
+        q,
+        inserts,
+        store,
+        PlanMode::default(),
+        Execution::Scalar,
+    )
 }
 
 /// [`eval_cq_additions_interned`] under an explicit [`PlanMode`].
+#[deprecated(note = "use Evaluator::new(db).plan(mode).interned(store).additions_cq(q, inserts)")]
 pub fn eval_cq_additions_interned_mode(
     db: &Database,
     q: &Cq,
@@ -301,7 +334,7 @@ pub fn eval_cq_additions_interned_mode(
     store: &mut ProvStore,
     mode: PlanMode,
 ) -> (IKRelation, EvalWork) {
-    eval_delta_side(db, q, inserts, store, mode)
+    eval_delta_side(db, q, inserts, store, mode, Execution::Scalar)
 }
 
 /// UCQ retractions: the sum of the disjuncts' retractions.
@@ -310,10 +343,20 @@ pub fn eval_ucq_retractions(
     u: &Ucq,
     deletes: &HashSet<AnnotId>,
 ) -> (KRelation, EvalWork) {
-    eval_ucq_retractions_mode(db, u, deletes, PlanMode::default())
+    let mut store = ProvStore::new();
+    let (out, work) = sum_disjuncts(
+        db,
+        u,
+        deletes,
+        &mut store,
+        PlanMode::default(),
+        Execution::Scalar,
+    );
+    (out.to_krelation(&store), work)
 }
 
 /// [`eval_ucq_retractions`] under an explicit [`PlanMode`].
+#[deprecated(note = "use Evaluator::new(db).plan(mode).retractions_ucq(u, deletes)")]
 pub fn eval_ucq_retractions_mode(
     db: &Database,
     u: &Ucq,
@@ -321,7 +364,7 @@ pub fn eval_ucq_retractions_mode(
     mode: PlanMode,
 ) -> (KRelation, EvalWork) {
     let mut store = ProvStore::new();
-    let (out, work) = sum_disjuncts(db, u, deletes, &mut store, mode);
+    let (out, work) = sum_disjuncts(db, u, deletes, &mut store, mode, Execution::Scalar);
     (out.to_krelation(&store), work)
 }
 
@@ -331,10 +374,20 @@ pub fn eval_ucq_additions(
     u: &Ucq,
     inserts: &HashSet<AnnotId>,
 ) -> (KRelation, EvalWork) {
-    eval_ucq_additions_mode(db, u, inserts, PlanMode::default())
+    let mut store = ProvStore::new();
+    let (out, work) = sum_disjuncts(
+        db,
+        u,
+        inserts,
+        &mut store,
+        PlanMode::default(),
+        Execution::Scalar,
+    );
+    (out.to_krelation(&store), work)
 }
 
 /// [`eval_ucq_additions`] under an explicit [`PlanMode`].
+#[deprecated(note = "use Evaluator::new(db).plan(mode).additions_ucq(u, inserts)")]
 pub fn eval_ucq_additions_mode(
     db: &Database,
     u: &Ucq,
@@ -342,21 +395,22 @@ pub fn eval_ucq_additions_mode(
     mode: PlanMode,
 ) -> (KRelation, EvalWork) {
     let mut store = ProvStore::new();
-    let (out, work) = sum_disjuncts(db, u, inserts, &mut store, mode);
+    let (out, work) = sum_disjuncts(db, u, inserts, &mut store, mode, Execution::Scalar);
     (out.to_krelation(&store), work)
 }
 
-fn sum_disjuncts(
+pub(crate) fn sum_disjuncts(
     db: &Database,
     u: &Ucq,
     set: &HashSet<AnnotId>,
     store: &mut ProvStore,
     mode: PlanMode,
+    exec: Execution,
 ) -> (IKRelation, EvalWork) {
     let mut out = IKRelation::default();
     let mut work = EvalWork::default();
     for d in &u.disjuncts {
-        let (part, w) = eval_delta_side(db, d, set, store, mode);
+        let (part, w) = eval_delta_side(db, d, set, store, mode, exec);
         work.absorb(&w);
         out.absorb(store, part);
     }
@@ -391,21 +445,20 @@ pub fn apply_delta_with_queries(
     delta: &Delta,
     queries: &[Cq],
 ) -> DeltaEvalOutcome {
-    apply_delta_with_queries_mode(db, delta, queries, PlanMode::default())
+    apply_delta_owned_impl(db, delta, queries, PlanMode::default(), Execution::Scalar)
 }
 
-/// [`apply_delta_with_queries`] under an explicit [`PlanMode`] — every
-/// retraction and addition pass plans its pivot-restricted body with `mode`
-/// (harnesses replaying checked-in counter baselines pass
-/// [`PlanMode::Greedy`]).
-pub fn apply_delta_with_queries_mode(
+/// Owned-boundary implementation behind [`apply_delta_with_queries`], its
+/// deprecated `_mode` shim, and [`Updater`](crate::Updater).
+pub(crate) fn apply_delta_owned_impl(
     db: &mut Database,
     delta: &Delta,
     queries: &[Cq],
     mode: PlanMode,
+    exec: Execution,
 ) -> DeltaEvalOutcome {
     let mut store = ProvStore::new();
-    let out = apply_delta_with_queries_interned_mode(db, delta, queries, &mut store, mode);
+    let out = apply_delta_impl(db, delta, queries, &mut store, mode, exec);
     DeltaEvalOutcome {
         deltas: out
             .deltas
@@ -415,6 +468,20 @@ pub fn apply_delta_with_queries_mode(
         applied: out.applied,
         work: out.work,
     }
+}
+
+/// [`apply_delta_with_queries`] under an explicit [`PlanMode`] — every
+/// retraction and addition pass plans its pivot-restricted body with `mode`
+/// (harnesses replaying checked-in counter baselines pass
+/// [`PlanMode::Greedy`]).
+#[deprecated(note = "use Updater::new().plan(mode).apply(db, delta, queries)")]
+pub fn apply_delta_with_queries_mode(
+    db: &mut Database,
+    delta: &Delta,
+    queries: &[Cq],
+    mode: PlanMode,
+) -> DeltaEvalOutcome {
+    apply_delta_owned_impl(db, delta, queries, mode, Execution::Scalar)
 }
 
 /// The interned full incremental-maintenance cycle (see
@@ -438,16 +505,37 @@ pub fn apply_delta_with_queries_interned(
     queries: &[Cq],
     store: &mut ProvStore,
 ) -> IDeltaEvalOutcome {
-    apply_delta_with_queries_interned_mode(db, delta, queries, store, PlanMode::default())
+    apply_delta_impl(
+        db,
+        delta,
+        queries,
+        store,
+        PlanMode::default(),
+        Execution::Scalar,
+    )
 }
 
 /// [`apply_delta_with_queries_interned`] under an explicit [`PlanMode`].
+#[deprecated(note = "use Updater::new().plan(mode).apply_interned(db, delta, queries, store)")]
 pub fn apply_delta_with_queries_interned_mode(
     db: &mut Database,
     delta: &Delta,
     queries: &[Cq],
     store: &mut ProvStore,
     mode: PlanMode,
+) -> IDeltaEvalOutcome {
+    apply_delta_impl(db, delta, queries, store, mode, Execution::Scalar)
+}
+
+/// The interned full-cycle implementation every shim and
+/// [`Updater`](crate::Updater) routes through.
+pub(crate) fn apply_delta_impl(
+    db: &mut Database,
+    delta: &Delta,
+    queries: &[Cq],
+    store: &mut ProvStore,
+    mode: PlanMode,
+    exec: Execution,
 ) -> IDeltaEvalOutcome {
     let deletes: HashSet<AnnotId> = delta
         .deletes
@@ -458,7 +546,7 @@ pub fn apply_delta_with_queries_interned_mode(
     let mut work = EvalWork::default();
     let mut removed_parts = Vec::with_capacity(queries.len());
     for q in queries {
-        let (removed, w) = eval_delta_side(db, q, &deletes, store, mode);
+        let (removed, w) = eval_delta_side(db, q, &deletes, store, mode, exec);
         work.absorb(&w);
         removed_parts.push(removed);
     }
@@ -468,7 +556,7 @@ pub fn apply_delta_with_queries_interned_mode(
         .iter()
         .zip(removed_parts)
         .map(|(q, removed)| {
-            let (added, w) = eval_delta_side(db, q, &inserts, store, mode);
+            let (added, w) = eval_delta_side(db, q, &inserts, store, mode, exec);
             work.absorb(&w);
             IKRelationDelta { added, removed }
         })

@@ -5,13 +5,22 @@
 //! summing, over all derivations yielding the tuple, the product of the
 //! annotations of the derivation's image.
 //!
-//! There is exactly **one** join engine ([`run_engine`]) and it traffics in
-//! dictionary ids end-to-end: query constants are resolved to [`ValueId`]s
-//! once per evaluation, variable bindings hold ids, index probes hash ids,
-//! and owned [`Tuple`]s are materialized only when the accumulated outputs
-//! decode at the end. The owned entry points ([`eval_cq`], [`eval_ucq`])
-//! are thin decode shims over the interned ones.
+//! There is exactly **one** evaluation pipeline ([`run_engine`]) and it
+//! traffics in dictionary ids end-to-end: query constants are resolved to
+//! [`ValueId`]s once per evaluation, variable bindings hold ids, index
+//! probes hash ids, and owned [`Tuple`]s are materialized only when the
+//! accumulated outputs decode at the end. The owned entry points
+//! ([`eval_cq`], [`eval_ucq`]) are thin decode shims over the interned
+//! ones.
+//!
+//! The pipeline dispatches on [`Execution`]: the vectorized block engine
+//! ([`crate::exec`]) by default, or the scalar backtracking engine in this
+//! module — the replay mode whose counters the PR 2–6 gates pin. Prefer the
+//! [`Evaluator`](crate::Evaluator) builder over the free functions below;
+//! the `*_mode` matrix survives only as `#[deprecated]` shims (all pinned to
+//! [`Execution::Scalar`], matching their historical behavior).
 
+use crate::exec::Execution;
 use crate::interned::IKRelation;
 use crate::plan::{plan_cq_with_costs, AtomCost, PlanMode, PlanTrace, PlanWork, QueryPlan};
 use crate::vintern::{ValueId, ID_WIDTH, VALUE_MOVE_WIDTH};
@@ -134,17 +143,48 @@ pub struct EvalWork {
     pub rows_examined: u64,
     /// Derivations emitted.
     pub derivations: u64,
-    /// Index probes issued (one per bound column per atom visit).
+    /// Index probes issued. The scalar engine probes once per bound column
+    /// per atom visit; the block engine probes each query constant once per
+    /// evaluation and each *distinct* variable id once per block per bound
+    /// column (sorted-index lookups, not hashes).
     pub probes: u64,
-    /// Bytes the probes fed the hasher: 4 per probe (a [`ValueId`]).
+    /// Bytes the probes fed a **hasher**: 4 per hash probe (a [`ValueId`]).
+    /// Every scalar probe hashes, so `probe_bytes_id == probes * 4` there;
+    /// block-path variable probes gallop a sorted index instead of hashing
+    /// (their search work lands in `gallop_steps`), so only the
+    /// once-per-evaluation constant probes count here.
     pub probe_bytes_id: u64,
     /// Bytes the same probes would have hashed on the owned path
     /// (discriminant + payload of each probed [`crate::Value`]).
     pub probe_bytes_value: u64,
     /// Bytes moved into variable bindings and output accumulation as ids.
+    /// The scalar engine moves 4 bytes per newly bound variable per visited
+    /// row; the block engine moves 8 bytes per surviving row (the row id and
+    /// its parent pointer — bindings resolve through the block spine, never
+    /// gathered). Both move 4 bytes per head variable per derivation.
     pub moved_bytes_id: u64,
     /// Bytes the same moves would have cloned as owned [`crate::Value`]s.
     pub moved_bytes_value: u64,
+    /// Blocks the vectorized pipeline emitted downstream (0 under
+    /// [`Execution::Scalar`]).
+    pub blocks_emitted: u64,
+    /// Candidate rows that survived the block engine's Select pass into an
+    /// output block (0 under [`Execution::Scalar`]).
+    pub selection_survivors: u64,
+    /// Comparison steps of the block engine's sorted-merge/galloping
+    /// searches — the hash-free counterpart of `probe_bytes_id` (0 under
+    /// [`Execution::Scalar`]).
+    pub gallop_steps: u64,
+    /// Bytes crossing physical-operator boundaries. A tuple-at-a-time
+    /// pipeline materializes every Select survivor's intermediate tuple —
+    /// the bound columns plus the provenance prefix, 4 bytes each — and
+    /// hands it to the next operator; the block pipeline hands a row id
+    /// and a parent pointer (8 bytes per survivor) and gathers key and
+    /// provenance columns through the block spine only at Materialize.
+    /// Like `moved_bytes_value`, the scalar column is an exact replay of
+    /// the identical evaluation, not an estimate; `BENCH_7.json` diffs the
+    /// two.
+    pub boundary_bytes: u64,
     /// Planner counters: queries planned, atoms reordered, estimated rows
     /// (see [`PlanWork`]).
     pub plan: PlanWork,
@@ -160,6 +200,10 @@ impl EvalWork {
         self.probe_bytes_value += other.probe_bytes_value;
         self.moved_bytes_id += other.moved_bytes_id;
         self.moved_bytes_value += other.moved_bytes_value;
+        self.blocks_emitted += other.blocks_emitted;
+        self.selection_survivors += other.selection_survivors;
+        self.gallop_steps += other.gallop_steps;
+        self.boundary_bytes += other.boundary_bytes;
         self.plan.absorb(&other.plan);
     }
 }
@@ -187,7 +231,21 @@ pub fn eval_cq_limited(db: &Database, q: &Cq, limits: EvalLimits) -> KRelation {
 /// [`eval_cq_counted_interned`] so the arena's hash-consing and operation
 /// memos carry across evaluations.
 pub fn eval_cq_counted(db: &Database, q: &Cq, limits: EvalLimits) -> (KRelation, EvalWork) {
-    eval_cq_counted_mode(db, q, limits, PlanMode::default())
+    eval_cq_owned_impl(db, q, limits, PlanMode::default(), Execution::Scalar)
+}
+
+/// Owned-boundary implementation behind [`eval_cq_counted`], the deprecated
+/// `_mode` shim, and [`Evaluator`](crate::Evaluator).
+pub(crate) fn eval_cq_owned_impl(
+    db: &Database,
+    q: &Cq,
+    limits: EvalLimits,
+    mode: PlanMode,
+    exec: Execution,
+) -> (KRelation, EvalWork) {
+    let mut store = ProvStore::new();
+    let (out, work) = run_engine(db, q, limits, None, &mut store, mode, exec);
+    (out.to_krelation(&store), work)
 }
 
 /// [`eval_cq_counted`] under an explicit [`PlanMode`].
@@ -197,29 +255,40 @@ pub fn eval_cq_counted(db: &Database, q: &Cq, limits: EvalLimits) -> (KRelation,
 /// Under [`EvalLimits`] truncation, *which* outputs survive the cap depends
 /// on enumeration order and therefore on the plan — callers replaying
 /// checked-in counter baselines pass [`PlanMode::Greedy`].
+#[deprecated(note = "use Evaluator::new(db).plan(mode).limits(limits).eval_cq(q)")]
 pub fn eval_cq_counted_mode(
     db: &Database,
     q: &Cq,
     limits: EvalLimits,
     mode: PlanMode,
 ) -> (KRelation, EvalWork) {
-    let mut store = ProvStore::new();
-    let (out, work) = run_engine(db, q, limits, None, &mut store, mode);
-    (out.to_krelation(&store), work)
+    eval_cq_owned_impl(db, q, limits, mode, Execution::Scalar)
 }
 
-/// [`eval_cq_counted_mode`] also returning the executed [`QueryPlan`] and
-/// the engine's per-step actual row counts — the estimated-versus-actual
-/// diagnostic surface of the planner (`bench::planner` logs it; tests pin
-/// expected plans through it).
+/// [`eval_cq_counted`] under an explicit [`PlanMode`], also returning the
+/// executed [`QueryPlan`] and the engine's per-step actual row counts — the
+/// estimated-versus-actual diagnostic surface of the planner
+/// (`bench::planner` logs it; tests pin expected plans through it).
 pub fn eval_cq_traced(
     db: &Database,
     q: &Cq,
     limits: EvalLimits,
     mode: PlanMode,
 ) -> (KRelation, EvalWork, PlanTrace) {
+    eval_cq_traced_impl(db, q, limits, mode, Execution::Scalar)
+}
+
+/// Implementation behind [`eval_cq_traced`] and
+/// [`Evaluator::eval_cq_traced`](crate::Evaluator::eval_cq_traced).
+pub(crate) fn eval_cq_traced_impl(
+    db: &Database,
+    q: &Cq,
+    limits: EvalLimits,
+    mode: PlanMode,
+    exec: Execution,
+) -> (KRelation, EvalWork, PlanTrace) {
     let mut store = ProvStore::new();
-    let (out, work, trace) = run_engine_traced(db, q, limits, None, &mut store, mode);
+    let (out, work, trace) = run_engine_traced(db, q, limits, None, &mut store, mode, exec);
     (out.to_krelation(&store), work, trace)
 }
 
@@ -231,10 +300,19 @@ pub fn eval_cq_counted_interned(
     limits: EvalLimits,
     store: &mut ProvStore,
 ) -> (IKRelation, EvalWork) {
-    run_engine(db, q, limits, None, store, PlanMode::default())
+    run_engine(
+        db,
+        q,
+        limits,
+        None,
+        store,
+        PlanMode::default(),
+        Execution::Scalar,
+    )
 }
 
 /// [`eval_cq_counted_interned`] under an explicit [`PlanMode`].
+#[deprecated(note = "use Evaluator::new(db).plan(mode).limits(limits).interned(store).eval_cq(q)")]
 pub fn eval_cq_counted_interned_mode(
     db: &Database,
     q: &Cq,
@@ -242,7 +320,7 @@ pub fn eval_cq_counted_interned_mode(
     store: &mut ProvStore,
     mode: PlanMode,
 ) -> (IKRelation, EvalWork) {
-    run_engine(db, q, limits, None, store, mode)
+    run_engine(db, q, limits, None, store, mode, Execution::Scalar)
 }
 
 /// Restriction of an evaluation to derivations through a *pivot* atom
@@ -268,15 +346,37 @@ pub(crate) fn eval_cq_restricted(
     restriction: Restriction<'_>,
     store: &mut ProvStore,
     mode: PlanMode,
+    exec: Execution,
 ) -> (IKRelation, EvalWork) {
-    run_engine(db, q, EvalLimits::default(), Some(restriction), store, mode)
+    run_engine(
+        db,
+        q,
+        EvalLimits::default(),
+        Some(restriction),
+        store,
+        mode,
+        exec,
+    )
+}
+
+/// Interned implementation behind the deprecated `_mode` shims and
+/// [`InternedEvaluator`](crate::InternedEvaluator).
+pub(crate) fn eval_cq_interned_impl(
+    db: &Database,
+    q: &Cq,
+    limits: EvalLimits,
+    store: &mut ProvStore,
+    mode: PlanMode,
+    exec: Execution,
+) -> (IKRelation, EvalWork) {
+    run_engine(db, q, limits, None, store, mode, exec)
 }
 
 /// One compiled body-atom position: the variable, or the constant resolved
 /// against the value dictionary (`id: None` when the constant was never
 /// interned — no stored row can match it). `width` carries the owned-path
 /// hash cost of the constant for the counterfactual probe counter.
-enum Slot {
+pub(crate) enum Slot {
     Var(VarId),
     Const { id: Option<ValueId>, width: u64 },
 }
@@ -287,8 +387,9 @@ enum Slot {
 /// once at the end): monomial ids with multiplicities. Outputs intern their
 /// *final* polynomial once when the engine finishes, so the arena never
 /// retains accumulation prefixes.
-type Accum = BTreeMap<Vec<ValueId>, BTreeMap<provabs_semiring::MonoId, u64>>;
+pub(crate) type Accum = BTreeMap<Vec<ValueId>, BTreeMap<provabs_semiring::MonoId, u64>>;
 
+#[allow(clippy::too_many_arguments)]
 fn run_engine(
     db: &Database,
     q: &Cq,
@@ -296,11 +397,13 @@ fn run_engine(
     restrict: Option<Restriction<'_>>,
     store: &mut ProvStore,
     mode: PlanMode,
+    exec: Execution,
 ) -> (IKRelation, EvalWork) {
-    let (out, work, _) = run_engine_traced(db, q, limits, restrict, store, mode);
+    let (out, work, _) = run_engine_traced(db, q, limits, restrict, store, mode, exec);
     (out, work)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_engine_traced(
     db: &Database,
     q: &Cq,
@@ -308,6 +411,7 @@ fn run_engine_traced(
     restrict: Option<Restriction<'_>>,
     store: &mut ProvStore,
     mode: PlanMode,
+    exec: Execution,
 ) -> (IKRelation, EvalWork, PlanTrace) {
     let empty_trace = || PlanTrace {
         plan: QueryPlan {
@@ -360,29 +464,51 @@ fn run_engine_traced(
     let order = plan.atom_order();
     let mut work = EvalWork::default();
     work.plan.record(&plan);
-    let mut engine = Engine {
-        db,
-        q,
-        compiled,
-        head_vars,
-        limits,
-        derivations: 0,
-        work,
-        depth_rows: vec![0; order.len()],
-        out: &mut acc,
-        store,
-        order,
-        restrict,
+    let (work, actual_rows) = match exec {
+        Execution::Scalar => {
+            let mut engine = Engine {
+                db,
+                q,
+                compiled,
+                head_vars,
+                limits,
+                derivations: 0,
+                work,
+                depth_rows: vec![0; order.len()],
+                out: &mut acc,
+                store,
+                order,
+                restrict,
+                key_buf: Vec::new(),
+            };
+            let mut bindings: HashMap<VarId, ValueId> = HashMap::new();
+            let mut image: Vec<provabs_semiring::AnnotId> = Vec::with_capacity(q.body.len());
+            engine.solve(0, &mut bindings, &mut image);
+            let actual_rows = std::mem::take(&mut engine.depth_rows);
+            let mut work = engine.work;
+            work.derivations = engine.derivations as u64;
+            (work, actual_rows)
+        }
+        Execution::Block { block_size } => {
+            let mut depth_rows = vec![0u64; order.len()];
+            work.derivations = crate::exec::run_block(
+                db,
+                q,
+                &compiled,
+                &head_vars,
+                limits,
+                restrict.as_ref(),
+                &plan,
+                store,
+                &mut acc,
+                &mut work,
+                &mut depth_rows,
+                block_size,
+            );
+            (work, depth_rows)
+        }
     };
-    let mut bindings: HashMap<VarId, ValueId> = HashMap::new();
-    let mut image: Vec<provabs_semiring::AnnotId> = Vec::with_capacity(q.body.len());
-    engine.solve(0, &mut bindings, &mut image);
-    let trace = PlanTrace {
-        plan,
-        actual_rows: std::mem::take(&mut engine.depth_rows),
-    };
-    let mut work = engine.work;
-    work.derivations = engine.derivations as u64;
+    let trace = PlanTrace { plan, actual_rows };
     // Decode boundary: each distinct output materializes its owned tuple
     // exactly once, interleaving head constants with the accumulated
     // variable bindings.
@@ -417,23 +543,39 @@ pub fn eval_ucq(db: &Database, u: &Ucq) -> KRelation {
 /// into the sum (no polynomial clones) and the arena memos persist for the
 /// caller's next evaluation.
 pub fn eval_ucq_interned(db: &Database, u: &Ucq, store: &mut ProvStore) -> IKRelation {
-    eval_ucq_interned_mode(db, u, store, PlanMode::default())
+    eval_ucq_interned_impl(db, u, store, PlanMode::default(), Execution::Scalar).0
 }
 
 /// [`eval_ucq_interned`] under an explicit [`PlanMode`] (each disjunct is
 /// planned independently).
+#[deprecated(note = "use Evaluator::new(db).plan(mode).interned(store).eval_ucq(u)")]
 pub fn eval_ucq_interned_mode(
     db: &Database,
     u: &Ucq,
     store: &mut ProvStore,
     mode: PlanMode,
 ) -> IKRelation {
+    eval_ucq_interned_impl(db, u, store, mode, Execution::Scalar).0
+}
+
+/// UCQ implementation behind the shims and
+/// [`InternedEvaluator`](crate::InternedEvaluator): sums the disjuncts'
+/// outputs and work.
+pub(crate) fn eval_ucq_interned_impl(
+    db: &Database,
+    u: &Ucq,
+    store: &mut ProvStore,
+    mode: PlanMode,
+    exec: Execution,
+) -> (IKRelation, EvalWork) {
     let mut out = IKRelation::default();
+    let mut work = EvalWork::default();
     for d in &u.disjuncts {
-        let (part, _) = run_engine(db, d, EvalLimits::default(), None, store, mode);
+        let (part, dwork) = run_engine(db, d, EvalLimits::default(), None, store, mode, exec);
+        work.absorb(&dwork);
         out.absorb(store, part);
     }
-    out
+    (out, work)
 }
 
 /// Evaluates a batch of CQs across `workers` scoped threads sharing one
@@ -539,6 +681,9 @@ struct Engine<'a> {
     store: &'a mut ProvStore,
     order: Vec<usize>,
     restrict: Option<Restriction<'a>>,
+    /// Scratch for the output key: reused across derivations, cloned only
+    /// when a new output first enters the accumulator.
+    key_buf: Vec<ValueId>,
 }
 
 impl Engine<'_> {
@@ -555,11 +700,19 @@ impl Engine<'_> {
         if depth == self.order.len() {
             // Emit one derivation: the output key is the head variables'
             // bindings — 4 bytes each, where the owned engine cloned a
-            // `Value` per head position.
-            let key: Vec<ValueId> = self.head_vars.iter().map(|v| bindings[v]).collect();
-            self.work.moved_bytes_id += ID_WIDTH * key.len() as u64;
+            // `Value` per head position. The key lands in a scratch buffer
+            // and allocates only when the output is new.
+            let Engine {
+                head_vars, key_buf, ..
+            } = self;
+            key_buf.clear();
+            key_buf.extend(head_vars.iter().map(|v| bindings[v]));
+            self.work.moved_bytes_id += ID_WIDTH * self.key_buf.len() as u64;
             self.work.moved_bytes_value += VALUE_MOVE_WIDTH * self.q.head.len() as u64;
-            let is_new = !self.out.contains_key(&key);
+            // Materialize projects the head columns out of the tuple it
+            // received.
+            self.work.boundary_bytes += ID_WIDTH * self.key_buf.len() as u64;
+            let is_new = !self.out.contains_key(self.key_buf.as_slice());
             if is_new && self.out.len() >= self.limits.max_outputs {
                 return true; // skip new outputs, keep exploring existing ones
             }
@@ -569,7 +722,15 @@ impl Engine<'_> {
             let mono = self
                 .store
                 .intern_monomial(Monomial::from_annots(image.iter().copied()));
-            let coeff = self.out.entry(key).or_default().entry(mono).or_insert(0);
+            if is_new {
+                self.out.insert(self.key_buf.clone(), BTreeMap::new());
+            }
+            let coeff = self
+                .out
+                .get_mut(self.key_buf.as_slice())
+                .expect("accumulator entry just ensured")
+                .entry(mono)
+                .or_insert(0);
             *coeff = coeff.saturating_add(1);
             self.derivations += 1;
             return true;
@@ -674,6 +835,10 @@ impl Engine<'_> {
                 }
             }
             image.push(annots[row]);
+            // The tuple-at-a-time operator boundary: the survivor's full
+            // intermediate tuple — every bound column plus the provenance
+            // prefix — crosses to the next operator.
+            self.work.boundary_bytes += ID_WIDTH * (bindings.len() + image.len()) as u64;
             keep_going = self.solve(depth + 1, bindings, image);
             image.pop();
             for v in newly_bound {
@@ -817,11 +982,14 @@ mod tests {
             crate::PlanMode::Greedy,
             crate::PlanMode::WrittenOrder,
         ] {
-            let (out, work) = super::eval_cq_counted_mode(&db, &q, EvalLimits::default(), mode);
-            assert!(out.is_empty(), "{mode:?}");
-            assert_eq!(work.rows_examined, 0, "{mode:?}: examined candidate rows");
-            assert_eq!(work.probes, 0, "{mode:?}: issued index probes");
-            assert_eq!(work.plan.queries_planned, 0, "{mode:?}: planned anyway");
+            for exec in [Execution::Scalar, Execution::default()] {
+                let (out, work) =
+                    super::eval_cq_owned_impl(&db, &q, EvalLimits::default(), mode, exec);
+                assert!(out.is_empty(), "{mode:?}/{exec:?}");
+                assert_eq!(work.rows_examined, 0, "{mode:?}/{exec:?}: examined rows");
+                assert_eq!(work.probes, 0, "{mode:?}/{exec:?}: issued index probes");
+                assert_eq!(work.plan.queries_planned, 0, "{mode:?}/{exec:?}: planned");
+            }
         }
         // The delta path short-circuits identically.
         let deletes: std::collections::HashSet<_> =
@@ -920,6 +1088,44 @@ mod tests {
         // Deterministic: same database, same query, same counters.
         let (_, again) = eval_cq_counted(&db, &q, EvalLimits::default());
         assert_eq!(work, again);
+    }
+
+    #[test]
+    fn block_execution_matches_scalar_and_moves_less() {
+        let db = figure1_db();
+        let queries = [
+            "Q(id) :- Person(id, name, age), Hobbies(id, 'Dance', src1), Interests(id, 'Music', src2)",
+            "Q(a, b) :- Hobbies(a, h, s1), Hobbies(b, h, s2)",
+            "Q(id, h) :- Hobbies(id, h, s), Interests(id, i, s2)",
+            "Q(id) :- Hobbies(id, h, s)",
+        ];
+        for (i, text) in queries.iter().enumerate() {
+            let q = parse_cq(text, db.schema()).unwrap();
+            let (scalar, swork) = super::eval_cq_owned_impl(
+                &db,
+                &q,
+                EvalLimits::default(),
+                crate::PlanMode::CostBased,
+                Execution::Scalar,
+            );
+            // Scalar replay never touches the block counters (the perf
+            // gates bit-diff EvalWork).
+            assert_eq!(swork.blocks_emitted, 0, "query {i}");
+            assert_eq!(swork.selection_survivors, 0, "query {i}");
+            assert_eq!(swork.gallop_steps, 0, "query {i}");
+            for block_size in [1, 2, 3, crate::exec::DEFAULT_BLOCK_SIZE] {
+                let (block, bwork) = super::eval_cq_owned_impl(
+                    &db,
+                    &q,
+                    EvalLimits::default(),
+                    crate::PlanMode::CostBased,
+                    Execution::Block { block_size },
+                );
+                assert_eq!(block, scalar, "query {i} block_size {block_size}");
+                assert_eq!(bwork.derivations, swork.derivations);
+                assert!(bwork.blocks_emitted > 0, "query {i}");
+            }
+        }
     }
 
     #[test]

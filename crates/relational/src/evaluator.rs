@@ -1,0 +1,403 @@
+//! The [`Evaluator`] builder: one front door for every evaluation variant.
+//!
+//! Historically each combination of {CQ, UCQ} × {owned, interned} ×
+//! {plain, limited, counted, delta-restricted} × {default, explicit
+//! [`PlanMode`]} grew its own free function, ending in a
+//! `eval_cq_counted_interned_mode`-style matrix. The builder collapses the
+//! matrix into configuration:
+//!
+//! ```
+//! use provabs_relational::{parse_cq, Database, Evaluator, Execution, PlanMode};
+//!
+//! let mut db = Database::new();
+//! let r = db.add_relation("R", &["a", "b"]);
+//! db.insert_str(r, "t1", &["1", "2"]);
+//! db.insert_str(r, "t2", &["2", "3"]);
+//! db.build_indexes();
+//! let q = parse_cq("Q(x, z) :- R(x, y), R(y, z)", db.schema()).unwrap();
+//!
+//! let eval = Evaluator::new(&db); // cost-based plan, block execution
+//! let (out, work) = eval.eval_cq(&q);
+//! assert_eq!(out.len(), 1);
+//!
+//! // The same evaluation, replayed through the scalar engine: identical
+//! // output, scalar counter semantics.
+//! let (replay, _) = eval.execution(Execution::Scalar).eval_cq(&q);
+//! assert_eq!(replay, out);
+//! # let _ = PlanMode::default();
+//! ```
+//!
+//! An evaluator borrows the database immutably, so it cannot drive
+//! [`Database::apply_delta`]; the update cycle lives on [`Updater`], which
+//! holds only configuration and borrows the database per call:
+//!
+//! ```
+//! use provabs_relational::{parse_cq, Database, Delta, Tuple, Updater};
+//!
+//! let mut db = Database::new();
+//! let r = db.add_relation("R", &["a"]);
+//! db.insert_str(r, "t1", &["1"]);
+//! db.build_indexes();
+//! let q = parse_cq("Q(x) :- R(x)", db.schema()).unwrap();
+//! let mut delta = Delta::new();
+//! delta.insert(r, "t2", Tuple::parse(&["2"]));
+//!
+//! let out = Updater::new().apply(&mut db, &delta, std::slice::from_ref(&q));
+//! assert_eq!(out.deltas.len(), 1);
+//! ```
+
+use crate::delta::{
+    apply_delta_impl, apply_delta_owned_impl, eval_delta_side, sum_disjuncts, Delta,
+    DeltaEvalOutcome, IDeltaEvalOutcome,
+};
+use crate::eval::{
+    eval_cq_interned_impl, eval_cq_owned_impl, eval_cq_traced_impl, eval_ucq_interned_impl,
+    EvalLimits, EvalWork, KRelation,
+};
+use crate::exec::Execution;
+use crate::interned::IKRelation;
+use crate::plan::{PlanMode, PlanTrace};
+use crate::{Cq, Database, Ucq};
+use provabs_semiring::{AnnotId, ProvStore};
+use std::collections::HashSet;
+
+/// A configured evaluation front end over a borrowed [`Database`].
+///
+/// Construction is free — an `Evaluator` is a [`PlanMode`], an
+/// [`Execution`] and [`EvalLimits`] next to a `&Database`; build one per
+/// call site or keep one around, as convenient. All configuration methods
+/// are chainable and copy the evaluator ([`Evaluator`] is `Copy`).
+///
+/// Owned results decode provenance into [`KRelation`]s through a throwaway
+/// arena per call. Callers evaluating repeatedly should pass a persistent
+/// [`ProvStore`] to [`Evaluator::interned`] and traffic in
+/// [`IKRelation`]s, so hash-consing and operation memos carry across
+/// evaluations.
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluator<'db> {
+    db: &'db Database,
+    mode: PlanMode,
+    exec: Execution,
+    limits: EvalLimits,
+}
+
+impl<'db> Evaluator<'db> {
+    /// An evaluator with the default configuration: cost-based planning,
+    /// vectorized block execution, no limits.
+    pub fn new(db: &'db Database) -> Self {
+        Evaluator {
+            db,
+            mode: PlanMode::default(),
+            exec: Execution::default(),
+            limits: EvalLimits::default(),
+        }
+    }
+
+    /// Selects the join order policy (see [`PlanMode`]).
+    pub fn plan(mut self, mode: PlanMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Selects the physical execution (see [`Execution`]). Harnesses
+    /// replaying counter baselines recorded before the block engine pass
+    /// [`Execution::Scalar`].
+    pub fn execution(mut self, exec: Execution) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Caps derivations and distinct outputs (see [`EvalLimits`]).
+    pub fn limits(mut self, limits: EvalLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The configured plan mode.
+    pub fn plan_mode(&self) -> PlanMode {
+        self.mode
+    }
+
+    /// The configured execution.
+    pub fn execution_mode(&self) -> Execution {
+        self.exec
+    }
+
+    /// Evaluates a CQ, returning the owned K-relation and work counters.
+    pub fn eval_cq(&self, q: &Cq) -> (KRelation, EvalWork) {
+        eval_cq_owned_impl(self.db, q, self.limits, self.mode, self.exec)
+    }
+
+    /// [`Evaluator::eval_cq`] also returning the executed plan and per-step
+    /// actual row counts.
+    pub fn eval_cq_traced(&self, q: &Cq) -> (KRelation, EvalWork, PlanTrace) {
+        eval_cq_traced_impl(self.db, q, self.limits, self.mode, self.exec)
+    }
+
+    /// Evaluates a UCQ (the sum of its disjuncts, each planned
+    /// independently and evaluated without limits).
+    pub fn eval_ucq(&self, u: &Ucq) -> (KRelation, EvalWork) {
+        let mut store = ProvStore::new();
+        let (out, work) = eval_ucq_interned_impl(self.db, u, &mut store, self.mode, self.exec);
+        (out.to_krelation(&store), work)
+    }
+
+    /// The provenance retracted by deleting the tuples tagged by `deletes`
+    /// (evaluate **before** applying the delta).
+    pub fn retractions_cq(&self, q: &Cq, deletes: &HashSet<AnnotId>) -> (KRelation, EvalWork) {
+        let mut store = ProvStore::new();
+        let (out, work) = eval_delta_side(self.db, q, deletes, &mut store, self.mode, self.exec);
+        (out.to_krelation(&store), work)
+    }
+
+    /// The provenance added by the tuples tagged by `inserts` (evaluate
+    /// **after** applying the delta).
+    pub fn additions_cq(&self, q: &Cq, inserts: &HashSet<AnnotId>) -> (KRelation, EvalWork) {
+        self.retractions_cq(q, inserts)
+    }
+
+    /// UCQ retractions: the sum of the disjuncts' retractions.
+    pub fn retractions_ucq(&self, u: &Ucq, deletes: &HashSet<AnnotId>) -> (KRelation, EvalWork) {
+        let mut store = ProvStore::new();
+        let (out, work) = sum_disjuncts(self.db, u, deletes, &mut store, self.mode, self.exec);
+        (out.to_krelation(&store), work)
+    }
+
+    /// UCQ additions: the sum of the disjuncts' additions.
+    pub fn additions_ucq(&self, u: &Ucq, inserts: &HashSet<AnnotId>) -> (KRelation, EvalWork) {
+        self.retractions_ucq(u, inserts)
+    }
+
+    /// Evaluates a batch of CQs across `workers` scoped threads sharing the
+    /// borrowed database (work-stealing, results in input order — the
+    /// configured counterpart of [`crate::eval_cqs_parallel`]).
+    pub fn eval_batch(&self, queries: &[Cq], workers: usize) -> Vec<(KRelation, EvalWork)> {
+        let workers = workers.max(1).min(queries.len().max(1));
+        if workers <= 1 || queries.len() <= 1 {
+            return queries.iter().map(|q| self.eval_cq(q)).collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<(KRelation, EvalWork)>> = Vec::new();
+        slots.resize_with(queries.len(), || None);
+        let slots = std::sync::Mutex::new(slots);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let (next, slots) = (&next, &slots);
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let out = self.eval_cq(&queries[i]);
+                    slots.lock().expect("result lock poisoned")[i] = Some(out);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("result lock poisoned")
+            .into_iter()
+            .map(|r| r.expect("every query slot filled"))
+            .collect()
+    }
+
+    /// Binds a persistent [`ProvStore`]: results come back as
+    /// [`IKRelation`]s whose provenance lives in the store.
+    pub fn interned<'s>(&self, store: &'s mut ProvStore) -> InternedEvaluator<'db, 's> {
+        InternedEvaluator {
+            db: self.db,
+            mode: self.mode,
+            exec: self.exec,
+            limits: self.limits,
+            store,
+        }
+    }
+
+    /// An [`Updater`] carrying this evaluator's plan mode and execution
+    /// (the update cycle needs `&mut Database`, which the evaluator's
+    /// borrow cannot provide).
+    pub fn updater(&self) -> Updater {
+        Updater {
+            mode: self.mode,
+            exec: self.exec,
+        }
+    }
+}
+
+/// An [`Evaluator`] bound to a caller-owned [`ProvStore`]: every result is
+/// an [`IKRelation`] interned in that store.
+pub struct InternedEvaluator<'db, 's> {
+    db: &'db Database,
+    mode: PlanMode,
+    exec: Execution,
+    limits: EvalLimits,
+    store: &'s mut ProvStore,
+}
+
+impl InternedEvaluator<'_, '_> {
+    /// Evaluates a CQ into the bound store.
+    pub fn eval_cq(&mut self, q: &Cq) -> (IKRelation, EvalWork) {
+        eval_cq_interned_impl(self.db, q, self.limits, self.store, self.mode, self.exec)
+    }
+
+    /// Evaluates a UCQ into the bound store.
+    pub fn eval_ucq(&mut self, u: &Ucq) -> (IKRelation, EvalWork) {
+        eval_ucq_interned_impl(self.db, u, self.store, self.mode, self.exec)
+    }
+
+    /// CQ retractions into the bound store (pre-delta database).
+    pub fn retractions_cq(&mut self, q: &Cq, deletes: &HashSet<AnnotId>) -> (IKRelation, EvalWork) {
+        eval_delta_side(self.db, q, deletes, self.store, self.mode, self.exec)
+    }
+
+    /// CQ additions into the bound store (post-delta database).
+    pub fn additions_cq(&mut self, q: &Cq, inserts: &HashSet<AnnotId>) -> (IKRelation, EvalWork) {
+        eval_delta_side(self.db, q, inserts, self.store, self.mode, self.exec)
+    }
+
+    /// UCQ retractions into the bound store (pre-delta database).
+    pub fn retractions_ucq(
+        &mut self,
+        u: &Ucq,
+        deletes: &HashSet<AnnotId>,
+    ) -> (IKRelation, EvalWork) {
+        sum_disjuncts(self.db, u, deletes, self.store, self.mode, self.exec)
+    }
+
+    /// UCQ additions into the bound store (post-delta database).
+    pub fn additions_ucq(&mut self, u: &Ucq, inserts: &HashSet<AnnotId>) -> (IKRelation, EvalWork) {
+        sum_disjuncts(self.db, u, inserts, self.store, self.mode, self.exec)
+    }
+}
+
+/// The configured incremental-maintenance front end: computes retractions,
+/// applies a [`Delta`], computes additions (see
+/// [`crate::apply_delta_with_queries`] for the protocol). Holds no database
+/// borrow, so it composes with [`Database::apply_delta`]'s `&mut self`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Updater {
+    mode: PlanMode,
+    exec: Execution,
+}
+
+impl Updater {
+    /// An updater with the default configuration: cost-based planning,
+    /// vectorized block execution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the join order policy.
+    pub fn plan(mut self, mode: PlanMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Selects the physical execution.
+    pub fn execution(mut self, exec: Execution) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Runs the full cycle against `db`, decoding per-query
+    /// [`KRelationDelta`](crate::KRelationDelta)s through a throwaway arena.
+    pub fn apply(&self, db: &mut Database, delta: &Delta, queries: &[Cq]) -> DeltaEvalOutcome {
+        apply_delta_owned_impl(db, delta, queries, self.mode, self.exec)
+    }
+
+    /// Runs the full cycle against `db` with interned results in `store`.
+    pub fn apply_interned(
+        &self,
+        db: &mut Database,
+        delta: &Delta,
+        queries: &[Cq],
+        store: &mut ProvStore,
+    ) -> IDeltaEvalOutcome {
+        apply_delta_impl(db, delta, queries, store, self.mode, self.exec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{eval_cq, eval_cq_counted, parse_cq, parse_ucq, Tuple};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let r = db.add_relation("R", &["a", "b"]);
+        let s = db.add_relation("S", &["b", "c"]);
+        for i in 0..30 {
+            db.insert_str(r, &format!("r{i}"), &[&i.to_string(), &(i % 5).to_string()]);
+            db.insert_str(s, &format!("s{i}"), &[&(i % 5).to_string(), &i.to_string()]);
+        }
+        db.build_indexes();
+        db
+    }
+
+    #[test]
+    fn builder_matches_legacy_entry_points() {
+        let db = db();
+        let q = parse_cq("Q(a, c) :- R(a, b), S(b, c)", db.schema()).unwrap();
+        let eval = Evaluator::new(&db);
+        let (out, _) = eval.eval_cq(&q);
+        assert_eq!(out, eval_cq(&db, &q));
+        // Scalar replay reproduces the legacy counters bit-for-bit.
+        let (sout, swork) = eval.execution(Execution::Scalar).eval_cq(&q);
+        let (lout, lwork) = eval_cq_counted(&db, &q, EvalLimits::default());
+        assert_eq!(sout, lout);
+        assert_eq!(swork, lwork);
+    }
+
+    #[test]
+    fn interned_and_owned_agree() {
+        let db = db();
+        let u = parse_ucq("Q(a) :- R(a, b), S(b, c); Q(c) :- S(b, c)", db.schema()).unwrap();
+        let eval = Evaluator::new(&db);
+        let (owned, owork) = eval.eval_ucq(&u);
+        let mut store = ProvStore::new();
+        let (interned, iwork) = eval.interned(&mut store).eval_ucq(&u);
+        assert_eq!(interned.to_krelation(&store), owned);
+        assert_eq!(owork, iwork);
+    }
+
+    #[test]
+    fn batch_matches_single_under_any_parallelism() {
+        let db = db();
+        let queries: Vec<Cq> = [
+            "Q(a, c) :- R(a, b), S(b, c)",
+            "Q(a) :- R(a, b)",
+            "Q(b) :- S(b, c), R(a, b)",
+        ]
+        .iter()
+        .map(|t| parse_cq(t, db.schema()).unwrap())
+        .collect();
+        for exec in [Execution::default(), Execution::Scalar] {
+            let eval = Evaluator::new(&db).execution(exec);
+            let single: Vec<_> = queries.iter().map(|q| eval.eval_cq(q)).collect();
+            for workers in [1, 2, 8] {
+                let batch = eval.eval_batch(&queries, workers);
+                assert_eq!(batch, single, "workers={workers} exec={exec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn updater_runs_the_delta_cycle_under_both_executions() {
+        for exec in [Execution::default(), Execution::Scalar] {
+            let mut database = db();
+            let q = parse_cq("Q(a, c) :- R(a, b), S(b, c)", database.schema()).unwrap();
+            let mut cached = eval_cq(&database, &q);
+            let r = database.schema().relation_id("R").unwrap();
+            let mut delta = Delta::new();
+            delta.insert(r, "rx", Tuple::parse(&["99", "3"]));
+            delta.delete(database.annotations().get("r7").unwrap());
+            let out = Updater::new().execution(exec).apply(
+                &mut database,
+                &delta,
+                std::slice::from_ref(&q),
+            );
+            assert!(out.deltas[0].merge_into(&mut cached), "exec={exec:?}");
+            assert_eq!(cached, eval_cq(&database, &q), "exec={exec:?}");
+        }
+    }
+}

@@ -21,9 +21,7 @@ use provabs_relational::storage::{
     encode_delta, DurableDatabase, DurableOptions, Fault, FaultyVfs, MemVfs, OpKind, OpRecord,
     RecoveryInfo, SharedVfs, StorageError, Vfs,
 };
-use provabs_relational::{
-    eval_cq_counted_mode, parse_cq, Database, Delta, EvalLimits, PlanMode, Tuple, Value,
-};
+use provabs_relational::{parse_cq, Database, Delta, Evaluator, PlanMode, Tuple, Value};
 use std::sync::{Arc, Mutex};
 
 const BASE: &str = "crash";
@@ -183,7 +181,7 @@ fn assert_matches_oracle(recovered: &Database, oracle: &Database, ctx: &str) {
         PlanMode::Greedy,
         PlanMode::WrittenOrder,
     ] {
-        let (got, _) = eval_cq_counted_mode(recovered, &q, EvalLimits::default(), mode);
+        let (got, _) = Evaluator::new(recovered).plan(mode).eval_cq(&q);
         assert_eq!(got, want, "recovered eval under {mode:?} != oracle ({ctx})");
     }
 }

@@ -18,8 +18,7 @@ use provabs_relational::storage::{
     DurableDatabase, DurableOptions, Fault, FaultyVfs, OpKind, OpRecord, SharedVfs, StorageError,
 };
 use provabs_relational::{
-    eval_cq_counted_mode, Atom, Cq, Database, Delta, EvalLimits, PlanMode, RelId, Term, Tuple,
-    Value, VarId,
+    Atom, Cq, Database, Delta, Evaluator, PlanMode, RelId, Term, Tuple, Value, VarId,
 };
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
@@ -226,7 +225,7 @@ proptest! {
             let q = rand_cq(&mut rng, &rels);
             let want = oracle_eval_cq(&twin, &q);
             for mode in [PlanMode::CostBased, PlanMode::Greedy, PlanMode::WrittenOrder] {
-                let (got, _) = eval_cq_counted_mode(re.db(), &q, EvalLimits::default(), mode);
+                let (got, _) = Evaluator::new(re.db()).plan(mode).eval_cq(&q);
                 prop_assert_eq!(&got, &want, "mode {:?} != oracle, seed {}", mode, seed);
             }
         }
@@ -281,8 +280,7 @@ proptest! {
                     let q = rand_cq(&mut rng, &rels);
                     let want = oracle_eval_cq(&oracle, &q);
                     for mode in [PlanMode::CostBased, PlanMode::Greedy, PlanMode::WrittenOrder] {
-                        let (got, _) =
-                            eval_cq_counted_mode(re.db(), &q, EvalLimits::default(), mode);
+                        let (got, _) = Evaluator::new(re.db()).plan(mode).eval_cq(&q);
                         prop_assert_eq!(
                             &got, &want,
                             "mode {:?} != oracle, fault {:?}, seed {}", mode, fault, seed

@@ -13,9 +13,8 @@ use proptest::prelude::*;
 use proptest::TestRng;
 use provabs_relational::oracle::{oracle_eval_cq, oracle_eval_ucq};
 use provabs_relational::{
-    apply_delta_with_queries_mode, eval_cq_counted_mode, eval_ucq_additions_mode,
-    eval_ucq_interned_mode, eval_ucq_retractions_mode, plan_cq, Atom, Cq, Database, Delta,
-    EvalLimits, KRelation, KRelationDelta, PlanMode, RelId, Term, Tuple, Ucq, Value, VarId,
+    plan_cq, Atom, Cq, Database, Delta, Evaluator, KRelation, KRelationDelta, PlanMode, RelId,
+    Term, Tuple, Ucq, Updater, Value, VarId,
 };
 use provabs_semiring::ProvStore;
 use std::collections::HashSet;
@@ -155,7 +154,7 @@ proptest! {
             let oracle = oracle_eval_cq(&db, &q);
             for mode in MODES {
                 assert_plan_valid(&db, &q, mode);
-                let (out, work) = eval_cq_counted_mode(&db, &q, EvalLimits::default(), mode);
+                let (out, work) = Evaluator::new(&db).plan(mode).eval_cq(&q);
                 prop_assert_eq!(
                     &out, &oracle,
                     "{:?} != oracle, seed {}, query {:?}", mode, seed, q
@@ -181,7 +180,12 @@ proptest! {
         let oracle = oracle_eval_ucq(&db, &u);
         for mode in MODES {
             let mut store = ProvStore::new();
-            let out = eval_ucq_interned_mode(&db, &u, &mut store, mode).to_krelation(&store);
+            let out = Evaluator::new(&db)
+                .plan(mode)
+                .interned(&mut store)
+                .eval_ucq(&u)
+                .0
+                .to_krelation(&store);
             prop_assert_eq!(&out, &oracle, "{:?} != oracle, seed {}", mode, seed);
         }
         let mut fresh = 0usize;
@@ -195,10 +199,10 @@ proptest! {
                 .copied()
                 .filter(|&a| db.locate(a).is_some())
                 .collect();
-            let (removed, _) = eval_ucq_retractions_mode(&db, &u, &deletes, mode);
+            let (removed, _) = Evaluator::new(&db).plan(mode).retractions_ucq(&u, &deletes);
             let applied = db.apply_delta(&delta);
             let inserts: HashSet<_> = applied.inserted.iter().copied().collect();
-            let (added, _) = eval_ucq_additions_mode(&db, &u, &inserts, mode);
+            let (added, _) = Evaluator::new(&db).plan(mode).additions_ucq(&u, &inserts);
             let d = KRelationDelta { added, removed };
             prop_assert!(d.merge_into(&mut cached), "underflow under {:?}", mode);
             prop_assert_eq!(
@@ -224,7 +228,7 @@ proptest! {
             .map(|(&mode, db)| {
                 queries
                     .iter()
-                    .map(|q| eval_cq_counted_mode(db, q, EvalLimits::default(), mode).0)
+                    .map(|q| Evaluator::new(db).plan(mode).eval_cq(q).0)
                     .collect()
             })
             .collect();
@@ -234,7 +238,7 @@ proptest! {
             // identical content, so the delta applies to every one).
             let delta = rand_delta(&mut rng, &dbs[0], &rels, &mut fresh);
             for ((&mode, db), cached) in MODES.iter().zip(&mut dbs).zip(&mut caches) {
-                let out = apply_delta_with_queries_mode(db, &delta, &queries, mode);
+                let out = Updater::new().plan(mode).apply(db, &delta, &queries);
                 for ((q, cache), d) in queries.iter().zip(cached.iter_mut()).zip(&out.deltas) {
                     prop_assert!(
                         d.merge_into(cache),

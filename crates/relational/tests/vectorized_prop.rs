@@ -1,0 +1,323 @@
+//! Differential properties for the vectorized block engine: for random
+//! mixed int/string databases, random CQs/UCQs (constant-only atoms and
+//! empty postings included) and random delta streams, evaluation under
+//! [`Execution::Block`] — at block sizes down to 1, where every selection
+//! vector degenerates to a single row — must be bit-for-bit equal, tuples
+//! *and* provenance polynomials, to [`Execution::Scalar`] and to the
+//! structurally independent naive oracle (`provabs_relational::oracle`).
+//! Batch evaluation must return the same results at any worker count.
+//!
+//! Each proptest case draws one seed; everything else derives from it
+//! through the deterministic `TestRng`, so failures reproduce exactly.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use provabs_relational::oracle::{oracle_eval_cq, oracle_eval_ucq};
+use provabs_relational::{
+    Atom, Cq, Database, Delta, Evaluator, Execution, KRelationDelta, PlanMode, RelId, Term, Tuple,
+    Ucq, Updater, Value, VarId, DEFAULT_BLOCK_SIZE,
+};
+use provabs_semiring::ProvStore;
+use std::collections::HashSet;
+
+const MODES: [PlanMode; 3] = [
+    PlanMode::CostBased,
+    PlanMode::Greedy,
+    PlanMode::WrittenOrder,
+];
+
+/// Block sizes 1–3 force chunked emission on even the smallest databases;
+/// the default exercises the single-block fast path.
+const BLOCK_SIZES: [usize; 4] = [1, 2, 3, DEFAULT_BLOCK_SIZE];
+
+fn pick(rng: &mut TestRng, n: usize) -> usize {
+    assert!(n > 0);
+    (rng.next_u64() % n as u64) as usize
+}
+
+/// A mixed int/string domain, small enough that joins actually happen.
+fn rand_value(rng: &mut TestRng) -> Value {
+    match pick(rng, 7) {
+        0..=3 => Value::Int(pick(rng, 4) as i64),
+        4 => Value::str("a"),
+        5 => Value::str("longer-string-value"),
+        _ => Value::str("bb"),
+    }
+}
+
+fn rand_tuple(rng: &mut TestRng, arity: usize) -> Tuple {
+    (0..arity).map(|_| rand_value(rng)).collect()
+}
+
+/// A random database over R(a,b), S(b,c), T(c). Relations may come out
+/// empty, and constants may miss every posting list (the probe paths the
+/// block engine must survive).
+fn rand_db(rng: &mut TestRng) -> (Database, Vec<(RelId, usize)>) {
+    let mut db = Database::new();
+    let r = db.add_relation("R", &["a", "b"]);
+    let s = db.add_relation("S", &["b", "c"]);
+    let t = db.add_relation("T", &["c"]);
+    let rels = vec![(r, 2), (s, 2), (t, 1)];
+    let mut label = 0usize;
+    for &(rel, arity) in &rels {
+        for _ in 0..pick(rng, 10) {
+            db.insert(rel, &format!("t{label}"), rand_tuple(rng, arity));
+            label += 1;
+        }
+    }
+    db.build_indexes();
+    (db, rels)
+}
+
+/// A random CQ (1–4 atoms). Constant-only atoms are allowed — the block
+/// pipeline must handle steps that bind no new variables; only a fully
+/// ground body is redrawn, because a safe head needs a variable.
+fn rand_cq(rng: &mut TestRng, rels: &[(RelId, usize)]) -> Cq {
+    loop {
+        let num_atoms = 1 + pick(rng, 4);
+        let body: Vec<Atom> = (0..num_atoms)
+            .map(|_| {
+                let (rel, arity) = rels[pick(rng, rels.len())];
+                let terms = (0..arity)
+                    .map(|_| {
+                        if pick(rng, 3) == 0 {
+                            Term::Const(rand_value(rng))
+                        } else {
+                            Term::Var(VarId(pick(rng, 4) as u32))
+                        }
+                    })
+                    .collect();
+                Atom { rel, terms }
+            })
+            .collect();
+        let mut vars: Vec<VarId> = body
+            .iter()
+            .flat_map(|a| a.terms.iter())
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(*v),
+                Term::Const(_) => None,
+            })
+            .collect();
+        vars.sort_unstable_by_key(|v| v.0);
+        vars.dedup();
+        if vars.is_empty() {
+            continue; // fully ground body: no safe head exists
+        }
+        let head_len = 1 + pick(rng, vars.len().min(2));
+        let head = (0..head_len)
+            .map(|_| Term::Var(vars[pick(rng, vars.len())]))
+            .collect();
+        return Cq::new(head, body);
+    }
+}
+
+fn rand_delta(
+    rng: &mut TestRng,
+    db: &Database,
+    rels: &[(RelId, usize)],
+    fresh: &mut usize,
+) -> Delta {
+    let mut delta = Delta::new();
+    let mut dying: HashSet<_> = HashSet::new();
+    for _ in 0..(1 + pick(rng, 6)) {
+        let insert = pick(rng, 2) == 0;
+        let (rel, arity) = rels[pick(rng, rels.len())];
+        if insert || db.relation_len(rel) == 0 {
+            delta.insert(rel, format!("u{fresh}"), rand_tuple(rng, arity));
+            *fresh += 1;
+        } else {
+            let annots = db.tuple_annots(rel);
+            let a = annots[pick(rng, annots.len())];
+            if dying.insert(a) {
+                delta.delete(a);
+            }
+        }
+    }
+    delta
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// CQ evaluation: block at every size == scalar == oracle, under every
+    /// plan mode, owned and interned, with the scalar replay keeping the
+    /// vectorized counters at exactly zero.
+    #[test]
+    fn block_cq_eval_matches_scalar_and_oracle(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::for_case(seed);
+        let (db, rels) = rand_db(&mut rng);
+        for _ in 0..3 {
+            let q = rand_cq(&mut rng, &rels);
+            let oracle = oracle_eval_cq(&db, &q);
+            for mode in MODES {
+                let scalar = Evaluator::new(&db).plan(mode).execution(Execution::Scalar);
+                let (want, scalar_work) = scalar.eval_cq(&q);
+                prop_assert_eq!(&want, &oracle, "scalar {:?} != oracle, seed {}", mode, seed);
+                prop_assert_eq!(scalar_work.blocks_emitted, 0);
+                prop_assert_eq!(scalar_work.selection_survivors, 0);
+                prop_assert_eq!(scalar_work.gallop_steps, 0);
+                let mut store = ProvStore::new();
+                let (iwant, _) = scalar.interned(&mut store).eval_cq(&q);
+                prop_assert_eq!(&iwant.to_krelation(&store), &oracle);
+                for bs in BLOCK_SIZES {
+                    let block = Evaluator::new(&db)
+                        .plan(mode)
+                        .execution(Execution::Block { block_size: bs });
+                    let (got, work) = block.eval_cq(&q);
+                    prop_assert_eq!(
+                        &got, &want,
+                        "block(bs={}) != scalar under {:?}, seed {}, query {:?}", bs, mode, seed, q
+                    );
+                    prop_assert_eq!(
+                        work.derivations, scalar_work.derivations,
+                        "derivation count moved at bs={} under {:?}, seed {}", bs, mode, seed
+                    );
+                    let (igot, _) = block.interned(&mut store).eval_cq(&q);
+                    prop_assert_eq!(
+                        &igot.to_krelation(&store), &want,
+                        "interned block(bs={}) != scalar under {:?}, seed {}", bs, mode, seed
+                    );
+                }
+            }
+        }
+    }
+
+    /// UCQ evaluation (disjunct provenance summed) agrees across engines
+    /// and with the oracle at every block size.
+    #[test]
+    fn block_ucq_eval_matches_scalar_and_oracle(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::for_case(seed.wrapping_add(0x0b10_c4ed));
+        let (db, rels) = rand_db(&mut rng);
+        let u = Ucq {
+            disjuncts: (0..1 + pick(&mut rng, 3)).map(|_| rand_cq(&mut rng, &rels)).collect(),
+        };
+        let oracle = oracle_eval_ucq(&db, &u);
+        for mode in MODES {
+            let (want, _) = Evaluator::new(&db)
+                .plan(mode)
+                .execution(Execution::Scalar)
+                .eval_ucq(&u);
+            prop_assert_eq!(&want, &oracle, "scalar UCQ {:?} != oracle, seed {}", mode, seed);
+            for bs in BLOCK_SIZES {
+                let (got, _) = Evaluator::new(&db)
+                    .plan(mode)
+                    .execution(Execution::Block { block_size: bs })
+                    .eval_ucq(&u);
+                prop_assert_eq!(
+                    &got, &want,
+                    "block UCQ(bs={}) != scalar under {:?}, seed {}", bs, mode, seed
+                );
+            }
+        }
+    }
+
+    /// Random delta streams: the cache maintained by the block engine's
+    /// restricted passes equals the scalar-maintained cache and the
+    /// oracle's re-evaluation after every batch.
+    #[test]
+    fn block_delta_streams_match_scalar_and_oracle(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::for_case(seed.wrapping_add(0xb10c_de17));
+        let (db0, rels) = rand_db(&mut rng);
+        let queries: Vec<Cq> = (0..2).map(|_| rand_cq(&mut rng, &rels)).collect();
+        let mode = MODES[pick(&mut rng, MODES.len())];
+        let bs = BLOCK_SIZES[pick(&mut rng, BLOCK_SIZES.len())];
+        let execs = [Execution::Scalar, Execution::Block { block_size: bs }];
+        let mut dbs: Vec<Database> = execs.iter().map(|_| db0.clone()).collect();
+        let mut caches: Vec<Vec<_>> = execs
+            .iter()
+            .zip(&dbs)
+            .map(|(&exec, db)| {
+                queries
+                    .iter()
+                    .map(|q| Evaluator::new(db).plan(mode).execution(exec).eval_cq(q).0)
+                    .collect()
+            })
+            .collect();
+        let mut fresh = 0usize;
+        for batch in 0..4 {
+            let delta = rand_delta(&mut rng, &dbs[0], &rels, &mut fresh);
+            for ((&exec, db), cached) in execs.iter().zip(&mut dbs).zip(&mut caches) {
+                let out = Updater::new().plan(mode).execution(exec).apply(db, &delta, &queries);
+                for ((q, cache), d) in queries.iter().zip(cached.iter_mut()).zip(&out.deltas) {
+                    prop_assert!(
+                        d.merge_into(cache),
+                        "retraction underflow at batch {} under {:?}/{:?} for {:?}",
+                        batch, mode, exec, q
+                    );
+                    prop_assert_eq!(
+                        &*cache,
+                        &oracle_eval_cq(db, q),
+                        "delta merge != oracle at batch {} under {:?}/{:?} (bs={}), seed {}",
+                        batch, mode, exec, bs, seed
+                    );
+                }
+            }
+            prop_assert_eq!(&caches[0], &caches[1], "engines diverged at batch {}", batch);
+        }
+    }
+
+    /// The UCQ delta cycle (retractions before, additions after the batch
+    /// applies) agrees across engines at every block size.
+    #[test]
+    fn block_ucq_delta_cycle_matches_scalar(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::for_case(seed.wrapping_add(0x5e1e_c7ed));
+        let (db, rels) = rand_db(&mut rng);
+        let u = Ucq {
+            disjuncts: (0..1 + pick(&mut rng, 2)).map(|_| rand_cq(&mut rng, &rels)).collect(),
+        };
+        let oracle = oracle_eval_ucq(&db, &u);
+        let mut fresh = 0usize;
+        let delta = rand_delta(&mut rng, &db, &rels, &mut fresh);
+        let mode = MODES[pick(&mut rng, MODES.len())];
+        for bs in BLOCK_SIZES {
+            for exec in [Execution::Scalar, Execution::Block { block_size: bs }] {
+                let mut db = db.clone();
+                let mut cached = oracle.clone();
+                let eval = Evaluator::new(&db).plan(mode).execution(exec);
+                let deletes: HashSet<_> = delta
+                    .deletes
+                    .iter()
+                    .copied()
+                    .filter(|&a| db.locate(a).is_some())
+                    .collect();
+                let (removed, _) = eval.retractions_ucq(&u, &deletes);
+                let applied = db.apply_delta(&delta);
+                let inserts: HashSet<_> = applied.inserted.iter().copied().collect();
+                let (added, _) = Evaluator::new(&db)
+                    .plan(mode)
+                    .execution(exec)
+                    .additions_ucq(&u, &inserts);
+                let d = KRelationDelta { added, removed };
+                prop_assert!(d.merge_into(&mut cached), "underflow under {:?}/{:?}", mode, exec);
+                prop_assert_eq!(
+                    &cached,
+                    &oracle_eval_ucq(&db, &u),
+                    "UCQ delta merge != oracle under {:?}/{:?} (bs={}), seed {}",
+                    mode, exec, bs, seed
+                );
+            }
+        }
+    }
+
+    /// Batch evaluation returns the identical results — outputs and work
+    /// counters — at parallelism 1, 2, and 8, under both engines.
+    #[test]
+    fn batch_eval_is_parallelism_invariant(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::for_case(seed.wrapping_add(0x9a7a_11e1));
+        let (db, rels) = rand_db(&mut rng);
+        let queries: Vec<Cq> = (0..3).map(|_| rand_cq(&mut rng, &rels)).collect();
+        let mode = MODES[pick(&mut rng, MODES.len())];
+        for exec in [Execution::Scalar, Execution::default()] {
+            let eval = Evaluator::new(&db).plan(mode).execution(exec);
+            let reference: Vec<_> = queries.iter().map(|q| eval.eval_cq(q)).collect();
+            for workers in [1usize, 2, 8] {
+                let batch = eval.eval_batch(&queries, workers);
+                prop_assert_eq!(
+                    &batch, &reference,
+                    "batch moved at parallelism {} under {:?}/{:?}, seed {}",
+                    workers, mode, exec, seed
+                );
+            }
+        }
+    }
+}

@@ -11,7 +11,7 @@ use provabs::core::search::{
     find_optimal_abstraction, find_optimal_abstraction_with_cache, SearchConfig,
 };
 use provabs::core::{fixtures, Bound};
-use provabs::relational::{eval_cq_counted_mode, eval_cqs_parallel, plan_cq, EvalLimits, PlanMode};
+use provabs::relational::{eval_cqs_parallel, plan_cq, Evaluator, PlanMode};
 use provabs_bench::{tpch_scenarios, ScenarioSettings};
 use provabs_datagen::tpch::{self, TpchConfig};
 
@@ -81,7 +81,7 @@ fn query_plans_and_work_counters_identical_across_parallelism() {
         .collect();
     let reference: Vec<_> = queries
         .iter()
-        .map(|q| eval_cq_counted_mode(&db, q, EvalLimits::default(), PlanMode::default()))
+        .map(|q| Evaluator::new(&db).eval_cq(q))
         .collect();
     for parallelism in [1usize, 2, 8] {
         let batch = eval_cqs_parallel(&db, &queries, parallelism);
@@ -91,8 +91,7 @@ fn query_plans_and_work_counters_identical_across_parallelism() {
                 "{}: output moved at parallelism {parallelism}",
                 w.name
             );
-            let (out, work) =
-                eval_cq_counted_mode(&db, &w.query, EvalLimits::default(), PlanMode::default());
+            let (out, work) = Evaluator::new(&db).eval_cq(&w.query);
             assert_eq!(out, reference[i].0, "{}: post-batch output", w.name);
             assert_eq!(
                 work, reference[i].1,
