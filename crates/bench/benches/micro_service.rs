@@ -1,0 +1,61 @@
+//! Service microbenchmark: the hot paths of the `provabsd` session layer.
+//!
+//! Three axes mirror the `BENCH_8.json` perf-gate scenarios:
+//! * `session/pin` — pinning a snapshot session (an `Arc` clone plus an
+//!   epoch read, the per-request admission prologue);
+//! * `query/pinned` — evaluating the first TPC-H template through a
+//!   pinned session, admission and budget accounting included;
+//! * `reject/overload` — the fail-fast path: the queue is fully held, so
+//!   every query is rejected before any evaluation work.
+//!
+//! Wall time only; the counter-based comparison the CI gate diffs lives in
+//! `provabs_bench::service` / `bench_gate --bench service`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provabs_datagen::tpch::{self, tpch_queries, TpchConfig};
+use provabs_relational::storage::{FaultyVfs, SharedVfs};
+use provabsd::{Provabsd, ServiceConfig, ServiceError};
+use std::sync::{Arc, Mutex};
+
+fn service() -> Provabsd {
+    let (mut db, _) = tpch::generate(&TpchConfig {
+        lineitem_rows: 200,
+        seed: 42,
+    });
+    db.build_indexes();
+    let vfs: SharedVfs = Arc::new(Mutex::new(FaultyVfs::new()));
+    Provabsd::create(vfs, "bench-svc", db, ServiceConfig::default()).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_service");
+    group.sample_size(10);
+
+    let svc = service();
+    let queries = tpch_queries(svc.session().db().database().schema());
+
+    group.bench_function(BenchmarkId::new("session", "pin"), |b| {
+        b.iter(|| svc.session());
+    });
+
+    let session = svc.session();
+    group.bench_function(BenchmarkId::new("query", "pinned"), |b| {
+        b.iter(|| session.query(&queries[0].query).unwrap());
+    });
+
+    let held: Vec<_> = (0..svc.config().queue_capacity)
+        .map(|_| svc.acquire(1).unwrap())
+        .collect();
+    group.bench_function(BenchmarkId::new("reject", "overload"), |b| {
+        b.iter(|| {
+            let err = session.query(&queries[0].query).unwrap_err();
+            assert!(matches!(err, ServiceError::Overloaded { .. }));
+        });
+    });
+    drop(held);
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

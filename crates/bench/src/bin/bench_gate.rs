@@ -1,13 +1,17 @@
 //! The perf-regression gate: emits and checks `BENCH_*.json` baselines for
 //! the incremental update engine, the interned provenance arena, the
 //! dictionary-encoded columnar storage layer, the cost-based query
-//! planner, the durable paged storage layer, and the vectorized block
-//! execution pipeline.
+//! planner, the durable paged storage layer, the vectorized block
+//! execution pipeline, and the snapshot-isolated session service.
 //!
 //! ```text
-//! bench_gate [--bench updates|intern|storage|planner|durability|vectorized] --emit PATH
-//! bench_gate [--bench updates|intern|storage|planner|durability|vectorized] --check BASELINE PATH
+//! bench_gate [--bench NAME] --emit PATH
+//! bench_gate [--bench NAME] --check BASELINE PATH
 //! ```
+//!
+//! where `NAME` is one of `updates`, `intern`, `storage`, `planner`,
+//! `durability`, `vectorized`, `service`. An unknown name exits non-zero
+//! listing the known benches.
 //!
 //! `--bench updates` (the default) replays the [`UpdateSettings::ci_gate`]
 //! delta-maintenance scenarios (`BENCH_2.json`); `--bench intern` runs the
@@ -19,7 +23,9 @@
 //! runs the [`DurabilitySettings::ci_gate`] reopen-versus-rebuild recovery
 //! comparison (`BENCH_6.json`); `--bench vectorized` runs the
 //! [`VectorizedSettings::ci_gate`] block-versus-scalar execution
-//! comparison (`BENCH_7.json`).
+//! comparison (`BENCH_7.json`); `--bench service` runs the
+//! [`ServiceSettings::ci_gate`] closed-loop session-service scenarios
+//! (`BENCH_8.json`).
 //!
 //! The diff compares only deterministic work counters (rows examined,
 //! derivations, rows re-abstracted, retained constructions, probe/moved
@@ -45,7 +51,11 @@
 //!   for `vectorized`, `block_probe_bytes * 2 <= scalar_probe_bytes`
 //!   **and** `block_moved_bytes * 2 <= scalar_moved_bytes` (the ≥ 2×
 //!   probe-hash and operator-boundary byte reductions the block pipeline
-//!   promises);
+//!   promises); for `service`, `max_request_work <= work_budget`
+//!   (admission + cancellation keep every request's work counters within
+//!   budget), rejection/cancellation/degradation paths that fired in the
+//!   baseline must still fire, a degraded writer must make zero progress,
+//!   and the completion ratio may not drop past the tolerance;
 //! * `work_ratio` may not regress by more than [`TOLERANCE`] (relative)
 //!   plus a small absolute slack.
 //!
@@ -57,12 +67,13 @@
 
 use provabs_bench::{
     parse_bench_json, parse_durability_json, parse_intern_json, parse_planner_json,
-    parse_storage_json, parse_vectorized_json, run_durability_comparison, run_intern_comparison,
-    run_planner_comparison, run_storage_comparison, run_update_comparison,
-    run_vectorized_comparison, write_bench_json, write_durability_json, write_intern_json,
-    write_planner_json, write_storage_json, write_vectorized_json, BenchMetric, DurabilityMetric,
-    DurabilitySettings, InternMetric, InternSettings, PlannerMetric, PlannerSettings,
-    StorageMetric, StorageSettings, UpdateSettings, VectorizedMetric, VectorizedSettings,
+    parse_service_json, parse_storage_json, parse_vectorized_json, run_durability_comparison,
+    run_intern_comparison, run_planner_comparison, run_service_comparison, run_storage_comparison,
+    run_update_comparison, run_vectorized_comparison, write_bench_json, write_durability_json,
+    write_intern_json, write_planner_json, write_service_json, write_storage_json,
+    write_vectorized_json, BenchMetric, DurabilityMetric, DurabilitySettings, InternMetric,
+    InternSettings, PlannerMetric, PlannerSettings, ServiceMetric, ServiceSettings, StorageMetric,
+    StorageSettings, UpdateSettings, VectorizedMetric, VectorizedSettings,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -72,9 +83,22 @@ const TOLERANCE: f64 = 0.15;
 /// Absolute slack on top (keeps near-zero ratios from gating on noise).
 const ABS_SLACK: f64 = 0.02;
 
+/// Every bench name the gate knows, in the order the usage line lists
+/// them — printed verbatim when an unknown `--bench` name is passed.
+const KNOWN_BENCHES: &[&str] = &[
+    "updates",
+    "intern",
+    "storage",
+    "planner",
+    "durability",
+    "vectorized",
+    "service",
+];
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bench_gate [--bench updates|intern|storage|planner|durability|vectorized] --emit PATH | --check BASELINE PATH"
+        "usage: bench_gate [--bench {}] --emit PATH | --check BASELINE PATH",
+        KNOWN_BENCHES.join("|")
     );
     ExitCode::from(2)
 }
@@ -98,7 +122,14 @@ fn main() -> ExitCode {
         "planner" => drive_gate(&PLANNER_GATE, &args),
         "durability" => drive_gate(&DURABILITY_GATE, &args),
         "vectorized" => drive_gate(&VECTORIZED_GATE, &args),
-        _ => usage(),
+        "service" => drive_gate(&SERVICE_GATE, &args),
+        other => {
+            eprintln!(
+                "bench_gate: unknown bench '{other}'; known benches: {}",
+                KNOWN_BENCHES.join(", ")
+            );
+            ExitCode::from(2)
+        }
     }
 }
 /// The per-gate wiring: how to run the comparison, (de)serialize the
@@ -221,6 +252,16 @@ const VECTORIZED_GATE: GateOps<VectorizedMetric> = GateOps {
     parse: parse_vectorized_json,
     print: print_vectorized_summary,
     check: check_vectorized,
+};
+
+const SERVICE_GATE: GateOps<ServiceMetric> = GateOps {
+    bench: "micro_service",
+    kind: "a service",
+    run: || run_service_comparison(&ServiceSettings::ci_gate()),
+    write: write_service_json,
+    parse: parse_service_json,
+    print: print_service_summary,
+    check: check_service,
 };
 
 fn verdict(failures: Vec<String>, gated: usize) -> ExitCode {
@@ -637,6 +678,117 @@ fn check_vectorized(baseline: &[VectorizedMetric], current: &[VectorizedMetric])
                 base.moved_ratio(),
                 TOLERANCE * 100.0,
                 allowed_moved
+            ));
+        }
+    }
+    failures
+}
+
+fn print_service_summary(metrics: &[ServiceMetric]) {
+    println!(
+        "{:<20} {:>5} {:>9} {:>8} {:>9} {:>6} {:>8} {:>6} {:>10} {:>9} {:>6}",
+        "scenario",
+        "ops",
+        "completed",
+        "rejected",
+        "cancelled",
+        "txns",
+        "degraded",
+        "epochs",
+        "max_work",
+        "budget",
+        "equal"
+    );
+    for m in metrics {
+        println!(
+            "{:<20} {:>5} {:>9} {:>8} {:>9} {:>6} {:>8} {:>6} {:>10} {:>9} {:>6}",
+            m.name,
+            m.operations,
+            m.completed,
+            m.rejected,
+            m.cancelled,
+            m.applied_txns,
+            m.degraded_writes,
+            m.epochs_published,
+            m.max_request_work,
+            m.work_budget,
+            m.equal
+        );
+    }
+}
+
+fn check_service(baseline: &[ServiceMetric], current: &[ServiceMetric]) -> Vec<String> {
+    let mut failures = Vec::new();
+    // Fail closed: a gate that compares nothing protects nothing.
+    if baseline.is_empty() {
+        failures.push("baseline holds no entries — re-emit it with --emit".to_owned());
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.name == cur.name) {
+            failures.push(format!(
+                "{}: scenario has no baseline entry (ungated) — re-emit the baseline",
+                cur.name
+            ));
+        }
+    }
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.name == base.name) else {
+            failures.push(format!("{}: entry missing from current run", base.name));
+            continue;
+        };
+        if !cur.equal {
+            failures.push(format!(
+                "{}: final snapshot no longer matches the oracle replay bit-for-bit",
+                cur.name
+            ));
+        }
+        if cur.max_request_work > cur.work_budget {
+            failures.push(format!(
+                "{}: peak request work {} escaped the budget {} — cancellation no longer bounds requests",
+                cur.name, cur.max_request_work, cur.work_budget
+            ));
+        }
+        if base.rejected > 0 && cur.rejected == 0 {
+            failures.push(format!(
+                "{}: admission control no longer rejects under overload (baseline rejected {})",
+                cur.name, base.rejected
+            ));
+        }
+        if base.cancelled > 0 && cur.cancelled == 0 {
+            failures.push(format!(
+                "{}: budget cancellation no longer fires (baseline cancelled {})",
+                cur.name, base.cancelled
+            ));
+        }
+        if base.degraded_writes > 0 {
+            if cur.degraded_writes == 0 {
+                failures.push(format!(
+                    "{}: the poisoned writer no longer fails fast (baseline degraded {})",
+                    cur.name, base.degraded_writes
+                ));
+            }
+            if cur.applied_txns > base.applied_txns {
+                failures.push(format!(
+                    "{}: writer committed {} txns while degraded, baseline froze at {} — degraded mode must serve reads with zero writer progress",
+                    cur.name, cur.applied_txns, base.applied_txns
+                ));
+            }
+        }
+        if base.epochs_published > 0 && cur.epochs_published == 0 {
+            failures.push(format!(
+                "{}: writer no longer publishes epochs (baseline published {})",
+                cur.name, base.epochs_published
+            ));
+        }
+        let floor = base.completion_ratio() * (1.0 - TOLERANCE) - ABS_SLACK;
+        if cur.completion_ratio() < floor {
+            failures.push(format!(
+                "{}: completion ratio {:.4} below baseline {:.4} (-{:.0}% & slack = {:.4})",
+                cur.name,
+                cur.completion_ratio(),
+                base.completion_ratio(),
+                TOLERANCE * 100.0,
+                floor
             ));
         }
     }

@@ -15,6 +15,7 @@ pub mod intern;
 pub mod planner;
 pub mod report;
 pub mod scenario;
+pub mod service;
 pub mod storage;
 pub mod updates;
 pub mod user_study;
@@ -25,15 +26,17 @@ pub use intern::{run_intern_comparison, InternSettings};
 pub use planner::{run_planner_comparison, PlannerSettings};
 pub use report::{
     parse_bench_json, parse_durability_json, parse_intern_json, parse_planner_json,
-    parse_storage_json, parse_vectorized_json, print_table, render_bench_json,
-    render_durability_json, render_intern_json, render_planner_json, render_storage_json,
-    render_vectorized_json, write_bench_json, write_csv, write_durability_json, write_intern_json,
-    write_planner_json, write_storage_json, write_vectorized_json, BenchMetric, DurabilityMetric,
-    InternMetric, Measurement, PlannerMetric, StorageMetric, VectorizedMetric,
+    parse_service_json, parse_storage_json, parse_vectorized_json, print_table, render_bench_json,
+    render_durability_json, render_intern_json, render_planner_json, render_service_json,
+    render_storage_json, render_vectorized_json, write_bench_json, write_csv,
+    write_durability_json, write_intern_json, write_planner_json, write_service_json,
+    write_storage_json, write_vectorized_json, BenchMetric, DurabilityMetric, InternMetric,
+    Measurement, PlannerMetric, ServiceMetric, StorageMetric, VectorizedMetric,
 };
 pub use scenario::{
     imdb_scenarios, run_search, tpch_scenarios, HarnessCaps, Scenario, ScenarioSettings,
 };
+pub use service::{run_service_comparison, ServiceSettings};
 pub use storage::{run_storage_comparison, StorageSettings};
 pub use updates::{run_update_comparison, UpdateSettings};
 pub use vectorized::{run_vectorized_comparison, VectorizedSettings};

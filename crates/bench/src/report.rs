@@ -960,6 +960,178 @@ pub fn parse_vectorized_json(text: &str) -> Option<(String, Vec<VectorizedMetric
     Some((bench, entries))
 }
 
+/// One entry of the `BENCH_8.json` report: deterministic counters of a
+/// closed-loop run against the `provabsd` session service — requests
+/// admitted/rejected/cancelled, writer transactions applied, epochs
+/// published — next to the invariants the service promises (per-request
+/// work stays within the budget, degraded mode serves reads with zero
+/// writer progress, the final snapshot replays an oracle bit-for-bit).
+///
+/// Every counter is a pure function of the scenario seed and the service
+/// configuration: the workload schedule, the churn stream, the injected
+/// faults, and the budget cancellation point are all op-sequence driven,
+/// never wall-clock driven — so the gate is immune to CI-runner noise.
+/// `run_ms` is carried for humans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceMetric {
+    /// Scenario name, e.g. `closed-loop/zipf` or `degraded/readonly`.
+    pub name: String,
+    /// Operations the schedule issued (queries + update slots).
+    pub operations: u64,
+    /// Queries that completed within budget.
+    pub completed: u64,
+    /// Queries rejected by admission control (fail-fast `Overloaded`).
+    pub rejected: u64,
+    /// Queries cancelled by the deterministic work budget.
+    pub cancelled: u64,
+    /// Answer rows the completed queries returned.
+    pub answer_rows: u64,
+    /// Writer transactions durably committed.
+    pub applied_txns: u64,
+    /// Write attempts that failed fast because the writer was degraded.
+    pub degraded_writes: u64,
+    /// Snapshot epochs the writer published.
+    pub epochs_published: u64,
+    /// Bounded writer retries spent on transient storage faults.
+    pub writer_retries: u64,
+    /// Largest per-request derivation count any query actually performed.
+    pub max_request_work: u64,
+    /// The per-request work budget the scenario ran with.
+    pub work_budget: u64,
+    /// Wall time of the closed loop, milliseconds (informational).
+    pub run_ms: f64,
+    /// Whether the final pinned snapshot matched the oracle replay
+    /// bit-for-bit (state and per-query answers + work counters).
+    pub equal: bool,
+}
+
+impl ServiceMetric {
+    /// Completed queries as a fraction of scheduled operations (higher is
+    /// better; overload scenarios legitimately sit at 0).
+    pub fn completion_ratio(&self) -> f64 {
+        self.completed as f64 / self.operations.max(1) as f64
+    }
+
+    /// Peak per-request work as a fraction of the budget (must be ≤ 1:
+    /// cancellation stops a request exactly at the cap, never past it).
+    pub fn budget_ratio(&self) -> f64 {
+        self.max_request_work as f64 / self.work_budget.max(1) as f64
+    }
+}
+
+/// Serializes a service report in the same hand-rolled line-oriented shape
+/// as [`render_bench_json`].
+pub fn render_service_json(bench: &str, metrics: &[ServiceMetric]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"bench\": \"{bench}\",");
+    out.push_str("  \"entries\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(out, "      \"operations\": {},", m.operations);
+        let _ = writeln!(out, "      \"completed\": {},", m.completed);
+        let _ = writeln!(out, "      \"rejected\": {},", m.rejected);
+        let _ = writeln!(out, "      \"cancelled\": {},", m.cancelled);
+        let _ = writeln!(out, "      \"answer_rows\": {},", m.answer_rows);
+        let _ = writeln!(out, "      \"applied_txns\": {},", m.applied_txns);
+        let _ = writeln!(out, "      \"degraded_writes\": {},", m.degraded_writes);
+        let _ = writeln!(out, "      \"epochs_published\": {},", m.epochs_published);
+        let _ = writeln!(out, "      \"writer_retries\": {},", m.writer_retries);
+        let _ = writeln!(out, "      \"max_request_work\": {},", m.max_request_work);
+        let _ = writeln!(out, "      \"work_budget\": {},", m.work_budget);
+        let _ = writeln!(
+            out,
+            "      \"completion_ratio\": {:.6},",
+            m.completion_ratio()
+        );
+        let _ = writeln!(out, "      \"budget_ratio\": {:.6},", m.budget_ratio());
+        let _ = writeln!(out, "      \"run_ms\": {:.3},", m.run_ms);
+        let _ = writeln!(out, "      \"equal\": {}", m.equal);
+        out.push_str(if i + 1 < metrics.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes a service report to `path` (creating parent directories).
+pub fn write_service_json(
+    path: &Path,
+    bench: &str,
+    metrics: &[ServiceMetric],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, render_service_json(bench, metrics))
+}
+
+/// Parses a report produced by [`render_service_json`]. Returns
+/// `(bench name, entries)`; `None` on any malformed line.
+pub fn parse_service_json(text: &str) -> Option<(String, Vec<ServiceMetric>)> {
+    let mut bench = String::new();
+    let mut entries = Vec::new();
+    let mut cur: Option<ServiceMetric> = None;
+    for raw in text.lines() {
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || matches!(line, "{" | "}" | "[" | "]" | "\"entries\": [") {
+            continue;
+        }
+        let (key, value) = line.split_once(':')?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "schema" => {}
+            "bench" => bench = value.trim_matches('"').to_owned(),
+            "name" => {
+                if let Some(done) = cur.take() {
+                    entries.push(done);
+                }
+                cur = Some(ServiceMetric {
+                    name: value.trim_matches('"').to_owned(),
+                    operations: 0,
+                    completed: 0,
+                    rejected: 0,
+                    cancelled: 0,
+                    answer_rows: 0,
+                    applied_txns: 0,
+                    degraded_writes: 0,
+                    epochs_published: 0,
+                    writer_retries: 0,
+                    max_request_work: 0,
+                    work_budget: 0,
+                    run_ms: 0.0,
+                    equal: false,
+                });
+            }
+            "operations" => cur.as_mut()?.operations = value.parse().ok()?,
+            "completed" => cur.as_mut()?.completed = value.parse().ok()?,
+            "rejected" => cur.as_mut()?.rejected = value.parse().ok()?,
+            "cancelled" => cur.as_mut()?.cancelled = value.parse().ok()?,
+            "answer_rows" => cur.as_mut()?.answer_rows = value.parse().ok()?,
+            "applied_txns" => cur.as_mut()?.applied_txns = value.parse().ok()?,
+            "degraded_writes" => cur.as_mut()?.degraded_writes = value.parse().ok()?,
+            "epochs_published" => cur.as_mut()?.epochs_published = value.parse().ok()?,
+            "writer_retries" => cur.as_mut()?.writer_retries = value.parse().ok()?,
+            "max_request_work" => cur.as_mut()?.max_request_work = value.parse().ok()?,
+            "work_budget" => cur.as_mut()?.work_budget = value.parse().ok()?,
+            "completion_ratio" | "budget_ratio" => {} // derived; recomputed
+            "run_ms" => cur.as_mut()?.run_ms = value.parse().ok()?,
+            "equal" => cur.as_mut()?.equal = value.parse().ok()?,
+            _ => return None,
+        }
+    }
+    if let Some(done) = cur.take() {
+        entries.push(done);
+    }
+    Some((bench, entries))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1200,6 +1372,52 @@ mod tests {
         assert_eq!(parsed, metrics);
         assert!(metrics[0].work_ratio() <= 0.5);
         assert_eq!(parse_durability_json("not json"), None);
+    }
+
+    #[test]
+    fn service_json_roundtrips() {
+        let metrics = vec![
+            ServiceMetric {
+                name: "closed-loop/zipf".into(),
+                operations: 48,
+                completed: 40,
+                rejected: 0,
+                cancelled: 0,
+                answer_rows: 9000,
+                applied_txns: 6,
+                degraded_writes: 0,
+                epochs_published: 6,
+                writer_retries: 0,
+                max_request_work: 5000,
+                work_budget: 1 << 20,
+                run_ms: 12.0,
+                equal: true,
+            },
+            ServiceMetric {
+                name: "overload/admission".into(),
+                operations: 48,
+                completed: 0,
+                rejected: 42,
+                cancelled: 0,
+                answer_rows: 0,
+                applied_txns: 6,
+                degraded_writes: 0,
+                epochs_published: 6,
+                writer_retries: 0,
+                max_request_work: 0,
+                work_budget: 1 << 20,
+                run_ms: 3.0,
+                equal: true,
+            },
+        ];
+        let text = render_service_json("micro_service", &metrics);
+        let (bench, parsed) = parse_service_json(&text).expect("parses");
+        assert_eq!(bench, "micro_service");
+        assert_eq!(parsed, metrics);
+        assert!(metrics[0].budget_ratio() <= 1.0);
+        assert!(metrics[0].completion_ratio() > 0.8);
+        assert_eq!(metrics[1].completion_ratio(), 0.0);
+        assert_eq!(parse_service_json("not json"), None);
     }
 
     #[test]

@@ -58,6 +58,13 @@ pub struct PrivacyConfig {
     pub max_concretizations: usize,
     /// Extra expansion degree for exponent-dropping semirings.
     pub max_expansion_extra: u32,
+    /// The snapshot epoch this evaluation reads at (see
+    /// [`PrivacyCache::invalidate_at`]). Single-session callers leave the
+    /// default 0; a reader session pinned to a
+    /// [`SessionDb`](provabs_relational::SessionDb) passes its pinned
+    /// epoch so a shared cache serves it exactly the entries valid for
+    /// its snapshot — never values computed against later deltas.
+    pub epoch: u64,
 }
 
 impl Default for PrivacyConfig {
@@ -73,6 +80,7 @@ impl Default for PrivacyConfig {
             max_alignments: 100_000,
             max_concretizations: 1_000_000,
             max_expansion_extra: 1,
+            epoch: 0,
         }
     }
 }
@@ -148,8 +156,41 @@ pub struct PrivacyCache {
     /// [`OccId`] instead of hashed owned annotation vectors, so repeat
     /// lookups hash a handful of `u32`s rather than whole concretizations.
     occs: OccInterner,
-    consistent: ShardedMap<ConcKey, Arc<Vec<Cq>>>,
-    connectivity: ShardedMap<OccId, bool>,
+    consistent: ShardedMap<ConcKey, Vec<Stamped<Arc<Vec<Cq>>>>>,
+    connectivity: ShardedMap<OccId, Vec<Stamped<bool>>>,
+    /// Sorted invalidation epochs per occurrence id (fed by
+    /// [`PrivacyCache::invalidate_at`]): the lifetime fences a late insert
+    /// by a pinned old-epoch reader must not outlive.
+    retirements: ShardedMap<OccId, Vec<u64>>,
+}
+
+/// One cached value version: valid for epochs `born <= e < dead`
+/// (`dead == u64::MAX` means still live).
+#[derive(Debug, Clone)]
+struct Stamped<V> {
+    born: u64,
+    dead: u64,
+    value: V,
+}
+
+/// The version of `vs` visible at `epoch`. Versions may overlap when a
+/// pinned old-epoch reader inserts after later versions exist; the
+/// max-born rule picks deterministically (overlapping versions hold equal
+/// values — both were computed from the same snapshot state).
+fn version_at<V: Clone>(vs: &[Stamped<V>], epoch: u64) -> Option<V> {
+    vs.iter()
+        .filter(|s| s.born <= epoch && epoch < s.dead)
+        .max_by_key(|s| s.born)
+        .map(|s| s.value.clone())
+}
+
+/// Ends, at `epoch`, the life of every version born before it.
+fn clamp<V>(vs: &mut [Stamped<V>], epoch: u64) {
+    for s in vs {
+        if s.born < epoch && s.dead > epoch {
+            s.dead = epoch;
+        }
+    }
 }
 
 /// An interned sorted occurrence list (id space private to one
@@ -231,6 +272,125 @@ impl PrivacyCache {
         self.connectivity.retain(|id| !evicted.contains(id));
         self.consistent
             .retain(|key| !key.iter().any(|(_, id)| evicted.contains(id)));
+        self.retirements.retain(|id| !evicted.contains(id));
+    }
+
+    /// Epoch-aware invalidation for snapshot-isolated sharing: a delta
+    /// committing as snapshot `epoch` **retires** — rather than evicts —
+    /// every entry whose annotations intersect `touched`, for epochs at or
+    /// after `epoch` only. A reader pinned to an older snapshot (its
+    /// [`PrivacyConfig::epoch`] `< epoch`) keeps hitting its cached
+    /// entries bit-for-bit; readers at or after `epoch` recompute against
+    /// the new state and their results are stored as new versions under
+    /// the same keys. Nothing is removed: occurrence ids stay interned
+    /// (keys must remain stable across epochs) and [`PrivacyCache::len`]
+    /// does not shrink.
+    ///
+    /// The epoch-oblivious [`PrivacyCache::invalidate`] remains the right
+    /// call for single-session callers that do not version their reads —
+    /// it frees the memory outright.
+    pub fn invalidate_at(&self, touched: &std::collections::HashSet<AnnotId>, epoch: u64) {
+        if touched.is_empty() {
+            return;
+        }
+        // Affected ids, *without* evicting them from the interner.
+        let mut affected: HashSet<OccId> = HashSet::new();
+        self.occs.ids.for_each(|key, &id| {
+            if key.iter().any(|a| touched.contains(a)) {
+                affected.insert(id);
+            }
+        });
+        if affected.is_empty() {
+            return;
+        }
+        // Record the fence first: a concurrent insert either sees the
+        // retirement (and bounds its version's lifetime itself) or
+        // publishes before the clamp pass below (which then bounds it).
+        // Either way no version born before `epoch` survives past it.
+        for &id in &affected {
+            self.retirements.update(id, Vec::new, |rs| {
+                if rs.last().copied() != Some(epoch) {
+                    rs.push(epoch);
+                }
+            });
+        }
+        self.connectivity.for_each_mut(|id, vs| {
+            if affected.contains(id) {
+                clamp(vs, epoch);
+            }
+        });
+        self.consistent.for_each_mut(|key, vs| {
+            if key.iter().any(|(_, id)| affected.contains(id)) {
+                clamp(vs, epoch);
+            }
+        });
+    }
+
+    /// The cached connectivity of `id` as seen at `epoch`.
+    fn connectivity_at(&self, id: OccId, epoch: u64) -> Option<bool> {
+        self.connectivity
+            .read(&id, |vs| version_at(vs, epoch))
+            .flatten()
+    }
+
+    /// Stores `value` as the connectivity of `id` at `epoch` (first insert
+    /// wins) and returns the canonical stored value.
+    fn store_connectivity(&self, id: OccId, epoch: u64, value: bool) -> bool {
+        self.connectivity.update(id, Vec::new, |vs| {
+            if let Some(v) = version_at(vs, epoch) {
+                return v;
+            }
+            let dead = self.retirement_after(&[id], epoch);
+            vs.push(Stamped {
+                born: epoch,
+                dead,
+                value,
+            });
+            value
+        })
+    }
+
+    /// The cached consistent queries of `key` as seen at `epoch`.
+    fn consistent_at(&self, key: &ConcKey, epoch: u64) -> Option<Arc<Vec<Cq>>> {
+        self.consistent
+            .read(key, |vs| version_at(vs, epoch))
+            .flatten()
+    }
+
+    /// Stores `value` under `key` at `epoch` (first insert wins) and
+    /// returns the canonical stored value.
+    fn store_consistent(&self, key: ConcKey, epoch: u64, value: Arc<Vec<Cq>>) -> Arc<Vec<Cq>> {
+        let ids: Vec<OccId> = key.iter().map(|&(_, id)| id).collect();
+        self.consistent.update(key, Vec::new, |vs| {
+            if let Some(v) = version_at(vs, epoch) {
+                return v;
+            }
+            let dead = self.retirement_after(&ids, epoch);
+            vs.push(Stamped {
+                born: epoch,
+                dead,
+                value: Arc::clone(&value),
+            });
+            value
+        })
+    }
+
+    /// The earliest recorded retirement strictly after `epoch` across
+    /// `ids` — the epoch at which a version born at `epoch` stops being
+    /// valid. A pinned old-epoch reader inserting after later
+    /// invalidations have been recorded lands its version inside the
+    /// right fences instead of claiming liveness forever.
+    fn retirement_after(&self, ids: &[OccId], epoch: u64) -> u64 {
+        let mut dead = u64::MAX;
+        for &id in ids {
+            if let Some(Some(d)) = self
+                .retirements
+                .read(&id, |rs| rs.iter().copied().find(|&r| r > epoch))
+            {
+                dead = dead.min(d);
+            }
+        }
+        dead
     }
 }
 
@@ -300,7 +460,7 @@ fn row_connected(
         cache.occs.intern(sorted)
     });
     if let Some(id) = key {
-        if let Some(c) = cache.connectivity.get(&id) {
+        if let Some(c) = cache.connectivity_at(id, cfg.epoch) {
             stats.connectivity_cache_hits += 1;
             return c;
         }
@@ -308,7 +468,7 @@ fn row_connected(
     stats.connectivity_cache_misses += 1;
     let connected = provabs_relational::monomial_connected(bound.db, occs);
     if let Some(id) = key {
-        cache.connectivity.insert(id, connected);
+        return cache.store_connectivity(id, cfg.epoch, connected);
     }
     connected
 }
@@ -333,7 +493,7 @@ fn consistent_of(
             .collect()
     });
     if let Some(k) = &key {
-        if let Some(qs) = cache.consistent.get(k) {
+        if let Some(qs) = cache.consistent_at(k, cfg.epoch) {
             stats.consistency_cache_hits += 1;
             return qs;
         }
@@ -351,7 +511,7 @@ fn consistent_of(
     });
     if let Some(k) = key {
         // First insert wins; racing workers converge on the stored value.
-        return cache.consistent.insert(k, qs);
+        return cache.store_consistent(k, cfg.epoch, qs);
     }
     qs
 }
@@ -761,6 +921,87 @@ mod tests {
         // The cache is fully warm again: a third run misses nothing.
         let third = compute_privacy(&b, &rows, &cfg, &cache);
         assert_eq!(third.stats.consistency_cache_misses, 0);
+    }
+
+    #[test]
+    fn epoch_invalidation_preserves_pinned_readers() {
+        // Satellite regression: after an epoch-aware invalidation, a
+        // reader pinned at an *older* epoch must still hit every one of
+        // its cached entries — only readers at or after the invalidating
+        // epoch recompute.
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        let abs = abs_lifting(&b, &[("h1", 1), ("h2", 1)]);
+        let rows = abs.apply(&b).rows;
+        let at_epoch = |e: u64| PrivacyConfig {
+            threshold: 1,
+            epoch: e,
+            ..Default::default()
+        };
+        let cache = PrivacyCache::new();
+        let first = compute_privacy(&b, &rows, &at_epoch(0), &cache);
+        let populated = cache.len();
+        assert!(populated > 0);
+        // A delta touching h2 commits as epoch 1.
+        let h2 = std::collections::HashSet::from([fx.db.annotations().get("h2").unwrap()]);
+        cache.invalidate_at(&h2, 1);
+        // Nothing is evicted — entries are retired per epoch, not dropped.
+        assert_eq!(cache.len(), populated);
+        // The pinned epoch-0 reader still hits everything.
+        let pinned = compute_privacy(&b, &rows, &at_epoch(0), &cache);
+        assert_eq!(pinned.privacy, first.privacy);
+        assert_eq!(
+            pinned.stats.consistency_cache_misses, 0,
+            "older-epoch reader must keep hitting its entries"
+        );
+        assert_eq!(pinned.stats.connectivity_cache_misses, 0);
+        // A reader at epoch 1 recomputes the retired entries (the database
+        // is unchanged here, so the recomputed values — and the privacy —
+        // are identical) and leaves the untouched ones warm.
+        let fresh = compute_privacy(&b, &rows, &at_epoch(1), &cache);
+        assert_eq!(fresh.privacy, first.privacy);
+        assert!(fresh.stats.consistency_cache_misses > 0);
+        assert!(
+            fresh.stats.consistency_cache_hits > 0,
+            "entries disjoint from the delta survive at the new epoch"
+        );
+        // Both epochs are now fully warm.
+        let warm0 = compute_privacy(&b, &rows, &at_epoch(0), &cache);
+        assert_eq!(warm0.stats.consistency_cache_misses, 0);
+        let warm1 = compute_privacy(&b, &rows, &at_epoch(1), &cache);
+        assert_eq!(warm1.stats.consistency_cache_misses, 0);
+    }
+
+    #[test]
+    fn late_insert_by_pinned_reader_respects_later_fences() {
+        // A pinned epoch-0 reader that *populates* the cache after an
+        // invalidation at epoch 1 has been recorded must not publish
+        // entries claiming validity beyond the fence.
+        let fx = running_example();
+        let b = Bound::new(&fx.db, &fx.tree, &fx.exreal).unwrap();
+        let abs = abs_lifting(&b, &[("h1", 1), ("h2", 1)]);
+        let rows = abs.apply(&b).rows;
+        let at_epoch = |e: u64| PrivacyConfig {
+            threshold: 1,
+            epoch: e,
+            ..Default::default()
+        };
+        let cache = PrivacyCache::new();
+        // Warm the *interner* only (ids must exist for the fence to bind
+        // to) by computing once, then retire h1 at epoch 1, then clear and
+        // recompute at epoch 0 to exercise the late-insert path.
+        compute_privacy(&b, &rows, &at_epoch(0), &cache);
+        let h1 = std::collections::HashSet::from([fx.db.annotations().get("h1").unwrap()]);
+        cache.invalidate_at(&h1, 1);
+        // The epoch-0 reader misses nothing (its versions survived), but
+        // an epoch-1 reader recomputes; its new entries are then visible
+        // to a *second* epoch-1 reader while epoch-0 stays warm too.
+        let e1a = compute_privacy(&b, &rows, &at_epoch(1), &cache);
+        assert!(e1a.stats.consistency_cache_misses > 0);
+        let e1b = compute_privacy(&b, &rows, &at_epoch(1), &cache);
+        assert_eq!(e1b.stats.consistency_cache_misses, 0);
+        let e0 = compute_privacy(&b, &rows, &at_epoch(0), &cache);
+        assert_eq!(e0.stats.consistency_cache_misses, 0);
     }
 
     #[test]

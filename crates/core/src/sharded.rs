@@ -74,6 +74,52 @@ impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
             .clone()
     }
 
+    /// Runs `f` on the value under `key` without cloning it, holding the
+    /// shard read lock for the duration. Returns `None` when the key is
+    /// absent. The closure must not touch the map (it runs under the lock).
+    pub fn read<Q, R>(&self, key: &Q, f: impl FnOnce(&V) -> R) -> Option<R>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let h = self.hasher.hash_one(key) as usize;
+        self.shards[h & (SHARDS - 1)]
+            .read()
+            .expect("shard lock poisoned")
+            .get(key)
+            .map(f)
+    }
+
+    /// Upserts in place: inserts `default()` when `key` is absent, then
+    /// runs `f` on the value under the shard write lock. Unlike
+    /// [`ShardedMap::insert`] this supports values that accumulate (e.g.
+    /// version vectors) — racing writers serialize on the shard lock, so
+    /// each sees the other's completed mutation.
+    pub fn update<R>(&self, key: K, default: impl FnOnce() -> V, f: impl FnOnce(&mut V) -> R) -> R {
+        let mut shard = self.shard(&key).write().expect("shard lock poisoned");
+        f(shard.entry(key).or_insert_with(default))
+    }
+
+    /// Visits every entry, shard by shard, under shard read locks. The
+    /// closure must not touch the map.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for shard in &self.shards {
+            for (k, v) in shard.read().expect("shard lock poisoned").iter() {
+                f(k, v);
+            }
+        }
+    }
+
+    /// Visits every entry mutably, shard by shard, under shard write
+    /// locks. The closure must not touch the map.
+    pub fn for_each_mut(&self, mut f: impl FnMut(&K, &mut V)) {
+        for shard in &self.shards {
+            for (k, v) in shard.write().expect("shard lock poisoned").iter_mut() {
+                f(k, v);
+            }
+        }
+    }
+
     /// Keeps only the entries whose key satisfies `f`, shard by shard.
     /// Writers of other shards proceed concurrently; the predicate runs
     /// under one shard's write lock at a time, so it must not touch the map.
@@ -141,6 +187,21 @@ mod tests {
         assert_eq!(m.len(), 32);
         assert_eq!(m.get(&2), Some(2));
         assert_eq!(m.get(&3), None);
+    }
+
+    #[test]
+    fn update_accumulates_in_place() {
+        let m: ShardedMap<u32, Vec<u32>> = ShardedMap::default();
+        for i in 0..5 {
+            m.update(1, Vec::new, |v| v.push(i));
+        }
+        assert_eq!(m.read(&1, |v| v.len()), Some(5));
+        assert_eq!(m.read(&2, |v| v.len()), None);
+        let mut total = 0;
+        m.for_each(|_, v| total += v.len());
+        assert_eq!(total, 5);
+        m.for_each_mut(|_, v| v.retain(|&x| x % 2 == 0));
+        assert_eq!(m.get(&1), Some(vec![0, 2, 4]));
     }
 
     #[test]

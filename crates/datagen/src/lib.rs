@@ -16,6 +16,8 @@
 //!   the join-scaling variants of Figure 16;
 //! * update-stream (churn) generators feeding the incremental update
 //!   engine with deterministic insert/delete batches ([`churn`]);
+//! * closed-loop service workloads — zipf-skewed query schedules with
+//!   interleaved churn — for the `provabsd` session service ([`service`]);
 //! * adversarially-ordered query variants stressing the cost-based planner
 //!   ([`adversarial`]).
 
@@ -25,9 +27,11 @@
 pub mod adversarial;
 pub mod churn;
 pub mod imdb;
+pub mod service;
 pub mod tpch;
 pub mod workload;
 
 pub use adversarial::{adversarial_order, adversarial_workloads};
 pub use churn::{recovery_stream, ChurnConfig, ChurnGenerator};
+pub use service::{service_schedule, ServiceOp, ServiceWorkloadConfig, Zipf};
 pub use workload::{join_variants, kexample_for, kexample_for_cfg, kexample_for_mode, Workload};

@@ -1,0 +1,218 @@
+//! Closed-loop service workloads: zipf-skewed query mixes with churn.
+//!
+//! The `provabsd` service is exercised by a *closed loop*: a fixed set of
+//! clients where each client issues its next request only after the
+//! previous one completes. This module materializes such a loop as a
+//! deterministic operation schedule — queries skewed over templates by a
+//! [`Zipf`] distribution (hot templates dominate, exactly the regime a
+//! shared cross-session cache rewards) interleaved with writer update
+//! batches drawn from the [`churn`] generator.
+//!
+//! Everything is seeded: equal configs yield identical schedules, so the
+//! service bench gate can replay admission decisions, budget
+//! cancellations, and epoch publications bit-for-bit.
+//!
+//! [`churn`]: crate::churn
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A zipf-skewed distribution over ranks `0..n` with exponent `s`
+/// (`weight(rank) = 1 / (rank + 1)^s`), hand-rolled on cumulative weights
+/// so the vendored RNG's tiny API suffices.
+///
+/// `s = 0` degenerates to uniform; `s ≈ 1` is the classic web-workload
+/// skew where the top template draws the bulk of the traffic.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative (unnormalized) weights; `cum[i]` covers ranks `0..=i`.
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    /// A distribution over `n` ranks (at least 1) with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        let n = n.max(1);
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cum.push(total);
+        }
+        Self { cum }
+    }
+
+    /// Ranks this distribution covers.
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Whether the distribution is the trivial single-rank one.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `0..len()`. The uniform variate takes the top 53
+    /// bits of one `next_u64`, so sampling is exactly reproducible from
+    /// the seed (no platform-dependent float paths).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cum.last().expect("at least one rank");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let needle = unit * total;
+        match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&needle).expect("weights are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cum.len() - 1),
+        }
+    }
+}
+
+/// Shape of a closed-loop service run.
+#[derive(Debug, Clone)]
+pub struct ServiceWorkloadConfig {
+    /// Concurrent clients in the closed loop.
+    pub clients: usize,
+    /// Total operations in the schedule (queries + update batches).
+    pub operations: usize,
+    /// Query templates available (ranks of the zipf distribution).
+    pub templates: usize,
+    /// Zipf exponent of the template skew (`0` = uniform).
+    pub zipf_s: f64,
+    /// Every `update_every`-th operation is a writer update batch
+    /// (`0` = read-only schedule).
+    pub update_every: usize,
+    /// RNG seed; equal configs yield identical schedules.
+    pub seed: u64,
+}
+
+impl Default for ServiceWorkloadConfig {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            operations: 64,
+            templates: 7,
+            zipf_s: 1.1,
+            update_every: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// One scheduled operation of the closed loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceOp {
+    /// Client `client` evaluates query template `template` against its
+    /// pinned session.
+    Query {
+        /// Issuing client, in `0..clients`.
+        client: usize,
+        /// Template rank, in `0..templates` (0 is the hottest).
+        template: usize,
+    },
+    /// The single writer applies its next churn batch and publishes a new
+    /// epoch.
+    Update,
+}
+
+/// Materializes the deterministic operation schedule of a closed-loop run:
+/// clients round-robin (each client's next request follows its previous
+/// one), templates zipf-skewed, and every `update_every`-th slot taken by
+/// the writer.
+pub fn service_schedule(cfg: &ServiceWorkloadConfig) -> Vec<ServiceOp> {
+    let zipf = Zipf::new(cfg.templates, cfg.zipf_s);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let clients = cfg.clients.max(1);
+    let mut ops = Vec::with_capacity(cfg.operations);
+    let mut queries = 0usize;
+    for slot in 0..cfg.operations {
+        if cfg.update_every > 0 && (slot + 1) % cfg.update_every == 0 {
+            ops.push(ServiceOp::Update);
+        } else {
+            ops.push(ServiceOp::Query {
+                client: queries % clients,
+                template: zipf.sample(&mut rng),
+            });
+            queries += 1;
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let cfg = ServiceWorkloadConfig::default();
+        assert_eq!(service_schedule(&cfg), service_schedule(&cfg));
+        let other = service_schedule(&ServiceWorkloadConfig { seed: 7, ..cfg });
+        assert_ne!(service_schedule(&ServiceWorkloadConfig::default()), other);
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let zipf = Zipf::new(8, 1.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 8];
+        for _ in 0..4000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[3],
+            "rank 0 must dominate rank 3: {counts:?}"
+        );
+        assert!(counts[0] > counts[7] * 4, "heavy head: {counts:?}");
+        assert!(counts.iter().all(|&c| c > 0), "full support: {counts:?}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "uniform-ish: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn update_cadence_and_client_rotation() {
+        let cfg = ServiceWorkloadConfig {
+            clients: 3,
+            operations: 20,
+            update_every: 5,
+            ..Default::default()
+        };
+        let ops = service_schedule(&cfg);
+        assert_eq!(ops.len(), 20);
+        let updates = ops.iter().filter(|o| **o == ServiceOp::Update).count();
+        assert_eq!(updates, 4, "every 5th slot is a writer batch");
+        // Queries round-robin the clients in order.
+        let clients: Vec<usize> = ops
+            .iter()
+            .filter_map(|o| match o {
+                ServiceOp::Query { client, .. } => Some(*client),
+                ServiceOp::Update => None,
+            })
+            .collect();
+        for (i, c) in clients.iter().enumerate() {
+            assert_eq!(*c, i % 3);
+        }
+    }
+
+    #[test]
+    fn read_only_schedule_has_no_updates() {
+        let ops = service_schedule(&ServiceWorkloadConfig {
+            update_every: 0,
+            operations: 16,
+            ..Default::default()
+        });
+        assert!(ops.iter().all(|o| matches!(o, ServiceOp::Query { .. })));
+    }
+}

@@ -1,0 +1,215 @@
+//! `provabsd` CLI: a deterministic closed-loop driver for the service.
+//!
+//! There is no network listener (the container is offline by design);
+//! instead the binary simulates the daemon's request loop: it generates a
+//! TPC-H-shaped database, brings the service up over an in-memory VFS,
+//! and drives a zipf-skewed closed-loop workload of reader queries
+//! interleaved with writer churn batches. Every line it prints is a pure
+//! function of the flags — run it twice, diff the output, get nothing.
+//!
+//! ```text
+//! provabsd [--rows N] [--ops N] [--clients N] [--skew S] [--update-every K]
+//!          [--seed N] [--budget N] [--queue N] [--hold N] [--fail-write K]
+//! ```
+//!
+//! `--hold N` pre-admits N dummy requests for the whole run (demonstrating
+//! admission rejections); `--fail-write K` arms a one-shot transient
+//! failure of the K-th VFS write (demonstrating the bounded retry path).
+
+use provabs_datagen::tpch::{generate, tpch_queries, TpchConfig};
+use provabs_datagen::{
+    service_schedule, ChurnConfig, ChurnGenerator, ServiceOp, ServiceWorkloadConfig,
+};
+use provabs_relational::storage::{Fault, FaultyVfs, SharedVfs};
+use provabsd::{Provabsd, ServiceConfig, ServiceError, Session};
+use std::sync::{Arc, Mutex};
+
+struct Args {
+    rows: usize,
+    ops: usize,
+    clients: usize,
+    skew: f64,
+    update_every: usize,
+    seed: u64,
+    budget: u64,
+    queue: usize,
+    hold: usize,
+    fail_writes: Vec<u64>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            rows: 400,
+            ops: 64,
+            clients: 4,
+            skew: 1.1,
+            update_every: 8,
+            seed: 42,
+            budget: 1 << 20,
+            queue: 8,
+            hold: 0,
+            fail_writes: Vec::new(),
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: provabsd [--rows N] [--ops N] [--clients N] [--skew S] \
+         [--update-every K] [--seed N] [--budget N] [--queue N] [--hold N] \
+         [--fail-write K]..."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--rows" => args.rows = val("--rows").parse().unwrap_or_else(|_| usage()),
+            "--ops" => args.ops = val("--ops").parse().unwrap_or_else(|_| usage()),
+            "--clients" => args.clients = val("--clients").parse().unwrap_or_else(|_| usage()),
+            "--skew" => args.skew = val("--skew").parse().unwrap_or_else(|_| usage()),
+            "--update-every" => {
+                args.update_every = val("--update-every").parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--budget" => args.budget = val("--budget").parse().unwrap_or_else(|_| usage()),
+            "--queue" => args.queue = val("--queue").parse().unwrap_or_else(|_| usage()),
+            "--hold" => args.hold = val("--hold").parse().unwrap_or_else(|_| usage()),
+            "--fail-write" => args
+                .fail_writes
+                .push(val("--fail-write").parse().unwrap_or_else(|_| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let (mut db, _rels) = generate(&TpchConfig {
+        lineitem_rows: args.rows,
+        seed: args.seed,
+    });
+    db.build_indexes();
+    let queries = tpch_queries(db.schema());
+
+    let faults: Vec<Fault> = args
+        .fail_writes
+        .iter()
+        .map(|&k| Fault::FailWrite(k))
+        .collect();
+    let vfs: SharedVfs = Arc::new(Mutex::new(FaultyVfs::with_faults(faults)));
+    let config = ServiceConfig {
+        queue_capacity: args.queue,
+        work_budget: args.budget,
+        ..Default::default()
+    };
+    let svc = match Provabsd::create(vfs, "provabsd", db, config) {
+        Ok(svc) => svc,
+        Err(e) => {
+            eprintln!("failed to create service: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Pre-admitted requests held for the whole run: each occupies a queue
+    // slot, so `--hold` close to `--queue` forces rejections.
+    let held: Vec<_> = (0..args.hold).map_while(|_| svc.acquire(1).ok()).collect();
+
+    let schedule = service_schedule(&ServiceWorkloadConfig {
+        clients: args.clients,
+        operations: args.ops,
+        templates: queries.len(),
+        zipf_s: args.skew,
+        update_every: args.update_every,
+        seed: args.seed,
+    });
+    let mut churn = ChurnGenerator::new(&ChurnConfig {
+        batch_size: 8,
+        insert_ratio: 0.7,
+        seed: args.seed,
+    });
+
+    // The closed loop: each client re-pins only when the epoch advanced
+    // past its session, so pinned snapshots demonstrably serve stale-but-
+    // consistent reads in between.
+    let mut sessions: Vec<Option<Session>> = vec![None; args.clients.max(1)];
+    let (mut ok, mut rejected, mut cancelled, mut degraded_writes, mut applied) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut answer_rows = 0u64;
+    for op in &schedule {
+        match *op {
+            ServiceOp::Query { client, template } => {
+                let slot = &mut sessions[client];
+                let stale = slot
+                    .as_ref()
+                    .is_none_or(|s| s.epoch() < svc.registry().epoch());
+                if stale {
+                    *slot = Some(svc.session());
+                }
+                let session = slot.as_ref().expect("just pinned");
+                match session.query(&queries[template].query) {
+                    Ok(out) => {
+                        ok += 1;
+                        answer_rows += out.rows.len() as u64;
+                    }
+                    Err(ServiceError::Overloaded { .. }) => rejected += 1,
+                    Err(ServiceError::BudgetExhausted { .. }) => cancelled += 1,
+                    Err(e) => {
+                        eprintln!("query failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            ServiceOp::Update => {
+                let current = svc.session();
+                let delta = churn.next_batch(current.db());
+                match svc.apply(&delta) {
+                    Ok(_) => applied += 1,
+                    Err(ServiceError::Degraded { .. }) => degraded_writes += 1,
+                    Err(e) => {
+                        eprintln!("writer failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+    }
+    drop(held);
+
+    let stats = svc.stats();
+    let health = svc.health();
+    println!("provabsd closed-loop run");
+    println!("  operations        : {}", schedule.len());
+    println!("  completed         : {ok}");
+    println!("  answer rows       : {answer_rows}");
+    println!("  rejected          : {rejected}");
+    println!("  cancelled         : {cancelled}");
+    println!("  batches applied   : {applied}");
+    println!("  degraded writes   : {degraded_writes}");
+    println!("  epochs published  : {}", stats.epochs_published);
+    println!("  writer retries    : {}", stats.writer_retries);
+    println!("  backoff syncs     : {}", stats.backoff_syncs);
+    println!("  max request work  : {}", stats.max_request_work);
+    println!(
+        "  health            : {:?} (epoch {}, {} txns committed)",
+        health.status, health.epoch, health.committed_txns
+    );
+    if let Some(reason) = &health.reason {
+        println!("  degraded reason   : {reason}");
+    }
+}

@@ -1,0 +1,282 @@
+//! Exhaustive writer-crash sweep at the service layer.
+//!
+//! The PR 6 crash matrix proves the *storage* recovery invariant; this
+//! suite lifts it to the session service: a scripted delta stream is
+//! driven through [`Provabsd`] with a crash injected at **every** VFS
+//! write and sync boundary (WAL frames, commit markers, checkpoint pages,
+//! header flips — all of them), and at every boundary it asserts
+//!
+//! 1. reader sessions pinned at any epoch keep answering bit-for-bit from
+//!    that epoch's oracle — no session ever observes partial state, no
+//!    matter where the writer died;
+//! 2. the service degrades gracefully (typed error, degraded health with
+//!    a cause, reads still served at the last published epoch);
+//! 3. after the simulated restart, recovery resumes on exactly the
+//!    acknowledged prefix.
+
+use provabs_relational::storage::{Fault, FaultyVfs, SharedVfs, StorageError};
+use provabs_relational::{parse_cq, Cq, Database, Delta, Evaluator, Tuple};
+use provabsd::{HealthStatus, Provabsd, ServiceConfig, ServiceError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+const BASE: &str = "svc";
+
+fn seed_db() -> Database {
+    let mut db = Database::new();
+    let r = db.add_relation("R", &["a", "b"]);
+    let s = db.add_relation("S", &["a"]);
+    for i in 0..6 {
+        db.insert_str(
+            r,
+            &format!("t{i}"),
+            &[&format!("{i}"), if i % 2 == 0 { "x" } else { "y" }],
+        );
+    }
+    db.insert_str(s, "s0", &["0"]);
+    db.insert_str(s, "s1", &["1"]);
+    db.build_indexes();
+    db
+}
+
+/// The scripted stream plus its oracle prefixes: `oracles[k]` is the seed
+/// with the first `k` deltas applied — exactly the state a session pinned
+/// at epoch `k` must serve.
+fn script(seed: &Database) -> (Vec<Delta>, Vec<Database>) {
+    let mut db = seed.clone();
+    let mut oracles = vec![db.clone()];
+    let mut deltas = Vec::new();
+    for i in 0..4u32 {
+        let r = db.schema().relation_id("R").unwrap();
+        let mut d = Delta::new();
+        d.insert(
+            r,
+            format!("b{i}x"),
+            Tuple::parse(&[&format!("{}", 100 + i), "x"]),
+        );
+        d.insert(
+            r,
+            format!("b{i}y"),
+            Tuple::parse(&[&format!("{}", 200 + i), "y"]),
+        );
+        if i == 2 {
+            // A deletion mid-stream: recovery must reproduce the
+            // swap-remove row order bit-for-bit too.
+            d.delete(db.annotations().get("t0").unwrap());
+        }
+        db.apply_delta(&d);
+        deltas.push(d);
+        oracles.push(db.clone());
+    }
+    (deltas, oracles)
+}
+
+fn queries(seed: &Database) -> Vec<Cq> {
+    vec![
+        parse_cq("q(a, b) :- R(a, b)", seed.schema()).unwrap(),
+        parse_cq("j(a, c) :- R(a, b), S(c)", seed.schema()).unwrap(),
+    ]
+}
+
+fn cfg() -> ServiceConfig {
+    ServiceConfig {
+        max_retries: 1,
+        backoff_base: 1,
+        ..Default::default()
+    }
+}
+
+fn faulty_pair(faults: Vec<Fault>) -> (Arc<Mutex<FaultyVfs>>, SharedVfs) {
+    let faulty = Arc::new(Mutex::new(FaultyVfs::with_faults(faults)));
+    let vfs: SharedVfs = faulty.clone();
+    (faulty, vfs)
+}
+
+struct RunOutcome {
+    created: bool,
+    acked: u64,
+}
+
+/// Drives the scripted stream through the service on `vfs`, pinning a
+/// session after every acknowledged commit and validating every pinned
+/// session against its epoch's oracle — before *and* after whatever fault
+/// fires. Returns what was acknowledged.
+fn run(vfs: SharedVfs, deltas: &[Delta], oracles: &[Database], qs: &[Cq], ctx: &str) -> RunOutcome {
+    let svc = match Provabsd::create(vfs, BASE, oracles[0].clone(), cfg()) {
+        Ok(svc) => svc,
+        Err(_) => {
+            return RunOutcome {
+                created: false,
+                acked: 0,
+            }
+        }
+    };
+    let mut acked = 0u64;
+    let mut degraded = false;
+    let mut pinned = vec![svc.session()];
+    for d in deltas {
+        match svc.apply(d) {
+            Ok(_) => {
+                acked += 1;
+                pinned.push(svc.session());
+            }
+            Err(ServiceError::Degraded { .. }) => {
+                degraded = true;
+                break;
+            }
+            Err(e) => panic!("unexpected writer error ({ctx}): {e}"),
+        }
+    }
+    // Readers never observe partial state: every pinned session is
+    // bit-for-bit its epoch's oracle, answers and work counters alike.
+    for (k, s) in pinned.iter().enumerate() {
+        assert_eq!(s.epoch(), k as u64, "session pin order ({ctx})");
+        let oracle = &oracles[k];
+        assert!(
+            s.db().database().same_state(oracle),
+            "pinned epoch {k} diverged from its oracle ({ctx})"
+        );
+        for q in qs {
+            let want = Evaluator::new(oracle).eval_cq(q);
+            let got = s
+                .query(q)
+                .unwrap_or_else(|e| panic!("read at epoch {k} failed ({ctx}): {e}"));
+            assert_eq!(got.rows, want.0, "answers at epoch {k} ({ctx})");
+            assert_eq!(got.work, want.1, "work counters at epoch {k} ({ctx})");
+        }
+    }
+    if degraded {
+        // Graceful degradation: typed health with a cause, reads still
+        // served at the last published epoch, writes fail fast.
+        let health = svc.health();
+        assert_eq!(health.status, HealthStatus::Degraded, "({ctx})");
+        assert!(health.reason.is_some(), "degraded without a cause ({ctx})");
+        assert_eq!(health.committed_txns, acked, "({ctx})");
+        assert_eq!(svc.session().epoch(), acked, "({ctx})");
+        let err = svc.apply(&deltas[deltas.len() - 1]).unwrap_err();
+        assert!(
+            matches!(err, ServiceError::Degraded { .. }),
+            "write while degraded must fail typed ({ctx}): {err}"
+        );
+    }
+    RunOutcome {
+        created: true,
+        acked,
+    }
+}
+
+/// The sweep: a crash before every write and every sync of the fault-free
+/// op sequence.
+#[test]
+fn writer_crash_sweep_every_boundary() {
+    let seed = seed_db();
+    let (deltas, oracles) = script(&seed);
+    let qs = queries(&seed);
+
+    // Dry run: fault-free, establishes the boundary counts.
+    let (writes, syncs) = {
+        let (faulty, vfs) = faulty_pair(Vec::new());
+        let out = run(vfs, &deltas, &oracles, &qs, "dry run");
+        assert!(out.created, "dry run must create");
+        assert_eq!(out.acked, deltas.len() as u64, "dry run must ack all");
+        let g = faulty.lock().unwrap();
+        (g.write_count(), g.sync_count())
+    };
+    assert!(writes > 0 && syncs > 0, "dry run exercised the disk");
+
+    let mut cases: Vec<(String, Fault)> = Vec::new();
+    for w in 0..writes {
+        cases.push((
+            format!("crash before write {w}"),
+            Fault::CrashBeforeWrite(w),
+        ));
+    }
+    for s in 0..syncs {
+        cases.push((format!("crash before sync {s}"), Fault::CrashBeforeSync(s)));
+    }
+
+    for (ctx, fault) in cases {
+        let (faulty, vfs) = faulty_pair(vec![fault]);
+        let out = run(vfs.clone(), &deltas, &oracles, &qs, &ctx);
+        // Simulated restart: the disk comes back with its durable image.
+        faulty.lock().unwrap().recover();
+        match Provabsd::open(vfs, BASE, cfg()) {
+            Ok((svc, info)) => {
+                if out.created {
+                    assert_eq!(
+                        info.committed_txns, out.acked,
+                        "recovery must resume on the acknowledged prefix ({ctx})"
+                    );
+                }
+                let k = info.committed_txns as usize;
+                assert!(k < oracles.len(), "impossible prefix {k} ({ctx})");
+                assert!(
+                    svc.session().db().database().same_state(&oracles[k]),
+                    "recovered state != oracle at {k} ({ctx})"
+                );
+                assert_eq!(svc.health().status, HealthStatus::Healthy, "({ctx})");
+            }
+            // The crash predated the first durable header commit: the
+            // database never existed and creation was never acknowledged.
+            Err(ServiceError::Storage(StorageError::NotFound(_))) if !out.created => {}
+            Err(e) => panic!("recovery failed ({ctx}): {e}"),
+        }
+    }
+}
+
+/// Readers race the writer across an injected mid-stream crash: every pin
+/// they take, at any interleaving, must be a whole epoch (bit-for-bit its
+/// oracle), before, during, and after the writer dies.
+#[test]
+fn concurrent_readers_never_observe_partial_state_across_a_crash() {
+    let seed = seed_db();
+    let (deltas, oracles) = script(&seed);
+
+    // Boundary: the first write of the third transaction (from a dry run).
+    let boundary = {
+        let (faulty, vfs) = faulty_pair(Vec::new());
+        let svc = Provabsd::create(vfs, BASE, seed.clone(), cfg()).unwrap();
+        svc.apply(&deltas[0]).unwrap();
+        svc.apply(&deltas[1]).unwrap();
+        let count = faulty.lock().unwrap().write_count();
+        count
+    };
+
+    let (_faulty, vfs) = faulty_pair(vec![Fault::CrashBeforeWrite(boundary)]);
+    let svc = Provabsd::create(vfs, BASE, seed.clone(), cfg()).unwrap();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let svc = svc.clone();
+            let (done, oracles) = (&done, &oracles);
+            scope.spawn(move || {
+                let mut pins = 0u32;
+                loop {
+                    let s = svc.session();
+                    let k = s.epoch() as usize;
+                    assert!(
+                        s.db().database().same_state(&oracles[k]),
+                        "reader pinned a torn epoch {k}"
+                    );
+                    pins += 1;
+                    if done.load(Ordering::Acquire) && pins > 4 {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+        let mut acked = 0u64;
+        for d in &deltas {
+            match svc.apply(d) {
+                Ok(_) => acked += 1,
+                Err(ServiceError::Degraded { .. }) => break,
+                Err(e) => panic!("unexpected writer error: {e}"),
+            }
+        }
+        assert_eq!(acked, 2, "the injected crash fires in transaction 3");
+        done.store(true, Ordering::Release);
+    });
+    assert_eq!(svc.health().status, HealthStatus::Degraded);
+    assert_eq!(svc.session().epoch(), 2);
+}

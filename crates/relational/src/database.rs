@@ -4,6 +4,7 @@ use crate::vintern::{ValueId, ValueInterner};
 use crate::{RelId, Schema, Tuple, Value};
 use provabs_semiring::{AnnotId, AnnotRegistry};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The location of a tuple inside a [`Database`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,12 +28,30 @@ pub(crate) struct RelationData {
     pub(crate) annots: Vec<AnnotId>,
     /// Per-column value index, built lazily by [`Database::build_indexes`].
     pub(crate) indexes: Vec<HashMap<ValueId, Vec<u32>>>,
+    /// Version stamp, bumped on every mutation of this relation. Not
+    /// logical state (excluded from [`Database::same_state`] and from the
+    /// persisted snapshot format): it exists so snapshot publication can
+    /// tell which relations a write batch touched without diffing columns.
+    pub(crate) generation: u64,
 }
 
 impl RelationData {
     fn len(&self) -> usize {
         self.annots.len()
     }
+}
+
+/// Copy-on-write access to one relation's storage.
+///
+/// Relations are held behind [`Arc`] so cloning a [`Database`] for a
+/// snapshot shares every untouched relation; the first mutation after a
+/// clone copies just that relation ([`Arc::make_mut`]) and bumps its
+/// generation stamp. All mutating paths go through here so no shared
+/// snapshot can ever observe in-place mutation.
+pub(crate) fn data_mut(slot: &mut Arc<RelationData>) -> &mut RelationData {
+    let data = Arc::make_mut(slot);
+    data.generation = data.generation.wrapping_add(1);
+    data
 }
 
 /// An **abstractly-tagged K-database** (§2.1): every tuple is annotated with
@@ -47,7 +66,7 @@ impl RelationData {
 #[derive(Debug, Default, Clone)]
 pub struct Database {
     pub(crate) schema: Schema,
-    pub(crate) relations: Vec<RelationData>,
+    pub(crate) relations: Vec<Arc<RelationData>>,
     pub(crate) values: ValueInterner,
     pub(crate) annots: AnnotRegistry,
     /// Reverse map annotation → tuple location.
@@ -78,7 +97,7 @@ impl Database {
             // column of every relation, so later inserts can maintain them.
             data.indexes = vec![HashMap::new(); columns.len()];
         }
-        self.relations.push(data);
+        self.relations.push(Arc::new(data));
         id
     }
 
@@ -150,7 +169,7 @@ impl Database {
             !self.retired.contains(&id),
             "annotation {annot} tagged a deleted tuple and may not be reused"
         );
-        let data = &mut self.relations[rel.0 as usize];
+        let data = data_mut(&mut self.relations[rel.0 as usize]);
         let row = data.len();
         let row32 = u32::try_from(row).expect("relation exceeds u32 rows");
         if self.indexed {
@@ -203,7 +222,7 @@ impl Database {
     pub fn delete(&mut self, annot: AnnotId) -> Option<(RelId, Tuple)> {
         let loc = self.annot_loc.remove(&annot)?;
         self.retired.insert(annot);
-        let data = &mut self.relations[loc.rel.0 as usize];
+        let data = data_mut(&mut self.relations[loc.rel.0 as usize]);
         let last = data.len() - 1;
         // Step 1: read the dying row's ids without mutating anything.
         let removed: Vec<ValueId> = data.columns.iter().map(|col| col[loc.row]).collect();
@@ -268,7 +287,7 @@ impl Database {
 
     /// Total number of tuples.
     pub fn len(&self) -> usize {
-        self.relations.iter().map(RelationData::len).sum()
+        self.relations.iter().map(|data| data.len()).sum()
     }
 
     /// Whether the database has no tuples.
@@ -359,7 +378,8 @@ impl Database {
         if self.indexed {
             return;
         }
-        for data in &mut self.relations {
+        for slot in &mut self.relations {
+            let data = data_mut(slot);
             let mut idx: Vec<HashMap<ValueId, Vec<u32>>> = vec![HashMap::new(); data.columns.len()];
             for (col, column) in data.columns.iter().enumerate() {
                 for (row, &v) in column.iter().enumerate() {
@@ -374,6 +394,28 @@ impl Database {
     /// Whether indexes are current.
     pub fn is_indexed(&self) -> bool {
         self.indexed
+    }
+
+    /// The version stamp of `rel`'s storage, bumped on every mutation that
+    /// touches the relation (insert, delete, index build). Two databases
+    /// related by [`Clone`] share relation storage copy-on-write, so equal
+    /// generations *plus* shared storage ([`Database::shares_relation`])
+    /// certify the relation is untouched since the clone. The stamp is not
+    /// logical state: it does not participate in [`Database::same_state`]
+    /// and is not persisted.
+    pub fn relation_generation(&self, rel: RelId) -> u64 {
+        self.relations[rel.0 as usize].generation
+    }
+
+    /// Whether `rel`'s storage is physically shared (same allocation)
+    /// between `self` and `other` — true for a cloned snapshot until either
+    /// side mutates the relation. Used by the session layer to count how
+    /// many relations a publish actually copied.
+    pub fn shares_relation(&self, other: &Database, rel: RelId) -> bool {
+        let i = rel.0 as usize;
+        i < self.relations.len()
+            && i < other.relations.len()
+            && Arc::ptr_eq(&self.relations[i], &other.relations[i])
     }
 
     /// The posting list of `rel.col = v` when indexes are built (`None`
@@ -714,6 +756,39 @@ mod tests {
         a.insert_str(r, "t4", &["1", "x"]);
         assert!(!a.same_state(&b));
         b.insert_str(r, "t4", &["1", "x"]);
+        assert!(a.same_state(&b));
+    }
+
+    #[test]
+    fn clones_share_relation_storage_copy_on_write() {
+        let (mut db, r) = sample_db();
+        let s = db.add_relation("S", &["a"]);
+        db.insert_str(s, "s1", &["7"]);
+        let snapshot = db.clone();
+        assert!(db.shares_relation(&snapshot, r), "clone shares storage");
+        assert!(db.shares_relation(&snapshot, s));
+        let gen_r = db.relation_generation(r);
+        db.insert_str(r, "t9", &["4", "w"]);
+        // The mutated relation detached and bumped its generation; the
+        // untouched one still shares its allocation.
+        assert!(!db.shares_relation(&snapshot, r));
+        assert!(db.shares_relation(&snapshot, s));
+        assert_eq!(db.relation_generation(r), gen_r + 1);
+        assert_eq!(snapshot.relation_generation(r), gen_r);
+        // The snapshot kept the pre-mutation state.
+        assert_eq!(snapshot.relation_len(r), 3);
+        assert_eq!(db.relation_len(r), 4);
+        assert!(snapshot.annotations().get("t9").is_none());
+    }
+
+    #[test]
+    fn generation_is_not_logical_state() {
+        let (mut a, _) = sample_db();
+        let (b, _) = sample_db();
+        // Bump the stamp without touching storage: the databases stay
+        // same_state — generation is bookkeeping, not content.
+        super::data_mut(&mut a.relations[0]);
+        assert_ne!(a.relations[0].generation, b.relations[0].generation);
         assert!(a.same_state(&b));
     }
 

@@ -315,6 +315,36 @@ impl Updater {
     ) -> IDeltaEvalOutcome {
         apply_delta_impl(db, delta, queries, store, self.mode, self.exec)
     }
+
+    /// Validated [`Updater::apply`]: a delta that would make
+    /// [`Database::apply_delta`] panic — unknown relation, arity mismatch,
+    /// a label that already tags a tuple, or one retired by a deletion —
+    /// is rejected with a typed
+    /// [`StorageError::InvalidDelta`](crate::storage::StorageError) before
+    /// anything mutates. The same fail-closed boundary the durable layer
+    /// applies before a WAL append, for callers (like the `provabsd`
+    /// writer loop) that must never turn a bad request into a panic.
+    pub fn try_apply(
+        &self,
+        db: &mut Database,
+        delta: &Delta,
+        queries: &[Cq],
+    ) -> Result<DeltaEvalOutcome, crate::storage::StorageError> {
+        crate::storage::validate_delta(db, delta)?;
+        Ok(self.apply(db, delta, queries))
+    }
+
+    /// Validated [`Updater::apply_interned`] (see [`Updater::try_apply`]).
+    pub fn try_apply_interned(
+        &self,
+        db: &mut Database,
+        delta: &Delta,
+        queries: &[Cq],
+        store: &mut ProvStore,
+    ) -> Result<IDeltaEvalOutcome, crate::storage::StorageError> {
+        crate::storage::validate_delta(db, delta)?;
+        Ok(self.apply_interned(db, delta, queries, store))
+    }
 }
 
 #[cfg(test)]
@@ -346,6 +376,40 @@ mod tests {
         let (lout, lwork) = eval_cq_counted(&db, &q, EvalLimits::default());
         assert_eq!(sout, lout);
         assert_eq!(swork, lwork);
+    }
+
+    #[test]
+    fn try_apply_rejects_bad_deltas_without_panicking() {
+        use crate::storage::StorageError;
+        use crate::Delta;
+        let mut db = db();
+        let r = db.schema().relation_id("R").unwrap();
+        let q = parse_cq("Q(a, c) :- R(a, b), S(b, c)", db.schema()).unwrap();
+        let queries = vec![q];
+        // Reusing a live label is a typed error, not a panic, and the
+        // database is untouched.
+        let before = db.clone();
+        let mut bad = Delta::new();
+        bad.insert(r, "r0", Tuple::parse(&["99", "99"]));
+        let err = Updater::new().try_apply(&mut db, &bad, &queries);
+        assert!(matches!(err, Err(StorageError::InvalidDelta(_))));
+        assert!(db.same_state(&before));
+        // A retired label is rejected too.
+        let r0 = db.annotations().get("r0").unwrap();
+        let mut del = Delta::new();
+        del.delete(r0);
+        Updater::new().try_apply(&mut db, &del, &queries).unwrap();
+        let err = Updater::new().try_apply(&mut db, &bad, &queries);
+        assert!(matches!(err, Err(StorageError::InvalidDelta(_))));
+        // A good delta goes through and matches the panicking path.
+        let mut good = Delta::new();
+        good.insert(r, "fresh", Tuple::parse(&["77", "3"]));
+        let mut twin = db.clone();
+        let out = Updater::new().try_apply(&mut db, &good, &queries).unwrap();
+        let legacy = Updater::new().apply(&mut twin, &good, &queries);
+        assert!(db.same_state(&twin));
+        assert_eq!(out.deltas, legacy.deltas);
+        assert_eq!(out.work, legacy.work);
     }
 
     #[test]

@@ -38,6 +38,7 @@ mod parser;
 pub mod plan;
 mod query;
 mod schema;
+pub mod session;
 pub mod storage;
 mod tuple;
 mod value;
@@ -70,6 +71,7 @@ pub use parser::{parse_cq, parse_ucq, ParseError};
 pub use plan::{plan_cq, PlanMode, PlanStep, PlanTrace, PlanWork, QueryPlan};
 pub use query::{Atom, Cq, RelId, Term, Ucq, VarId};
 pub use schema::{RelationSchema, Schema};
+pub use session::{PublishStats, SessionDb, SessionRegistry, SnapshotWriter};
 pub use tuple::Tuple;
 pub use value::Value;
 pub use vintern::{hash_width, ValueId, ValueInterner, ID_WIDTH, VALUE_MOVE_WIDTH};

@@ -143,7 +143,7 @@ pub struct DurableDatabase {
     epoch: u64,
     applied_txns: u64,
     wal_txns: u64,
-    poisoned: bool,
+    poisoned: Option<String>,
 }
 
 fn header_file(base: &str) -> String {
@@ -160,7 +160,11 @@ fn wal_file(base: &str) -> String {
 /// never holds a transaction that cannot replay: bad relation ids, arity
 /// mismatches, reused (live or retired) annotation labels — including
 /// duplicates within the batch itself.
-fn validate_delta(db: &Database, delta: &Delta) -> Result<(), StorageError> {
+///
+/// Public because the non-durable update path wants the same fail-closed
+/// boundary: [`Updater::try_apply`](crate::Updater::try_apply) validates
+/// through here so a bad delta is a typed error, never a panic.
+pub fn validate_delta(db: &Database, delta: &Delta) -> Result<(), StorageError> {
     let mut batch_labels: HashSet<&str> = HashSet::new();
     for ins in &delta.inserts {
         if usize::from(ins.rel.0) >= db.schema().len() {
@@ -234,7 +238,7 @@ impl DurableDatabase {
             epoch: 0,
             applied_txns: 0,
             wal_txns: 0,
-            poisoned: false,
+            poisoned: None,
         };
         this.checkpoint()?;
         Ok(this)
@@ -322,7 +326,7 @@ impl DurableDatabase {
                 epoch: header.epoch,
                 applied_txns,
                 wal_txns: replayed,
-                poisoned: false,
+                poisoned: None,
             },
             info,
         ))
@@ -345,7 +349,13 @@ impl DurableDatabase {
 
     /// Whether a prior error poisoned this handle.
     pub fn is_poisoned(&self) -> bool {
-        self.poisoned
+        self.poisoned.is_some()
+    }
+
+    /// The error that poisoned this handle, if any — what a service
+    /// health endpoint reports while serving reads in degraded mode.
+    pub fn poison_cause(&self) -> Option<&str> {
+        self.poisoned.as_deref()
     }
 
     /// Builds the in-memory indexes (see [`Database::build_indexes`]).
@@ -383,8 +393,8 @@ impl DurableDatabase {
     /// configured). On `Ok` the delta is durable; on `Err` nothing of it
     /// is, and I/O errors poison the handle.
     pub fn apply_delta(&mut self, delta: &Delta) -> Result<AppliedDelta, StorageError> {
-        if self.poisoned {
-            return Err(StorageError::Poisoned);
+        if let Some(cause) = &self.poisoned {
+            return Err(StorageError::Poisoned(cause.clone()));
         }
         // Validation failures reject cleanly without poisoning: durable
         // state is untouched and the handle remains usable.
@@ -412,8 +422,8 @@ impl DurableDatabase {
     /// Writes a full snapshot to the inactive file, flips the header, and
     /// truncates the WAL (see the module docs for the crash analysis).
     pub fn checkpoint(&mut self) -> Result<(), StorageError> {
-        if self.poisoned {
-            return Err(StorageError::Poisoned);
+        if let Some(cause) = &self.poisoned {
+            return Err(StorageError::Poisoned(cause.clone()));
         }
         let target = 1 - self.active_snap;
         if let Err(e) = self.checkpoint_inner(target) {
@@ -457,7 +467,7 @@ impl DurableDatabase {
 
     fn poison(&mut self, e: StorageError) -> StorageError {
         if !matches!(e, StorageError::InvalidDelta(_)) {
-            self.poisoned = true;
+            self.poisoned = Some(e.to_string());
         }
         e
     }

@@ -23,14 +23,24 @@ use std::collections::HashMap;
 /// One injected fault, keyed by operation sequence number.
 ///
 /// Mutating operations (`write_at`, `truncate`) share one sequence; syncs
-/// have their own. All faults crash the process model except
-/// [`Fault::DropSync`], which models an fsync that reports success
+/// have their own. Most faults crash the process model; the exceptions
+/// are [`Fault::DropSync`], which models an fsync that reports success
 /// without persisting — observable only when a later crash discards the
-/// volatile image.
+/// volatile image — and the *transient* [`Fault::FailWrite`] /
+/// [`Fault::FailSync`] pair, which fail exactly one operation with
+/// [`StorageError::Io`] and leave the VFS healthy (the kernel returned
+/// `EIO` once; a retry loop above can reopen and carry on).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
     /// Crash before the k-th mutating operation applies at all.
     CrashBeforeWrite(u64),
+    /// The k-th mutating operation fails with [`StorageError::Io`] and
+    /// does not apply, but the process stays up — a transient write
+    /// error. The sequence number is consumed.
+    FailWrite(u64),
+    /// The k-th sync fails with [`StorageError::Io`] and persists
+    /// nothing, but the process stays up — a transient fsync error.
+    FailSync(u64),
     /// The k-th mutating operation persists only its first `keep` bytes to
     /// the volatile image, then the process crashes — a torn page / torn
     /// frame. On a truncate this degenerates to [`Fault::CrashBeforeWrite`].
@@ -179,6 +189,11 @@ impl FaultyVfs {
                     self.crashed = true;
                     return Ok(Some(keep.min(full)));
                 }
+                Fault::FailWrite(k) if k == seq => {
+                    return Err(StorageError::Io(format!(
+                        "injected transient failure of write {seq}"
+                    )));
+                }
                 _ => {}
             }
         }
@@ -272,6 +287,11 @@ impl Vfs for FaultyVfs {
                     return Err(StorageError::Crashed);
                 }
                 Fault::DropSync(k) if k == seq => drop_sync = true,
+                Fault::FailSync(k) if k == seq => {
+                    return Err(StorageError::Io(format!(
+                        "injected transient failure of sync {seq}"
+                    )));
+                }
                 _ => {}
             }
         }
@@ -383,6 +403,39 @@ mod tests {
         assert_eq!((log[0].seq, log[0].kind), (0, OpKind::Write));
         assert_eq!((log[1].seq, log[1].kind), (1, OpKind::Truncate));
         assert_eq!((log[2].seq, log[2].kind), (0, OpKind::Sync));
+    }
+
+    #[test]
+    fn transient_failures_do_not_crash() {
+        let mut vfs = FaultyVfs::with_faults(vec![Fault::FailWrite(1), Fault::FailSync(1)]);
+        vfs.write_at("f", 0, b"aa").unwrap(); // write 0
+        assert!(matches!(
+            vfs.write_at("f", 2, b"bb"), // write 1: transient EIO
+            Err(StorageError::Io(_))
+        ));
+        assert!(!vfs.crashed(), "transient failure leaves the process up");
+        // The failed write did not apply, and the next one succeeds.
+        assert_eq!(vfs.file_len("f").unwrap(), 2);
+        vfs.write_at("f", 2, b"bb").unwrap(); // write 2
+        vfs.sync("f").unwrap(); // sync 0
+        assert!(matches!(vfs.sync("f"), Err(StorageError::Io(_)))); // sync 1
+        assert!(!vfs.crashed());
+        vfs.sync("f").unwrap(); // sync 2
+        assert_eq!(vfs.durable_image("f").unwrap(), b"aabb");
+    }
+
+    #[test]
+    fn failed_sync_persists_nothing() {
+        let mut vfs = FaultyVfs::with_faults(vec![Fault::FailSync(0), Fault::CrashBeforeWrite(1)]);
+        vfs.write_at("f", 0, b"data").unwrap();
+        assert!(vfs.sync("f").is_err()); // transient: durable image untouched
+        assert!(!vfs.crashed());
+        assert!(vfs.write_at("f", 4, b"more").is_err()); // now crash
+        vfs.recover();
+        assert!(
+            vfs.durable_image("f").is_none(),
+            "a failed sync must not have persisted the volatile image"
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ mod vfs;
 mod wal;
 
 pub use codec::{ByteReader, ByteWriter};
-pub use durable::{DurableDatabase, DurableOptions, RecoveryInfo};
+pub use durable::{validate_delta, DurableDatabase, DurableOptions, RecoveryInfo};
 pub use faulty::{Fault, FaultyVfs, OpKind, OpRecord};
 pub use pager::{Pager, PagerStats, PAGE_PAYLOAD, PAGE_SIZE};
 pub use snapshot::{decode_database, decode_delta, encode_database, encode_delta};
@@ -62,8 +62,10 @@ pub enum StorageError {
     /// a transaction that cannot replay.
     InvalidDelta(String),
     /// The durable handle saw a previous error and refuses further work;
-    /// reopen to recover to the last committed state.
-    Poisoned,
+    /// reopen to recover to the last committed state. Carries the
+    /// original cause so a health endpoint can report *why* the writer is
+    /// down without replaying the failure.
+    Poisoned(String),
 }
 
 impl fmt::Display for StorageError {
@@ -74,8 +76,11 @@ impl fmt::Display for StorageError {
             StorageError::Corrupt(m) => write!(f, "storage corruption detected: {m}"),
             StorageError::NotFound(m) => write!(f, "storage file not found: {m}"),
             StorageError::InvalidDelta(m) => write!(f, "delta rejected before WAL append: {m}"),
-            StorageError::Poisoned => {
-                write!(f, "durable handle poisoned by a previous error; reopen")
+            StorageError::Poisoned(cause) => {
+                write!(
+                    f,
+                    "durable handle poisoned by a previous error ({cause}); reopen"
+                )
             }
         }
     }
@@ -121,6 +126,8 @@ mod tests {
         assert!(StorageError::Corrupt("page 3".into())
             .to_string()
             .contains("page 3"));
-        assert!(StorageError::Poisoned.to_string().contains("reopen"));
+        assert!(StorageError::Poisoned("io".into())
+            .to_string()
+            .contains("reopen"));
     }
 }

@@ -19,11 +19,12 @@
 
 use super::codec::{ByteReader, ByteWriter};
 use super::StorageError;
-use crate::database::RelationData;
+use crate::database::{data_mut, RelationData};
 use crate::vintern::ValueId;
 use crate::{Database, Delta, RelId, Tuple, TupleRef, Value};
 use provabs_semiring::AnnotId;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 const SNAP_MAGIC: u32 = 0x5053_4e50; // "PSNP"
 const DELTA_MAGIC: u32 = 0x5044_4c54; // "PDLT"
@@ -149,10 +150,10 @@ pub fn decode_database(bytes: &[u8]) -> Result<Database, StorageError> {
         let cols: Vec<String> = (0..ncols).map(|_| r.str()).collect::<Result<_, _>>()?;
         let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
         db.schema.add_relation(&name, &col_refs);
-        db.relations.push(RelationData {
+        db.relations.push(Arc::new(RelationData {
             columns: vec![Vec::new(); ncols],
             ..Default::default()
-        });
+        }));
     }
     // Annotation registry: labels must be distinct, ids dense.
     let nannots = r.u32()? as usize;
@@ -204,7 +205,7 @@ pub fn decode_database(bytes: &[u8]) -> Result<Database, StorageError> {
                 }
                 column.push(ValueId(v));
             }
-            db.relations[rel_idx].columns[col] = column;
+            data_mut(&mut db.relations[rel_idx]).columns[col] = column;
         }
         let mut annots = Vec::with_capacity(bounded_cap(nrows, r.remaining()));
         for row in 0..nrows {
@@ -227,7 +228,7 @@ pub fn decode_database(bytes: &[u8]) -> Result<Database, StorageError> {
             }
             annots.push(id);
         }
-        db.relations[rel_idx].annots = annots;
+        data_mut(&mut db.relations[rel_idx]).annots = annots;
     }
     // Posting lists, cross-checked against the columns they index.
     let indexed = match r.u8()? {
@@ -287,7 +288,7 @@ pub fn decode_database(bytes: &[u8]) -> Result<Database, StorageError> {
                 }
                 indexes.push(idx);
             }
-            db.relations[rel_idx].indexes = indexes;
+            data_mut(&mut db.relations[rel_idx]).indexes = indexes;
         }
     }
     r.expect_end()?;

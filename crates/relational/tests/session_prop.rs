@@ -1,0 +1,228 @@
+//! Property tests for the session/epoch layer: a writer thread applies a
+//! random delta stream and publishes an epoch per batch while reader
+//! threads race it, pinning sessions at whatever epoch they catch. Every
+//! pinned session must answer random CQs and UCQs **bit-for-bit** like an
+//! oracle database holding exactly that epoch's prefix — same tuples, same
+//! provenance, same [`EvalWork`] counters — under all three [`PlanMode`]s,
+//! both [`Execution`] engines, and batch parallelism 1/2/8. That is the
+//! determinism contract of `SessionDb`: concurrent writer progress, thread
+//! count, and engine choice are all invisible to a pinned snapshot.
+//!
+//! Each proptest case draws one seed; everything else derives from it
+//! through the deterministic `TestRng`, so failures reproduce exactly.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use provabs_relational::{
+    Atom, Cq, Database, Delta, EvalWork, Evaluator, Execution, KRelation, PlanMode, RelId,
+    SessionDb, SessionRegistry, Term, Tuple, Ucq, Value, VarId,
+};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+const MODES: [PlanMode; 3] = [
+    PlanMode::CostBased,
+    PlanMode::Greedy,
+    PlanMode::WrittenOrder,
+];
+const ENGINES: [Execution; 2] = [Execution::Block { block_size: 4 }, Execution::Scalar];
+const WORKERS: [usize; 3] = [1, 2, 8];
+
+fn pick(rng: &mut TestRng, n: usize) -> usize {
+    assert!(n > 0);
+    (rng.next_u64() % n as u64) as usize
+}
+
+/// A mixed int/string domain, small enough that joins actually happen.
+fn rand_value(rng: &mut TestRng) -> Value {
+    match pick(rng, 6) {
+        0..=3 => Value::Int(pick(rng, 4) as i64),
+        4 => Value::str("a"),
+        _ => Value::str("bb"),
+    }
+}
+
+fn rand_tuple(rng: &mut TestRng, arity: usize) -> Tuple {
+    (0..arity).map(|_| rand_value(rng)).collect()
+}
+
+/// A random database over R(a,b), S(b,c), T(c); relations may be empty.
+fn rand_db(rng: &mut TestRng) -> (Database, Vec<(RelId, usize)>) {
+    let mut db = Database::new();
+    let r = db.add_relation("R", &["a", "b"]);
+    let s = db.add_relation("S", &["b", "c"]);
+    let t = db.add_relation("T", &["c"]);
+    let rels = vec![(r, 2), (s, 2), (t, 1)];
+    let mut label = 0usize;
+    for &(rel, arity) in &rels {
+        for _ in 0..pick(rng, 8) {
+            db.insert(rel, &format!("t{label}"), rand_tuple(rng, arity));
+            label += 1;
+        }
+    }
+    db.build_indexes();
+    (db, rels)
+}
+
+/// A random safe CQ (1–3 atoms, redrawn while the body is fully ground).
+fn rand_cq(rng: &mut TestRng, rels: &[(RelId, usize)]) -> Cq {
+    loop {
+        let num_atoms = 1 + pick(rng, 3);
+        let body: Vec<Atom> = (0..num_atoms)
+            .map(|_| {
+                let (rel, arity) = rels[pick(rng, rels.len())];
+                let terms = (0..arity)
+                    .map(|_| {
+                        if pick(rng, 3) == 0 {
+                            Term::Const(rand_value(rng))
+                        } else {
+                            Term::Var(VarId(pick(rng, 4) as u32))
+                        }
+                    })
+                    .collect();
+                Atom { rel, terms }
+            })
+            .collect();
+        let mut vars: Vec<VarId> = body
+            .iter()
+            .flat_map(|a| a.terms.iter())
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(*v),
+                Term::Const(_) => None,
+            })
+            .collect();
+        vars.sort_unstable_by_key(|v| v.0);
+        vars.dedup();
+        if vars.is_empty() {
+            continue;
+        }
+        let head = (0..1 + pick(rng, vars.len().min(2)))
+            .map(|_| Term::Var(vars[pick(rng, vars.len())]))
+            .collect();
+        return Cq::new(head, body);
+    }
+}
+
+fn rand_delta(
+    rng: &mut TestRng,
+    db: &Database,
+    rels: &[(RelId, usize)],
+    fresh: &mut usize,
+) -> Delta {
+    let mut delta = Delta::new();
+    let mut dying: HashSet<_> = HashSet::new();
+    for _ in 0..(1 + pick(rng, 5)) {
+        let insert = pick(rng, 2) == 0;
+        let (rel, arity) = rels[pick(rng, rels.len())];
+        if insert || db.relation_len(rel) == 0 {
+            delta.insert(rel, format!("u{fresh}"), rand_tuple(rng, arity));
+            *fresh += 1;
+        } else {
+            let annots = db.tuple_annots(rel);
+            let a = annots[pick(rng, annots.len())];
+            if dying.insert(a) {
+                delta.delete(a);
+            }
+        }
+    }
+    delta
+}
+
+/// One evaluation fingerprint: answers + work counters.
+fn fingerprint(db: &Database, q: &Cq, mode: PlanMode, exec: Execution) -> (KRelation, EvalWork) {
+    Evaluator::new(db).plan(mode).execution(exec).eval_cq(q)
+}
+
+/// Asserts the pinned session is bit-for-bit its epoch's oracle across
+/// every mode × engine × worker-count combination.
+fn validate_session(s: &SessionDb, oracle: &Database, queries: &[Cq], u: &Ucq) {
+    let k = s.epoch();
+    assert!(
+        s.database().same_state(oracle),
+        "pinned epoch {k} is not its oracle's state"
+    );
+    for q in queries {
+        for mode in MODES {
+            for exec in ENGINES {
+                let want = fingerprint(oracle, q, mode, exec);
+                let got = fingerprint(s, q, mode, exec);
+                assert_eq!(
+                    got.0, want.0,
+                    "answers at epoch {k} under {mode:?}/{exec:?}"
+                );
+                assert_eq!(got.1, want.1, "work at epoch {k} under {mode:?}/{exec:?}");
+            }
+        }
+    }
+    for mode in MODES {
+        let (want_u, want_w) = Evaluator::new(oracle).plan(mode).eval_ucq(u);
+        let (got_u, got_w) = Evaluator::new(s).plan(mode).eval_ucq(u);
+        assert_eq!(got_u, want_u, "UCQ answers at epoch {k} under {mode:?}");
+        assert_eq!(got_w, want_w, "UCQ work at epoch {k} under {mode:?}");
+    }
+    // Batch evaluation must be thread-count invariant on the snapshot.
+    let want_batch = Evaluator::new(oracle).eval_batch(queries, 1);
+    for workers in WORKERS {
+        let got_batch = Evaluator::new(s).eval_batch(queries, workers);
+        assert_eq!(
+            got_batch, want_batch,
+            "batch at epoch {k} with {workers} workers"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Writer thread + racing readers: every pinned epoch replays its
+    /// oracle bit-for-bit whatever the interleaving.
+    #[test]
+    fn racing_readers_replay_their_pinned_epoch(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::for_case(seed);
+        let (db0, rels) = rand_db(&mut rng);
+        let queries: Vec<Cq> = (0..3).map(|_| rand_cq(&mut rng, &rels)).collect();
+        let u = Ucq { disjuncts: (0..1 + pick(&mut rng, 2)).map(|_| rand_cq(&mut rng, &rels)).collect() };
+
+        // Pre-draw the stream and its oracle prefixes.
+        let mut fresh = 0usize;
+        let mut oracle = db0.clone();
+        let mut oracles = vec![oracle.clone()];
+        let mut deltas = Vec::new();
+        for _ in 0..4 {
+            let d = rand_delta(&mut rng, &oracle, &rels, &mut fresh);
+            oracle.apply_delta(&d);
+            deltas.push(d);
+            oracles.push(oracle.clone());
+        }
+        let last = deltas.len() as u64;
+
+        let (registry, mut writer) = SessionRegistry::shared(db0.clone());
+        std::thread::scope(|scope| {
+            let reg = Arc::clone(&registry);
+            let deltas = &deltas;
+            scope.spawn(move || {
+                let mut db = db0;
+                for d in deltas {
+                    db.apply_delta(d);
+                    writer.publish(&db);
+                }
+            });
+            for _ in 0..2 {
+                let reg = Arc::clone(&reg);
+                let (oracles, queries, u) = (&oracles, &queries, &u);
+                scope.spawn(move || loop {
+                    let s = reg.pin();
+                    let k = s.epoch();
+                    validate_session(&s, &oracles[k as usize], queries, u);
+                    if k == last {
+                        break;
+                    }
+                    std::thread::yield_now();
+                });
+            }
+        });
+        // The stream fully published; the final epoch is the full oracle.
+        prop_assert_eq!(registry.epoch(), last);
+        validate_session(&registry.pin(), oracles.last().unwrap(), &queries, &u);
+    }
+}
