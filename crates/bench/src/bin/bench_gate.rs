@@ -2,7 +2,8 @@
 //! the incremental update engine, the interned provenance arena, the
 //! dictionary-encoded columnar storage layer, the cost-based query
 //! planner, the durable paged storage layer, the vectorized block
-//! execution pipeline, and the snapshot-isolated session service.
+//! execution pipeline, the snapshot-isolated session service, and the
+//! adaptive execution layer (mid-join re-planning + plan cache).
 //!
 //! ```text
 //! bench_gate [--bench NAME] --emit PATH
@@ -10,8 +11,8 @@
 //! ```
 //!
 //! where `NAME` is one of `updates`, `intern`, `storage`, `planner`,
-//! `durability`, `vectorized`, `service`. An unknown name exits non-zero
-//! listing the known benches.
+//! `durability`, `vectorized`, `service`, `adaptive`. An unknown name
+//! exits non-zero listing the known benches.
 //!
 //! `--bench updates` (the default) replays the [`UpdateSettings::ci_gate`]
 //! delta-maintenance scenarios (`BENCH_2.json`); `--bench intern` runs the
@@ -25,7 +26,10 @@
 //! [`VectorizedSettings::ci_gate`] block-versus-scalar execution
 //! comparison (`BENCH_7.json`); `--bench service` runs the
 //! [`ServiceSettings::ci_gate`] closed-loop session-service scenarios
-//! (`BENCH_8.json`).
+//! (`BENCH_8.json`); `--bench adaptive` runs the
+//! [`AdaptiveSettings::ci_gate`] adaptive-versus-static comparison on
+//! correlated-skew workloads plus the plan-cache closed loop
+//! (`BENCH_9.json`).
 //!
 //! The diff compares only deterministic work counters (rows examined,
 //! derivations, rows re-abstracted, retained constructions, probe/moved
@@ -55,7 +59,12 @@
 //!   (admission + cancellation keep every request's work counters within
 //!   budget), rejection/cancellation/degradation paths that fired in the
 //!   baseline must still fire, a degraded writer must make zero progress,
-//!   and the completion ratio may not drop past the tolerance;
+//!   and the completion ratio may not drop past the tolerance; for
+//!   `adaptive`, `adaptive_rows * 2 <= static_rows` with at least one
+//!   re-plan fired on every `corr-skew/*` scenario (the ≥ 2× probe-work
+//!   reduction mid-join re-planning promises on workloads whose planted
+//!   statistics lie), and `plan-cache/*` scenarios must hold a ≥ 0.9 hit
+//!   rate with epoch fences still retiring plans;
 //! * `work_ratio` may not regress by more than [`TOLERANCE`] (relative)
 //!   plus a small absolute slack.
 //!
@@ -66,14 +75,16 @@
 //! Exit status: 0 clean, 1 regression, 2 usage/IO error.
 
 use provabs_bench::{
-    parse_bench_json, parse_durability_json, parse_intern_json, parse_planner_json,
-    parse_service_json, parse_storage_json, parse_vectorized_json, run_durability_comparison,
-    run_intern_comparison, run_planner_comparison, run_service_comparison, run_storage_comparison,
-    run_update_comparison, run_vectorized_comparison, write_bench_json, write_durability_json,
+    parse_adaptive_json, parse_bench_json, parse_durability_json, parse_intern_json,
+    parse_planner_json, parse_service_json, parse_storage_json, parse_vectorized_json,
+    run_adaptive_comparison, run_durability_comparison, run_intern_comparison,
+    run_planner_comparison, run_service_comparison, run_storage_comparison, run_update_comparison,
+    run_vectorized_comparison, write_adaptive_json, write_bench_json, write_durability_json,
     write_intern_json, write_planner_json, write_service_json, write_storage_json,
-    write_vectorized_json, BenchMetric, DurabilityMetric, DurabilitySettings, InternMetric,
-    InternSettings, PlannerMetric, PlannerSettings, ServiceMetric, ServiceSettings, StorageMetric,
-    StorageSettings, UpdateSettings, VectorizedMetric, VectorizedSettings,
+    write_vectorized_json, AdaptiveMetric, AdaptiveSettings, BenchMetric, DurabilityMetric,
+    DurabilitySettings, InternMetric, InternSettings, PlannerMetric, PlannerSettings,
+    ServiceMetric, ServiceSettings, StorageMetric, StorageSettings, UpdateSettings,
+    VectorizedMetric, VectorizedSettings,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -93,6 +104,7 @@ const KNOWN_BENCHES: &[&str] = &[
     "durability",
     "vectorized",
     "service",
+    "adaptive",
 ];
 
 fn usage() -> ExitCode {
@@ -123,6 +135,7 @@ fn main() -> ExitCode {
         "durability" => drive_gate(&DURABILITY_GATE, &args),
         "vectorized" => drive_gate(&VECTORIZED_GATE, &args),
         "service" => drive_gate(&SERVICE_GATE, &args),
+        "adaptive" => drive_gate(&ADAPTIVE_GATE, &args),
         other => {
             eprintln!(
                 "bench_gate: unknown bench '{other}'; known benches: {}",
@@ -262,6 +275,16 @@ const SERVICE_GATE: GateOps<ServiceMetric> = GateOps {
     parse: parse_service_json,
     print: print_service_summary,
     check: check_service,
+};
+
+const ADAPTIVE_GATE: GateOps<AdaptiveMetric> = GateOps {
+    bench: "micro_adaptive",
+    kind: "an adaptive",
+    run: || run_adaptive_comparison(&AdaptiveSettings::ci_gate()),
+    write: write_adaptive_json,
+    parse: parse_adaptive_json,
+    print: print_adaptive_summary,
+    check: check_adaptive,
 };
 
 fn verdict(failures: Vec<String>, gated: usize) -> ExitCode {
@@ -789,6 +812,110 @@ fn check_service(baseline: &[ServiceMetric], current: &[ServiceMetric]) -> Vec<S
                 base.completion_ratio(),
                 TOLERANCE * 100.0,
                 floor
+            ));
+        }
+    }
+    failures
+}
+
+fn print_adaptive_summary(metrics: &[AdaptiveMetric]) {
+    println!(
+        "{:<18} {:>13} {:>12} {:>7} {:>7} {:>9} {:>8} {:>8} {:>9} {:>6}",
+        "scenario",
+        "adaptive_rows",
+        "static_rows",
+        "ratio",
+        "replans",
+        "est_error",
+        "hits",
+        "misses",
+        "hit_rate",
+        "equal"
+    );
+    for m in metrics {
+        println!(
+            "{:<18} {:>13} {:>12} {:>7.4} {:>7} {:>9} {:>8} {:>8} {:>9.4} {:>6}",
+            m.name,
+            m.adaptive_rows,
+            m.static_rows,
+            m.work_ratio(),
+            m.replans_triggered,
+            m.est_error_max,
+            m.cache_hits,
+            m.cache_misses,
+            m.hit_rate(),
+            m.equal
+        );
+    }
+}
+
+fn check_adaptive(baseline: &[AdaptiveMetric], current: &[AdaptiveMetric]) -> Vec<String> {
+    let mut failures = Vec::new();
+    // Fail closed: a gate that compares nothing protects nothing.
+    if baseline.is_empty() {
+        failures.push("baseline holds no entries — re-emit it with --emit".to_owned());
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.name == cur.name) {
+            failures.push(format!(
+                "{}: scenario has no baseline entry (ungated) — re-emit the baseline",
+                cur.name
+            ));
+        }
+    }
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.name == base.name) else {
+            failures.push(format!("{}: entry missing from current run", base.name));
+            continue;
+        };
+        if !cur.equal {
+            failures.push(format!(
+                "{}: adaptive evaluation no longer matches the static plan / oracle output",
+                cur.name
+            ));
+        }
+        if cur.name.starts_with("plan-cache/") {
+            // Cache scenarios gate on the hit rate, not the row ratio
+            // (cached plans are byte-identical to cold plans, so the row
+            // columns are equal by construction).
+            if cur.hit_rate() < 0.9 {
+                failures.push(format!(
+                    "{}: plan-cache hit rate {:.4} fell below 0.9 ({} hits / {} misses)",
+                    cur.name,
+                    cur.hit_rate(),
+                    cur.cache_hits,
+                    cur.cache_misses
+                ));
+            }
+            if base.cache_invalidations > 0 && cur.cache_invalidations == 0 {
+                failures.push(format!(
+                    "{}: epoch fences no longer retire plans (baseline invalidated {})",
+                    cur.name, base.cache_invalidations
+                ));
+            }
+            continue;
+        }
+        if cur.adaptive_rows * 2 > cur.static_rows {
+            failures.push(format!(
+                "{}: adaptive {} vs static {} rows — re-planning no longer halves the probe work",
+                cur.name, cur.adaptive_rows, cur.static_rows
+            ));
+        }
+        if cur.replans_triggered == 0 {
+            failures.push(format!(
+                "{}: the mis-estimate trigger never fired on the correlated-skew workload",
+                cur.name
+            ));
+        }
+        let allowed = base.work_ratio() * (1.0 + TOLERANCE) + ABS_SLACK;
+        if cur.work_ratio() > allowed {
+            failures.push(format!(
+                "{}: work_ratio {:.4} exceeds baseline {:.4} (+{:.0}% & slack = {:.4})",
+                cur.name,
+                cur.work_ratio(),
+                base.work_ratio(),
+                TOLERANCE * 100.0,
+                allowed
             ));
         }
     }

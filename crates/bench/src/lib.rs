@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod durability;
 pub mod figures;
 pub mod intern;
@@ -21,17 +22,19 @@ pub mod updates;
 pub mod user_study;
 pub mod vectorized;
 
+pub use adaptive::{run_adaptive_comparison, AdaptiveSettings};
 pub use durability::{run_durability_comparison, DurabilitySettings};
 pub use intern::{run_intern_comparison, InternSettings};
 pub use planner::{run_planner_comparison, PlannerSettings};
 pub use report::{
-    parse_bench_json, parse_durability_json, parse_intern_json, parse_planner_json,
-    parse_service_json, parse_storage_json, parse_vectorized_json, print_table, render_bench_json,
-    render_durability_json, render_intern_json, render_planner_json, render_service_json,
-    render_storage_json, render_vectorized_json, write_bench_json, write_csv,
-    write_durability_json, write_intern_json, write_planner_json, write_service_json,
-    write_storage_json, write_vectorized_json, BenchMetric, DurabilityMetric, InternMetric,
-    Measurement, PlannerMetric, ServiceMetric, StorageMetric, VectorizedMetric,
+    parse_adaptive_json, parse_bench_json, parse_durability_json, parse_intern_json,
+    parse_planner_json, parse_service_json, parse_storage_json, parse_vectorized_json, print_table,
+    render_adaptive_json, render_bench_json, render_durability_json, render_intern_json,
+    render_planner_json, render_service_json, render_storage_json, render_vectorized_json,
+    write_adaptive_json, write_bench_json, write_csv, write_durability_json, write_intern_json,
+    write_planner_json, write_service_json, write_storage_json, write_vectorized_json,
+    AdaptiveMetric, BenchMetric, DurabilityMetric, InternMetric, Measurement, PlannerMetric,
+    ServiceMetric, StorageMetric, VectorizedMetric,
 };
 pub use scenario::{
     imdb_scenarios, run_search, tpch_scenarios, HarnessCaps, Scenario, ScenarioSettings,

@@ -493,6 +493,170 @@ pub fn parse_planner_json(text: &str) -> Option<(String, Vec<PlannerMetric>)> {
     Some((bench, entries))
 }
 
+/// One entry of the `BENCH_9.json` report: deterministic work counters of
+/// an adaptive (mid-join re-planning + sideways statistics) evaluation
+/// next to the static cost-based plan on the same correlated-skew
+/// workload, plus the epoch-keyed plan-cache counters of a closed-loop
+/// service scenario.
+///
+/// Two scenario families share the record:
+///
+/// * `corr-skew/*` — `adaptive_rows / static_rows` is the
+///   machine-independent probe-work ratio the CI gate diffs (acceptance
+///   bar: ≤ 0.5, i.e. adaptivity must at least halve the join work the
+///   confidently-wrong static plan pays); the cache columns are zero.
+/// * `plan-cache/*` — the row columns carry the closed loop's total
+///   examined rows (equal by construction: cached plans are bit-identical
+///   to cold plans) and the gate bar is `hit_rate() ≥ 0.9`.
+///
+/// Wall-clock columns are carried for humans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveMetric {
+    /// Scenario name, e.g. `corr-skew/s9` or `plan-cache/zipf`.
+    pub name: String,
+    /// Candidate rows the adaptive evaluation examined.
+    pub adaptive_rows: u64,
+    /// Candidate rows the static cost-based plan examined.
+    pub static_rows: u64,
+    /// Times the mis-estimate trigger fired during the adaptive run.
+    pub replans_triggered: u64,
+    /// Worst observed estimation error of the *initial* plan
+    /// (`actual_rows / cumulative_estimate`, maximized over depths).
+    pub est_error_max: u64,
+    /// Plan-cache lookups answered from a cached version.
+    pub cache_hits: u64,
+    /// Plan-cache lookups that planned cold.
+    pub cache_misses: u64,
+    /// Plan versions retired by epoch fences at publication.
+    pub cache_invalidations: u64,
+    /// Wall time of the adaptive run, milliseconds (informational).
+    pub adaptive_ms: f64,
+    /// Wall time of the static run, milliseconds (informational).
+    pub static_ms: f64,
+    /// Whether adaptive, static, and oracle outputs were bit-for-bit
+    /// identical (for `plan-cache/*`: snapshot matches the oracle replay).
+    pub equal: bool,
+}
+
+impl AdaptiveMetric {
+    /// Adaptive probe work as a fraction of static probe work (lower is
+    /// better; the acceptance bar on `corr-skew/*` scenarios is ≤ 0.5).
+    pub fn work_ratio(&self) -> f64 {
+        self.adaptive_rows as f64 / self.static_rows.max(1) as f64
+    }
+
+    /// Plan-cache hit ratio (the acceptance bar on `plan-cache/*`
+    /// scenarios is ≥ 0.9; 0 when the scenario issued no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        self.cache_hits as f64 / (self.cache_hits + self.cache_misses).max(1) as f64
+    }
+}
+
+/// Serializes an adaptive-execution report in the same hand-rolled
+/// line-oriented shape as [`render_bench_json`].
+pub fn render_adaptive_json(bench: &str, metrics: &[AdaptiveMetric]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"bench\": \"{bench}\",");
+    out.push_str("  \"entries\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(out, "      \"adaptive_rows\": {},", m.adaptive_rows);
+        let _ = writeln!(out, "      \"static_rows\": {},", m.static_rows);
+        let _ = writeln!(out, "      \"replans_triggered\": {},", m.replans_triggered);
+        let _ = writeln!(out, "      \"est_error_max\": {},", m.est_error_max);
+        let _ = writeln!(out, "      \"cache_hits\": {},", m.cache_hits);
+        let _ = writeln!(out, "      \"cache_misses\": {},", m.cache_misses);
+        let _ = writeln!(
+            out,
+            "      \"cache_invalidations\": {},",
+            m.cache_invalidations
+        );
+        let _ = writeln!(out, "      \"work_ratio\": {:.6},", m.work_ratio());
+        let _ = writeln!(out, "      \"hit_rate\": {:.6},", m.hit_rate());
+        let _ = writeln!(out, "      \"adaptive_ms\": {:.3},", m.adaptive_ms);
+        let _ = writeln!(out, "      \"static_ms\": {:.3},", m.static_ms);
+        let _ = writeln!(out, "      \"equal\": {}", m.equal);
+        out.push_str(if i + 1 < metrics.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes an adaptive-execution report to `path` (creating parent
+/// directories).
+pub fn write_adaptive_json(
+    path: &Path,
+    bench: &str,
+    metrics: &[AdaptiveMetric],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, render_adaptive_json(bench, metrics))
+}
+
+/// Parses a report produced by [`render_adaptive_json`]. Returns
+/// `(bench name, entries)`; `None` on any malformed line.
+pub fn parse_adaptive_json(text: &str) -> Option<(String, Vec<AdaptiveMetric>)> {
+    let mut bench = String::new();
+    let mut entries = Vec::new();
+    let mut cur: Option<AdaptiveMetric> = None;
+    for raw in text.lines() {
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || matches!(line, "{" | "}" | "[" | "]" | "\"entries\": [") {
+            continue;
+        }
+        let (key, value) = line.split_once(':')?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "schema" => {}
+            "bench" => bench = value.trim_matches('"').to_owned(),
+            "name" => {
+                if let Some(done) = cur.take() {
+                    entries.push(done);
+                }
+                cur = Some(AdaptiveMetric {
+                    name: value.trim_matches('"').to_owned(),
+                    adaptive_rows: 0,
+                    static_rows: 0,
+                    replans_triggered: 0,
+                    est_error_max: 0,
+                    cache_hits: 0,
+                    cache_misses: 0,
+                    cache_invalidations: 0,
+                    adaptive_ms: 0.0,
+                    static_ms: 0.0,
+                    equal: false,
+                });
+            }
+            "adaptive_rows" => cur.as_mut()?.adaptive_rows = value.parse().ok()?,
+            "static_rows" => cur.as_mut()?.static_rows = value.parse().ok()?,
+            "replans_triggered" => cur.as_mut()?.replans_triggered = value.parse().ok()?,
+            "est_error_max" => cur.as_mut()?.est_error_max = value.parse().ok()?,
+            "cache_hits" => cur.as_mut()?.cache_hits = value.parse().ok()?,
+            "cache_misses" => cur.as_mut()?.cache_misses = value.parse().ok()?,
+            "cache_invalidations" => cur.as_mut()?.cache_invalidations = value.parse().ok()?,
+            "work_ratio" | "hit_rate" => {} // derived; recomputed
+            "adaptive_ms" => cur.as_mut()?.adaptive_ms = value.parse().ok()?,
+            "static_ms" => cur.as_mut()?.static_ms = value.parse().ok()?,
+            "equal" => cur.as_mut()?.equal = value.parse().ok()?,
+            _ => return None,
+        }
+    }
+    if let Some(done) = cur.take() {
+        entries.push(done);
+    }
+    Some((bench, entries))
+}
+
 /// Parses a report produced by [`render_storage_json`]. Returns
 /// `(bench name, entries)`; `None` on any malformed line.
 pub fn parse_storage_json(text: &str) -> Option<(String, Vec<StorageMetric>)> {
@@ -1338,6 +1502,46 @@ mod tests {
         assert!(metrics[0].work_ratio() <= 0.5);
         assert!(metrics[0].probe_ratio() <= 0.5);
         assert_eq!(parse_planner_json("not json"), None);
+    }
+
+    #[test]
+    fn adaptive_json_roundtrips() {
+        let metrics = vec![
+            AdaptiveMetric {
+                name: "corr-skew/s9".into(),
+                adaptive_rows: 5_900,
+                static_rows: 18_000,
+                replans_triggered: 1,
+                est_error_max: 16,
+                cache_hits: 0,
+                cache_misses: 0,
+                cache_invalidations: 0,
+                adaptive_ms: 0.8,
+                static_ms: 2.4,
+                equal: true,
+            },
+            AdaptiveMetric {
+                name: "plan-cache/zipf".into(),
+                adaptive_rows: 40_000,
+                static_rows: 40_000,
+                replans_triggered: 0,
+                est_error_max: 0,
+                cache_hits: 370,
+                cache_misses: 20,
+                cache_invalidations: 14,
+                adaptive_ms: 30.0,
+                static_ms: 30.0,
+                equal: true,
+            },
+        ];
+        let text = render_adaptive_json("micro_adaptive", &metrics);
+        let (bench, parsed) = parse_adaptive_json(&text).expect("parses");
+        assert_eq!(bench, "micro_adaptive");
+        assert_eq!(parsed, metrics);
+        assert!(metrics[0].work_ratio() <= 0.5);
+        assert_eq!(metrics[0].hit_rate(), 0.0);
+        assert!(metrics[1].hit_rate() >= 0.9);
+        assert_eq!(parse_adaptive_json("not json"), None);
     }
 
     #[test]

@@ -77,11 +77,11 @@ use provabs_relational::storage::{
     DurableDatabase, DurableOptions, RecoveryInfo, SharedVfs, StorageError,
 };
 use provabs_relational::{
-    AppliedDelta, Cq, Database, Delta, EvalLimits, EvalWork, Evaluator, Execution, KRelation,
-    PlanMode, SessionDb, SessionRegistry, SnapshotWriter,
+    Adaptive, AppliedDelta, Cq, Database, Delta, EvalLimits, EvalWork, Evaluator, Execution,
+    KRelation, PlanMode, RelId, SessionDb, SessionRegistry, SnapshotWriter,
 };
 use provabs_semiring::AnnotId;
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -249,6 +249,12 @@ pub struct ServiceStats {
     pub backoff_syncs: u64,
     /// Writes rejected while degraded.
     pub degraded_writes: u64,
+    /// Plan-cache lookups answered from a cached version.
+    pub plan_cache_hits: u64,
+    /// Plan-cache lookups that planned cold.
+    pub plan_cache_misses: u64,
+    /// Plan versions retired by epoch fences at publication.
+    pub plan_cache_invalidations: u64,
 }
 
 #[derive(Debug, Default)]
@@ -289,6 +295,9 @@ struct WriterState {
     /// Annotations touched by committed-but-unpublished transactions;
     /// retired in the cache when their epoch publishes.
     pending_touched: HashSet<AnnotId>,
+    /// Relations changed by committed-but-unpublished transactions;
+    /// retired in the plan cache when their epoch publishes.
+    pending_rels: BTreeSet<RelId>,
 }
 
 #[derive(Debug)]
@@ -342,6 +351,10 @@ pub struct QueryOptions {
     pub plan: PlanMode,
     /// Execution engine.
     pub execution: Execution,
+    /// Deterministic mid-join re-planning (`None` = off, replaying the
+    /// static baselines bit-for-bit; see
+    /// [`Evaluator::adaptive`](provabs_relational::Evaluator::adaptive)).
+    pub adaptive: Option<Adaptive>,
 }
 
 /// The result of one admitted, completed query.
@@ -405,11 +418,19 @@ impl Session {
             max_derivations: usize::try_from(budget).unwrap_or(usize::MAX),
             ..EvalLimits::default()
         };
-        let (rows, work) = Evaluator::new(&self.db)
+        // Every session consults the registry-wide plan cache at its
+        // pinned epoch: a hit returns the byte-identical plan a cold run
+        // would compute, so results and EvalWork counters are unchanged
+        // (the hit/miss counters live on the cache itself).
+        let mut eval = Evaluator::new(&self.db)
             .plan(opts.plan)
             .execution(opts.execution)
             .limits(limits)
-            .eval_cq(q);
+            .plan_cache(self.service.inner.registry.plan_cache(), self.db.epoch());
+        if let Some(ad) = opts.adaptive {
+            eval = eval.adaptive(ad.k);
+        }
+        let (rows, work) = eval.eval_cq(q);
         let stats = &self.service.inner.stats;
         stats
             .max_request_work
@@ -470,6 +491,7 @@ impl Provabsd {
                     committed,
                     txns_since_publish: 0,
                     pending_touched: HashSet::new(),
+                    pending_rels: BTreeSet::new(),
                 }),
                 admission: Mutex::new(Admission::default()),
                 cache: Arc::new(PrivacyCache::new()),
@@ -588,10 +610,17 @@ impl Provabsd {
                     w.committed += 1;
                     w.txns_since_publish += 1;
                     w.pending_touched.extend(applied.touched());
+                    w.pending_rels.extend(applied.rels.iter().copied());
                     if w.txns_since_publish >= cfg.publish_every.max(1) {
                         let next = self.inner.registry.epoch() + 1;
                         let touched = std::mem::take(&mut w.pending_touched);
                         self.inner.cache.invalidate_at(&touched, next);
+                        // The plan cache is fenced before publication for
+                        // the same reason: no session may pin `next` and
+                        // still hit a plan computed from older statistics.
+                        let rels: Vec<RelId> =
+                            std::mem::take(&mut w.pending_rels).into_iter().collect();
+                        self.inner.registry.plan_cache().invalidate_at(&rels, next);
                         let ws = &mut *w;
                         let pstats = ws
                             .publisher
@@ -682,7 +711,11 @@ impl Provabsd {
     /// A snapshot of the deterministic service counters.
     pub fn stats(&self) -> ServiceStats {
         let s = &self.inner.stats;
+        let pc = self.inner.registry.plan_cache().stats();
         ServiceStats {
+            plan_cache_hits: pc.hits,
+            plan_cache_misses: pc.misses,
+            plan_cache_invalidations: pc.invalidations,
             admitted: s.admitted.load(Ordering::Relaxed),
             rejected_queue: s.rejected_queue.load(Ordering::Relaxed),
             rejected_work: s.rejected_work.load(Ordering::Relaxed),

@@ -206,6 +206,10 @@ fn main() {
     println!("  backoff syncs     : {}", stats.backoff_syncs);
     println!("  max request work  : {}", stats.max_request_work);
     println!(
+        "  plan cache        : {} hits / {} misses / {} invalidations",
+        stats.plan_cache_hits, stats.plan_cache_misses, stats.plan_cache_invalidations
+    );
+    println!(
         "  health            : {:?} (epoch {}, {} txns committed)",
         health.status, health.epoch, health.committed_txns
     );

@@ -115,6 +115,10 @@ pub struct AppliedDelta {
     /// Annotations whose tuples were removed (requested deletions that
     /// tagged nothing are omitted).
     pub deleted: Vec<AnnotId>,
+    /// Relations the delta actually changed (sorted, deduplicated) — the
+    /// invalidation set for statistics-keyed caches like the
+    /// [`PlanCache`](crate::PlanCache).
+    pub rels: Vec<crate::RelId>,
 }
 
 impl AppliedDelta {
@@ -140,15 +144,19 @@ impl Database {
     pub fn apply_delta(&mut self, delta: &Delta) -> AppliedDelta {
         let mut applied = AppliedDelta::default();
         for &a in &delta.deletes {
-            if self.delete(a).is_some() {
+            if let Some((rel, _)) = self.delete(a) {
                 applied.deleted.push(a);
+                applied.rels.push(rel);
             }
         }
         for ins in &delta.inserts {
             applied
                 .inserted
                 .push(self.insert(ins.rel, &ins.label, ins.tuple.clone()));
+            applied.rels.push(ins.rel);
         }
+        applied.rels.sort_unstable();
+        applied.rels.dedup();
         applied
     }
 }

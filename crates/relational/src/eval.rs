@@ -22,7 +22,10 @@
 
 use crate::exec::Execution;
 use crate::interned::IKRelation;
-use crate::plan::{plan_cq_with_costs, AtomCost, PlanMode, PlanTrace, PlanWork, QueryPlan};
+use crate::plan::{
+    cumulative_estimates, plan_cq_anchored, plan_cq_with_costs, replan_suffix, Adaptive, AtomCost,
+    PlanMode, PlanTrace, PlanWork, QueryPlan, ReplanWork, Sideways,
+};
 use crate::vintern::{ValueId, ID_WIDTH, VALUE_MOVE_WIDTH};
 use crate::{Cq, Database, Term, Tuple, Ucq, VarId};
 use provabs_semiring::{AnnotId, Monomial, Polynomial, ProvStore};
@@ -188,6 +191,10 @@ pub struct EvalWork {
     /// Planner counters: queries planned, atoms reordered, estimated rows
     /// (see [`PlanWork`]).
     pub plan: PlanWork,
+    /// Adaptive re-planning counters (see [`ReplanWork`]). All zero unless
+    /// the evaluation ran with [`Adaptive`] enabled, so adaptivity-off
+    /// counter baselines replay bit for bit.
+    pub replan: ReplanWork,
 }
 
 impl EvalWork {
@@ -205,6 +212,7 @@ impl EvalWork {
         self.gallop_steps += other.gallop_steps;
         self.boundary_bytes += other.boundary_bytes;
         self.plan.absorb(&other.plan);
+        self.replan.absorb(&other.replan);
     }
 }
 
@@ -231,20 +239,43 @@ pub fn eval_cq_limited(db: &Database, q: &Cq, limits: EvalLimits) -> KRelation {
 /// [`eval_cq_counted_interned`] so the arena's hash-consing and operation
 /// memos carry across evaluations.
 pub fn eval_cq_counted(db: &Database, q: &Cq, limits: EvalLimits) -> (KRelation, EvalWork) {
-    eval_cq_owned_impl(db, q, limits, PlanMode::default(), Execution::Scalar)
+    eval_cq_owned_impl(
+        db,
+        q,
+        limits,
+        PlanMode::default(),
+        Execution::Scalar,
+        None,
+        None,
+    )
 }
 
 /// Owned-boundary implementation behind [`eval_cq_counted`], the deprecated
-/// `_mode` shim, and [`Evaluator`](crate::Evaluator).
+/// `_mode` shim, and [`Evaluator`](crate::Evaluator). `adaptive` arms the
+/// mid-join re-planning trigger; `plan_override` executes a caller-supplied
+/// plan (a plan-cache hit) instead of planning — the caller guarantees it
+/// was produced for this exact database content, query, mode and pivot.
 pub(crate) fn eval_cq_owned_impl(
     db: &Database,
     q: &Cq,
     limits: EvalLimits,
     mode: PlanMode,
     exec: Execution,
+    adaptive: Option<Adaptive>,
+    plan_override: Option<&QueryPlan>,
 ) -> (KRelation, EvalWork) {
     let mut store = ProvStore::new();
-    let (out, work) = run_engine(db, q, limits, None, &mut store, mode, exec);
+    let (out, work) = run_engine(
+        db,
+        q,
+        limits,
+        None,
+        &mut store,
+        mode,
+        exec,
+        adaptive,
+        plan_override,
+    );
     (out.to_krelation(&store), work)
 }
 
@@ -262,7 +293,7 @@ pub fn eval_cq_counted_mode(
     limits: EvalLimits,
     mode: PlanMode,
 ) -> (KRelation, EvalWork) {
-    eval_cq_owned_impl(db, q, limits, mode, Execution::Scalar)
+    eval_cq_owned_impl(db, q, limits, mode, Execution::Scalar, None, None)
 }
 
 /// [`eval_cq_counted`] under an explicit [`PlanMode`], also returning the
@@ -275,21 +306,62 @@ pub fn eval_cq_traced(
     limits: EvalLimits,
     mode: PlanMode,
 ) -> (KRelation, EvalWork, PlanTrace) {
-    eval_cq_traced_impl(db, q, limits, mode, Execution::Scalar)
+    eval_cq_traced_impl(db, q, limits, mode, Execution::Scalar, None, None)
 }
 
 /// Implementation behind [`eval_cq_traced`] and
 /// [`Evaluator::eval_cq_traced`](crate::Evaluator::eval_cq_traced).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn eval_cq_traced_impl(
     db: &Database,
     q: &Cq,
     limits: EvalLimits,
     mode: PlanMode,
     exec: Execution,
+    adaptive: Option<Adaptive>,
+    plan_override: Option<&QueryPlan>,
 ) -> (KRelation, EvalWork, PlanTrace) {
     let mut store = ProvStore::new();
-    let (out, work, trace) = run_engine_traced(db, q, limits, None, &mut store, mode, exec);
+    let (out, work, trace) = run_engine_traced(
+        db,
+        q,
+        limits,
+        None,
+        &mut store,
+        mode,
+        exec,
+        adaptive,
+        plan_override,
+    );
     (out.to_krelation(&store), work, trace)
+}
+
+/// Interned counterpart of [`eval_cq_traced_impl`], behind
+/// [`InternedEvaluator::eval_cq_traced`](crate::InternedEvaluator::eval_cq_traced):
+/// interned callers (the search engine, `provabsd`) observe per-step
+/// est-vs-actual without a decode shim.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn eval_cq_traced_interned_impl(
+    db: &Database,
+    q: &Cq,
+    limits: EvalLimits,
+    store: &mut ProvStore,
+    mode: PlanMode,
+    exec: Execution,
+    adaptive: Option<Adaptive>,
+    plan_override: Option<&QueryPlan>,
+) -> (IKRelation, EvalWork, PlanTrace) {
+    run_engine_traced(
+        db,
+        q,
+        limits,
+        None,
+        store,
+        mode,
+        exec,
+        adaptive,
+        plan_override,
+    )
 }
 
 /// The interned engine entry point: evaluates a CQ into an
@@ -308,6 +380,8 @@ pub fn eval_cq_counted_interned(
         store,
         PlanMode::default(),
         Execution::Scalar,
+        None,
+        None,
     )
 }
 
@@ -320,7 +394,17 @@ pub fn eval_cq_counted_interned_mode(
     store: &mut ProvStore,
     mode: PlanMode,
 ) -> (IKRelation, EvalWork) {
-    run_engine(db, q, limits, None, store, mode, Execution::Scalar)
+    run_engine(
+        db,
+        q,
+        limits,
+        None,
+        store,
+        mode,
+        Execution::Scalar,
+        None,
+        None,
+    )
 }
 
 /// Restriction of an evaluation to derivations through a *pivot* atom
@@ -348,6 +432,9 @@ pub(crate) fn eval_cq_restricted(
     mode: PlanMode,
     exec: Execution,
 ) -> (IKRelation, EvalWork) {
+    // Delta passes never re-plan adaptively: the pivot's precomputed delta
+    // rows are already the exact access path, and keeping the restricted
+    // path static preserves the PR 2 delta counter baselines bit for bit.
     run_engine(
         db,
         q,
@@ -356,11 +443,14 @@ pub(crate) fn eval_cq_restricted(
         store,
         mode,
         exec,
+        None,
+        None,
     )
 }
 
 /// Interned implementation behind the deprecated `_mode` shims and
 /// [`InternedEvaluator`](crate::InternedEvaluator).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn eval_cq_interned_impl(
     db: &Database,
     q: &Cq,
@@ -368,8 +458,20 @@ pub(crate) fn eval_cq_interned_impl(
     store: &mut ProvStore,
     mode: PlanMode,
     exec: Execution,
+    adaptive: Option<Adaptive>,
+    plan_override: Option<&QueryPlan>,
 ) -> (IKRelation, EvalWork) {
-    run_engine(db, q, limits, None, store, mode, exec)
+    run_engine(
+        db,
+        q,
+        limits,
+        None,
+        store,
+        mode,
+        exec,
+        adaptive,
+        plan_override,
+    )
 }
 
 /// One compiled body-atom position: the variable, or the constant resolved
@@ -398,8 +500,20 @@ fn run_engine(
     store: &mut ProvStore,
     mode: PlanMode,
     exec: Execution,
+    adaptive: Option<Adaptive>,
+    plan_override: Option<&QueryPlan>,
 ) -> (IKRelation, EvalWork) {
-    let (out, work, _) = run_engine_traced(db, q, limits, restrict, store, mode, exec);
+    let (out, work, _) = run_engine_traced(
+        db,
+        q,
+        limits,
+        restrict,
+        store,
+        mode,
+        exec,
+        adaptive,
+        plan_override,
+    );
     (out, work)
 }
 
@@ -412,6 +526,8 @@ fn run_engine_traced(
     store: &mut ProvStore,
     mode: PlanMode,
     exec: Execution,
+    adaptive: Option<Adaptive>,
+    plan_override: Option<&QueryPlan>,
 ) -> (IKRelation, EvalWork, PlanTrace) {
     let empty_trace = || PlanTrace {
         plan: QueryPlan {
@@ -459,13 +575,26 @@ fn run_engine_traced(
     let mut acc = Accum::new();
     // A pivoted evaluation starts from the delta rows: they are the most
     // selective access path by construction; the rest of the body is the
-    // planner's to order.
-    let plan = plan_cq_with_costs(db, q, &costs, mode, restrict.as_ref().map(|r| r.pivot));
+    // planner's to order. A plan-cache hit skips the planning call — the
+    // cache key's statistics fingerprint guarantees the cached plan is
+    // byte-identical to what planning here would produce, so the hit path
+    // and the cold path record identical counters.
+    let plan = match plan_override {
+        Some(p) => p.clone(),
+        None => plan_cq_with_costs(db, q, &costs, mode, restrict.as_ref().map(|r| r.pivot)),
+    };
     let order = plan.atom_order();
     let mut work = EvalWork::default();
     work.plan.record(&plan);
-    let (work, actual_rows) = match exec {
+    let (mut work, actual_rows) = match exec {
         Execution::Scalar => {
+            let thresholds = match adaptive {
+                Some(ad) => cumulative_estimates(&plan.steps, 1)
+                    .iter()
+                    .map(|&c| ad.threshold(c))
+                    .collect(),
+                None => vec![u64::MAX; order.len()],
+            };
             let mut engine = Engine {
                 db,
                 q,
@@ -480,6 +609,11 @@ fn run_engine_traced(
                 order,
                 restrict,
                 key_buf: Vec::new(),
+                costs: &costs,
+                adaptive,
+                thresholds,
+                replanned: vec![false; plan.steps.len()],
+                sideways: Sideways::default(),
             };
             let mut bindings: HashMap<VarId, ValueId> = HashMap::new();
             let mut image: Vec<provabs_semiring::AnnotId> = Vec::with_capacity(q.body.len());
@@ -490,24 +624,93 @@ fn run_engine_traced(
             (work, actual_rows)
         }
         Execution::Block { block_size } => {
-            let mut depth_rows = vec![0u64; order.len()];
-            work.derivations = crate::exec::run_block(
-                db,
-                q,
-                &compiled,
-                &head_vars,
-                limits,
-                restrict.as_ref(),
-                &plan,
-                store,
-                &mut acc,
-                &mut work,
-                &mut depth_rows,
-                block_size,
-            );
+            // The block pipeline compiles its operator tree per plan, so a
+            // mis-estimate aborts the attempt deterministically and the
+            // whole query restarts under a re-anchored plan: the exploded
+            // step's atom keeps its observed cardinality as an estimate
+            // floor, deferring it behind atoms still believed cheap. Work
+            // counters accumulate across attempts (aborted work was really
+            // done); the accumulator and derivation counts reset.
+            let n = plan.steps.len();
+            let mut attempt_plan = plan.clone();
+            let mut anchors: BTreeMap<usize, u64> = BTreeMap::new();
+            let mut attempts = 0usize;
+            let mut watchdog = adaptive;
+            let depth_rows = loop {
+                let mut depth_rows = vec![0u64; n];
+                let thresholds: Option<Vec<u64>> = watchdog.map(|ad| {
+                    cumulative_estimates(&attempt_plan.steps, 1)
+                        .iter()
+                        .map(|&c| ad.threshold(c))
+                        .collect()
+                });
+                acc.clear();
+                let (derivations, aborted) = crate::exec::run_block(
+                    db,
+                    q,
+                    &compiled,
+                    &head_vars,
+                    limits,
+                    restrict.as_ref(),
+                    &attempt_plan,
+                    store,
+                    &mut acc,
+                    &mut work,
+                    &mut depth_rows,
+                    block_size,
+                    thresholds.as_deref(),
+                );
+                let Some(depth) = aborted else {
+                    work.derivations = derivations;
+                    break depth_rows;
+                };
+                attempts += 1;
+                work.replan.replans_triggered += 1;
+                let observed = depth_rows[depth];
+                let cums = cumulative_estimates(&attempt_plan.steps, 1);
+                let err = observed / cums[depth].max(1);
+                work.replan.est_error_max = work.replan.est_error_max.max(err);
+                let atom = attempt_plan.steps[depth].atom;
+                let floor = anchors.get(&atom).copied().unwrap_or(0).max(observed);
+                anchors.insert(atom, floor);
+                let next = plan_cq_anchored(
+                    db,
+                    q,
+                    &costs,
+                    mode,
+                    restrict.as_ref().map(|r| r.pivot),
+                    &anchors,
+                );
+                let moved = next
+                    .steps
+                    .iter()
+                    .zip(&attempt_plan.steps)
+                    .filter(|(a, b)| a.atom != b.atom)
+                    .count() as u64;
+                work.replan.steps_replanned += moved;
+                if moved == 0 || attempts > n {
+                    // Re-anchoring found no better order (or every atom
+                    // has aborted once): finish under the current plan
+                    // with the watchdog disarmed.
+                    watchdog = None;
+                } else {
+                    attempt_plan = next;
+                }
+            };
             (work, depth_rows)
         }
     };
+    if adaptive.is_some() {
+        // Worst mis-estimate of the *initial* plan, whatever re-planning
+        // later did about it. Under block restarts the reported actuals
+        // are the final attempt's, so the abort loop above already folded
+        // the aborted attempts' errors in.
+        let cums = cumulative_estimates(&plan.steps, 1);
+        for (d, &actual) in actual_rows.iter().enumerate() {
+            let err = actual / cums[d].max(1);
+            work.replan.est_error_max = work.replan.est_error_max.max(err);
+        }
+    }
     let trace = PlanTrace { plan, actual_rows };
     // Decode boundary: each distinct output materializes its owned tuple
     // exactly once, interleaving head constants with the accumulated
@@ -543,7 +746,7 @@ pub fn eval_ucq(db: &Database, u: &Ucq) -> KRelation {
 /// into the sum (no polynomial clones) and the arena memos persist for the
 /// caller's next evaluation.
 pub fn eval_ucq_interned(db: &Database, u: &Ucq, store: &mut ProvStore) -> IKRelation {
-    eval_ucq_interned_impl(db, u, store, PlanMode::default(), Execution::Scalar).0
+    eval_ucq_interned_impl(db, u, store, PlanMode::default(), Execution::Scalar, None).0
 }
 
 /// [`eval_ucq_interned`] under an explicit [`PlanMode`] (each disjunct is
@@ -555,7 +758,7 @@ pub fn eval_ucq_interned_mode(
     store: &mut ProvStore,
     mode: PlanMode,
 ) -> IKRelation {
-    eval_ucq_interned_impl(db, u, store, mode, Execution::Scalar).0
+    eval_ucq_interned_impl(db, u, store, mode, Execution::Scalar, None).0
 }
 
 /// UCQ implementation behind the shims and
@@ -567,11 +770,22 @@ pub(crate) fn eval_ucq_interned_impl(
     store: &mut ProvStore,
     mode: PlanMode,
     exec: Execution,
+    adaptive: Option<Adaptive>,
 ) -> (IKRelation, EvalWork) {
     let mut out = IKRelation::default();
     let mut work = EvalWork::default();
     for d in &u.disjuncts {
-        let (part, dwork) = run_engine(db, d, EvalLimits::default(), None, store, mode, exec);
+        let (part, dwork) = run_engine(
+            db,
+            d,
+            EvalLimits::default(),
+            None,
+            store,
+            mode,
+            exec,
+            adaptive,
+            None,
+        );
         work.absorb(&dwork);
         out.absorb(store, part);
     }
@@ -684,9 +898,74 @@ struct Engine<'a> {
     /// Scratch for the output key: reused across derivations, cloned only
     /// when a new output first enters the accumulator.
     key_buf: Vec<ValueId>,
+    /// Compiled atom statistics, shared with the planner — suffix re-plans
+    /// re-estimate against these without re-probing the dictionary.
+    costs: &'a [AtomCost],
+    /// Mid-join re-planning configuration; `None` replays the static
+    /// engine bit for bit (the thresholds below are all `u64::MAX`).
+    adaptive: Option<Adaptive>,
+    /// Per-depth trigger thresholds: `k ×` the plan's cumulative estimate
+    /// at that depth, re-anchored whenever a re-plan rewrites the suffix.
+    thresholds: Vec<u64>,
+    /// Depths whose trigger already fired. A shallower re-plan re-arms the
+    /// deeper flags (their estimates are fresh), so re-plans per depth are
+    /// bounded by the depths above it — never unbounded.
+    replanned: Vec<bool>,
+    /// Sideways-exported observed bindings (adaptive runs only).
+    sideways: Sideways,
 }
 
 impl Engine<'_> {
+    /// Deterministic mid-join suffix re-plan, fired by the row counter at
+    /// `depth` crossing its threshold. Safe exactly here: between candidate
+    /// rows at `depth`, no binding from a deeper frame is live, so the
+    /// atoms at `order[depth + 1..]` can be reordered freely — frames at or
+    /// above `depth` read their atom once on entry and re-read the order
+    /// only when they recurse, which always happens after this returns.
+    /// The new suffix re-anchors on the observed frontier cardinality
+    /// (`depth_rows[depth]`) and estimates with the sideways-observed
+    /// postings of every bound variable.
+    fn replan_at(&mut self, depth: usize) {
+        self.replanned[depth] = true;
+        self.work.replan.replans_triggered += 1;
+        let suffix_start = depth + 1;
+        if suffix_start >= self.order.len() {
+            return; // nothing left to reorder
+        }
+        let mut bound: std::collections::BTreeSet<VarId> = std::collections::BTreeSet::new();
+        for &a in &self.order[..suffix_start] {
+            bound.extend(self.q.body[a].variables());
+        }
+        let remaining: Vec<usize> = self.order[suffix_start..].to_vec();
+        let steps = replan_suffix(
+            self.db,
+            self.q,
+            self.costs,
+            &remaining,
+            &bound,
+            &self.sideways,
+        );
+        let moved = steps
+            .iter()
+            .zip(&remaining)
+            .filter(|(s, &old)| s.atom != old)
+            .count() as u64;
+        self.work.replan.steps_replanned += moved;
+        let Some(ad) = self.adaptive else {
+            unreachable!("replan_at only fires on adaptive runs");
+        };
+        let mut cum = self.depth_rows[depth].max(1);
+        for (i, step) in steps.iter().enumerate() {
+            let d = suffix_start + i;
+            self.order[d] = step.atom;
+            cum = cum.saturating_mul(step.est_rows.max(1));
+            self.thresholds[d] = ad.threshold(cum);
+            // Fresh estimates get a fresh trigger; re-plans per depth stay
+            // bounded because each firing needs a shallower one to re-arm.
+            self.replanned[d] = false;
+        }
+    }
+
     fn solve(
         &mut self,
         depth: usize,
@@ -792,6 +1071,12 @@ impl Engine<'_> {
             let row = row as usize;
             self.work.rows_examined += 1;
             self.depth_rows[depth] += 1;
+            if self.adaptive.is_some()
+                && self.depth_rows[depth] > self.thresholds[depth]
+                && !self.replanned[depth]
+            {
+                self.replan_at(depth);
+            }
             if let Some(r) = &self.restrict {
                 // Membership by original atom position: before the pivot
                 // only non-delta rows, at the pivot only delta rows.
@@ -828,6 +1113,9 @@ impl Engine<'_> {
                             // cloned the full `Value` here.
                             self.work.moved_bytes_id += ID_WIDTH;
                             self.work.moved_bytes_value += VALUE_MOVE_WIDTH;
+                            if self.adaptive.is_some() {
+                                self.sideways.record(*v, cell);
+                            }
                             bindings.insert(*v, cell);
                             newly_bound.push(*v);
                         }
@@ -983,8 +1271,15 @@ mod tests {
             crate::PlanMode::WrittenOrder,
         ] {
             for exec in [Execution::Scalar, Execution::default()] {
-                let (out, work) =
-                    super::eval_cq_owned_impl(&db, &q, EvalLimits::default(), mode, exec);
+                let (out, work) = super::eval_cq_owned_impl(
+                    &db,
+                    &q,
+                    EvalLimits::default(),
+                    mode,
+                    exec,
+                    None,
+                    None,
+                );
                 assert!(out.is_empty(), "{mode:?}/{exec:?}");
                 assert_eq!(work.rows_examined, 0, "{mode:?}/{exec:?}: examined rows");
                 assert_eq!(work.probes, 0, "{mode:?}/{exec:?}: issued index probes");
@@ -1107,6 +1402,8 @@ mod tests {
                 EvalLimits::default(),
                 crate::PlanMode::CostBased,
                 Execution::Scalar,
+                None,
+                None,
             );
             // Scalar replay never touches the block counters (the perf
             // gates bit-diff EvalWork).
@@ -1120,6 +1417,8 @@ mod tests {
                     EvalLimits::default(),
                     crate::PlanMode::CostBased,
                     Execution::Block { block_size },
+                    None,
+                    None,
                 );
                 assert_eq!(block, scalar, "query {i} block_size {block_size}");
                 assert_eq!(bwork.derivations, swork.derivations);

@@ -51,12 +51,13 @@ use crate::delta::{
     DeltaEvalOutcome, IDeltaEvalOutcome,
 };
 use crate::eval::{
-    eval_cq_interned_impl, eval_cq_owned_impl, eval_cq_traced_impl, eval_ucq_interned_impl,
-    EvalLimits, EvalWork, KRelation,
+    eval_cq_interned_impl, eval_cq_owned_impl, eval_cq_traced_impl, eval_cq_traced_interned_impl,
+    eval_ucq_interned_impl, EvalLimits, EvalWork, KRelation,
 };
 use crate::exec::Execution;
 use crate::interned::IKRelation;
-use crate::plan::{PlanMode, PlanTrace};
+use crate::plan::{Adaptive, PlanMode, PlanTrace, QueryPlan};
+use crate::plancache::PlanCache;
 use crate::{Cq, Database, Ucq};
 use provabs_semiring::{AnnotId, ProvStore};
 use std::collections::HashSet;
@@ -79,17 +80,21 @@ pub struct Evaluator<'db> {
     mode: PlanMode,
     exec: Execution,
     limits: EvalLimits,
+    adaptive: Option<Adaptive>,
+    cache: Option<(&'db PlanCache, u64)>,
 }
 
 impl<'db> Evaluator<'db> {
     /// An evaluator with the default configuration: cost-based planning,
-    /// vectorized block execution, no limits.
+    /// vectorized block execution, no limits, no adaptivity.
     pub fn new(db: &'db Database) -> Self {
         Evaluator {
             db,
             mode: PlanMode::default(),
             exec: Execution::default(),
             limits: EvalLimits::default(),
+            adaptive: None,
+            cache: None,
         }
     }
 
@@ -113,6 +118,71 @@ impl<'db> Evaluator<'db> {
         self
     }
 
+    /// Enables deterministic mid-join re-planning: when a step's actual
+    /// frontier exceeds its cumulative estimate by factor `k` (exact row
+    /// counters, never time), the remaining atoms are re-planned against
+    /// the observed cardinality and sideways bound-value statistics. `k`
+    /// is clamped to ≥ 1.0. [`EvalWork::replan`] reports what happened.
+    /// Off by default; with adaptivity off every counter replays the
+    /// static baselines bit-for-bit.
+    ///
+    /// Adaptivity is answer-invisible — it may only change the join
+    /// order, never the output:
+    ///
+    /// ```
+    /// use provabs_relational::{parse_cq, Database, Evaluator};
+    ///
+    /// let mut db = Database::new();
+    /// let r = db.add_relation("R", &["a", "b"]);
+    /// let s = db.add_relation("S", &["b", "c"]);
+    /// // Correlated data the statistics get wrong: S averages ~2 rows
+    /// // per key over its 33 distinct keys, but every R row points at
+    /// // the one key carrying 32 rows.
+    /// for i in 0..8 {
+    ///     db.insert_str(r, &format!("r{i}"), &[&format!("{i}"), "7"]);
+    /// }
+    /// for i in 0..32 {
+    ///     db.insert_str(s, &format!("s{i}"), &["7", &format!("{i}")]);
+    /// }
+    /// for i in 0..32 {
+    ///     db.insert_str(s, &format!("cold{i}"), &[&format!("{}", 100 + i), "0"]);
+    /// }
+    /// db.build_indexes();
+    /// let q = parse_cq("Q(x, c) :- R(x, y), S(y, c)", db.schema()).unwrap();
+    ///
+    /// let (static_out, _) = Evaluator::new(&db).eval_cq(&q);
+    /// let (out, work) = Evaluator::new(&db).adaptive(2.0).eval_cq(&q);
+    /// assert_eq!(out, static_out); // bit-for-bit, polynomials included
+    /// assert_eq!(work.replan.replans_triggered, 1); // the trigger fired
+    /// assert!(work.replan.est_error_max >= 2); // and measured the lie
+    /// ```
+    pub fn adaptive(mut self, k: f64) -> Self {
+        self.adaptive = Some(Adaptive::new(k));
+        self
+    }
+
+    /// Disables mid-join re-planning (the default).
+    pub fn adaptive_off(mut self) -> Self {
+        self.adaptive = None;
+        self
+    }
+
+    /// Binds an epoch-keyed [`PlanCache`]: CQ evaluations consult the
+    /// cache at `epoch` before planning, and insert on miss. The cached
+    /// plan is byte-identical to a cold plan (the stats fingerprint keys
+    /// on exactly the statistics the planner reads), so hit and miss
+    /// paths produce identical results and counters. UCQ disjuncts are
+    /// not cached.
+    pub fn plan_cache(mut self, cache: &'db PlanCache, epoch: u64) -> Self {
+        self.cache = Some((cache, epoch));
+        self
+    }
+
+    fn cached_plan(&self, q: &Cq) -> Option<std::sync::Arc<QueryPlan>> {
+        let (cache, epoch) = self.cache?;
+        Some(cache.lookup_or_plan(self.db, q, self.mode, epoch).0)
+    }
+
     /// The configured plan mode.
     pub fn plan_mode(&self) -> PlanMode {
         self.mode
@@ -125,20 +195,39 @@ impl<'db> Evaluator<'db> {
 
     /// Evaluates a CQ, returning the owned K-relation and work counters.
     pub fn eval_cq(&self, q: &Cq) -> (KRelation, EvalWork) {
-        eval_cq_owned_impl(self.db, q, self.limits, self.mode, self.exec)
+        let plan = self.cached_plan(q);
+        eval_cq_owned_impl(
+            self.db,
+            q,
+            self.limits,
+            self.mode,
+            self.exec,
+            self.adaptive,
+            plan.as_deref(),
+        )
     }
 
     /// [`Evaluator::eval_cq`] also returning the executed plan and per-step
     /// actual row counts.
     pub fn eval_cq_traced(&self, q: &Cq) -> (KRelation, EvalWork, PlanTrace) {
-        eval_cq_traced_impl(self.db, q, self.limits, self.mode, self.exec)
+        let plan = self.cached_plan(q);
+        eval_cq_traced_impl(
+            self.db,
+            q,
+            self.limits,
+            self.mode,
+            self.exec,
+            self.adaptive,
+            plan.as_deref(),
+        )
     }
 
     /// Evaluates a UCQ (the sum of its disjuncts, each planned
     /// independently and evaluated without limits).
     pub fn eval_ucq(&self, u: &Ucq) -> (KRelation, EvalWork) {
         let mut store = ProvStore::new();
-        let (out, work) = eval_ucq_interned_impl(self.db, u, &mut store, self.mode, self.exec);
+        let (out, work) =
+            eval_ucq_interned_impl(self.db, u, &mut store, self.mode, self.exec, self.adaptive);
         (out.to_krelation(&store), work)
     }
 
@@ -209,6 +298,8 @@ impl<'db> Evaluator<'db> {
             mode: self.mode,
             exec: self.exec,
             limits: self.limits,
+            adaptive: self.adaptive,
+            cache: self.cache,
             store,
         }
     }
@@ -231,18 +322,52 @@ pub struct InternedEvaluator<'db, 's> {
     mode: PlanMode,
     exec: Execution,
     limits: EvalLimits,
+    adaptive: Option<Adaptive>,
+    cache: Option<(&'db PlanCache, u64)>,
     store: &'s mut ProvStore,
 }
 
 impl InternedEvaluator<'_, '_> {
+    fn cached_plan(&self, q: &Cq) -> Option<std::sync::Arc<QueryPlan>> {
+        let (cache, epoch) = self.cache?;
+        Some(cache.lookup_or_plan(self.db, q, self.mode, epoch).0)
+    }
+
     /// Evaluates a CQ into the bound store.
     pub fn eval_cq(&mut self, q: &Cq) -> (IKRelation, EvalWork) {
-        eval_cq_interned_impl(self.db, q, self.limits, self.store, self.mode, self.exec)
+        let plan = self.cached_plan(q);
+        eval_cq_interned_impl(
+            self.db,
+            q,
+            self.limits,
+            self.store,
+            self.mode,
+            self.exec,
+            self.adaptive,
+            plan.as_deref(),
+        )
+    }
+
+    /// [`InternedEvaluator::eval_cq`] also returning the executed plan and
+    /// per-step actual row counts, so interned callers (the search engine,
+    /// `provabsd`) observe est-vs-actual without decode shims.
+    pub fn eval_cq_traced(&mut self, q: &Cq) -> (IKRelation, EvalWork, PlanTrace) {
+        let plan = self.cached_plan(q);
+        eval_cq_traced_interned_impl(
+            self.db,
+            q,
+            self.limits,
+            self.store,
+            self.mode,
+            self.exec,
+            self.adaptive,
+            plan.as_deref(),
+        )
     }
 
     /// Evaluates a UCQ into the bound store.
     pub fn eval_ucq(&mut self, u: &Ucq) -> (IKRelation, EvalWork) {
-        eval_ucq_interned_impl(self.db, u, self.store, self.mode, self.exec)
+        eval_ucq_interned_impl(self.db, u, self.store, self.mode, self.exec, self.adaptive)
     }
 
     /// CQ retractions into the bound store (pre-delta database).

@@ -36,6 +36,7 @@ mod kexample;
 pub mod oracle;
 mod parser;
 pub mod plan;
+pub mod plancache;
 mod query;
 mod schema;
 pub mod session;
@@ -68,7 +69,8 @@ pub use exec::{Execution, DEFAULT_BLOCK_SIZE};
 pub use interned::{IKRelation, IKRelationDelta};
 pub use kexample::{monomial_connected, ConcreteRow, KExample, KRow};
 pub use parser::{parse_cq, parse_ucq, ParseError};
-pub use plan::{plan_cq, PlanMode, PlanStep, PlanTrace, PlanWork, QueryPlan};
+pub use plan::{plan_cq, Adaptive, PlanMode, PlanStep, PlanTrace, PlanWork, QueryPlan, ReplanWork};
+pub use plancache::{PlanCache, PlanCacheStats};
 pub use query::{Atom, Cq, RelId, Term, Ucq, VarId};
 pub use schema::{RelationSchema, Schema};
 pub use session::{PublishStats, SessionDb, SessionRegistry, SnapshotWriter};

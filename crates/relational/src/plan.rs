@@ -37,8 +37,8 @@
 //!   against.
 
 use crate::vintern::ValueId;
-use crate::{Cq, Database, Term, VarId};
-use std::collections::BTreeSet;
+use crate::{Cq, Database, RelId, Term, VarId};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How the engine orders a query's body atoms.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
@@ -160,6 +160,142 @@ impl PlanWork {
     }
 }
 
+/// Configuration of deterministic mid-join re-planning, enabled through
+/// [`Evaluator::adaptive`](crate::Evaluator::adaptive).
+///
+/// The engine tracks, per plan depth, the cumulative candidate rows it has
+/// examined and compares them against the plan's *cumulative* estimate for
+/// that depth (the saturating product of per-visit estimates along the
+/// prefix, each clamped to at least 1). The first time a depth's actual
+/// exceeds `k ×` its cumulative estimate the planner re-runs over the
+/// remaining unbound atoms, anchored on the observed frontier cardinality
+/// and fed with sideways-observed posting statistics. The trigger reads
+/// exact row counters only — never wall-clock — so adaptive runs are as
+/// bit-for-bit deterministic as static ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adaptive {
+    /// Mis-estimate factor that arms the trigger: a depth re-plans when its
+    /// examined rows exceed `k ×` its cumulative estimate. Clamped to at
+    /// least 1 by [`Adaptive::new`].
+    pub k: f64,
+}
+
+impl Adaptive {
+    /// Adaptivity with trigger factor `k` (values below 1 are clamped to 1;
+    /// 2 is the conventional default).
+    pub fn new(k: f64) -> Self {
+        Adaptive {
+            k: if k >= 1.0 { k } else { 1.0 },
+        }
+    }
+
+    /// The examined-row count beyond which a depth with cumulative estimate
+    /// `cum_est` triggers a re-plan.
+    pub(crate) fn threshold(&self, cum_est: u64) -> u64 {
+        let t = self.k * cum_est.max(1) as f64;
+        if t >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            t.ceil() as u64
+        }
+    }
+}
+
+impl Default for Adaptive {
+    fn default() -> Self {
+        Adaptive::new(2.0)
+    }
+}
+
+/// Work counters of the adaptive re-planning layer, carried inside
+/// [`EvalWork`](crate::EvalWork). All zero when adaptivity is off, so
+/// adaptivity-off counter baselines replay bit for bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplanWork {
+    /// Times the mis-estimate trigger fired (scalar suffix re-plans plus
+    /// block-pipeline restarts).
+    pub replans_triggered: u64,
+    /// Worst observed estimation error: the maximum over executed depths of
+    /// `actual_rows / max(cumulative_estimate, 1)` (integer division),
+    /// measured against the *initial* plan. Combined with `max` (not `+`)
+    /// across absorbed evaluations.
+    pub est_error_max: u64,
+    /// Plan steps whose atom changed position across all re-plans.
+    pub steps_replanned: u64,
+}
+
+impl ReplanWork {
+    /// Accumulates another evaluation's re-planning counters.
+    pub fn absorb(&mut self, other: &ReplanWork) {
+        self.replans_triggered += other.replans_triggered;
+        self.est_error_max = self.est_error_max.max(other.est_error_max);
+        self.steps_replanned += other.steps_replanned;
+    }
+}
+
+/// Cumulative estimated candidate rows per depth: the saturating running
+/// product of the steps' per-visit estimates (each clamped to ≥ 1), scaled
+/// by `anchor` — 1 for a fresh plan, or the observed frontier cardinality
+/// when re-estimating a suffix mid-join. This is what the adaptive trigger
+/// compares the cumulative `depth_rows` counters against.
+pub(crate) fn cumulative_estimates(steps: &[PlanStep], anchor: u64) -> Vec<u64> {
+    let mut cum = anchor.max(1);
+    steps
+        .iter()
+        .map(|s| {
+            cum = cum.saturating_mul(s.est_rows.max(1));
+            cum
+        })
+        .collect()
+}
+
+/// Beyond this many distinct observed values per variable, sideways export
+/// stops tracking the set and re-planning falls back to whole-relation
+/// statistics for that variable. Bounds both memory and the per-re-plan
+/// posting probes, and is part of the determinism contract (a fixed cap,
+/// never a memory- or time-dependent one).
+pub(crate) const SIDEWAYS_CAP: usize = 64;
+
+/// Sideways-exported execution statistics: for each variable the executed
+/// plan prefix has bound, the distinct dictionary ids it was actually bound
+/// to (up to [`SIDEWAYS_CAP`]; an overflowed set is kept only as an
+/// overflow marker). Re-planning uses these to replace the independence
+/// assumption with observed posting lengths for later atoms. Lifetime: one
+/// evaluation of one CQ body (delta passes and UCQ disjuncts each start
+/// empty); never shared across queries or epochs.
+#[derive(Debug, Default)]
+pub(crate) struct Sideways {
+    per_var: BTreeMap<VarId, BTreeSet<ValueId>>,
+}
+
+impl Sideways {
+    /// Records that `v` was bound to `id` at some executed row. Sets grow
+    /// to at most `SIDEWAYS_CAP + 1` entries; the extra entry marks
+    /// overflow.
+    pub(crate) fn record(&mut self, v: VarId, id: ValueId) {
+        let set = self.per_var.entry(v).or_default();
+        if set.len() <= SIDEWAYS_CAP {
+            set.insert(id);
+        }
+    }
+
+    /// Mean posting length of `rel.col` over the values `v` was observed
+    /// bound to — the observed per-visit candidate count for a later atom
+    /// reusing `v` at that column. `None` when the variable has no usable
+    /// observation (nothing recorded, or the set overflowed the cap).
+    fn mean_posting_len(&self, db: &Database, rel: RelId, col: usize, v: VarId) -> Option<f64> {
+        let set = self.per_var.get(&v)?;
+        if set.is_empty() || set.len() > SIDEWAYS_CAP {
+            return None;
+        }
+        let total: u64 = set
+            .iter()
+            .map(|&id| db.posting_len(rel, col, id) as u64)
+            .sum();
+        Some(total as f64 / set.len() as f64)
+    }
+}
+
 /// One atom's compiled cost factors: the statistics lookups (constant
 /// posting lengths, per-column distinct counts) happen once per planning
 /// call here, not once per greedy step — the greedy loop evaluates
@@ -167,14 +303,24 @@ impl PlanWork {
 /// dictionary each time. The engine compiles these once per evaluation and
 /// shares them between its dead-atom short-circuit and the planner.
 pub(crate) struct AtomCost {
+    /// The atom's relation — kept so sideways-observed re-planning can
+    /// probe posting lengths for values a variable was actually bound to.
+    rel: RelId,
+    /// Total rows of the atom's relation (the per-visit scan cost when the
+    /// relation has no posting lists to probe).
+    rows: f64,
+    /// Whether the relation's posting-list indexes exist. When they don't,
+    /// every visit of a constant-bearing or variable-bound atom falls back
+    /// to a whole-relation scan (`scan_matching`).
+    indexed: bool,
     /// Relation rows × the product of every constant's `posting_len / rows`
     /// selectivity — the atom's estimate before any variable binds. Exact
     /// for atoms with at most one constant.
     const_rows: f64,
-    /// Per variable position: `(variable, 1 / distinct(column))`, applied
-    /// when the variable is bound at estimation time (independence
+    /// Per variable position: `(variable, column, 1 / distinct(column))`,
+    /// applied when the variable is bound at estimation time (independence
     /// assumption).
-    var_sel: Vec<(VarId, f64)>,
+    var_sel: Vec<(VarId, usize, f64)>,
     /// Per constant position: `(column, resolved dictionary id)`. Resolved
     /// once here; the engine's slot compilation reuses these instead of
     /// probing the interner a second time.
@@ -211,11 +357,18 @@ impl AtomCost {
                             const_rows *= len as f64 / n.max(1.0);
                         }
                         Term::Var(v) => {
-                            var_sel.push((*v, 1.0 / db.distinct_count(a.rel, col).max(1) as f64));
+                            var_sel.push((
+                                *v,
+                                col,
+                                1.0 / db.distinct_count(a.rel, col).max(1) as f64,
+                            ));
                         }
                     }
                 }
                 AtomCost {
+                    rel: a.rel,
+                    rows: n,
+                    indexed: db.is_indexed(),
                     const_rows,
                     var_sel,
                     const_ids,
@@ -242,8 +395,35 @@ impl AtomCost {
     fn estimate(&self, bound: &BTreeSet<VarId>) -> f64 {
         self.var_sel
             .iter()
-            .filter(|(v, _)| bound.contains(v))
-            .fold(self.const_rows, |est, (_, sel)| est * sel)
+            .filter(|(v, _, _)| bound.contains(v))
+            .fold(self.const_rows, |est, (_, _, sel)| est * sel)
+    }
+
+    /// [`AtomCost::estimate`] with sideways-observed statistics: a bound
+    /// variable whose executed prefix recorded a usable value set
+    /// contributes its *observed* mean posting length over those values
+    /// (divided by relation rows) instead of the static `1 / distinct`
+    /// independence factor. Variables without a usable observation fall
+    /// back to the static factor, so this strictly refines [`estimate`].
+    fn estimate_observed(&self, db: &Database, bound: &BTreeSet<VarId>, obs: &Sideways) -> f64 {
+        self.var_sel
+            .iter()
+            .filter(|(v, _, _)| bound.contains(v))
+            .fold(self.const_rows, |est, (v, col, sel)| {
+                match obs.mean_posting_len(db, self.rel, *col, *v) {
+                    Some(mean) => est * (mean / self.rows.max(1.0)),
+                    None => est * sel,
+                }
+            })
+    }
+
+    /// Whether executing this atom with `bound` variables bound probes no
+    /// posting list: the relation is unindexed, so a constant-bearing or
+    /// variable-bound visit scans the whole relation.
+    fn scan_fallback(&self, bound: &BTreeSet<VarId>) -> bool {
+        !self.indexed
+            && (!self.const_ids.is_empty()
+                || self.var_sel.iter().any(|(v, _, _)| bound.contains(v)))
     }
 }
 
@@ -310,7 +490,12 @@ fn greedy_order(db: &Database, q: &Cq, first: Option<usize>) -> Vec<usize> {
 /// estimated frontier, restricted to atoms connected to the bound variable
 /// set whenever any such atom exists (cross products only when the join
 /// graph forces them). Ties break toward the lower written index.
-fn cost_based_order(q: &Cq, costs: &[AtomCost], first: Option<usize>) -> Vec<usize> {
+fn cost_based_order(
+    q: &Cq,
+    costs: &[AtomCost],
+    first: Option<usize>,
+    anchors: &BTreeMap<usize, u64>,
+) -> Vec<usize> {
     let n = q.body.len();
     let mut chosen = vec![false; n];
     let mut order = Vec::with_capacity(n);
@@ -328,7 +513,12 @@ fn cost_based_order(q: &Cq, costs: &[AtomCost], first: Option<usize>) -> Vec<usi
             if *taken || (any_connected && !connects(i)) {
                 continue;
             }
-            let est = costs[i].estimate(&bound);
+            let mut est = costs[i].estimate(&bound);
+            // An anchored atom blew this estimate in an aborted attempt:
+            // its observed cardinality is a floor no bound set talks down.
+            if let Some(&floor) = anchors.get(&i) {
+                est = est.max(floor as f64);
+            }
             // Strict `<` keeps the lower index on ties.
             if best.is_none_or(|(_, b)| est < b) {
                 best = Some((i, est));
@@ -340,6 +530,57 @@ fn cost_based_order(q: &Cq, costs: &[AtomCost], first: Option<usize>) -> Vec<usi
         order.push(i);
     }
     order
+}
+
+/// Re-plans the not-yet-executed tail of a running scalar evaluation:
+/// orders `remaining` (written-body atom indexes) by the cost-based rule
+/// under the already-bound variable set, with sideways-observed posting
+/// statistics replacing the independence assumption wherever an observation
+/// exists. Pure function of its inputs — the deterministic core of the
+/// adaptive engine. Returned steps carry the observed estimates (clamped to
+/// ≥ 1 for live atoms) so the caller can re-arm its trigger thresholds.
+pub(crate) fn replan_suffix(
+    db: &Database,
+    q: &Cq,
+    costs: &[AtomCost],
+    remaining: &[usize],
+    bound: &BTreeSet<VarId>,
+    obs: &Sideways,
+) -> Vec<PlanStep> {
+    let mut bound = bound.clone();
+    let mut chosen: BTreeSet<usize> = BTreeSet::new();
+    let mut steps = Vec::with_capacity(remaining.len());
+    while steps.len() < remaining.len() {
+        let connects = |i: usize| q.body[i].variables().any(|v| bound.contains(&v));
+        let any_connected = remaining
+            .iter()
+            .any(|&i| !chosen.contains(&i) && connects(i));
+        let mut best: Option<(usize, f64)> = None;
+        for &i in remaining {
+            if chosen.contains(&i) || (any_connected && !connects(i)) {
+                continue;
+            }
+            let est = costs[i].estimate_observed(db, &bound, obs);
+            if best.is_none_or(|(_, b)| est < b) {
+                best = Some((i, est));
+            }
+        }
+        let (i, est) = best.expect("atom remains");
+        chosen.insert(i);
+        let connected = connects(i) || bound.is_empty();
+        bound.extend(q.body[i].variables());
+        let est_rows = if costs[i].dead {
+            est_to_u64(est)
+        } else {
+            est_to_u64(est).max(1)
+        };
+        steps.push(PlanStep {
+            atom: i,
+            est_rows,
+            connected,
+        });
+    }
+    steps
 }
 
 /// Plans `q` against the live statistics of `db` under `mode`.
@@ -366,9 +607,26 @@ pub(crate) fn plan_cq_with_costs(
     mode: PlanMode,
     first: Option<usize>,
 ) -> QueryPlan {
+    plan_cq_anchored(db, q, costs, mode, first, &BTreeMap::new())
+}
+
+/// [`plan_cq_with_costs`] with per-atom estimate floors — the observed
+/// cumulative row counts of steps that blew their estimate in an aborted
+/// block-pipeline attempt. An anchored atom estimates at least its observed
+/// cardinality whatever the bound set, deferring it behind atoms the cost
+/// model still believes cheap. An empty anchor map makes this identical to
+/// the static planner, which is how adaptivity-off replays every baseline.
+pub(crate) fn plan_cq_anchored(
+    db: &Database,
+    q: &Cq,
+    costs: &[AtomCost],
+    mode: PlanMode,
+    first: Option<usize>,
+    anchors: &BTreeMap<usize, u64>,
+) -> QueryPlan {
     let n = q.body.len();
     let order: Vec<usize> = match mode {
-        PlanMode::CostBased => cost_based_order(q, costs, first),
+        PlanMode::CostBased => cost_based_order(q, costs, first, anchors),
         PlanMode::Greedy => greedy_order(db, q, first),
         PlanMode::WrittenOrder => match first {
             None => (0..n).collect(),
@@ -389,7 +647,21 @@ pub(crate) fn plan_cq_with_costs(
             let est_rows = if depth == 0 && first == Some(atom) {
                 0
             } else {
-                est_to_u64(costs[atom].estimate(&bound))
+                let cost = &costs[atom];
+                let mut est = cost.estimate(&bound);
+                if let Some(&floor) = anchors.get(&atom) {
+                    est = est.max(floor as f64);
+                }
+                if !cost.dead && cost.scan_fallback(&bound) {
+                    // Unindexed relations have no posting lists: a visit
+                    // of a constant-bearing or variable-bound atom scans
+                    // the whole relation (`scan_matching`). Record that
+                    // scan cost — a sub-one match estimate would round to
+                    // a blind 0 and fool the adaptive trigger and
+                    // `est_error_max`.
+                    est = est.max(cost.rows);
+                }
+                est_to_u64(est)
             };
             bound.extend(q.body[atom].variables());
             PlanStep {
@@ -607,5 +879,159 @@ mod tests {
                 "{mode:?}"
             );
         }
+    }
+
+    #[test]
+    fn unindexed_scan_fallback_atoms_record_the_scan_cost() {
+        // Regression for the est_rows = 0 blind spot: on an unindexed
+        // database a bound-variable visit of Big scans all 200 rows, but
+        // the match estimate (200 / 200 distinct keys × hot selectivity)
+        // used to round toward 0 and hide that cost entirely.
+        let mut indexed = skewed_db();
+        let q = parse_cq("Q(k) :- Small(k), Big(k, 'hot')", indexed.schema()).unwrap();
+
+        let mut unindexed = Database::new();
+        let big = unindexed.add_relation("Big", &["k", "tag"]);
+        let small = unindexed.add_relation("Small", &["k"]);
+        let _mid = unindexed.add_relation("Mid", &["k", "m"]);
+        for i in 0..200 {
+            unindexed.insert_str(
+                big,
+                &format!("b{i}"),
+                &[&i.to_string(), if i % 2 == 0 { "hot" } else { "cold" }],
+            );
+        }
+        for i in 0..5 {
+            unindexed.insert_str(small, &format!("s{i}"), &[&(i * 40).to_string()]);
+        }
+        assert!(!unindexed.is_indexed());
+
+        let plan = plan_cq(&unindexed, &q, PlanMode::WrittenOrder, None);
+        // Small leads unbound: a plain scan of all 5 rows, estimated as
+        // before. Big's visit scans the whole relation per binding.
+        assert_eq!(plan.steps[0].est_rows, 5);
+        assert_eq!(plan.steps[1].est_rows, 200, "scan cost, not a blind 0");
+
+        // The indexed plan for the same query is untouched by the fix:
+        // Big('hot') with k bound estimates 100/200 = 0.5 ≈ 1 per probe.
+        indexed.build_indexes();
+        let plan = plan_cq(&indexed, &q, PlanMode::WrittenOrder, None);
+        assert_eq!(plan.steps[1].est_rows, 1);
+    }
+
+    #[test]
+    fn adaptive_thresholds_scale_cumulative_estimates() {
+        let ad = Adaptive::new(2.0);
+        assert_eq!(ad.threshold(0), 2, "zero estimates clamp to 1");
+        assert_eq!(ad.threshold(10), 20);
+        assert_eq!(ad.threshold(u64::MAX), u64::MAX);
+        assert_eq!(Adaptive::new(0.25).k, 1.0, "k clamps to at least 1");
+        let steps = [
+            PlanStep {
+                atom: 0,
+                est_rows: 5,
+                connected: true,
+            },
+            PlanStep {
+                atom: 1,
+                est_rows: 0,
+                connected: true,
+            },
+            PlanStep {
+                atom: 2,
+                est_rows: 3,
+                connected: true,
+            },
+        ];
+        assert_eq!(cumulative_estimates(&steps, 1), vec![5, 5, 15]);
+        assert_eq!(cumulative_estimates(&steps, 4), vec![20, 20, 60]);
+    }
+
+    #[test]
+    fn replan_uses_observed_postings_over_whole_relation_statistics() {
+        // Correlated skew: `Wide` looks selective on whole-relation
+        // statistics (rows / distinct ≈ 2) but every key of `Anchor` is a
+        // hot key with 50 rows; `Narrow` looks worse (6 rows per key) but
+        // matches almost nothing on Anchor's keys.
+        let mut db = Database::new();
+        let anchor = db.add_relation("Anchor", &["k"]);
+        let wide = db.add_relation("Wide", &["k", "w"]);
+        let narrow = db.add_relation("Narrow", &["k", "n"]);
+        for i in 0..4 {
+            db.insert_str(anchor, &format!("a{i}"), &[&i.to_string()]);
+        }
+        let mut w = 0;
+        for i in 0..4 {
+            for j in 0..50 {
+                db.insert_str(wide, &format!("w{w}"), &[&i.to_string(), &j.to_string()]);
+                w += 1;
+            }
+        }
+        for i in 100..196 {
+            db.insert_str(wide, &format!("w{w}"), &[&i.to_string(), "0"]);
+            w += 1;
+        }
+        for i in 200..232 {
+            for j in 0..6 {
+                db.insert_str(
+                    narrow,
+                    &format!("n{i}_{j}"),
+                    &[&i.to_string(), &j.to_string()],
+                );
+            }
+        }
+        db.insert_str(narrow, "n_hit", &["0", "0"]);
+        db.build_indexes();
+
+        let q = parse_cq("Q(k) :- Anchor(k), Wide(k, w), Narrow(k, n)", db.schema()).unwrap();
+        let costs = AtomCost::compile(&db, &q);
+        // Statically, Wide (396 rows / 100 distinct keys ≈ 4 per probe)
+        // beats Narrow (193 rows / 33 keys ≈ 6 per probe).
+        let plan = plan_cq_with_costs(&db, &q, &costs, PlanMode::CostBased, None);
+        assert_eq!(plan.atom_order(), vec![0, 1, 2], "{plan:?}");
+
+        // After executing Anchor, sideways observation knows k ∈ {0..3}:
+        // Wide averages 50 postings on those keys, Narrow well under 1.
+        let mut obs = Sideways::default();
+        let mut bound = BTreeSet::new();
+        bound.extend(q.body[0].variables());
+        for i in 0..4 {
+            let id = db.interner().lookup(&crate::Value::Int(i)).unwrap();
+            obs.record(q.body[0].variables().next().unwrap(), id);
+        }
+        let steps = replan_suffix(&db, &q, &costs, &[1, 2], &bound, &obs);
+        let order: Vec<usize> = steps.iter().map(|s| s.atom).collect();
+        assert_eq!(order, vec![2, 1], "observed postings must flip the order");
+        assert_eq!(steps[0].est_rows, 1, "live estimates clamp to ≥ 1");
+        assert_eq!(steps[1].est_rows, 50, "observed mean posting length");
+
+        // Overflowed sets fall back to static statistics bit-for-bit.
+        let mut overflowed = Sideways::default();
+        let v = q.body[0].variables().next().unwrap();
+        for j in 100..=100 + SIDEWAYS_CAP as i64 {
+            let id = db.interner().lookup(&crate::Value::Int(j)).unwrap();
+            overflowed.record(v, id);
+        }
+        let fallback = replan_suffix(&db, &q, &costs, &[1, 2], &bound, &overflowed);
+        let static_suffix = replan_suffix(&db, &q, &costs, &[1, 2], &bound, &Sideways::default());
+        assert_eq!(fallback, static_suffix);
+    }
+
+    #[test]
+    fn anchored_replans_defer_the_exploded_atom() {
+        let db = skewed_db();
+        let q = parse_cq("Q(k) :- Big(k, 'hot'), Mid(k, m), Small(k)", db.schema()).unwrap();
+        let costs = AtomCost::compile(&db, &q);
+        let static_plan = plan_cq_with_costs(&db, &q, &costs, PlanMode::CostBased, None);
+        assert_eq!(static_plan.atom_order(), vec![2, 0, 1]);
+        // An empty anchor map is the static planner, bit for bit.
+        let empty = plan_cq_anchored(&db, &q, &costs, PlanMode::CostBased, None, &BTreeMap::new());
+        assert_eq!(empty, static_plan);
+        // Anchoring Big at an observed 10_000 rows pushes it last and the
+        // recorded estimate carries the floor.
+        let anchors: BTreeMap<usize, u64> = [(0, 10_000)].into_iter().collect();
+        let plan = plan_cq_anchored(&db, &q, &costs, PlanMode::CostBased, None, &anchors);
+        assert_eq!(plan.atom_order(), vec![2, 1, 0], "{plan:?}");
+        assert_eq!(plan.steps[2].est_rows, 10_000);
     }
 }

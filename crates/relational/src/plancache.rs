@@ -1,0 +1,471 @@
+//! An epoch-keyed, stats-fingerprinted query-plan cache.
+//!
+//! `provabsd` re-planned every request from scratch even when thousands of
+//! sessions issue the same query templates against the same epoch. The
+//! [`PlanCache`] memoizes [`QueryPlan`]s under a
+//! `(query fingerprint, stats fingerprint)` key with per-epoch version
+//! stamps, mirroring the `PrivacyCache` snapshot-sharing model exactly:
+//!
+//! * **Query fingerprint** — the plan mode plus the query's head and body
+//!   structure (relations, constants, variable identities), hashed with
+//!   FNV-1a so the key is stable across processes and runs.
+//! * **Stats fingerprint** — precisely the statistics the planner reads for
+//!   this query (relation row counts, per-variable-column distinct counts,
+//!   per-constant resolved posting lengths, the index flag). Two databases
+//!   agreeing on these plan the query identically, so a cache hit returns a
+//!   plan byte-identical to what a cold plan would compute — hit and miss
+//!   paths produce identical results and identical work counters.
+//! * **Epoch stamps** — every cached version carries `born`/`dead` epochs.
+//!   [`PlanCache::invalidate_at`] **retires** (never evicts) the versions
+//!   of every key touching a written relation, for epochs at or after the
+//!   committing epoch. A reader pinned to an older snapshot keeps hitting
+//!   its versions bit-for-bit; readers at newer epochs re-plan on first
+//!   touch. The writer fences the cache *before* publishing the new epoch
+//!   (the same ordering the `PrivacyCache` fence uses in `provabsd`), so no
+//!   reader can pin the new epoch and still hit a stale plan.
+//!
+//! Determinism contract: hits, misses and invalidations are pure functions
+//! of the operation sequence (no time, no capacity eviction, no RNG), so
+//! the service-level counters are bench-gate material like every other
+//! counter in the system.
+
+use crate::plan::{plan_cq, PlanMode, QueryPlan};
+use crate::{Cq, Database, RelId, Term, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shard count (power of two; routing is a mask on the query fingerprint).
+const SHARDS: usize = 16;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A running FNV-1a 64-bit hash — hand-rolled so fingerprints never depend
+/// on `RandomState` seeds (and need no new dependency).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+/// Cache key: what the plan depends on, hashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    query_fp: u64,
+    stats_fp: u64,
+}
+
+/// One cached plan version: valid for epochs `born <= e < dead`
+/// (`dead == u64::MAX` means still live).
+#[derive(Debug, Clone)]
+struct Stamped {
+    born: u64,
+    dead: u64,
+    plan: Arc<QueryPlan>,
+}
+
+/// The relations a cached entry reads, plus its stamped versions.
+#[derive(Debug)]
+struct Entry {
+    rels: Vec<RelId>,
+    versions: Vec<Stamped>,
+}
+
+/// Monotonic counters of one [`PlanCache`] — surfaced through
+/// `provabsd::stats()`. Deterministic for a deterministic op sequence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from a cached version.
+    pub hits: u64,
+    /// Lookups that planned cold (and inserted the result).
+    pub misses: u64,
+    /// Plan versions retired by [`PlanCache::invalidate_at`].
+    pub invalidations: u64,
+}
+
+/// A sharded, epoch-aware cache of [`QueryPlan`]s (see the module docs).
+///
+/// `Send + Sync`; one cache is shared by every session of a
+/// [`SessionRegistry`](crate::SessionRegistry) and consulted through
+/// [`Evaluator::plan_cache`](crate::Evaluator::plan_cache).
+#[derive(Debug)]
+pub struct PlanCache {
+    shards: Vec<Mutex<HashMap<PlanKey, Entry>>>,
+    /// Sorted retirement epochs per relation: the fences a late insert by a
+    /// pinned old-epoch reader must not outlive.
+    retirements: Mutex<HashMap<RelId, Vec<u64>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            retirements: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The version of `vs` visible at `epoch` (max-born wins; overlapping
+/// versions hold equal plans — both were computed from the same snapshot
+/// statistics).
+fn version_at(vs: &[Stamped], epoch: u64) -> Option<Arc<QueryPlan>> {
+    vs.iter()
+        .filter(|s| s.born <= epoch && epoch < s.dead)
+        .max_by_key(|s| s.born)
+        .map(|s| Arc::clone(&s.plan))
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total cached plan versions across shards (retired versions included
+    /// — invalidation retires, never evicts).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("plan cache shard poisoned")
+                    .values()
+                    .map(|e| e.versions.len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the hit/miss/invalidation counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The plan for `q` under `mode` as seen at `epoch`: a cached version
+    /// when one is valid, otherwise a cold [`plan_cq`] run against `db`
+    /// (inserted under the fingerprints, first insert wins under races).
+    /// Returns the plan and whether the lookup hit.
+    ///
+    /// The caller must pass the database its session actually reads — the
+    /// stats fingerprint is computed from `db`, which is what guarantees a
+    /// hit is byte-identical to the cold plan.
+    pub fn lookup_or_plan(
+        &self,
+        db: &Database,
+        q: &Cq,
+        mode: PlanMode,
+        epoch: u64,
+    ) -> (Arc<QueryPlan>, bool) {
+        let key = PlanKey {
+            query_fp: query_fingerprint(q, mode),
+            stats_fp: stats_fingerprint(db, q),
+        };
+        let shard = &self.shards[(key.query_fp as usize) & (SHARDS - 1)];
+        if let Some(plan) = shard
+            .lock()
+            .expect("plan cache shard poisoned")
+            .get(&key)
+            .and_then(|e| version_at(&e.versions, epoch))
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (plan, true);
+        }
+        // Plan outside the lock: planning probes the dictionary and is the
+        // expensive part this cache exists to amortize.
+        let plan = Arc::new(plan_cq(db, q, mode, None));
+        let mut rels: Vec<RelId> = q.body.iter().map(|a| a.rel).collect();
+        rels.sort_unstable();
+        rels.dedup();
+        let dead = self.retirement_after(&rels, epoch);
+        let mut shard = shard.lock().expect("plan cache shard poisoned");
+        let entry = shard.entry(key).or_insert_with(|| Entry {
+            rels,
+            versions: Vec::new(),
+        });
+        // A racing miss may have inserted first; its plan is equal (same
+        // fingerprints ⇒ same planner inputs), keep the stored one.
+        if let Some(stored) = version_at(&entry.versions, epoch) {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return (stored, false);
+        }
+        entry.versions.push(Stamped {
+            born: epoch,
+            dead,
+            plan: Arc::clone(&plan),
+        });
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        (plan, false)
+    }
+
+    /// Retires, for epochs `>= epoch`, every cached version whose query
+    /// reads a relation in `touched`. Nothing is evicted: readers pinned
+    /// at older epochs keep hitting their versions bit-for-bit, exactly
+    /// like the `PrivacyCache` epoch fence. The writer must call this
+    /// **before** publishing `epoch` so no reader pins the new epoch and
+    /// hits a stale plan.
+    pub fn invalidate_at(&self, touched: &[RelId], epoch: u64) {
+        if touched.is_empty() {
+            return;
+        }
+        // Record the fence first: a concurrent insert either sees the
+        // retirement (and bounds its own version's lifetime) or publishes
+        // before the clamp pass below (which then bounds it).
+        {
+            let mut ret = self.retirements.lock().expect("retirements poisoned");
+            for &rel in touched {
+                let rs = ret.entry(rel).or_default();
+                if rs.last().copied() != Some(epoch) {
+                    rs.push(epoch);
+                }
+            }
+        }
+        let mut retired = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("plan cache shard poisoned");
+            for entry in shard.values_mut() {
+                if !entry.rels.iter().any(|r| touched.contains(r)) {
+                    continue;
+                }
+                for s in &mut entry.versions {
+                    if s.born < epoch && s.dead > epoch {
+                        s.dead = epoch;
+                        retired += 1;
+                    }
+                }
+            }
+        }
+        self.invalidations.fetch_add(retired, Ordering::Relaxed);
+    }
+
+    /// The earliest recorded retirement strictly after `epoch` across
+    /// `rels` — the epoch at which a version born at `epoch` stops being
+    /// valid. A pinned old-epoch reader inserting after later fences have
+    /// been recorded lands its version inside them instead of claiming
+    /// liveness forever.
+    fn retirement_after(&self, rels: &[RelId], epoch: u64) -> u64 {
+        let ret = self.retirements.lock().expect("retirements poisoned");
+        let mut dead = u64::MAX;
+        for rel in rels {
+            if let Some(d) = ret
+                .get(rel)
+                .and_then(|rs| rs.iter().copied().find(|&r| r > epoch))
+            {
+                dead = dead.min(d);
+            }
+        }
+        dead
+    }
+}
+
+fn hash_term(h: &mut Fnv, t: &Term) {
+    match t {
+        Term::Var(v) => {
+            h.byte(0);
+            h.u64(v.0 as u64);
+        }
+        Term::Const(Value::Int(i)) => {
+            h.byte(1);
+            h.u64(*i as u64);
+        }
+        Term::Const(Value::Str(s)) => {
+            h.byte(2);
+            h.u64(s.len() as u64);
+            h.bytes(s.as_bytes());
+        }
+    }
+}
+
+/// FNV-1a over the plan-relevant structure of `q` under `mode`: the mode
+/// discriminant, head terms, and body atoms (relation ids, arities, terms).
+/// The head name is cosmetic and excluded.
+fn query_fingerprint(q: &Cq, mode: PlanMode) -> u64 {
+    let mut h = Fnv::new();
+    h.byte(match mode {
+        PlanMode::CostBased => 0,
+        PlanMode::Greedy => 1,
+        PlanMode::WrittenOrder => 2,
+    });
+    h.u64(q.head.len() as u64);
+    for t in &q.head {
+        hash_term(&mut h, t);
+    }
+    h.u64(q.body.len() as u64);
+    for a in &q.body {
+        h.u64(a.rel.0 as u64);
+        h.u64(a.terms.len() as u64);
+        for t in &a.terms {
+            hash_term(&mut h, t);
+        }
+    }
+    h.0
+}
+
+/// FNV-1a over exactly the statistics `plan_cq` reads for `q`: the index
+/// flag, and per body atom its relation row count, each variable column's
+/// distinct count, and each constant's resolved posting length (an
+/// un-interned constant hashes as a sentinel). Databases agreeing on this
+/// fingerprint plan `q` identically — the planner has no other input.
+fn stats_fingerprint(db: &Database, q: &Cq) -> u64 {
+    let mut h = Fnv::new();
+    h.byte(db.is_indexed() as u8);
+    for a in &q.body {
+        h.u64(db.relation_len(a.rel) as u64);
+        for (col, term) in a.terms.iter().enumerate() {
+            match term {
+                Term::Var(_) => h.u64(db.distinct_count(a.rel, col) as u64),
+                Term::Const(c) => match db.interner().lookup(c) {
+                    None => h.u64(u64::MAX),
+                    Some(id) => h.u64(db.posting_len(a.rel, col, id) as u64),
+                },
+            }
+        }
+    }
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_cq, plan_cq};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let r = db.add_relation("R", &["a", "b"]);
+        let s = db.add_relation("S", &["b", "c"]);
+        for i in 0..30 {
+            db.insert_str(r, &format!("r{i}"), &[&i.to_string(), &(i % 5).to_string()]);
+            db.insert_str(s, &format!("s{i}"), &[&(i % 5).to_string(), &i.to_string()]);
+        }
+        db.build_indexes();
+        db
+    }
+
+    #[test]
+    fn hit_returns_the_cold_plan_byte_identical() {
+        let db = db();
+        let q = parse_cq("Q(a, c) :- R(a, b), S(b, c)", db.schema()).unwrap();
+        let cache = PlanCache::new();
+        let (cold, hit) = cache.lookup_or_plan(&db, &q, PlanMode::CostBased, 0);
+        assert!(!hit);
+        assert_eq!(*cold, plan_cq(&db, &q, PlanMode::CostBased, None));
+        let (warm, hit) = cache.lookup_or_plan(&db, &q, PlanMode::CostBased, 0);
+        assert!(hit);
+        assert_eq!(warm, cold);
+        assert_eq!(
+            cache.stats(),
+            PlanCacheStats {
+                hits: 1,
+                misses: 1,
+                invalidations: 0
+            }
+        );
+        // Modes key separately.
+        let (_, hit) = cache.lookup_or_plan(&db, &q, PlanMode::WrittenOrder, 0);
+        assert!(!hit);
+    }
+
+    #[test]
+    fn changed_statistics_change_the_key() {
+        let mut db = db();
+        let q = parse_cq("Q(a, c) :- R(a, b), S(b, c)", db.schema()).unwrap();
+        let cache = PlanCache::new();
+        cache.lookup_or_plan(&db, &q, PlanMode::CostBased, 0);
+        // Touch R's statistics: same query, new stats fingerprint — a cold
+        // plan even without any invalidation fence.
+        let r = db.schema().relation_id("R").unwrap();
+        db.insert_str(r, "fresh", &["99", "99"]);
+        db.build_indexes();
+        let (plan, hit) = cache.lookup_or_plan(&db, &q, PlanMode::CostBased, 0);
+        assert!(!hit);
+        assert_eq!(*plan, plan_cq(&db, &q, PlanMode::CostBased, None));
+    }
+
+    #[test]
+    fn invalidation_retires_only_touching_queries_and_later_epochs() {
+        let db = db();
+        let r = db.schema().relation_id("R").unwrap();
+        let q_r = parse_cq("Q(a) :- R(a, b)", db.schema()).unwrap();
+        let q_s = parse_cq("Q(b) :- S(b, c)", db.schema()).unwrap();
+        let cache = PlanCache::new();
+        cache.lookup_or_plan(&db, &q_r, PlanMode::CostBased, 0);
+        cache.lookup_or_plan(&db, &q_s, PlanMode::CostBased, 0);
+        cache.invalidate_at(&[r], 1);
+        assert_eq!(cache.stats().invalidations, 1, "only the R query retires");
+        // The pinned epoch-0 reader keeps hitting both.
+        assert!(cache.lookup_or_plan(&db, &q_r, PlanMode::CostBased, 0).1);
+        assert!(cache.lookup_or_plan(&db, &q_s, PlanMode::CostBased, 0).1);
+        // An epoch-1 reader re-plans the retired query, hits the other.
+        assert!(!cache.lookup_or_plan(&db, &q_r, PlanMode::CostBased, 1).1);
+        assert!(cache.lookup_or_plan(&db, &q_s, PlanMode::CostBased, 1).1);
+        // Both epochs are now fully warm.
+        assert!(cache.lookup_or_plan(&db, &q_r, PlanMode::CostBased, 0).1);
+        assert!(cache.lookup_or_plan(&db, &q_r, PlanMode::CostBased, 1).1);
+        assert_eq!(cache.len(), 3, "retire, never evict");
+    }
+
+    #[test]
+    fn late_insert_by_pinned_reader_respects_later_fences() {
+        let db = db();
+        let r = db.schema().relation_id("R").unwrap();
+        let q = parse_cq("Q(a) :- R(a, b)", db.schema()).unwrap();
+        let cache = PlanCache::new();
+        // The fence at epoch 2 is recorded before any epoch-0 insert.
+        cache.invalidate_at(&[r], 2);
+        let (_, hit) = cache.lookup_or_plan(&db, &q, PlanMode::CostBased, 0);
+        assert!(!hit);
+        // The late insert is valid at epochs 0 and 1 but dead at 2.
+        assert!(cache.lookup_or_plan(&db, &q, PlanMode::CostBased, 1).1);
+        assert!(!cache.lookup_or_plan(&db, &q, PlanMode::CostBased, 2).1);
+    }
+
+    #[test]
+    fn fingerprints_separate_queries_not_cosmetics() {
+        let db = db();
+        let a = parse_cq("Q(a) :- R(a, b)", db.schema()).unwrap();
+        let mut renamed = a.clone();
+        renamed.head_name = "Other".into();
+        assert_eq!(
+            query_fingerprint(&a, PlanMode::CostBased),
+            query_fingerprint(&renamed, PlanMode::CostBased),
+            "head name is cosmetic"
+        );
+        let b = parse_cq("Q(a) :- R(a, 3)", db.schema()).unwrap();
+        assert_ne!(
+            query_fingerprint(&a, PlanMode::CostBased),
+            query_fingerprint(&b, PlanMode::CostBased)
+        );
+    }
+}

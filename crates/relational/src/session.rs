@@ -24,6 +24,7 @@
 //! writer after publication are invisible to the pinned reader), so even
 //! dictionary probe counts replay exactly.
 
+use crate::plancache::PlanCache;
 use crate::Database;
 use std::ops::Deref;
 use std::sync::{Arc, RwLock};
@@ -77,6 +78,7 @@ struct Published {
 #[derive(Debug)]
 pub struct SessionRegistry {
     current: RwLock<Published>,
+    plan_cache: PlanCache,
 }
 
 impl SessionRegistry {
@@ -90,6 +92,7 @@ impl SessionRegistry {
                 epoch: 0,
                 db: Arc::new(db),
             }),
+            plan_cache: PlanCache::new(),
         });
         let writer = SnapshotWriter {
             registry: Arc::clone(&registry),
@@ -114,6 +117,14 @@ impl SessionRegistry {
             .read()
             .expect("session registry poisoned")
             .epoch
+    }
+
+    /// The registry-wide [`PlanCache`], shared by every session. Bind it
+    /// with [`Evaluator::plan_cache`](crate::Evaluator::plan_cache) at the
+    /// session's pinned epoch; the writer fences it (via
+    /// [`PlanCache::invalidate_at`]) before publishing each new epoch.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
     }
 }
 

@@ -5,7 +5,9 @@
 //! `criterion_main!`, benchmark groups with `sample_size`, `bench_function`,
 //! `bench_with_input`, and `Bencher::iter`. Each benchmark reports the
 //! median wall time per iteration as a `group/name ... time: <t>` line.
-//! No statistics, plots, or saved baselines.
+//! No statistics, plots, or saved baselines. A benchmark that registers no
+//! samples (its closure never called [`Bencher::iter`]) panics instead of
+//! printing a pass-shaped line, so CI smoke sweeps see the rot.
 //!
 //! Setting `PROVABS_BENCH_QUICK=1` (any value but `0`) mirrors real
 //! criterion's `--quick` flag: the per-benchmark measurement budget drops
@@ -196,8 +198,10 @@ fn run_benchmark(
         }
     }
     if samples.is_empty() {
-        println!("{name:<48} time:   (no samples)");
-        return;
+        // A benchmark that never called `Bencher::iter` measured nothing.
+        // CI's quick-mode smoke sweep exists to catch exactly this kind of
+        // rot, so fail loudly instead of printing a pass-shaped line.
+        panic!("{name}: benchmark produced no samples — the closure never called Bencher::iter");
     }
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = samples[samples.len() / 2];
@@ -286,6 +290,18 @@ mod tests {
         });
         group.finish();
         assert!(ran);
+    }
+
+    #[test]
+    #[should_panic(expected = "produced no samples")]
+    fn sampleless_benchmark_fails_loudly() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
+        group.bench_function("rotted", |_b| {});
+        group.finish();
     }
 
     #[test]
