@@ -1,0 +1,44 @@
+//! Schedule-enumeration microbenchmark: wall time of the model-checking
+//! sweeps the CI gate replays (`bench_gate --bench sched`,
+//! `BENCH_10.json`).
+//!
+//! Two axes:
+//! * `sweep` — one full exhaustive sweep of a healthy protocol scenario
+//!   (the publication race and the plan-cache fence);
+//! * `passthrough` — the production-mode cost of the shims: a mutex
+//!   round-trip and an atomic increment outside any exploration, which is
+//!   the overhead every instrumented seam pays when no model checker is
+//!   active (one relaxed load + a thread-local probe).
+//!
+//! Wall time only; the counter-exact comparison the CI gate diffs lives in
+//! `provabs_bench::sched` / `bench_gate --bench sched`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provabs_bench::{run_sched_sweeps, SchedSettings};
+use provabs_sched::sync::atomic::{AtomicU64, Ordering};
+use provabs_sched::sync::Mutex;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_sched");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("sweep", "ci-gate-suite"), |b| {
+        b.iter(|| run_sched_sweeps(&SchedSettings::ci_gate()));
+    });
+
+    group.bench_function(BenchmarkId::new("passthrough", "mutex"), |b| {
+        let m = Mutex::new(0u64);
+        b.iter(|| {
+            *m.lock().expect("lock") += 1;
+        });
+    });
+    group.bench_function(BenchmarkId::new("passthrough", "atomic"), |b| {
+        let a = AtomicU64::new(0);
+        b.iter(|| a.fetch_add(1, Ordering::Relaxed));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

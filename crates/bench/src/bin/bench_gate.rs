@@ -11,8 +11,8 @@
 //! ```
 //!
 //! where `NAME` is one of `updates`, `intern`, `storage`, `planner`,
-//! `durability`, `vectorized`, `service`, `adaptive`. An unknown name
-//! exits non-zero listing the known benches.
+//! `durability`, `vectorized`, `service`, `adaptive`, `sched`. An unknown
+//! name exits non-zero listing the known benches.
 //!
 //! `--bench updates` (the default) replays the [`UpdateSettings::ci_gate`]
 //! delta-maintenance scenarios (`BENCH_2.json`); `--bench intern` runs the
@@ -29,7 +29,9 @@
 //! (`BENCH_8.json`); `--bench adaptive` runs the
 //! [`AdaptiveSettings::ci_gate`] adaptive-versus-static comparison on
 //! correlated-skew workloads plus the plan-cache closed loop
-//! (`BENCH_9.json`).
+//! (`BENCH_9.json`); `--bench sched` runs the [`SchedSettings::ci_gate`]
+//! schedule-enumeration sweeps over the engine's concurrency seams
+//! (`BENCH_10.json`).
 //!
 //! The diff compares only deterministic work counters (rows examined,
 //! derivations, rows re-abstracted, retained constructions, probe/moved
@@ -76,13 +78,14 @@
 
 use provabs_bench::{
     parse_adaptive_json, parse_bench_json, parse_durability_json, parse_intern_json,
-    parse_planner_json, parse_service_json, parse_storage_json, parse_vectorized_json,
-    run_adaptive_comparison, run_durability_comparison, run_intern_comparison,
-    run_planner_comparison, run_service_comparison, run_storage_comparison, run_update_comparison,
-    run_vectorized_comparison, write_adaptive_json, write_bench_json, write_durability_json,
-    write_intern_json, write_planner_json, write_service_json, write_storage_json,
-    write_vectorized_json, AdaptiveMetric, AdaptiveSettings, BenchMetric, DurabilityMetric,
-    DurabilitySettings, InternMetric, InternSettings, PlannerMetric, PlannerSettings,
+    parse_planner_json, parse_sched_json, parse_service_json, parse_storage_json,
+    parse_vectorized_json, run_adaptive_comparison, run_durability_comparison,
+    run_intern_comparison, run_planner_comparison, run_sched_sweeps, run_service_comparison,
+    run_storage_comparison, run_update_comparison, run_vectorized_comparison, write_adaptive_json,
+    write_bench_json, write_durability_json, write_intern_json, write_planner_json,
+    write_sched_json, write_service_json, write_storage_json, write_vectorized_json,
+    AdaptiveMetric, AdaptiveSettings, BenchMetric, DurabilityMetric, DurabilitySettings,
+    InternMetric, InternSettings, PlannerMetric, PlannerSettings, SchedMetric, SchedSettings,
     ServiceMetric, ServiceSettings, StorageMetric, StorageSettings, UpdateSettings,
     VectorizedMetric, VectorizedSettings,
 };
@@ -105,6 +108,7 @@ const KNOWN_BENCHES: &[&str] = &[
     "vectorized",
     "service",
     "adaptive",
+    "sched",
 ];
 
 fn usage() -> ExitCode {
@@ -136,6 +140,7 @@ fn main() -> ExitCode {
         "vectorized" => drive_gate(&VECTORIZED_GATE, &args),
         "service" => drive_gate(&SERVICE_GATE, &args),
         "adaptive" => drive_gate(&ADAPTIVE_GATE, &args),
+        "sched" => drive_gate(&SCHED_GATE, &args),
         other => {
             eprintln!(
                 "bench_gate: unknown bench '{other}'; known benches: {}",
@@ -285,6 +290,16 @@ const ADAPTIVE_GATE: GateOps<AdaptiveMetric> = GateOps {
     parse: parse_adaptive_json,
     print: print_adaptive_summary,
     check: check_adaptive,
+};
+
+const SCHED_GATE: GateOps<SchedMetric> = GateOps {
+    bench: "micro_sched",
+    kind: "a sched",
+    run: || run_sched_sweeps(&SchedSettings::ci_gate()),
+    write: write_sched_json,
+    parse: parse_sched_json,
+    print: print_sched_summary,
+    check: check_sched,
 };
 
 fn verdict(failures: Vec<String>, gated: usize) -> ExitCode {
@@ -1014,6 +1029,95 @@ fn check(baseline: &[BenchMetric], current: &[BenchMetric]) -> Vec<String> {
                 base.work_ratio(),
                 TOLERANCE * 100.0,
                 allowed
+            ));
+        }
+    }
+    failures
+}
+
+fn print_sched_summary(metrics: &[SchedMetric]) {
+    println!(
+        "{:<28} {:>10} {:>8} {:>10} {:>9} {:>7} {:>7} {:>9}",
+        "scenario", "schedules", "pruned", "decisions", "complete", "mutant", "caught", "run_ms"
+    );
+    for m in metrics {
+        println!(
+            "{:<28} {:>10} {:>8} {:>10} {:>9} {:>7} {:>7} {:>9.3}",
+            m.name,
+            m.schedules,
+            m.pruned,
+            m.decisions,
+            m.complete,
+            m.expect_violation,
+            m.caught,
+            m.run_ms
+        );
+    }
+}
+
+fn check_sched(baseline: &[SchedMetric], current: &[SchedMetric]) -> Vec<String> {
+    let mut failures = Vec::new();
+    // Fail closed: a gate that compares nothing protects nothing.
+    if baseline.is_empty() {
+        failures.push("baseline holds no entries — re-emit it with --emit".to_owned());
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.name == cur.name) {
+            failures.push(format!(
+                "{}: scenario has no baseline entry (ungated) — re-emit the baseline",
+                cur.name
+            ));
+        }
+    }
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.name == base.name) else {
+            failures.push(format!("{}: entry missing from current run", base.name));
+            continue;
+        };
+        // The seeded-bug contract is absolute: a mutant the sweep stops
+        // catching means the harness went blind; a violation on a healthy
+        // protocol means a real publication race.
+        if cur.expect_violation != base.expect_violation {
+            failures.push(format!(
+                "{}: expect_violation flipped ({} -> {}) — scenario redefined, re-emit",
+                cur.name, base.expect_violation, cur.expect_violation
+            ));
+        }
+        if cur.caught != cur.expect_violation {
+            failures.push(if cur.expect_violation {
+                format!(
+                    "{}: the seeded bug was NOT caught — the checker went blind",
+                    cur.name
+                )
+            } else {
+                format!(
+                    "{}: violation found in a healthy protocol — a real schedule bug",
+                    cur.name
+                )
+            });
+        }
+        if !cur.expect_violation && !cur.complete {
+            failures.push(format!(
+                "{}: sweep no longer exhaustive (cap hit) — the exhaustiveness claim is void",
+                cur.name
+            ));
+        }
+        // Exact diff: these counters are pure functions of the seam's
+        // synchronization structure. Any drift means the structure
+        // changed; a human must look and re-emit.
+        if (cur.schedules, cur.pruned, cur.decisions)
+            != (base.schedules, base.pruned, base.decisions)
+        {
+            failures.push(format!(
+                "{}: schedule counters drifted (schedules {} -> {}, pruned {} -> {}, \
+                 decisions {} -> {}) — synchronization structure changed, re-emit the baseline",
+                cur.name,
+                base.schedules,
+                cur.schedules,
+                base.pruned,
+                cur.pruned,
+                base.decisions,
+                cur.decisions
             ));
         }
     }

@@ -16,6 +16,7 @@ pub mod intern;
 pub mod planner;
 pub mod report;
 pub mod scenario;
+pub mod sched;
 pub mod service;
 pub mod storage;
 pub mod updates;
@@ -28,17 +29,19 @@ pub use intern::{run_intern_comparison, InternSettings};
 pub use planner::{run_planner_comparison, PlannerSettings};
 pub use report::{
     parse_adaptive_json, parse_bench_json, parse_durability_json, parse_intern_json,
-    parse_planner_json, parse_service_json, parse_storage_json, parse_vectorized_json, print_table,
-    render_adaptive_json, render_bench_json, render_durability_json, render_intern_json,
-    render_planner_json, render_service_json, render_storage_json, render_vectorized_json,
-    write_adaptive_json, write_bench_json, write_csv, write_durability_json, write_intern_json,
-    write_planner_json, write_service_json, write_storage_json, write_vectorized_json,
+    parse_planner_json, parse_sched_json, parse_service_json, parse_storage_json,
+    parse_vectorized_json, print_table, render_adaptive_json, render_bench_json,
+    render_durability_json, render_intern_json, render_planner_json, render_sched_json,
+    render_service_json, render_storage_json, render_vectorized_json, write_adaptive_json,
+    write_bench_json, write_csv, write_durability_json, write_intern_json, write_planner_json,
+    write_sched_json, write_service_json, write_storage_json, write_vectorized_json,
     AdaptiveMetric, BenchMetric, DurabilityMetric, InternMetric, Measurement, PlannerMetric,
-    ServiceMetric, StorageMetric, VectorizedMetric,
+    SchedMetric, ServiceMetric, StorageMetric, VectorizedMetric,
 };
 pub use scenario::{
     imdb_scenarios, run_search, tpch_scenarios, HarnessCaps, Scenario, ScenarioSettings,
 };
+pub use sched::{run_sched_sweeps, SchedSettings};
 pub use service::{run_service_comparison, ServiceSettings};
 pub use storage::{run_storage_comparison, StorageSettings};
 pub use updates::{run_update_comparison, UpdateSettings};

@@ -657,6 +657,123 @@ pub fn parse_adaptive_json(text: &str) -> Option<(String, Vec<AdaptiveMetric>)> 
     Some((bench, entries))
 }
 
+/// One entry of the `BENCH_10.json` report: the counters of one
+/// schedule-enumeration sweep over a fixed concurrency scenario (see
+/// `provabs_bench::sched`).
+///
+/// Unlike the perf gates, the diff here is **exact**: `schedules`,
+/// `pruned` and `decisions` are pure functions of the scenario's
+/// synchronization structure (deterministic shard routing, single-key
+/// touched sets, pinned explorer config), so any drift means the
+/// concurrency seam itself changed and a human must re-emit the baseline.
+/// `mutant/*` scenarios seed a publication-ordering bug and must report
+/// `caught == true`; healthy scenarios must report `complete == true`
+/// (the sweep was exhaustive, not truncated by a cap).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedMetric {
+    /// Scenario name, e.g. `session/publish-2r1w` or
+    /// `mutant/plan-fence-dropped`.
+    pub name: String,
+    /// Schedules the explorer ran to completion or violation.
+    pub schedules: u64,
+    /// Schedules abandoned by the sleep-set / preemption-bound reduction.
+    pub pruned: u64,
+    /// Total scheduling decisions across all schedules.
+    pub decisions: u64,
+    /// Whether the sweep enumerated every schedule (no cap hit).
+    pub complete: bool,
+    /// Whether the scenario seeds a bug the sweep is supposed to find.
+    pub expect_violation: bool,
+    /// Whether the sweep reported a violation.
+    pub caught: bool,
+    /// Wall time of the sweep, milliseconds (informational).
+    pub run_ms: f64,
+}
+
+/// Serializes a schedule-sweep report in the same hand-rolled
+/// line-oriented shape as [`render_bench_json`].
+pub fn render_sched_json(bench: &str, metrics: &[SchedMetric]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"bench\": \"{bench}\",");
+    out.push_str("  \"entries\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(out, "      \"schedules\": {},", m.schedules);
+        let _ = writeln!(out, "      \"pruned\": {},", m.pruned);
+        let _ = writeln!(out, "      \"decisions\": {},", m.decisions);
+        let _ = writeln!(out, "      \"complete\": {},", m.complete);
+        let _ = writeln!(out, "      \"expect_violation\": {},", m.expect_violation);
+        let _ = writeln!(out, "      \"caught\": {},", m.caught);
+        let _ = writeln!(out, "      \"run_ms\": {:.3}", m.run_ms);
+        out.push_str(if i + 1 < metrics.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes a schedule-sweep report to `path` (creating parent directories).
+pub fn write_sched_json(path: &Path, bench: &str, metrics: &[SchedMetric]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, render_sched_json(bench, metrics))
+}
+
+/// Parses a report produced by [`render_sched_json`]. Returns
+/// `(bench name, entries)`; `None` on any malformed line.
+pub fn parse_sched_json(text: &str) -> Option<(String, Vec<SchedMetric>)> {
+    let mut bench = String::new();
+    let mut entries = Vec::new();
+    let mut cur: Option<SchedMetric> = None;
+    for raw in text.lines() {
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || matches!(line, "{" | "}" | "[" | "]" | "\"entries\": [") {
+            continue;
+        }
+        let (key, value) = line.split_once(':')?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "schema" => {}
+            "bench" => bench = value.trim_matches('"').to_owned(),
+            "name" => {
+                if let Some(done) = cur.take() {
+                    entries.push(done);
+                }
+                cur = Some(SchedMetric {
+                    name: value.trim_matches('"').to_owned(),
+                    schedules: 0,
+                    pruned: 0,
+                    decisions: 0,
+                    complete: false,
+                    expect_violation: false,
+                    caught: false,
+                    run_ms: 0.0,
+                });
+            }
+            "schedules" => cur.as_mut()?.schedules = value.parse().ok()?,
+            "pruned" => cur.as_mut()?.pruned = value.parse().ok()?,
+            "decisions" => cur.as_mut()?.decisions = value.parse().ok()?,
+            "complete" => cur.as_mut()?.complete = value.parse().ok()?,
+            "expect_violation" => cur.as_mut()?.expect_violation = value.parse().ok()?,
+            "caught" => cur.as_mut()?.caught = value.parse().ok()?,
+            "run_ms" => cur.as_mut()?.run_ms = value.parse().ok()?,
+            _ => return None,
+        }
+    }
+    if let Some(done) = cur.take() {
+        entries.push(done);
+    }
+    Some((bench, entries))
+}
+
 /// Parses a report produced by [`render_storage_json`]. Returns
 /// `(bench name, entries)`; `None` on any malformed line.
 pub fn parse_storage_json(text: &str) -> Option<(String, Vec<StorageMetric>)> {
@@ -1622,6 +1739,37 @@ mod tests {
         assert!(metrics[0].completion_ratio() > 0.8);
         assert_eq!(metrics[1].completion_ratio(), 0.0);
         assert_eq!(parse_service_json("not json"), None);
+    }
+
+    #[test]
+    fn sched_json_roundtrips() {
+        let metrics = vec![
+            SchedMetric {
+                name: "session/publish-2r1w".into(),
+                schedules: 9,
+                pruned: 19,
+                decisions: 235,
+                complete: true,
+                expect_violation: false,
+                caught: false,
+                run_ms: 7.5,
+            },
+            SchedMetric {
+                name: "mutant/plan-fence-dropped".into(),
+                schedules: 4,
+                pruned: 31,
+                decisions: 742,
+                complete: false,
+                expect_violation: true,
+                caught: true,
+                run_ms: 11.0,
+            },
+        ];
+        let text = render_sched_json("micro_sched", &metrics);
+        let (bench, parsed) = parse_sched_json(&text).expect("parses");
+        assert_eq!(bench, "micro_sched");
+        assert_eq!(parsed, metrics);
+        assert_eq!(parse_sched_json("not json"), None);
     }
 
     #[test]

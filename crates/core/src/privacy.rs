@@ -150,7 +150,7 @@ impl PrivacyStats {
 /// fn assert_send_sync<T: Send + Sync>(_: &T) {}
 /// assert_send_sync(&cache);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PrivacyCache {
     /// Interns sorted occurrence lists to small ids: both caches key by
     /// [`OccId`] instead of hashed owned annotation vectors, so repeat
@@ -162,6 +162,22 @@ pub struct PrivacyCache {
     /// [`PrivacyCache::invalidate_at`]): the lifetime fences a late insert
     /// by a pinned old-epoch reader must not outlive.
     retirements: ShardedMap<OccId, Vec<u64>>,
+}
+
+/// The lock hierarchy of the cache (enforced by the schedule-enumeration
+/// harness's lock-order audit): a `consistent` / `connectivity` shard may be
+/// held while a `retirements` shard is acquired — the value stores read the
+/// retirement fences from inside their shard `update` — never the reverse,
+/// and the interner's shards nest inside nothing.
+impl Default for PrivacyCache {
+    fn default() -> Self {
+        Self {
+            occs: OccInterner::default(),
+            consistent: ShardedMap::labeled("privacy.consistent.shard"),
+            connectivity: ShardedMap::labeled("privacy.connectivity.shard"),
+            retirements: ShardedMap::labeled("privacy.retirements.shard"),
+        }
+    }
 }
 
 /// One cached value version: valid for epochs `born <= e < dead`
@@ -201,10 +217,19 @@ type OccId = u32;
 /// insert wins under races, so every equal vector resolves to one canonical
 /// id (racing workers may burn a counter value — ids stay unique, which is
 /// all the keying needs).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct OccInterner {
     ids: ShardedMap<Vec<AnnotId>, OccId>,
     next: AtomicU32,
+}
+
+impl Default for OccInterner {
+    fn default() -> Self {
+        Self {
+            ids: ShardedMap::labeled("privacy.occs.shard"),
+            next: AtomicU32::default(),
+        }
+    }
 }
 
 impl OccInterner {
@@ -373,6 +398,30 @@ impl PrivacyCache {
             });
             value
         })
+    }
+
+    /// The connectivity verdict cached for the occurrence list `occs` as
+    /// seen at `epoch`, `None` on a miss.
+    ///
+    /// This is the epoch-stamped cell protocol of the cache exposed
+    /// directly: probe → recompute on miss → [`PrivacyCache::connectivity_record`].
+    /// The schedule-enumeration harness drives the retirement fence through
+    /// this pair (see `provabsd`'s sched suite), and service health checks
+    /// can use it to verify fence behavior without running a full privacy
+    /// evaluation.
+    pub fn connectivity_probe(&self, occs: &[AnnotId], epoch: u64) -> Option<bool> {
+        let id = self.occs.ids.get_borrowed(occs)?;
+        self.connectivity_at(id, epoch)
+    }
+
+    /// Records `value` as the connectivity verdict of `occs` at `epoch`
+    /// (first insert per epoch wins; the canonical stored value is
+    /// returned). The version is born at `epoch` and dies at the earliest
+    /// retirement fence recorded after it, exactly like the internal store
+    /// path.
+    pub fn connectivity_record(&self, occs: &[AnnotId], epoch: u64, value: bool) -> bool {
+        let id = self.occs.intern(occs.to_vec());
+        self.store_connectivity(id, epoch, value)
     }
 
     /// The earliest recorded retirement strictly after `epoch` across
@@ -1048,5 +1097,84 @@ mod tests {
         let out = compute_privacy(&b, &rows, &cfg, &cache);
         assert!(out.privacy.is_some());
         assert!(out.privacy.unwrap() >= 2);
+    }
+
+    /// Model-checked (healthy protocol): the writer records the retirement
+    /// fence *before* publishing the new epoch, so across every enumerated
+    /// schedule a reader that observes the new epoch can never hit a
+    /// pre-fence cached verdict.
+    #[test]
+    fn sched_fenced_invalidation_is_never_stale() {
+        use provabs_sched as sched;
+        use provabs_sched::sync::atomic::{AtomicU64 as SchedU64, Ordering as SchedOrdering};
+        let outcome = sched::explore_with(sched::Config::unbounded(), || {
+            let annot = provabs_semiring::AnnotId(7);
+            let cache = Arc::new(PrivacyCache::new());
+            // truth(epoch 0) = false, truth(epoch 1) = true
+            cache.connectivity_record(&[annot], 0, false);
+            let published = Arc::new(SchedU64::labeled("privacy.epoch", 0));
+            let (c2, p2) = (Arc::clone(&cache), Arc::clone(&published));
+            let writer = sched::thread::spawn(move || {
+                // Fence first, publish second — the invariant under test.
+                let touched = std::collections::HashSet::from([annot]);
+                c2.invalidate_at(&touched, 1);
+                p2.store(1, SchedOrdering::SeqCst);
+            });
+            let epoch = published.load(SchedOrdering::SeqCst);
+            let truth = epoch >= 1;
+            match cache.connectivity_probe(&[annot], epoch) {
+                Some(v) => assert_eq!(v, truth, "stale privacy verdict at epoch {epoch}"),
+                None => {
+                    assert_eq!(cache.connectivity_record(&[annot], epoch, truth), truth);
+                }
+            }
+            writer.join().unwrap();
+            // After the fence, epoch 1 never resolves to the epoch-0 verdict.
+            assert_ne!(cache.connectivity_probe(&[annot], 1), Some(false));
+            assert_eq!(cache.connectivity_probe(&[annot], 0), Some(false));
+        });
+        outcome.expect_clean();
+        assert!(
+            outcome.lock_cycle().is_none(),
+            "privacy cache lock order must be acyclic: {:?}",
+            outcome.lock_edges
+        );
+    }
+
+    /// Model-checked mutant: publishing the epoch *before* recording the
+    /// retirement fence opens a window where a new-epoch reader hits the
+    /// stale pre-fence verdict. The sweep MUST find it — this proves the
+    /// harness can see through the privacy cache's epoch-stamped protocol.
+    #[test]
+    fn sched_mutant_unfenced_invalidation_is_caught() {
+        use provabs_sched as sched;
+        use provabs_sched::sync::atomic::{AtomicU64 as SchedU64, Ordering as SchedOrdering};
+        let outcome = sched::explore_with(sched::Config::unbounded(), || {
+            let annot = provabs_semiring::AnnotId(7);
+            let cache = Arc::new(PrivacyCache::new());
+            cache.connectivity_record(&[annot], 0, false);
+            let published = Arc::new(SchedU64::labeled("privacy.epoch", 0));
+            let (c2, p2) = (Arc::clone(&cache), Arc::clone(&published));
+            let writer = sched::thread::spawn(move || {
+                // MUTANT: publish first, fence second.
+                let touched = std::collections::HashSet::from([annot]);
+                p2.store(1, SchedOrdering::SeqCst);
+                c2.invalidate_at(&touched, 1);
+            });
+            let epoch = published.load(SchedOrdering::SeqCst);
+            let truth = epoch >= 1;
+            if let Some(v) = cache.connectivity_probe(&[annot], epoch) {
+                assert_eq!(v, truth, "stale privacy verdict at epoch {epoch}");
+            }
+            writer.join().unwrap();
+        });
+        let v = outcome
+            .violation
+            .expect("unfenced privacy invalidation must be caught");
+        assert!(
+            v.message.contains("stale privacy verdict"),
+            "unexpected violation: {}",
+            v.message
+        );
     }
 }

@@ -80,11 +80,12 @@ use provabs_relational::{
     Adaptive, AppliedDelta, Cq, Database, Delta, EvalLimits, EvalWork, Evaluator, Execution,
     KRelation, PlanMode, RelId, SessionDb, SessionRegistry, SnapshotWriter,
 };
+use provabs_sched::sync::atomic::{AtomicU64, Ordering};
+use provabs_sched::sync::Mutex as SchedMutex;
 use provabs_semiring::AnnotId;
 use std::collections::{BTreeSet, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Tuning knobs of the service.
 #[derive(Debug, Clone, Copy)]
@@ -257,7 +258,7 @@ pub struct ServiceStats {
     pub plan_cache_invalidations: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct StatCells {
     admitted: AtomicU64,
     rejected_queue: AtomicU64,
@@ -269,6 +270,23 @@ struct StatCells {
     writer_retries: AtomicU64,
     backoff_syncs: AtomicU64,
     degraded_writes: AtomicU64,
+}
+
+impl Default for StatCells {
+    fn default() -> Self {
+        Self {
+            admitted: AtomicU64::labeled("provabsd.stats.admitted", 0),
+            rejected_queue: AtomicU64::labeled("provabsd.stats.rejected_queue", 0),
+            rejected_work: AtomicU64::labeled("provabsd.stats.rejected_work", 0),
+            completed: AtomicU64::labeled("provabsd.stats.completed", 0),
+            cancelled: AtomicU64::labeled("provabsd.stats.cancelled", 0),
+            max_request_work: AtomicU64::labeled("provabsd.stats.max_request_work", 0),
+            epochs_published: AtomicU64::labeled("provabsd.stats.epochs_published", 0),
+            writer_retries: AtomicU64::labeled("provabsd.stats.writer_retries", 0),
+            backoff_syncs: AtomicU64::labeled("provabsd.stats.backoff_syncs", 0),
+            degraded_writes: AtomicU64::labeled("provabsd.stats.degraded_writes", 0),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -304,8 +322,11 @@ struct WriterState {
 struct Inner {
     config: ServiceConfig,
     registry: Arc<SessionRegistry>,
-    writer: Mutex<WriterState>,
-    admission: Mutex<Admission>,
+    /// Lock order (audited by the schedule harness): `provabsd.writer` may
+    /// be held while `provabsd.admission` is acquired (see [`Provabsd::health`]);
+    /// never the reverse.
+    writer: SchedMutex<WriterState>,
+    admission: SchedMutex<Admission>,
     cache: Arc<PrivacyCache>,
     stats: StatCells,
 }
@@ -482,18 +503,21 @@ impl Provabsd {
             inner: Arc::new(Inner {
                 config,
                 registry,
-                writer: Mutex::new(WriterState {
-                    durable: Some(durable),
-                    publisher,
-                    vfs,
-                    base: base.to_owned(),
-                    degraded: None,
-                    committed,
-                    txns_since_publish: 0,
-                    pending_touched: HashSet::new(),
-                    pending_rels: BTreeSet::new(),
-                }),
-                admission: Mutex::new(Admission::default()),
+                writer: SchedMutex::labeled(
+                    "provabsd.writer",
+                    WriterState {
+                        durable: Some(durable),
+                        publisher,
+                        vfs,
+                        base: base.to_owned(),
+                        degraded: None,
+                        committed,
+                        txns_since_publish: 0,
+                        pending_touched: HashSet::new(),
+                        pending_rels: BTreeSet::new(),
+                    },
+                ),
+                admission: SchedMutex::labeled("provabsd.admission", Admission::default()),
                 cache: Arc::new(PrivacyCache::new()),
                 stats: StatCells::default(),
             }),
@@ -749,6 +773,7 @@ mod tests {
     use super::*;
     use provabs_relational::storage::{shared, Fault, FaultyVfs, MemVfs};
     use provabs_relational::{parse_cq, Tuple};
+    use std::sync::Mutex;
 
     fn seed_db() -> Database {
         let mut db = Database::new();

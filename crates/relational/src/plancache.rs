@@ -31,9 +31,10 @@
 
 use crate::plan::{plan_cq, PlanMode, QueryPlan};
 use crate::{Cq, Database, RelId, Term, Value};
+use provabs_sched::sync::atomic::{AtomicU64, Ordering};
+use provabs_sched::sync::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Shard count (power of two; routing is a mask on the query fingerprint).
 const SHARDS: usize = 16;
@@ -120,11 +121,13 @@ pub struct PlanCache {
 impl Default for PlanCache {
     fn default() -> Self {
         Self {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            retirements: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
+            shards: (0..SHARDS)
+                .map(|_| Mutex::labeled("plancache.shard", HashMap::new()))
+                .collect(),
+            retirements: Mutex::labeled("plancache.retirements", HashMap::new()),
+            hits: AtomicU64::labeled("plancache.hits", 0),
+            misses: AtomicU64::labeled("plancache.misses", 0),
+            invalidations: AtomicU64::labeled("plancache.invalidations", 0),
         }
     }
 }

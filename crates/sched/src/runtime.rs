@@ -1,0 +1,512 @@
+//! Execution-side machinery of the cooperative scheduler.
+//!
+//! A *model-checked execution* runs each virtual thread on a real OS thread,
+//! but hands out a single run token: exactly one virtual thread makes
+//! progress at any instant, and it only crosses an instrumented operation
+//! (lock acquire, atomic access, yield, join) after the driver in
+//! [`crate::explore`] has chosen it at that *scheduling point*. Everything
+//! between two points runs uninterrupted, which is sound because virtual
+//! threads may only interact through the instrumented shims in
+//! [`crate::sync`].
+//!
+//! When no execution is active (the common production case) the shims check
+//! one relaxed global counter and delegate straight to `std` — the swap
+//! layer is a runtime no-op rather than a `cfg` fork, so the exact same
+//! binary serves tests, benches, and the model checker.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+/// Number of live model-checked executions in this process. Zero means every
+/// shim is in passthrough mode and delegates straight to `std`.
+static ACTIVE_EXECUTIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// Monotone generation counter, so [`ObjCell`]s can lazily re-register
+/// themselves once per execution without any global object table.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: RefCell<Option<VThread>> = const { RefCell::new(None) };
+}
+
+/// Fast path for the shims: one relaxed load decides passthrough mode.
+#[inline]
+pub(crate) fn model_may_be_active() -> bool {
+    ACTIVE_EXECUTIONS.load(Ordering::Relaxed) != 0
+}
+
+/// The virtual-thread identity of the calling OS thread, if it belongs to a
+/// live model-checked execution. OS threads of *other* concurrently running
+/// tests (or production code racing a test in the same process) see `None`
+/// and stay on the passthrough path.
+#[inline]
+pub(crate) fn current() -> Option<VThread> {
+    if !model_may_be_active() {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Identity of one virtual thread inside one execution.
+#[derive(Clone)]
+pub(crate) struct VThread {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) tid: usize,
+}
+
+/// Sentinel panic payload used to unwind virtual threads of an abandoned
+/// execution. `resume_unwind` with this payload does not invoke the panic
+/// hook, so draining thousands of schedules stays silent.
+pub(crate) struct Abandon;
+
+/// One instrumented operation, reported by a virtual thread at a scheduling
+/// point. Object ids are per-execution (assigned at first access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// First point of every virtual thread, before any user code runs.
+    Start,
+    /// An explicit `sched::thread::yield_now`.
+    Yield,
+    /// Acquire of an instrumented mutex.
+    MutexLock(u32),
+    /// Shared acquire of an instrumented rwlock.
+    RwRead(u32),
+    /// Exclusive acquire of an instrumented rwlock.
+    RwWrite(u32),
+    /// Atomic load.
+    AtomicLoad(u32),
+    /// Atomic store.
+    AtomicStore(u32),
+    /// Atomic read-modify-write (fetch_add, swap, compare_exchange, ...).
+    AtomicRmw(u32),
+    /// Join on the virtual thread with this tid.
+    Join(usize),
+}
+
+/// One scheduling decision, as recorded in an execution trace: which thread
+/// ran and the operation it crossed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual-thread id (0 is the root closure).
+    pub tid: usize,
+    /// Human-readable operation, e.g. `"lock plancache.shard#3"`.
+    pub op: String,
+}
+
+/// What kind of instrumented object an [`ObjCell`] registers as.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Kind {
+    Mutex,
+    Rw,
+    Atomic,
+}
+
+/// Scheduler-side state of one instrumented object.
+#[derive(Debug)]
+pub(crate) enum ObjState {
+    Mutex {
+        holder: Option<usize>,
+    },
+    Rw {
+        writer: Option<usize>,
+        readers: Vec<usize>,
+    },
+    Atomic,
+}
+
+#[derive(Debug)]
+pub(crate) struct ObjRec {
+    pub(crate) label: &'static str,
+    pub(crate) state: ObjState,
+}
+
+/// Per-execution registration slot embedded in every shim object: the
+/// generation tag makes re-registration lazy and allocation-free across the
+/// thousands of executions one `explore` runs.
+#[derive(Debug, Default)]
+pub(crate) struct ObjCell {
+    slot: StdMutex<(u64, u32)>,
+}
+
+impl ObjCell {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Spawned, but its OS thread has not yet parked at its `Start` point.
+    Starting,
+    /// Holds the run token and is executing user code.
+    Running,
+    /// Parked at a scheduling point with a pending op.
+    Parked,
+    /// Returned (or unwound); will never run again.
+    Finished,
+}
+
+pub(crate) struct ThreadRec {
+    pub(crate) status: Status,
+    pub(crate) pending: Option<Op>,
+    /// Lock objects currently held (for lock-order edge recording).
+    pub(crate) held: Vec<u32>,
+}
+
+/// Shared mutable state of one execution, guarded by `Execution::state`.
+pub(crate) struct SchedState {
+    pub(crate) threads: Vec<ThreadRec>,
+    pub(crate) objects: Vec<ObjRec>,
+    pub(crate) abandoned: bool,
+    pub(crate) violation: Option<String>,
+    pub(crate) trace: Vec<TraceEntry>,
+    /// label-level "acquired while holding" edges observed this execution.
+    pub(crate) lock_edges: BTreeSet<(&'static str, &'static str)>,
+    pub(crate) os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SchedState {
+    /// Whether `op` can execute now without blocking.
+    pub(crate) fn op_enabled(&self, op: Op) -> bool {
+        match op {
+            Op::Start | Op::Yield | Op::AtomicLoad(_) | Op::AtomicStore(_) | Op::AtomicRmw(_) => {
+                true
+            }
+            Op::MutexLock(o) => matches!(
+                self.objects[o as usize].state,
+                ObjState::Mutex { holder: None }
+            ),
+            Op::RwRead(o) => {
+                matches!(
+                    self.objects[o as usize].state,
+                    ObjState::Rw { writer: None, .. }
+                )
+            }
+            Op::RwWrite(o) => matches!(
+                &self.objects[o as usize].state,
+                ObjState::Rw { writer: None, readers } if readers.is_empty()
+            ),
+            Op::Join(t) => self.threads[t].status == Status::Finished,
+        }
+    }
+
+    /// Applies the pending op of `tid` (bookkeeping + trace) and hands it the
+    /// run token. Caller must have checked the op is enabled.
+    pub(crate) fn apply_decision(&mut self, tid: usize) {
+        let op = self.threads[tid]
+            .pending
+            .take()
+            .expect("decided thread has no pending op");
+        match op {
+            Op::MutexLock(o) => {
+                self.record_lock_edges(tid, o);
+                match &mut self.objects[o as usize].state {
+                    ObjState::Mutex { holder } => {
+                        debug_assert!(holder.is_none());
+                        *holder = Some(tid);
+                    }
+                    other => panic!("mutex op on {other:?}"),
+                }
+                self.threads[tid].held.push(o);
+            }
+            Op::RwRead(o) => {
+                self.record_lock_edges(tid, o);
+                match &mut self.objects[o as usize].state {
+                    ObjState::Rw { writer, readers } => {
+                        debug_assert!(writer.is_none());
+                        readers.push(tid);
+                    }
+                    other => panic!("rwlock op on {other:?}"),
+                }
+                self.threads[tid].held.push(o);
+            }
+            Op::RwWrite(o) => {
+                self.record_lock_edges(tid, o);
+                match &mut self.objects[o as usize].state {
+                    ObjState::Rw { writer, readers } => {
+                        debug_assert!(writer.is_none() && readers.is_empty());
+                        *writer = Some(tid);
+                    }
+                    other => panic!("rwlock op on {other:?}"),
+                }
+                self.threads[tid].held.push(o);
+            }
+            Op::Start
+            | Op::Yield
+            | Op::AtomicLoad(_)
+            | Op::AtomicStore(_)
+            | Op::AtomicRmw(_)
+            | Op::Join(_) => {}
+        }
+        let entry = TraceEntry {
+            tid,
+            op: self.describe(op),
+        };
+        self.trace.push(entry);
+        self.threads[tid].status = Status::Running;
+    }
+
+    fn record_lock_edges(&mut self, tid: usize, acquiring: u32) {
+        let to = self.objects[acquiring as usize].label;
+        let held: Vec<&'static str> = self.threads[tid]
+            .held
+            .iter()
+            .map(|&h| self.objects[h as usize].label)
+            .collect();
+        for from in held {
+            self.lock_edges.insert((from, to));
+        }
+    }
+
+    fn describe(&self, op: Op) -> String {
+        let obj = |o: u32| format!("{}#{o}", self.objects[o as usize].label);
+        match op {
+            Op::Start => "start".into(),
+            Op::Yield => "yield".into(),
+            Op::MutexLock(o) => format!("lock {}", obj(o)),
+            Op::RwRead(o) => format!("read {}", obj(o)),
+            Op::RwWrite(o) => format!("write {}", obj(o)),
+            Op::AtomicLoad(o) => format!("load {}", obj(o)),
+            Op::AtomicStore(o) => format!("store {}", obj(o)),
+            Op::AtomicRmw(o) => format!("rmw {}", obj(o)),
+            Op::Join(t) => format!("join v{t}"),
+        }
+    }
+}
+
+/// One model-checked execution: a set of virtual threads, their instrumented
+/// objects, and the condition variable the run token is passed over.
+pub(crate) struct Execution {
+    pub(crate) generation: u64,
+    pub(crate) state: StdMutex<SchedState>,
+    pub(crate) cv: Condvar,
+}
+
+impl Execution {
+    pub(crate) fn new() -> Arc<Self> {
+        ACTIVE_EXECUTIONS.fetch_add(1, Ordering::SeqCst);
+        Arc::new(Self {
+            generation: NEXT_GENERATION.fetch_add(1, Ordering::SeqCst),
+            state: StdMutex::new(SchedState {
+                threads: Vec::new(),
+                objects: Vec::new(),
+                abandoned: false,
+                violation: None,
+                trace: Vec::new(),
+                lock_edges: BTreeSet::new(),
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Registers `cell` for this execution (idempotent), returning its
+    /// per-execution object id. Ids are assigned in first-access order, so
+    /// deterministic programs get deterministic ids under a fixed schedule.
+    pub(crate) fn object_id(&self, cell: &ObjCell, label: &'static str, kind: Kind) -> u32 {
+        let mut slot = cell.slot.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.0 == self.generation {
+            return slot.1;
+        }
+        let mut st = self.state.lock().unwrap();
+        let id = u32::try_from(st.objects.len()).expect("too many instrumented objects");
+        let state = match kind {
+            Kind::Mutex => ObjState::Mutex { holder: None },
+            Kind::Rw => ObjState::Rw {
+                writer: None,
+                readers: Vec::new(),
+            },
+            Kind::Atomic => ObjState::Atomic,
+        };
+        st.objects.push(ObjRec { label, state });
+        *slot = (self.generation, id);
+        id
+    }
+
+    /// Waits until no virtual thread is running or starting, i.e. the
+    /// execution is ready for the next scheduling decision.
+    pub(crate) fn wait_quiescent(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        let mut st = self.state.lock().unwrap();
+        while st
+            .threads
+            .iter()
+            .any(|t| matches!(t.status, Status::Running | Status::Starting))
+        {
+            st = self.cv.wait(st).unwrap();
+        }
+        st
+    }
+
+    /// Abandons the execution: wakes every parked thread so it unwinds, waits
+    /// for all of them to finish, and joins the OS threads.
+    pub(crate) fn drain(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.abandoned = true;
+        self.cv.notify_all();
+        while st.threads.iter().any(|t| t.status != Status::Finished) {
+            st = self.cv.wait(st).unwrap();
+        }
+        let handles = std::mem::take(&mut st.os_handles);
+        drop(st);
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    pub(crate) fn release_mutex(&self, obj: u32, tid: usize) {
+        let mut st = self.state.lock().unwrap();
+        if let ObjState::Mutex { holder } = &mut st.objects[obj as usize].state {
+            debug_assert_eq!(*holder, Some(tid));
+            *holder = None;
+        }
+        st.threads[tid].held.retain(|&h| h != obj);
+    }
+
+    pub(crate) fn release_read(&self, obj: u32, tid: usize) {
+        let mut st = self.state.lock().unwrap();
+        if let ObjState::Rw { readers, .. } = &mut st.objects[obj as usize].state {
+            if let Some(pos) = readers.iter().position(|&r| r == tid) {
+                readers.remove(pos);
+            }
+        }
+        st.threads[tid].held.retain(|&h| h != obj);
+    }
+
+    pub(crate) fn release_write(&self, obj: u32, tid: usize) {
+        let mut st = self.state.lock().unwrap();
+        if let ObjState::Rw { writer, .. } = &mut st.objects[obj as usize].state {
+            debug_assert_eq!(*writer, Some(tid));
+            *writer = None;
+        }
+        st.threads[tid].held.retain(|&h| h != obj);
+    }
+}
+
+impl Drop for Execution {
+    fn drop(&mut self) {
+        ACTIVE_EXECUTIONS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Parks the calling virtual thread at a scheduling point with `op` pending,
+/// and returns once the driver hands it the run token. Unwinds (with the
+/// silent [`Abandon`] sentinel) if the execution is abandoned.
+pub(crate) fn schedule_point(op: Op) {
+    let Some(vt) = current() else { return };
+    let exec = vt.exec;
+    let mut st = exec.state.lock().unwrap();
+    if st.abandoned {
+        drop(st);
+        panic::resume_unwind(Box::new(Abandon));
+    }
+    {
+        let t = &mut st.threads[vt.tid];
+        t.pending = Some(op);
+        t.status = Status::Parked;
+    }
+    exec.cv.notify_all();
+    loop {
+        if st.abandoned {
+            drop(st);
+            panic::resume_unwind(Box::new(Abandon));
+        }
+        if st.threads[vt.tid].status == Status::Running {
+            return;
+        }
+        st = exec.cv.wait(st).unwrap();
+    }
+}
+
+/// Spawns `f` as a new virtual thread of `exec`, returning its tid and the
+/// cell its return value will be stored in.
+pub(crate) fn spawn_thread<T, F>(exec: &Arc<Execution>, f: F) -> (usize, Arc<StdMutex<Option<T>>>)
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let out = Arc::new(StdMutex::new(None));
+    let mut st = exec.state.lock().unwrap();
+    let tid = st.threads.len();
+    st.threads.push(ThreadRec {
+        status: Status::Starting,
+        pending: None,
+        held: Vec::new(),
+    });
+    let exec2 = Arc::clone(exec);
+    let out2 = Arc::clone(&out);
+    let handle = std::thread::Builder::new()
+        .name(format!("sched-v{tid}"))
+        .spawn(move || vthread_main(exec2, tid, f, out2))
+        .expect("spawn virtual thread");
+    st.os_handles.push(handle);
+    drop(st);
+    (tid, out)
+}
+
+/// Installs (once, process-wide) a panic hook that silences panics raised
+/// on model-checker vthreads: they are caught by [`vthread_main`] and
+/// re-surfaced as [`Violation`](crate::Violation)s with a replayable
+/// schedule, so the default hook's backtrace would only spam stderr once
+/// per violating schedule. Panics on ordinary threads still reach the
+/// previous hook untouched.
+pub(crate) fn install_panic_filter() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if current().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn vthread_main<T, F: FnOnce() -> T>(
+    exec: Arc<Execution>,
+    tid: usize,
+    f: F,
+    out: Arc<StdMutex<Option<T>>>,
+) {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(VThread {
+            exec: Arc::clone(&exec),
+            tid,
+        })
+    });
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        schedule_point(Op::Start);
+        f()
+    }));
+    let flat = match result {
+        Ok(v) => {
+            *out.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+            Ok(())
+        }
+        Err(p) => Err(p),
+    };
+    let mut st = exec.state.lock().unwrap();
+    if let Err(payload) = flat {
+        if payload.downcast_ref::<Abandon>().is_none() {
+            if st.violation.is_none() {
+                st.violation = Some(panic_message(payload.as_ref()));
+            }
+            st.abandoned = true;
+        }
+    }
+    st.threads[tid].status = Status::Finished;
+    drop(st);
+    exec.cv.notify_all();
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

@@ -1,0 +1,543 @@
+//! Instrumented drop-in replacements for `std::sync` primitives.
+//!
+//! Each shim wraps the real `std` primitive plus a per-execution
+//! registration slot. Outside a model-checked execution every operation is a
+//! single relaxed load away from the `std` fast path; inside one, every
+//! acquire / load / store / read-modify-write first parks at a scheduling
+//! point so the explorer in [`crate::explore`] controls the interleaving.
+//!
+//! The atomic shims execute with `SeqCst` while modeled: the checker
+//! enumerates *schedules* under sequential consistency, not weak-memory
+//! reorderings (see ARCHITECTURE.md §15 for the exhaustiveness bounds).
+//!
+//! Error handling mirrors `std` closely enough for idiomatic call sites:
+//! `lock()` / `read()` / `write()` return `Result<Guard, Poisoned>`, so
+//! `.lock().expect("...")` and `if let Ok(g) = ...` compile unchanged.
+
+use crate::runtime::{self, Kind, ObjCell, Op};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+pub use std::sync::atomic::Ordering;
+pub use std::sync::Arc;
+
+/// Returned when the underlying `std` primitive was poisoned by a panicking
+/// holder. Mirrors `std::sync::PoisonError` for `.expect(..)`-style callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Poisoned;
+
+impl fmt::Display for Poisoned {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("poisoned lock: holder panicked")
+    }
+}
+
+impl std::error::Error for Poisoned {}
+
+/// A mutual-exclusion lock whose acquires are scheduling points while a
+/// model-checked execution is active, and plain `std::sync::Mutex` acquires
+/// otherwise.
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    cell: ObjCell,
+    label: &'static str,
+}
+
+impl<T> Mutex<T> {
+    /// Creates an unlabeled mutex (reported as `"mutex"` in traces).
+    pub fn new(value: T) -> Self {
+        Self::labeled("mutex", value)
+    }
+
+    /// Creates a mutex whose trace / lock-order label is `label`. Labels are
+    /// the stable identity used for cross-schedule lock-order auditing.
+    pub fn labeled(label: &'static str, value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+            cell: ObjCell::new(),
+            label,
+        }
+    }
+
+    /// Acquires the lock, parking at a scheduling point first when modeled.
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, Poisoned> {
+        if let Some(vt) = runtime::current() {
+            let id = vt.exec.object_id(&self.cell, self.label, Kind::Mutex);
+            runtime::schedule_point(Op::MutexLock(id));
+            match self.inner.try_lock() {
+                Ok(g) => Ok(MutexGuard {
+                    inner: g,
+                    ctl: Some((vt, id)),
+                }),
+                Err(std::sync::TryLockError::Poisoned(p)) => {
+                    drop(p);
+                    vt.exec.release_mutex(id, vt.tid);
+                    Err(Poisoned)
+                }
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    panic!("scheduler invariant violated: mutex held when acquire was scheduled")
+                }
+            }
+        } else {
+            match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    inner: g,
+                    ctl: None,
+                }),
+                Err(_) => Err(Poisoned),
+            }
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> Result<T, Poisoned> {
+        self.inner.into_inner().map_err(|_| Poisoned)
+    }
+
+    /// Mutable access without locking (`&mut self` proves exclusivity).
+    pub fn get_mut(&mut self) -> Result<&mut T, Poisoned> {
+        self.inner.get_mut().map_err(|_| Poisoned)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releases the scheduler bookkeeping and
+/// the real lock on drop.
+pub struct MutexGuard<'a, T> {
+    inner: std::sync::MutexGuard<'a, T>,
+    ctl: Option<(runtime::VThread, u32)>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((vt, id)) = self.ctl.take() {
+            vt.exec.release_mutex(id, vt.tid);
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// A reader-writer lock whose acquires are scheduling points while a
+/// model-checked execution is active.
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+    cell: ObjCell,
+    label: &'static str,
+}
+
+impl<T> RwLock<T> {
+    /// Creates an unlabeled rwlock (reported as `"rwlock"` in traces).
+    pub fn new(value: T) -> Self {
+        Self::labeled("rwlock", value)
+    }
+
+    /// Creates an rwlock whose trace / lock-order label is `label`.
+    pub fn labeled(label: &'static str, value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+            cell: ObjCell::new(),
+            label,
+        }
+    }
+
+    /// Acquires shared access, parking at a scheduling point first when
+    /// modeled.
+    pub fn read(&self) -> Result<RwLockReadGuard<'_, T>, Poisoned> {
+        if let Some(vt) = runtime::current() {
+            let id = vt.exec.object_id(&self.cell, self.label, Kind::Rw);
+            runtime::schedule_point(Op::RwRead(id));
+            match self.inner.try_read() {
+                Ok(g) => Ok(RwLockReadGuard {
+                    inner: g,
+                    ctl: Some((vt, id)),
+                }),
+                Err(std::sync::TryLockError::Poisoned(p)) => {
+                    drop(p);
+                    vt.exec.release_read(id, vt.tid);
+                    Err(Poisoned)
+                }
+                Err(std::sync::TryLockError::WouldBlock) => panic!(
+                    "scheduler invariant violated: rwlock writer held when read was scheduled"
+                ),
+            }
+        } else {
+            match self.inner.read() {
+                Ok(g) => Ok(RwLockReadGuard {
+                    inner: g,
+                    ctl: None,
+                }),
+                Err(_) => Err(Poisoned),
+            }
+        }
+    }
+
+    /// Acquires exclusive access, parking at a scheduling point first when
+    /// modeled.
+    pub fn write(&self) -> Result<RwLockWriteGuard<'_, T>, Poisoned> {
+        if let Some(vt) = runtime::current() {
+            let id = vt.exec.object_id(&self.cell, self.label, Kind::Rw);
+            runtime::schedule_point(Op::RwWrite(id));
+            match self.inner.try_write() {
+                Ok(g) => Ok(RwLockWriteGuard {
+                    inner: g,
+                    ctl: Some((vt, id)),
+                }),
+                Err(std::sync::TryLockError::Poisoned(p)) => {
+                    drop(p);
+                    vt.exec.release_write(id, vt.tid);
+                    Err(Poisoned)
+                }
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    panic!("scheduler invariant violated: rwlock held when write was scheduled")
+                }
+            }
+        } else {
+            match self.inner.write() {
+                Ok(g) => Ok(RwLockWriteGuard {
+                    inner: g,
+                    ctl: None,
+                }),
+                Err(_) => Err(Poisoned),
+            }
+        }
+    }
+
+    /// Consumes the rwlock, returning the inner value.
+    pub fn into_inner(self) -> Result<T, Poisoned> {
+        self.inner.into_inner().map_err(|_| Poisoned)
+    }
+
+    /// Mutable access without locking (`&mut self` proves exclusivity).
+    pub fn get_mut(&mut self) -> Result<&mut T, Poisoned> {
+        self.inner.get_mut().map_err(|_| Poisoned)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    ctl: Option<(runtime::VThread, u32)>,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((vt, id)) = self.ctl.take() {
+            vt.exec.release_read(id, vt.tid);
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    ctl: Option<(runtime::VThread, u32)>,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((vt, id)) = self.ctl.take() {
+            vt.exec.release_write(id, vt.tid);
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Instrumented atomics mirroring `std::sync::atomic`.
+///
+/// While modeled, every access parks at a scheduling point and then executes
+/// with `SeqCst`; outside a model the caller's ordering is used verbatim.
+pub mod atomic {
+    use super::{Kind, ObjCell, Op};
+    use crate::runtime;
+    use std::fmt;
+
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! int_atomic {
+        ($(#[$meta:meta])* $name:ident, $std:ty, $prim:ty) => {
+            $(#[$meta])*
+            pub struct $name {
+                inner: $std,
+                cell: ObjCell,
+                label: &'static str,
+            }
+
+            impl $name {
+                /// Creates an unlabeled atomic (reported as `"atomic"`).
+                pub fn new(value: $prim) -> Self {
+                    Self::labeled("atomic", value)
+                }
+
+                /// Creates an atomic whose trace label is `label`.
+                pub fn labeled(label: &'static str, value: $prim) -> Self {
+                    Self {
+                        inner: <$std>::new(value),
+                        cell: ObjCell::new(),
+                        label,
+                    }
+                }
+
+                /// Parks at a scheduling point when modeled; returns the
+                /// effective memory ordering for the underlying op.
+                fn trap(&self, mk: fn(u32) -> Op, order: Ordering) -> Ordering {
+                    match runtime::current() {
+                        Some(vt) => {
+                            let id = vt.exec.object_id(&self.cell, self.label, Kind::Atomic);
+                            runtime::schedule_point(mk(id));
+                            Ordering::SeqCst
+                        }
+                        None => order,
+                    }
+                }
+
+                /// Atomic load (scheduling point when modeled).
+                pub fn load(&self, order: Ordering) -> $prim {
+                    let o = self.trap(Op::AtomicLoad, order);
+                    self.inner.load(o)
+                }
+
+                /// Atomic store (scheduling point when modeled).
+                pub fn store(&self, value: $prim, order: Ordering) {
+                    let o = self.trap(Op::AtomicStore, order);
+                    self.inner.store(value, o)
+                }
+
+                /// Atomic swap (scheduling point when modeled).
+                pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                    let o = self.trap(Op::AtomicRmw, order);
+                    self.inner.swap(value, o)
+                }
+
+                /// Atomic add, returning the previous value.
+                pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                    let o = self.trap(Op::AtomicRmw, order);
+                    self.inner.fetch_add(value, o)
+                }
+
+                /// Atomic subtract, returning the previous value.
+                pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                    let o = self.trap(Op::AtomicRmw, order);
+                    self.inner.fetch_sub(value, o)
+                }
+
+                /// Atomic maximum, returning the previous value.
+                pub fn fetch_max(&self, value: $prim, order: Ordering) -> $prim {
+                    let o = self.trap(Op::AtomicRmw, order);
+                    self.inner.fetch_max(value, o)
+                }
+
+                /// Atomic minimum, returning the previous value.
+                pub fn fetch_min(&self, value: $prim, order: Ordering) -> $prim {
+                    let o = self.trap(Op::AtomicRmw, order);
+                    self.inner.fetch_min(value, o)
+                }
+
+                /// Atomic compare-and-exchange (one scheduling point).
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    match runtime::current() {
+                        Some(vt) => {
+                            let id = vt.exec.object_id(&self.cell, self.label, Kind::Atomic);
+                            runtime::schedule_point(Op::AtomicRmw(id));
+                            self.inner
+                                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                        }
+                        None => self.inner.compare_exchange(current, new, success, failure),
+                    }
+                }
+
+                /// Non-atomic read through `&mut self`.
+                pub fn get_mut(&mut self) -> &mut $prim {
+                    self.inner.get_mut()
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $prim {
+                    self.inner.into_inner()
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(<$prim>::default())
+                }
+            }
+
+            impl fmt::Debug for $name {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    fmt::Debug::fmt(&self.inner, f)
+                }
+            }
+
+            impl From<$prim> for $name {
+                fn from(value: $prim) -> Self {
+                    Self::new(value)
+                }
+            }
+        };
+    }
+
+    int_atomic!(
+        /// Instrumented `std::sync::atomic::AtomicU32`.
+        AtomicU32,
+        std::sync::atomic::AtomicU32,
+        u32
+    );
+    int_atomic!(
+        /// Instrumented `std::sync::atomic::AtomicU64`.
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64
+    );
+    int_atomic!(
+        /// Instrumented `std::sync::atomic::AtomicUsize`.
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize
+    );
+
+    /// Instrumented `std::sync::atomic::AtomicBool`.
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+        cell: ObjCell,
+        label: &'static str,
+    }
+
+    impl AtomicBool {
+        /// Creates an unlabeled atomic flag (reported as `"atomic"`).
+        pub fn new(value: bool) -> Self {
+            Self::labeled("atomic", value)
+        }
+
+        /// Creates an atomic flag whose trace label is `label`.
+        pub fn labeled(label: &'static str, value: bool) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicBool::new(value),
+                cell: ObjCell::new(),
+                label,
+            }
+        }
+
+        fn trap(&self, mk: fn(u32) -> Op, order: Ordering) -> Ordering {
+            match runtime::current() {
+                Some(vt) => {
+                    let id = vt.exec.object_id(&self.cell, self.label, Kind::Atomic);
+                    runtime::schedule_point(mk(id));
+                    Ordering::SeqCst
+                }
+                None => order,
+            }
+        }
+
+        /// Atomic load (scheduling point when modeled).
+        pub fn load(&self, order: Ordering) -> bool {
+            let o = self.trap(Op::AtomicLoad, order);
+            self.inner.load(o)
+        }
+
+        /// Atomic store (scheduling point when modeled).
+        pub fn store(&self, value: bool, order: Ordering) {
+            let o = self.trap(Op::AtomicStore, order);
+            self.inner.store(value, o)
+        }
+
+        /// Atomic swap (scheduling point when modeled).
+        pub fn swap(&self, value: bool, order: Ordering) -> bool {
+            let o = self.trap(Op::AtomicRmw, order);
+            self.inner.swap(value, o)
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    impl fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt::Debug::fmt(&self.inner, f)
+        }
+    }
+}

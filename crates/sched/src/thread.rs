@@ -1,0 +1,92 @@
+//! Virtual-thread spawn/join mirroring `std::thread`.
+//!
+//! Inside a model-checked execution, [`spawn`] creates a *virtual* thread:
+//! it runs on a real OS thread but only makes progress when the schedule
+//! explorer hands it the run token, and [`JoinHandle::join`] is itself a
+//! scheduling point (enabled once the target finished). Outside a model both
+//! delegate to `std::thread` unchanged.
+
+use crate::runtime::{self, Execution, Op};
+use std::fmt;
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Spawns a thread: virtual when called from inside a model-checked
+/// execution, a plain `std::thread` otherwise.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match runtime::current() {
+        Some(vt) => {
+            let (tid, out) = runtime::spawn_thread(&vt.exec, f);
+            JoinHandle {
+                inner: Inner::Virtual {
+                    exec: vt.exec,
+                    tid,
+                    out,
+                },
+            }
+        }
+        None => JoinHandle {
+            inner: Inner::Native(std::thread::spawn(f)),
+        },
+    }
+}
+
+/// Yields: a scheduling point when modeled, `std::thread::yield_now`
+/// otherwise.
+pub fn yield_now() {
+    if runtime::current().is_some() {
+        runtime::schedule_point(Op::Yield);
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Handle to a spawned (virtual or native) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Native(std::thread::JoinHandle<T>),
+    Virtual {
+        exec: Arc<Execution>,
+        tid: usize,
+        out: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// Joining a virtual thread is a scheduling point that only becomes
+    /// enabled once the target finished; a panicking virtual thread is a
+    /// model violation and abandons the whole execution instead of
+    /// returning `Err`, so the virtual arm always yields `Ok`.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Native(h) => h.join(),
+            Inner::Virtual { exec, tid, out } => {
+                let _ = &exec;
+                runtime::schedule_point(Op::Join(tid));
+                let value = out
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("joined virtual thread stored no result");
+                Ok(value)
+            }
+        }
+    }
+}
+
+impl<T> fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Inner::Native(_) => f.write_str("JoinHandle(native)"),
+            Inner::Virtual { tid, .. } => write!(f, "JoinHandle(v{tid})"),
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Core explorer properties: exhaustive enumeration, mutual exclusion,
+//! deadlock detection, preemption bounding, determinism of schedule counts,
+//! and the lock-order audit.
+
+use provabs_sched as sched;
+use sched::sync::atomic::{AtomicU64, Ordering};
+use sched::sync::{Arc, Mutex};
+use sched::Config;
+
+/// Two independent single-op threads: the sleep-set reduction must collapse
+/// the two interleavings of commuting ops down to one schedule.
+#[test]
+fn independent_ops_collapse_to_one_schedule() {
+    let outcome = sched::explore_with(Config::unbounded(), || {
+        let a = Arc::new(AtomicU64::labeled("a", 0));
+        let b = Arc::new(AtomicU64::labeled("b", 0));
+        let a2 = Arc::clone(&a);
+        let t = sched::thread::spawn(move || {
+            a2.store(1, Ordering::SeqCst);
+        });
+        b.store(1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(a.load(Ordering::SeqCst), 1);
+        assert_eq!(b.load(Ordering::SeqCst), 1);
+    });
+    outcome.expect_clean();
+    // Stores to different objects commute: at most one completed schedule
+    // per genuinely distinct state, and nothing pruned both ways.
+    assert_eq!(outcome.schedules, 1, "outcome: {outcome:?}");
+}
+
+/// Two conflicting stores do not commute: both orders must be explored.
+#[test]
+fn conflicting_ops_fork_the_tree() {
+    let outcome = sched::explore_with(Config::unbounded(), || {
+        let a = Arc::new(AtomicU64::labeled("a", 0));
+        let a2 = Arc::clone(&a);
+        let t = sched::thread::spawn(move || {
+            a2.store(1, Ordering::SeqCst);
+        });
+        a.store(2, Ordering::SeqCst);
+        t.join().unwrap();
+        let v = a.load(Ordering::SeqCst);
+        assert!(v == 1 || v == 2);
+    });
+    outcome.expect_clean();
+    assert!(outcome.schedules >= 2, "outcome: {outcome:?}");
+}
+
+/// The canonical torn-counter race: a load/store increment racing a
+/// fetch_add must lose an update in some schedule.
+#[test]
+fn lost_update_is_caught_and_replays_identically() {
+    let body = || {
+        let counter = Arc::new(AtomicU64::labeled("counter", 0));
+        let c2 = Arc::clone(&counter);
+        let t = sched::thread::spawn(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        let v = counter.load(Ordering::SeqCst);
+        counter.store(v + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+    };
+    let outcome = sched::explore_with(Config::unbounded(), body);
+    let violation = outcome.violation.as_ref().expect("lost update not caught");
+    assert!(violation.message.contains("lost update"));
+
+    // Seed round-trip + byte-identical replay.
+    let seed = violation.schedule.seed();
+    let parsed = sched::Schedule::from_seed(&seed).expect("seed parses");
+    assert_eq!(parsed, violation.schedule);
+    let replayed = sched::replay(&parsed, body);
+    assert_eq!(replayed.trace, violation.trace);
+    assert_eq!(
+        replayed.message.as_deref(),
+        Some(violation.message.as_str())
+    );
+    assert_eq!(replayed.decisions, violation.schedule.choices.len() as u64);
+}
+
+/// Mutual exclusion of the instrumented mutex holds across every schedule:
+/// a non-atomic read-modify-write under the lock never loses an update.
+#[test]
+fn mutex_grants_mutual_exclusion_in_every_schedule() {
+    let outcome = sched::explore_with(Config::unbounded(), || {
+        let cell = Arc::new(Mutex::labeled("cell", 0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&cell);
+                sched::thread::spawn(move || {
+                    let mut g = c.lock().expect("cell lock");
+                    *g += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*cell.lock().expect("cell lock"), 2);
+    });
+    outcome.expect_clean();
+    assert!(outcome.schedules >= 2, "both acquisition orders explored");
+}
+
+/// Classic ABBA deadlock: the checker must detect it, name the blocked
+/// threads, and surface the lock-order cycle in the audit graph.
+#[test]
+fn abba_deadlock_is_detected_with_lock_order_cycle() {
+    let outcome = sched::explore_with(Config::unbounded(), || {
+        let a = Arc::new(Mutex::labeled("lock.a", ()));
+        let b = Arc::new(Mutex::labeled("lock.b", ()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = sched::thread::spawn(move || {
+            let _ga = a2.lock().expect("a");
+            let _gb = b2.lock().expect("b");
+        });
+        let _gb = b.lock().expect("b");
+        let _ga = a.lock().expect("a");
+        drop((_ga, _gb));
+        t.join().unwrap();
+    });
+    let v = outcome.violation.expect("deadlock not found");
+    assert!(v.message.contains("deadlock"), "message: {}", v.message);
+    let cycle = outcome_cycle_check(&outcome.lock_edges);
+    assert!(cycle, "opposite-order acquisitions must form a cycle");
+}
+
+fn outcome_cycle_check(edges: &[(String, String)]) -> bool {
+    edges.contains(&("lock.a".to_string(), "lock.b".to_string()))
+        && edges.contains(&("lock.b".to_string(), "lock.a".to_string()))
+}
+
+/// A consistent lock hierarchy produces an acyclic audit graph.
+#[test]
+fn consistent_lock_order_has_no_cycle() {
+    let outcome = sched::explore_with(Config::unbounded(), || {
+        let a = Arc::new(Mutex::labeled("outer", ()));
+        let b = Arc::new(Mutex::labeled("inner", ()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = sched::thread::spawn(move || {
+            let _ga = a2.lock().expect("outer");
+            let _gb = b2.lock().expect("inner");
+        });
+        {
+            let _ga = a.lock().expect("outer");
+            let _gb = b.lock().expect("inner");
+        }
+        t.join().unwrap();
+    });
+    outcome.expect_clean();
+    assert!(outcome
+        .lock_edges
+        .contains(&("outer".to_string(), "inner".to_string())));
+    assert!(outcome.lock_cycle().is_none());
+}
+
+/// Preemption bounding prunes schedules: bound 0 explores strictly fewer
+/// schedules than the unbounded sweep on a conflicting workload, while
+/// still visiting at least the non-preemptive ones.
+#[test]
+fn preemption_bound_cuts_the_tree() {
+    fn body() {
+        let a = Arc::new(AtomicU64::labeled("a", 0));
+        let a2 = Arc::clone(&a);
+        let t = sched::thread::spawn(move || {
+            for _ in 0..3 {
+                a2.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        for _ in 0..3 {
+            a.fetch_add(1, Ordering::SeqCst);
+        }
+        t.join().unwrap();
+        assert_eq!(a.load(Ordering::SeqCst), 6);
+    }
+    let unbounded = sched::explore_with(Config::unbounded(), body);
+    let bounded = sched::explore_with(
+        Config {
+            preemption_bound: Some(0),
+            ..Config::default()
+        },
+        body,
+    );
+    unbounded.expect_clean();
+    bounded.expect_clean();
+    assert!(
+        bounded.schedules < unbounded.schedules,
+        "bound 0: {} vs unbounded: {}",
+        bounded.schedules,
+        unbounded.schedules
+    );
+    assert!(bounded.schedules >= 1);
+}
+
+/// Schedule counts are deterministic: two sweeps of the same scenario
+/// agree exactly on every counter.
+#[test]
+fn sweep_counters_are_deterministic() {
+    fn body() {
+        let m = Arc::new(Mutex::labeled("m", 0u64));
+        let c = Arc::new(AtomicU64::labeled("c", 0));
+        let (m2, c2) = (Arc::clone(&m), Arc::clone(&c));
+        let t = sched::thread::spawn(move || {
+            *m2.lock().expect("m") += 1;
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        c.fetch_add(1, Ordering::SeqCst);
+        *m.lock().expect("m") += 1;
+        t.join().unwrap();
+        assert_eq!(*m.lock().expect("m"), 2);
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+    }
+    let a = sched::explore_with(Config::default(), body);
+    let b = sched::explore_with(Config::default(), body);
+    a.expect_clean();
+    assert_eq!(a.schedules, b.schedules);
+    assert_eq!(a.pruned, b.pruned);
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.lock_edges, b.lock_edges);
+}
+
+/// Three threads with mixed ops sweep exhaustively in CI time, and the
+/// invariant (mutex-protected counter equals atomic counter) holds in every
+/// schedule.
+#[test]
+fn three_thread_mixed_sweep_is_exhaustive() {
+    let outcome = sched::explore_with(Config::unbounded(), || {
+        let m = Arc::new(Mutex::labeled("total", 0u64));
+        let published = Arc::new(AtomicU64::labeled("published", 0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let m2 = Arc::clone(&m);
+                let p2 = Arc::clone(&published);
+                sched::thread::spawn(move || {
+                    {
+                        let mut g = m2.lock().expect("total");
+                        *g += 1;
+                    }
+                    p2.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        // The root thread is the "reader": published never exceeds total.
+        let p = published.load(Ordering::SeqCst);
+        let t = *m.lock().expect("total");
+        assert!(p <= t, "published {p} > total {t}");
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock().expect("total"), 2);
+        assert_eq!(published.load(Ordering::SeqCst), 2);
+    });
+    outcome.expect_clean();
+    assert!(outcome.schedules >= 4, "outcome: {outcome:?}");
+}
+
+/// Outside a model-checked execution the shims are plain std primitives.
+#[test]
+fn passthrough_mode_works_without_explorer() {
+    let m = Mutex::new(1u64);
+    *m.lock().expect("lock") += 1;
+    assert_eq!(*m.lock().expect("lock"), 2);
+    let a = AtomicU64::new(5);
+    assert_eq!(a.fetch_add(1, Ordering::Relaxed), 5);
+    assert_eq!(a.load(Ordering::Acquire), 6);
+    let t = sched::thread::spawn(|| 41 + 1);
+    assert_eq!(t.join().unwrap(), 42);
+}
+
+/// A schedule that exceeds the per-schedule step budget is reported as a
+/// violation (fail-closed), not silently truncated.
+#[test]
+fn step_budget_overrun_is_a_violation() {
+    let outcome = sched::explore_with(
+        Config {
+            max_steps: 8,
+            ..Config::default()
+        },
+        || {
+            let a = Arc::new(AtomicU64::labeled("spin", 0));
+            for _ in 0..32 {
+                a.fetch_add(1, Ordering::SeqCst);
+            }
+        },
+    );
+    let v = outcome.violation.expect("budget overrun not reported");
+    assert!(v.message.contains("max_steps"), "message: {}", v.message);
+}
